@@ -1,0 +1,108 @@
+// Command daggen generates task graphs and exports them as JSON (for the
+// makespan tool) or Graphviz DOT (reproducing the paper's Figures 1-3).
+//
+// Usage:
+//
+//	daggen -kind cholesky -k 5 -dot cholesky5.dot    # paper Figure 1
+//	daggen -kind lu -k 5 -dot -                      # DOT to stdout
+//	daggen -kind qr -k 8 -json qr8.json
+//	daggen -kind layered -tasks 50 -edge-prob 0.3 -seed 7 -json random.json
+//	daggen -kind cholesky -k 5 -dot - -critical      # highlight critical path
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/dag"
+	"repro/internal/linalg"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "cholesky", "cholesky, lu, qr, layered, erdos, chain, forkjoin")
+		k        = flag.Int("k", 5, "tile count for factorization kinds")
+		tasks    = flag.Int("tasks", 50, "task count for random kinds")
+		edgeProb = flag.Float64("edge-prob", 0.3, "edge probability for random kinds")
+		width    = flag.Int("width", 8, "max layer width / fork-join width")
+		seed     = flag.Int64("seed", 1, "random seed")
+		jsonOut  = flag.String("json", "", "write JSON graph to file ('-' for stdout)")
+		dotOut   = flag.String("dot", "", "write DOT rendering to file ('-' for stdout)")
+		critical = flag.Bool("critical", false, "highlight the critical path in DOT output")
+		weights  = flag.Bool("weights", false, "show task weights in DOT labels")
+	)
+	flag.Parse()
+	if err := run(*kind, *k, *tasks, *edgeProb, *width, *seed, *jsonOut, *dotOut, *critical, *weights); err != nil {
+		fmt.Fprintln(os.Stderr, "daggen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, k, tasks int, edgeProb float64, width int, seed int64, jsonOut, dotOut string, critical, weights bool) error {
+	g, err := generate(kind, k, tasks, edgeProb, width, seed)
+	if err != nil {
+		return err
+	}
+	d, _ := dag.Makespan(g)
+	fmt.Fprintf(os.Stderr, "generated %s: %d tasks, %d edges, d(G) = %.6g\n",
+		kind, g.NumTasks(), g.NumEdges(), d)
+	if jsonOut == "" && dotOut == "" {
+		jsonOut = "-"
+	}
+	if jsonOut != "" {
+		if err := withWriter(jsonOut, func(w io.Writer) error { return dag.WriteJSON(w, g) }); err != nil {
+			return err
+		}
+	}
+	if dotOut != "" {
+		opts := dag.DotOptions{GraphName: kind, ShowWeights: weights}
+		if critical {
+			pe, err := dag.NewPathEvaluator(g)
+			if err != nil {
+				return err
+			}
+			path, _ := pe.CriticalPath()
+			opts.Highlight = path
+		}
+		if err := withWriter(dotOut, func(w io.Writer) error { return dag.WriteDot(w, g, opts) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func generate(kind string, k, tasks int, edgeProb float64, width int, seed int64) (*dag.Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case "cholesky", "lu", "qr":
+		return linalg.Generate(linalg.Factorization(kind), k, linalg.KernelTimes{})
+	case "layered":
+		return dag.LayeredRandom(dag.RandomConfig{Tasks: tasks, EdgeProb: edgeProb, MaxLayerWidth: width}, rng)
+	case "erdos":
+		return dag.ErdosRenyiDAG(dag.RandomConfig{Tasks: tasks, EdgeProb: edgeProb}, rng)
+	case "chain":
+		return dag.Chain(tasks), nil
+	case "forkjoin":
+		return dag.ForkJoin(width), nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+}
+
+func withWriter(path string, f func(io.Writer) error) error {
+	if path == "-" {
+		return f(os.Stdout)
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f(file); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}

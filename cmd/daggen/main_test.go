@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateKinds(t *testing.T) {
+	cases := []struct {
+		kind  string
+		tasks int
+	}{
+		{"cholesky", 20}, // k=4
+		{"lu", 30},
+		{"qr", 30},
+		{"layered", 25},
+		{"erdos", 25},
+		{"chain", 25},
+		{"forkjoin", 8}, // width 6 + source + sink
+	}
+	for _, c := range cases {
+		g, err := generate(c.kind, 4, 25, 0.3, 6, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		if g.NumTasks() != c.tasks {
+			t.Errorf("%s: tasks = %d want %d", c.kind, g.NumTasks(), c.tasks)
+		}
+		if !g.IsAcyclic() {
+			t.Errorf("%s: cyclic", c.kind)
+		}
+	}
+	if _, err := generate("bogus", 4, 25, 0.3, 6, 1); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+}
+
+func TestRunWritesBothFormats(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "g.json")
+	dotPath := filepath.Join(dir, "g.dot")
+	if err := run("cholesky", 5, 0, 0, 0, 1, jsonPath, dotPath, true, true); err != nil {
+		t.Fatal(err)
+	}
+	js, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(js), "POTRF_0") {
+		t.Error("JSON missing task names")
+	}
+	dot, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"digraph cholesky", "color=red", "->"} {
+		if !strings.Contains(string(dot), want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestRunBadWriterPath(t *testing.T) {
+	if err := run("chain", 0, 5, 0, 0, 1, "/no/such/dir/x.json", "", false, false); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

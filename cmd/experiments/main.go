@@ -1,0 +1,142 @@
+// Command experiments regenerates the paper's evaluation: Figures 4-12
+// (relative error of First Order, Dodin and Normal vs Monte Carlo, per
+// factorization, failure probability and graph size) and Table I (LU k=20
+// accuracy and runtime).
+//
+// Usage:
+//
+//	experiments                  # all nine figures + Table I, paper fidelity
+//	experiments -fig 5           # one figure
+//	experiments -table 1         # Table I only
+//	experiments -trials 30000    # reduced Monte Carlo for quick runs
+//	experiments -csv out.csv     # additionally dump CSV rows
+//	experiments -all-methods     # add Sculli and Second Order columns
+//
+// At paper fidelity (300,000 trials) the full run takes tens of minutes,
+// dominated by Monte Carlo on the larger graphs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 0, "run only this figure (4..12; 0 = all)")
+		table   = flag.Int("table", 0, "run only this table (1; 0 = per default run)")
+		trials  = flag.Int("trials", 0, "Monte Carlo trials (0 = paper's 300,000)")
+		seed    = flag.Uint64("seed", 42, "Monte Carlo seed")
+		csvPath = flag.String("csv", "", "append figure CSV rows to this file")
+		allM    = flag.Bool("all-methods", false, "include Sculli and Second Order")
+		maxK    = flag.Int("max-k", 0, "cap graph sizes at this k (0 = paper sizes)")
+		tableK  = flag.Int("table-k", 0, "override Table I tile count (0 = paper's 20)")
+		sweep   = flag.Bool("sweep", false, "run the extension pfail sweep instead")
+	)
+	flag.Parse()
+	if *sweep {
+		if err := runSweep(*trials, *seed, *allM); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*fig, *table, *trials, *seed, *csvPath, *allM, *maxK, *tableK); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, table, trials int, seed uint64, csvPath string, allM bool, maxK, tableK int) error {
+	opts := experiments.Options{
+		Trials:   trials,
+		Seed:     seed,
+		Progress: func(s string) { fmt.Fprintln(os.Stderr, "  ", s) },
+	}
+	if allM {
+		opts.Methods = experiments.AllMethods()
+	}
+	var csvW io.Writer
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		csvW = f
+	}
+	runOne := func(spec experiments.FigureSpec) error {
+		if maxK > 0 {
+			var ks []int
+			for _, k := range spec.Ks {
+				if k <= maxK {
+					ks = append(ks, k)
+				}
+			}
+			opts.Ks = ks
+		}
+		res, err := experiments.RunFigure(spec, opts)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteFigure(os.Stdout, res, opts.Methods); err != nil {
+			return err
+		}
+		fmt.Println()
+		if csvW != nil {
+			if err := experiments.WriteFigureCSV(csvW, res, opts.Methods); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	switch {
+	case fig != 0:
+		spec, err := experiments.Figure(fig)
+		if err != nil {
+			return err
+		}
+		return runOne(spec)
+	case table != 0:
+		if table != 1 {
+			return fmt.Errorf("no table %d (have 1)", table)
+		}
+		return runTable1(opts, tableK)
+	default:
+		for _, spec := range experiments.Figures() {
+			if err := runOne(spec); err != nil {
+				return err
+			}
+		}
+		return runTable1(opts, tableK)
+	}
+}
+
+func runSweep(trials int, seed uint64, allM bool) error {
+	opts := experiments.Options{Trials: trials, Seed: seed}
+	if allM {
+		opts.Methods = experiments.AllMethods()
+	}
+	res, err := experiments.RunSweep(experiments.DefaultSweep(), opts)
+	if err != nil {
+		return err
+	}
+	return experiments.WriteSweep(os.Stdout, res, opts.Methods)
+}
+
+func runTable1(opts experiments.Options, tableK int) error {
+	spec := experiments.Table1()
+	if tableK > 0 {
+		spec.K = tableK
+	}
+	res, err := experiments.RunTable1(spec, opts)
+	if err != nil {
+		return err
+	}
+	return experiments.WriteTable1(os.Stdout, res, opts.Methods)
+}

@@ -1,0 +1,129 @@
+// Command makespan estimates the expected makespan of a task graph under
+// silent errors with every implemented method.
+//
+// Usage:
+//
+//	makespan -kind cholesky -k 8 -pfail 0.001
+//	makespan -graph graph.json -lambda 0.05 -trials 100000
+//
+// The graph comes either from a generator (-kind cholesky|lu|qr with -k)
+// or from a JSON file produced by daggen (-graph). The failure model comes
+// from -lambda directly or from -pfail calibrated on the mean task weight,
+// as in the paper. The tool prints the failure-free makespan, each
+// estimator's value and runtime, and a Monte Carlo reference with its 95%
+// confidence interval.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/experiments"
+	"repro/internal/failure"
+	"repro/internal/linalg"
+	"repro/internal/montecarlo"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "cholesky", "generator: cholesky, lu or qr (ignored with -graph)")
+		k       = flag.Int("k", 8, "tile count for the generator")
+		path    = flag.String("graph", "", "JSON graph file (overrides -kind/-k)")
+		pfail   = flag.Float64("pfail", 0.001, "failure probability of an average-weight task")
+		lambda  = flag.Float64("lambda", 0, "error rate λ (overrides -pfail when > 0)")
+		trials  = flag.Int("trials", montecarlo.DefaultTrials, "Monte Carlo trials (0 to skip MC)")
+		seed    = flag.Uint64("seed", 42, "Monte Carlo seed")
+		atoms   = flag.Int("dodin-atoms", 0, "Dodin distribution support cap (0 = default 64, -1 = unlimited)")
+		methods = flag.String("methods", "all", "comma list of methods, 'paper' or 'all'")
+	)
+	flag.Parse()
+	if err := run(*kind, *k, *path, *pfail, *lambda, *trials, *seed, *atoms, *methods); err != nil {
+		fmt.Fprintln(os.Stderr, "makespan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, k int, path string, pfail, lambda float64, trials int, seed uint64, atoms int, methodSel string) error {
+	g, err := loadGraph(kind, k, path)
+	if err != nil {
+		return err
+	}
+	model, err := buildModel(g, pfail, lambda)
+	if err != nil {
+		return err
+	}
+	d, err := dag.Makespan(g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %d tasks, %d edges, mean weight %.4g s\n", g.NumTasks(), g.NumEdges(), g.MeanWeight())
+	fmt.Printf("model: λ = %.6g /s (pfail of mean task = %.3g, MTBF = %.4g s)\n",
+		model.Lambda, model.PFail(g.MeanWeight()), model.MTBF())
+	fmt.Printf("failure-free makespan d(G) = %.6g s\n\n", d)
+
+	var list []experiments.Method
+	switch methodSel {
+	case "paper":
+		list = experiments.PaperMethods()
+	case "all", "":
+		list = experiments.AllMethods()
+	default:
+		for _, name := range splitComma(methodSel) {
+			list = append(list, experiments.Method(name))
+		}
+	}
+	fmt.Printf("%-14s %-16s %-12s\n", "method", "estimate (s)", "time")
+	for _, m := range list {
+		est, dt, err := experiments.Estimate(m, g, model, atoms)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m, err)
+		}
+		fmt.Printf("%-14s %-16.8g %-12v\n", m, est, dt.Round(time.Microsecond))
+	}
+	if trials > 0 {
+		t0 := time.Now()
+		mc, err := montecarlo.Estimate(g, model, montecarlo.Config{Trials: trials, Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %-16.8g %-12v ±%.3g (95%% CI, %d trials)\n",
+			"Monte Carlo", mc.Mean, time.Since(t0).Round(time.Millisecond), mc.CI95, mc.Trials)
+	}
+	return nil
+}
+
+func loadGraph(kind string, k int, path string) (*dag.Graph, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dag.ReadJSON(f)
+	}
+	return linalg.Generate(linalg.Factorization(kind), k, linalg.KernelTimes{})
+}
+
+func buildModel(g *dag.Graph, pfail, lambda float64) (failure.Model, error) {
+	if lambda > 0 {
+		return failure.New(lambda)
+	}
+	return failure.FromPfail(pfail, g.MeanWeight())
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+func TestSplitComma(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a,b,c", []string{"a", "b", "c"}},
+		{"one", []string{"one"}},
+		{"", nil},
+		{"a,,b", []string{"a", "b"}},
+		{",lead", []string{"lead"}},
+		{"trail,", []string{"trail"}},
+	}
+	for _, c := range cases {
+		if got := splitComma(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("splitComma(%q) = %v want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLoadGraphGeneratorAndFile(t *testing.T) {
+	g, err := loadGraph("cholesky", 4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 20 {
+		t.Fatalf("tasks = %d", g.NumTasks())
+	}
+	if _, err := loadGraph("nope", 4, ""); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+	// Round-trip through a JSON file.
+	path := filepath.Join(t.TempDir(), "g.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dag.WriteJSON(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := loadGraph("ignored", 0, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTasks() != g.NumTasks() {
+		t.Fatalf("file graph tasks = %d", got.NumTasks())
+	}
+	if _, err := loadGraph("", 0, "/does/not/exist.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBuildModel(t *testing.T) {
+	g, _ := loadGraph("lu", 4, "")
+	m, err := buildModel(g, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Lambda <= 0 {
+		t.Fatalf("λ = %v", m.Lambda)
+	}
+	m2, err := buildModel(g, 0.01, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Lambda != 0.5 {
+		t.Fatalf("explicit λ ignored: %v", m2.Lambda)
+	}
+	if _, err := buildModel(g, 1.5, 0); err == nil {
+		t.Fatal("bad pfail accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// Full CLI path with a tiny workload and no Monte Carlo.
+	if err := run("cholesky", 3, "", 0.01, 0, 0, 1, 0, "paper"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("cholesky", 3, "", 0.01, 0, 500, 1, 0, "all"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("cholesky", 3, "", 0.01, 0, 0, 1, 0, "First Order,Sculli"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("cholesky", 3, "", 0.01, 0, 0, 1, 0, "bogus"); err == nil {
+		t.Fatal("bogus method accepted")
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunEndToEnd(t *testing.T) {
+	if err := run("lu", 4, 2, 0.01, 50, 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("bogus", 4, 2, 0.01, 10, 1, false); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+	if err := run("lu", 4, 2, 1.5, 10, 1, false); err == nil {
+		t.Fatal("pfail=1.5 accepted")
+	}
+	if err := run("lu", 4, 0, 0.01, 10, 1, false); err == nil {
+		t.Fatal("0 processors accepted")
+	}
+}

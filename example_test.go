@@ -1,0 +1,83 @@
+package makespan_test
+
+import (
+	"fmt"
+
+	makespan "repro"
+)
+
+// The basic workflow: build a DAG, calibrate the failure model, estimate.
+func Example() {
+	g := makespan.NewGraph(3)
+	a := g.MustAddTask("prepare", 1.0)
+	b := g.MustAddTask("compute", 4.0)
+	c := g.MustAddTask("reduce", 0.5)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, c)
+
+	model, _ := makespan.NewModel(0.01)
+	d, _ := makespan.FailureFreeMakespan(g)
+	est, _ := makespan.FirstOrder(g, model)
+	fmt.Printf("failure-free %.3f, expected %.5f\n", d, est)
+	// Output:
+	// failure-free 5.500, expected 5.67250
+}
+
+// Per-task sensitivities identify which task's failures cost the most.
+func ExampleFirstOrderDetail() {
+	g := makespan.NewGraph(4)
+	src := g.MustAddTask("src", 1)
+	big := g.MustAddTask("big", 5)
+	small := g.MustAddTask("small", 3)
+	snk := g.MustAddTask("snk", 2)
+	g.MustAddEdge(src, big)
+	g.MustAddEdge(src, small)
+	g.MustAddEdge(big, snk)
+	g.MustAddEdge(small, snk)
+
+	model, _ := makespan.NewModel(0.001)
+	res, _ := makespan.FirstOrderDetail(g, model)
+	for i, c := range res.Contribution {
+		fmt.Printf("%s: %.0f\n", g.Name(i), c)
+	}
+	// Output:
+	// src: 1
+	// big: 25
+	// small: 3
+	// snk: 4
+}
+
+// Series-parallel graphs admit an exact decomposition.
+func ExampleIsSeriesParallel() {
+	diamond := makespan.NewGraph(4)
+	a := diamond.MustAddTask("a", 1)
+	b := diamond.MustAddTask("b", 2)
+	c := diamond.MustAddTask("c", 3)
+	d := diamond.MustAddTask("d", 4)
+	diamond.MustAddEdge(a, b)
+	diamond.MustAddEdge(a, c)
+	diamond.MustAddEdge(b, d)
+	diamond.MustAddEdge(c, d)
+
+	sp, _ := makespan.IsSeriesParallel(diamond)
+	fmt.Println(sp)
+
+	wf := makespan.Wavefront(3, 1)
+	sp, _ = makespan.IsSeriesParallel(wf)
+	fmt.Println(sp)
+	// Output:
+	// true
+	// false
+}
+
+// The paper's workloads come built in; the failure rate is calibrated
+// from the probability that an average task fails.
+func ExampleModelFromPfail() {
+	g, _ := makespan.Cholesky(5)
+	model, _ := makespan.ModelFromPfail(0.001, g.MeanWeight())
+	fo, _ := makespan.FirstOrder(g, model)
+	d, _ := makespan.FailureFreeMakespan(g)
+	fmt.Printf("tasks=%d, overhead=%.4f%%\n", g.NumTasks(), 100*(fo/d-1))
+	// Output:
+	// tasks=35, overhead=0.1485%
+}

@@ -1,0 +1,67 @@
+// DVFS: the energy/resilience trade-off from the paper's introduction.
+// Lowering voltage and frequency saves dynamic power but raises the silent
+// error rate exponentially (paper Eq. 1), which lengthens the expected
+// makespan through re-executions. This example sweeps the processor speed
+// for a QR factorization and reports, per speed: the error rate, the
+// expected makespan (First Order on the speed-scaled DAG) and a normalized
+// energy estimate — exposing the sweet spot.
+//
+// Run with:
+//
+//	go run ./examples/dvfs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	makespan "repro"
+)
+
+func main() {
+	const k = 8
+	base, err := makespan.QR(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Error rate 1e-4 /s at full speed, 3 decades of degradation across
+	// the DVFS range [0.5, 1.0] (normalized speeds).
+	dvfs, err := makespan.NewDVFS(1e-4, 3, 0.5, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("QR k=%d: %d tasks; DVFS range [%.1f, %.1f], λ(smax)=%.1e, sensitivity d=%.0f\n\n",
+		k, base.NumTasks(), dvfs.SMin, dvfs.SMax, dvfs.Lambda0, dvfs.Sensitivity)
+	fmt.Printf("%-7s %-12s %-16s %-14s %-12s\n", "speed", "λ(s) [/s]", "E[makespan] (s)", "energy (norm)", "energy·E[T]")
+
+	bestSpeed, bestEDP := 0.0, 0.0
+	for _, s := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		// Scale every task weight by smax/s (slower clock, longer tasks).
+		g := makespan.NewGraph(base.NumTasks())
+		for i := 0; i < base.NumTasks(); i++ {
+			g.MustAddTask(base.Name(i), dvfs.TimeAt(base.Weight(i), s))
+		}
+		for u := 0; u < base.NumTasks(); u++ {
+			for _, v := range base.Succ(u) {
+				g.MustAddEdge(u, v)
+			}
+		}
+		model := dvfs.ModelAt(s)
+		et, err := makespan.FirstOrder(g, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Energy ∝ power × busy time; busy time is total (expected) work.
+		work := 0.0
+		for i := 0; i < g.NumTasks(); i++ {
+			work += model.ExpectedTime(g.Weight(i))
+		}
+		energy := dvfs.DynamicPower(s) * work
+		edp := energy * et
+		fmt.Printf("%-7.2f %-12.3e %-16.4f %-14.4f %-12.4f\n", s, model.Lambda, et, energy, edp)
+		if bestSpeed == 0 || edp < bestEDP {
+			bestSpeed, bestEDP = s, edp
+		}
+	}
+	fmt.Printf("\nbest energy-delay product at speed %.2f — naive 'slowest is greenest' loses to re-executions.\n", bestSpeed)
+}

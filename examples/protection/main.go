@@ -1,0 +1,100 @@
+// Protection: where should an expensive, highly reliable detector go?
+// The First Order decomposition E(G) ≈ d(G) + λ·Σ a_i(d(G_i) − d(G))
+// ranks tasks by how much their re-execution hurts the expected makespan.
+// This example protects only the top-sensitivity tasks of an LU
+// factorization with a costlier-but-instant-restart detector (modelled as
+// halving their re-execution exposure) and compares three policies:
+// protect nothing, protect the top 10% by sensitivity, protect the top
+// 10% by weight — showing that sensitivity, not size, is the right signal.
+//
+// Run with:
+//
+//	go run ./examples/protection
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	makespan "repro"
+)
+
+func main() {
+	const (
+		k        = 10
+		pfail    = 0.01
+		fraction = 0.10 // protect this share of tasks
+	)
+	g, err := makespan.LU(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := makespan.ModelFromPfail(pfail, g.MeanWeight())
+	if err != nil {
+		log.Fatal(err)
+	}
+	detail, err := makespan.FirstOrderDetail(g, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LU k=%d: %d tasks, pfail=%g, baseline E[makespan] ≈ %.4f s\n\n",
+		k, g.NumTasks(), pfail, detail.Estimate)
+
+	n := g.NumTasks()
+	budget := n * fraction100(fraction) / 100
+	bySensitivity := topIndices(detail.Contribution, budget)
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = g.Weight(i)
+	}
+	byWeight := topIndices(weights, budget)
+
+	fmt.Printf("%-34s %-16s %s\n", "policy", "E[makespan] (s)", "improvement")
+	base := estimateWithProtection(g, model, nil)
+	fmt.Printf("%-34s %-16.4f %s\n", "no protection", base, "-")
+	for _, p := range []struct {
+		name string
+		set  []int
+	}{
+		{fmt.Sprintf("protect top %d by sensitivity", budget), bySensitivity},
+		{fmt.Sprintf("protect top %d by task weight", budget), byWeight},
+	} {
+		est := estimateWithProtection(g, model, p.set)
+		fmt.Printf("%-34s %-16.4f %.2f%%\n", p.name, est, 100*(base-est)/base)
+	}
+	fmt.Println("\nsensitivity-ranked protection captures (almost) all of the achievable gain;")
+	fmt.Println("weight-ranked protection wastes budget on heavy tasks off the critical paths.")
+}
+
+// estimateWithProtection returns the First Order estimate when the tasks
+// in protect re-execute only half of their work after an error (e.g. a
+// mid-task check captures a verified snapshot).
+func estimateWithProtection(g *makespan.Graph, model makespan.Model, protect []int) float64 {
+	detail, err := makespan.FirstOrderDetail(g, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est := detail.Estimate
+	for _, i := range protect {
+		// Halving the re-execution removes half of the task's first-order
+		// contribution λ·a_i·(d(G_i) − d(G)).
+		est -= 0.5 * model.Lambda * detail.Contribution[i]
+	}
+	return est
+}
+
+// topIndices returns the indices of the m largest values.
+func topIndices(values []float64, m int) []int {
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] > values[idx[b]] })
+	if m > len(idx) {
+		m = len(idx)
+	}
+	return idx[:m]
+}
+
+func fraction100(f float64) int { return int(f * 100) }

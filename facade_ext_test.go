@@ -1,0 +1,144 @@
+package makespan
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeBracketContainsEstimates(t *testing.T) {
+	g, _ := LU(6)
+	m, _ := ModelFromPfail(0.001, g.MeanWeight())
+	lo, hi, err := Bracket(g, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, _ := FirstOrder(g, m)
+	if fo < lo-1e-9 || fo > hi+1e-9 {
+		t.Fatalf("First Order %v outside [%v, %v]", fo, lo, hi)
+	}
+	mc, _ := MonteCarlo(g, m, MonteCarloConfig{Trials: 30000, Seed: 2})
+	if mc.Mean < lo-3*mc.CI95 || mc.Mean > hi+3*mc.CI95 {
+		t.Fatalf("MC %v outside [%v, %v]", mc.Mean, lo, hi)
+	}
+}
+
+func TestFacadeMonteCarloSamples(t *testing.T) {
+	g, _ := Cholesky(4)
+	m, _ := ModelFromPfail(0.01, g.MeanWeight())
+	res, samples, err := MonteCarloSamples(g, m, MonteCarloConfig{Trials: 20000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples.N() != res.Trials {
+		t.Fatalf("sample count %d != %d", samples.N(), res.Trials)
+	}
+	med := samples.Quantile(0.5)
+	p99 := samples.Quantile(0.99)
+	if med > res.Mean || p99 < res.Mean {
+		t.Fatalf("quantile ordering broken: med %v mean %v p99 %v", med, res.Mean, p99)
+	}
+	if h := samples.Histogram(10); len(h) == 0 {
+		t.Fatal("empty histogram")
+	}
+}
+
+func TestFacadeVerificationAndReplication(t *testing.T) {
+	g, _ := QR(4)
+	m, _ := ModelFromPfail(0.01, g.MeanWeight())
+	v := Verification{Fraction: 0.05}
+	vg, err := v.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := FirstOrder(g, m)
+	verified, _ := FirstOrder(vg, m)
+	if verified <= base {
+		t.Fatalf("verification overhead vanished: %v vs %v", verified, base)
+	}
+	rg, rm, err := Replication{}.Transform(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicated, _ := FirstOrder(rg, rm)
+	if replicated <= base {
+		t.Fatalf("replication exposure vanished: %v vs %v", replicated, base)
+	}
+}
+
+func TestFacadeHEFT(t *testing.T) {
+	g, _ := Cholesky(5)
+	m, _ := ModelFromPfail(0.01, g.MeanWeight())
+	plat := Platform{Speeds: []float64{1, 1, 2}, Comm: 0.01}
+	plain, err := HEFT(g, plat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := HEFT(g, plat, ExpectedWeights(g, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Makespan <= 0 || aware.Makespan < plain.Makespan {
+		t.Fatalf("HEFT makespans: plain %v aware %v", plain.Makespan, aware.Makespan)
+	}
+	u, err := HEFT(g, UniformPlatform(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Makespan < plain.Makespan/2 {
+		t.Fatalf("suspicious uniform makespan %v", u.Makespan)
+	}
+}
+
+func TestFacadeWorkloadGenerators(t *testing.T) {
+	w := Wavefront(4, 1)
+	if w.NumTasks() != 16 {
+		t.Fatalf("wavefront tasks = %d", w.NumTasks())
+	}
+	p := Pipeline(3, 2, 1)
+	if p.NumTasks() != 6 {
+		t.Fatalf("pipeline tasks = %d", p.NumTasks())
+	}
+	f, err := FFT(8, 1)
+	if err != nil || f.NumTasks() != 32 {
+		t.Fatalf("fft: %v %v", f, err)
+	}
+	if _, err := FFT(7, 1); err == nil {
+		t.Fatal("FFT(7) accepted")
+	}
+	// Wavefront is not SP; the paper's estimators still handle it.
+	sp, _ := IsSeriesParallel(w)
+	if sp {
+		t.Fatal("wavefront reported SP")
+	}
+	m, _ := NewModel(0.01)
+	fo, err := FirstOrder(w, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := FailureFreeMakespan(w)
+	if fo < d {
+		t.Fatalf("wavefront estimate %v below %v", fo, d)
+	}
+}
+
+func TestFacadeTransitiveReduction(t *testing.T) {
+	g := NewGraph(3)
+	a := g.MustAddTask("a", 1)
+	b := g.MustAddTask("b", 1)
+	c := g.MustAddTask("c", 1)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, c)
+	g.MustAddEdge(a, c)
+	out, err := TransitiveReduction(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumEdges() != 2 {
+		t.Fatalf("edges = %d", out.NumEdges())
+	}
+	d1, _ := FailureFreeMakespan(g)
+	d2, _ := FailureFreeMakespan(out)
+	if math.Abs(d1-d2) > 1e-12 {
+		t.Fatal("reduction changed the makespan")
+	}
+}

@@ -1,0 +1,130 @@
+// Package bounds provides analytic bounds on the expected makespan that
+// bracket every estimator in this repository: a Jensen lower bound (the
+// longest path of expected task durations) and a Kleindorfer-style upper
+// bound (a forward sweep with full discrete distributions assuming
+// independent predecessor completions). Together with the failure-free
+// makespan d(G) — itself a lower bound, as the paper notes in §III — they
+// give cheap certificates used in tests and sanity checks.
+package bounds
+
+import (
+	"repro/internal/dag"
+	"repro/internal/distribution"
+	"repro/internal/failure"
+)
+
+// FailureFree returns d(G), the paper's lower bound on the expected
+// makespan (§III).
+func FailureFree(g *dag.Graph) (float64, error) {
+	return dag.Makespan(g)
+}
+
+// JensenLower returns the longest path computed with expected task
+// durations E[X_i] = a_i·(2 − p_i) under the 2-state model. Since the
+// makespan is a maximum of path sums and max is convex, Jensen's
+// inequality makes this a lower bound on the expected makespan:
+// E[max_P Σ X] ≥ max_P Σ E[X]. It dominates d(G).
+func JensenLower(g *dag.Graph, model failure.Model) (float64, error) {
+	pe, err := dag.NewPathEvaluator(g)
+	if err != nil {
+		return 0, err
+	}
+	w := make([]float64, g.NumTasks())
+	for i := range w {
+		a := g.Weight(i)
+		w[i] = a * (2 - model.PSuccess(a))
+	}
+	return pe.MakespanWith(w), nil
+}
+
+// JensenLowerGeometric is JensenLower under the full re-execution model,
+// where E[X_i] = a_i·e^{λ a_i}.
+func JensenLowerGeometric(g *dag.Graph, model failure.Model) (float64, error) {
+	pe, err := dag.NewPathEvaluator(g)
+	if err != nil {
+		return 0, err
+	}
+	w := make([]float64, g.NumTasks())
+	for i := range w {
+		w[i] = model.ExpectedTime(g.Weight(i))
+	}
+	return pe.MakespanWith(w), nil
+}
+
+// SweepUpper returns the Kleindorfer-style upper bound on the expected
+// makespan under the 2-state model: a forward topological sweep keeping a
+// full discrete distribution per task,
+//
+//	C(v) = (max-independent over predecessors C(p)) ⊕ X_v ,
+//
+// treating predecessor completions as independent. Completions sharing
+// ancestors are positively associated, and the independent max
+// stochastically dominates the max of positively-associated variables, so
+// the sweep's mean is an upper bound on the true expectation (exact on
+// in-trees and chains). maxAtoms caps the per-task support (0 = default,
+// negative = unlimited/exact arithmetic); capping re-discretizes
+// mean-preservingly and in practice moves the bound negligibly.
+func SweepUpper(g *dag.Graph, model failure.Model, maxAtoms int) (float64, error) {
+	if maxAtoms == 0 {
+		maxAtoms = distDefaultAtoms
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	capd := func(d distribution.Discrete) distribution.Discrete {
+		if maxAtoms > 0 {
+			return d.Rediscretize(maxAtoms)
+		}
+		return d
+	}
+	comp := make([]distribution.Discrete, g.NumTasks())
+	var final distribution.Discrete
+	for _, v := range order {
+		var start distribution.Discrete
+		for k, p := range g.Pred(v) {
+			if k == 0 {
+				start = comp[p]
+			} else {
+				start = capd(start.MaxInd(comp[p]))
+			}
+		}
+		x, err := distribution.TwoState(g.Weight(v), model.PSuccess(g.Weight(v)))
+		if err != nil {
+			return 0, err
+		}
+		if start.IsZero() {
+			comp[v] = x
+		} else {
+			comp[v] = capd(start.Add(x))
+		}
+		if g.OutDegree(v) == 0 {
+			if final.IsZero() {
+				final = comp[v]
+			} else {
+				final = capd(final.MaxInd(comp[v]))
+			}
+		}
+	}
+	if final.IsZero() {
+		return 0, nil
+	}
+	return final.Mean(), nil
+}
+
+// distDefaultAtoms matches spgraph.DefaultMaxAtoms without importing it.
+const distDefaultAtoms = 64
+
+// Bracket returns [JensenLower, SweepUpper] for the 2-state model; the
+// true expected makespan and every serious estimate must fall inside.
+func Bracket(g *dag.Graph, model failure.Model, maxAtoms int) (lo, hi float64, err error) {
+	lo, err = JensenLower(g, model)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err = SweepUpper(g, model, maxAtoms)
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}

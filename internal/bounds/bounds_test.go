@@ -1,0 +1,190 @@
+package bounds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/linalg"
+	"repro/internal/montecarlo"
+)
+
+func TestJensenLowerChainIsExact(t *testing.T) {
+	// On a chain the makespan IS the path sum, so Jensen is tight.
+	g := dag.Chain(5, 1, 2)
+	m := failure.Model{Lambda: 0.1}
+	lo, err := JensenLower(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := montecarlo.ExactTwoState(g, m)
+	if math.Abs(lo-exact) > 1e-12 {
+		t.Fatalf("chain Jensen %v != exact %v", lo, exact)
+	}
+}
+
+func TestSweepUpperChainIsExact(t *testing.T) {
+	g := dag.Chain(5, 1, 2)
+	m := failure.Model{Lambda: 0.1}
+	hi, err := SweepUpper(g, m, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := montecarlo.ExactTwoState(g, m)
+	if math.Abs(hi-exact) > 1e-12 {
+		t.Fatalf("chain sweep %v != exact %v", hi, exact)
+	}
+}
+
+func TestSweepUpperForkJoinIsExact(t *testing.T) {
+	// Fork-join branches are genuinely independent: the sweep is exact.
+	g := dag.ForkJoin(5, 1.0)
+	m := failure.Model{Lambda: 0.3}
+	hi, err := SweepUpper(g, m, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := montecarlo.ExactTwoState(g, m)
+	if math.Abs(hi-exact) > 1e-12 {
+		t.Fatalf("fork-join sweep %v != exact %v", hi, exact)
+	}
+}
+
+func TestBracketContainsExactOnRandomDAGs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := dag.LayeredRandom(dag.RandomConfig{Tasks: 12, EdgeProb: 0.5, MaxLayerWidth: 3}, rng)
+		if err != nil {
+			return false
+		}
+		m := failure.Model{Lambda: 0.08}
+		lo, hi, err := Bracket(g, m, -1)
+		if err != nil {
+			return false
+		}
+		exact, err := montecarlo.ExactTwoState(g, m)
+		if err != nil {
+			return false
+		}
+		return lo <= exact+1e-9 && exact <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsOrdering(t *testing.T) {
+	// d(G) <= JensenLower <= SweepUpper on every workload family.
+	m := failure.Model{Lambda: 0.02}
+	graphs := []*dag.Graph{
+		dag.Wavefront(5, 1),
+		dag.Pipeline(4, 3, 1),
+		dag.DivideAndConquer(3, 1),
+	}
+	if fft, err := dag.FFT(8, 1); err == nil {
+		graphs = append(graphs, fft)
+	}
+	ch, _ := linalg.Cholesky(5, linalg.KernelTimes{})
+	graphs = append(graphs, ch)
+	for _, g := range graphs {
+		d, _ := FailureFree(g)
+		lo, err := JensenLower(g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := SweepUpper(g, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > lo+1e-12 {
+			t.Errorf("d(G) %v above Jensen %v", d, lo)
+		}
+		if lo > hi+1e-9 {
+			t.Errorf("Jensen %v above sweep %v", lo, hi)
+		}
+	}
+}
+
+func TestFirstOrderInsideBracket(t *testing.T) {
+	g, _ := linalg.LU(8, linalg.KernelTimes{})
+	m, _ := failure.FromPfail(0.001, g.MeanWeight())
+	lo, hi, err := Bracket(g, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, _ := core.FirstOrder(g, m)
+	if fo.Estimate < lo-1e-6 || fo.Estimate > hi+1e-6 {
+		t.Fatalf("First Order %v outside bracket [%v, %v]", fo.Estimate, lo, hi)
+	}
+	// The upper bound carries the same independence bias as Dodin (a few
+	// percent on LU); it must still be a usable certificate.
+	if (hi-lo)/fo.Estimate > 0.10 {
+		t.Fatalf("bracket too wide: [%v, %v]", lo, hi)
+	}
+}
+
+func TestJensenGeometricDominatesTwoState(t *testing.T) {
+	// Geometric expected durations exceed 2-state ones, so the geometric
+	// Jensen bound dominates.
+	g, _ := linalg.QR(5, linalg.KernelTimes{})
+	m, _ := failure.FromPfail(0.01, g.MeanWeight())
+	two, err := JensenLower(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo, err := JensenLowerGeometric(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo < two {
+		t.Fatalf("geometric Jensen %v below 2-state %v", geo, two)
+	}
+	d, _ := FailureFree(g)
+	if two < d {
+		t.Fatalf("Jensen %v below d(G) %v", two, d)
+	}
+}
+
+func TestBoundsRejectCycle(t *testing.T) {
+	g := dag.New(2)
+	a := g.MustAddTask("a", 1)
+	b := g.MustAddTask("b", 1)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, a)
+	if _, err := JensenLower(g, failure.Model{Lambda: 0.1}); err == nil {
+		t.Error("cycle accepted by JensenLower")
+	}
+	if _, err := SweepUpper(g, failure.Model{Lambda: 0.1}, 0); err == nil {
+		t.Error("cycle accepted by SweepUpper")
+	}
+	if _, _, err := Bracket(g, failure.Model{Lambda: 0.1}, 0); err == nil {
+		t.Error("cycle accepted by Bracket")
+	}
+}
+
+func TestSweepUpperEmptyGraph(t *testing.T) {
+	hi, err := SweepUpper(dag.New(0), failure.Model{Lambda: 0.1}, 0)
+	if err != nil || hi != 0 {
+		t.Fatalf("empty sweep = %v, %v", hi, err)
+	}
+}
+
+func TestSweepUpperCapStability(t *testing.T) {
+	g, _ := linalg.Cholesky(6, linalg.KernelTimes{})
+	m, _ := failure.FromPfail(0.01, g.MeanWeight())
+	tight, err := SweepUpper(g, m, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := SweepUpper(g, m, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(tight-loose) / loose; rel > 0.01 {
+		t.Fatalf("cap sensitivity %v too high (%v vs %v)", rel, tight, loose)
+	}
+}

@@ -1,0 +1,5 @@
+package core
+
+// SecondOrderMass exposes the retained probability mass of the
+// second-order expansion to tests.
+var SecondOrderMass = secondOrderMass

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// FirstOrderRates is FirstOrder with a per-task error rate λ_i — needed as
+// soon as tasks run at different DVFS speeds (paper Eq. 1 makes λ a
+// function of speed) or on processors of different quality. The derivation
+// of §IV goes through unchanged because it expands each task's failure
+// probability independently:
+//
+//	E(G) = d(G) + Σ_i λ_i · a_i · (d(G_i) − d(G)) + O(λ²) .
+func FirstOrderRates(g *dag.Graph, rates []float64) (FirstOrderResult, error) {
+	if len(rates) != g.NumTasks() {
+		return FirstOrderResult{}, fmt.Errorf("core: %d rates for %d tasks", len(rates), g.NumTasks())
+	}
+	for i, r := range rates {
+		if r < 0 || r != r {
+			return FirstOrderResult{}, fmt.Errorf("core: bad rate λ_%d = %v", i, r)
+		}
+	}
+	pe, err := dag.NewPathEvaluator(g)
+	if err != nil {
+		return FirstOrderResult{}, err
+	}
+	d := pe.Makespan()
+	heads := pe.Heads()
+	tails := pe.Tails()
+	n := g.NumTasks()
+	res := FirstOrderResult{
+		FailureFree:  d,
+		Contribution: make([]float64, n),
+	}
+	est := d
+	for i := 0; i < n; i++ {
+		delta := heads[i] + tails[i] - d
+		if delta < 0 {
+			delta = 0
+		}
+		c := g.Weight(i) * delta
+		res.Contribution[i] = c
+		est += rates[i] * c
+	}
+	res.Estimate = est
+	return res, nil
+}

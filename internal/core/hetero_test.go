@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/montecarlo"
+)
+
+func TestFirstOrderRatesUniformMatchesFirstOrder(t *testing.T) {
+	g := dag.Diamond(1, 5, 3, 2)
+	lam := 0.01
+	rates := []float64{lam, lam, lam, lam}
+	hetero, err := FirstOrderRates(g, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, _ := FirstOrder(g, failure.Model{Lambda: lam})
+	if !almostEq(hetero.Estimate, uniform.Estimate, 1e-12) {
+		t.Fatalf("uniform rates %v != FirstOrder %v", hetero.Estimate, uniform.Estimate)
+	}
+}
+
+func TestFirstOrderRatesValidation(t *testing.T) {
+	g := dag.Chain(3)
+	if _, err := FirstOrderRates(g, []float64{0.1}); err == nil {
+		t.Fatal("short rates accepted")
+	}
+	if _, err := FirstOrderRates(g, []float64{0.1, -1, 0.1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := FirstOrderRates(g, []float64{0.1, math.NaN(), 0.1}); err == nil {
+		t.Fatal("NaN rate accepted")
+	}
+	cyc := dag.New(2)
+	a := cyc.MustAddTask("a", 1)
+	b := cyc.MustAddTask("b", 1)
+	cyc.MustAddEdge(a, b)
+	cyc.MustAddEdge(b, a)
+	if _, err := FirstOrderRates(cyc, []float64{0.1, 0.1}); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestFirstOrderRatesOnlyCountsRatedTasks(t *testing.T) {
+	// Rate zero on every task but the big one: only its contribution
+	// remains.
+	g := dag.Diamond(1, 5, 3, 2)
+	rates := []float64{0, 0.01, 0, 0}
+	res, err := FirstOrderRates(g, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 8 + 0.01*25 // contribution of the critical middle task is 25
+	if !almostEq(res.Estimate, want, 1e-12) {
+		t.Fatalf("estimate = %v want %v", res.Estimate, want)
+	}
+}
+
+// Property: heterogeneous first-order error vs exact enumeration shrinks
+// quadratically when all rates shrink together.
+func TestFirstOrderRatesErrorQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g, _ := dag.LayeredRandom(dag.RandomConfig{Tasks: 10, EdgeProb: 0.5, MaxLayerWidth: 3}, rng)
+	baseRates := make([]float64, g.NumTasks())
+	for i := range baseRates {
+		baseRates[i] = 0.01 + 0.04*rng.Float64()
+	}
+	errAt := func(scale float64) float64 {
+		rates := make([]float64, len(baseRates))
+		for i := range rates {
+			rates[i] = scale * baseRates[i]
+		}
+		exact, err := montecarlo.ExactTwoStateRates(g, rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := FirstOrderRates(g, rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(res.Estimate - exact)
+	}
+	e1, e2 := errAt(1), errAt(0.1)
+	if e1 == 0 {
+		t.Skip("no error")
+	}
+	if ratio := e1 / e2; ratio < 30 {
+		t.Fatalf("hetero error ratio %v not quadratic (%v vs %v)", ratio, e1, e2)
+	}
+}
+
+// Property: raising one task's rate can only raise the estimate.
+func TestQuickFirstOrderRatesMonotone(t *testing.T) {
+	f := func(seed int64, taskSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := dag.LayeredRandom(dag.RandomConfig{Tasks: 15, EdgeProb: 0.4, MaxLayerWidth: 4}, rng)
+		if err != nil {
+			return false
+		}
+		rates := make([]float64, g.NumTasks())
+		for i := range rates {
+			rates[i] = 0.02 * rng.Float64()
+		}
+		base, err := FirstOrderRates(g, rates)
+		if err != nil {
+			return false
+		}
+		i := int(taskSel) % g.NumTasks()
+		rates[i] *= 3
+		bumped, err := FirstOrderRates(g, rates)
+		if err != nil {
+			return false
+		}
+		return bumped.Estimate >= base.Estimate-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactTwoStateRatesMatchesUniform(t *testing.T) {
+	g := dag.Diamond(0.5, 2, 1.5, 1)
+	lam := 0.2
+	uniform, err := montecarlo.ExactTwoState(g, failure.Model{Lambda: lam})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hetero, err := montecarlo.ExactTwoStateRates(g, []float64{lam, lam, lam, lam})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(uniform, hetero, 1e-12) {
+		t.Fatalf("uniform %v != hetero %v", uniform, hetero)
+	}
+}

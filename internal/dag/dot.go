@@ -1,0 +1,78 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DotOptions controls DOT rendering.
+type DotOptions struct {
+	// GraphName is the graph identifier; defaults to "G".
+	GraphName string
+	// ShowWeights appends the task weight to each label.
+	ShowWeights bool
+	// Highlight marks the given tasks (e.g. a critical path) in red.
+	Highlight []int
+	// RankDir sets the layout direction ("TB" default, "LR" for wide DAGs).
+	RankDir string
+}
+
+// WriteDot renders g in Graphviz DOT format, suitable for reproducing the
+// paper's Figures 1-3 (the Cholesky/LU/QR DAG drawings).
+func WriteDot(w io.Writer, g *Graph, opts DotOptions) error {
+	name := opts.GraphName
+	if name == "" {
+		name = "G"
+	}
+	hl := make(map[int]bool, len(opts.Highlight))
+	for _, v := range opts.Highlight {
+		hl[v] = true
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", dotID(name))
+	if opts.RankDir != "" {
+		fmt.Fprintf(&b, "  rankdir=%s;\n", opts.RankDir)
+	}
+	b.WriteString("  node [shape=box, style=rounded];\n")
+	for i := 0; i < g.NumTasks(); i++ {
+		label := g.Name(i)
+		if label == "" {
+			label = fmt.Sprintf("T%d", i)
+		}
+		if opts.ShowWeights {
+			label = fmt.Sprintf("%s\\n%.4g", label, g.Weight(i))
+		}
+		attrs := fmt.Sprintf("label=\"%s\"", label)
+		if hl[i] {
+			attrs += ", color=red, fontcolor=red"
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", i, attrs)
+	}
+	for u := 0; u < g.NumTasks(); u++ {
+		for _, v := range g.Succ(u) {
+			style := ""
+			if hl[u] && hl[v] {
+				style = " [color=red]"
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d%s;\n", u, v, style)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func dotID(s string) string {
+	ok := len(s) > 0
+	for _, r := range s {
+		if !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9') {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return s
+	}
+	return fmt.Sprintf("%q", s)
+}

@@ -1,0 +1,253 @@
+package dag
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddTaskAndAccessors(t *testing.T) {
+	g := New(2)
+	a, err := g.AddTask("a", 1.5)
+	if err != nil {
+		t.Fatalf("AddTask: %v", err)
+	}
+	b, err := g.AddTask("b", 2.5)
+	if err != nil {
+		t.Fatalf("AddTask: %v", err)
+	}
+	if a != 0 || b != 1 {
+		t.Fatalf("IDs = %d,%d want 0,1", a, b)
+	}
+	if g.NumTasks() != 2 {
+		t.Fatalf("NumTasks = %d want 2", g.NumTasks())
+	}
+	if g.Name(a) != "a" || g.Weight(b) != 2.5 {
+		t.Fatalf("accessors wrong: %q %v", g.Name(a), g.Weight(b))
+	}
+	if got := g.TotalWeight(); got != 4.0 {
+		t.Fatalf("TotalWeight = %v want 4", got)
+	}
+	if got := g.MeanWeight(); got != 2.0 {
+		t.Fatalf("MeanWeight = %v want 2", got)
+	}
+}
+
+func TestAddTaskRejectsBadWeights(t *testing.T) {
+	g := New(0)
+	for _, w := range []float64{-1, nan()} {
+		if _, err := g.AddTask("x", w); !errors.Is(err, ErrBadWeight) {
+			t.Errorf("AddTask(%v) err = %v want ErrBadWeight", w, err)
+		}
+	}
+	if _, err := g.AddTask("zero", 0); err != nil {
+		t.Errorf("zero weight should be legal: %v", err)
+	}
+}
+
+func nan() float64 { return 0.0 / zero }
+
+var zero = 0.0
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(2)
+	a := g.MustAddTask("a", 1)
+	b := g.MustAddTask("b", 1)
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := g.AddEdge(a, b); !errors.Is(err, ErrDuplicateEdge) {
+		t.Errorf("duplicate edge err = %v", err)
+	}
+	if err := g.AddEdge(a, a); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self loop err = %v", err)
+	}
+	if err := g.AddEdge(a, 7); !errors.Is(err, ErrBadTask) {
+		t.Errorf("bad task err = %v", err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d want 1", g.NumEdges())
+	}
+	if !g.HasEdge(a, b) || g.HasEdge(b, a) {
+		t.Errorf("HasEdge wrong")
+	}
+}
+
+func TestSourcesSinksDegrees(t *testing.T) {
+	g := Diamond(1, 2, 3, 4)
+	if got := g.Sources(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Sources = %v", got)
+	}
+	if got := g.Sinks(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Sinks = %v", got)
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(3) != 2 || g.InDegree(0) != 0 {
+		t.Errorf("degrees wrong")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := Diamond(1, 2, 3, 4)
+	c := g.Clone()
+	if err := c.SetWeight(0, 99); err != nil {
+		t.Fatal(err)
+	}
+	c.MustAddEdge(1, 2)
+	if g.Weight(0) != 1 {
+		t.Errorf("clone shares weights")
+	}
+	if g.HasEdge(1, 2) {
+		t.Errorf("clone shares adjacency")
+	}
+	if g.NumEdges() != 4 || c.NumEdges() != 5 {
+		t.Errorf("edge counts: %d %d", g.NumEdges(), c.NumEdges())
+	}
+}
+
+func TestSetWeight(t *testing.T) {
+	g := Chain(3)
+	if err := g.SetWeight(1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if g.Weight(1) != 7 {
+		t.Errorf("SetWeight did not stick")
+	}
+	if err := g.SetWeight(9, 1); !errors.Is(err, ErrBadTask) {
+		t.Errorf("bad id err = %v", err)
+	}
+	if err := g.SetWeight(0, -2); !errors.Is(err, ErrBadWeight) {
+		t.Errorf("bad weight err = %v", err)
+	}
+}
+
+func TestTopoOrderChain(t *testing.T) {
+	g := Chain(5)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v want identity", order)
+		}
+	}
+}
+
+func TestTopoOrderDetectsCycle(t *testing.T) {
+	g := New(3)
+	a := g.MustAddTask("a", 1)
+	b := g.MustAddTask("b", 1)
+	c := g.MustAddTask("c", 1)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, c)
+	g.MustAddEdge(c, a)
+	if _, err := g.TopoOrder(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v want ErrCycle", err)
+	}
+	if g.IsAcyclic() {
+		t.Fatal("IsAcyclic on a cycle")
+	}
+	if err := g.Validate(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("Validate err = %v", err)
+	}
+}
+
+func TestTopoOrderIsTopological(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		g, err := ErdosRenyiDAG(RandomConfig{Tasks: 30, EdgeProb: 0.15}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order, err := g.TopoOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := make([]int, g.NumTasks())
+		for i, v := range order {
+			pos[v] = i
+		}
+		for u := 0; u < g.NumTasks(); u++ {
+			for _, v := range g.Succ(u) {
+				if pos[u] >= pos[v] {
+					t.Fatalf("edge (%d,%d) violates order", u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestLevelsAndDepthWidth(t *testing.T) {
+	g := Diamond(1, 1, 1, 1)
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 3 {
+		t.Fatalf("levels = %v want 3 levels", levels)
+	}
+	if len(levels[1]) != 2 {
+		t.Fatalf("middle level = %v want 2 tasks", levels[1])
+	}
+	d, _ := g.Depth()
+	w, _ := g.Width()
+	if d != 3 || w != 2 {
+		t.Fatalf("depth,width = %d,%d want 3,2", d, w)
+	}
+	empty := New(0)
+	if d, _ := empty.Depth(); d != 0 {
+		t.Fatalf("empty depth = %d", d)
+	}
+}
+
+func TestValidatePassesOnGenerated(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfgs := []RandomConfig{
+		{Tasks: 1},
+		{Tasks: 40, EdgeProb: 0.3},
+		{Tasks: 25, EdgeProb: 0.5, MaxLayerWidth: 4},
+	}
+	for _, cfg := range cfgs {
+		g, err := ErdosRenyiDAG(cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("Validate(%+v): %v", cfg, err)
+		}
+		g, err = LayeredRandom(cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("Validate layered(%+v): %v", cfg, err)
+		}
+	}
+}
+
+// Property: any generated Erdős–Rényi DAG is acyclic with IDs already in a
+// topological order.
+func TestQuickErdosRenyiAcyclic(t *testing.T) {
+	f := func(seed int64, sz uint8, prob uint8) bool {
+		n := int(sz%40) + 1
+		p := float64(prob%100)/100 + 0.01
+		rng := rand.New(rand.NewSource(seed))
+		g, err := ErdosRenyiDAG(RandomConfig{Tasks: n, EdgeProb: p}, rng)
+		if err != nil {
+			return false
+		}
+		return g.IsAcyclic()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	g := Chain(3)
+	s := g.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,76 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the on-disk representation used by MarshalJSON/UnmarshalJSON
+// and the daggen/makespan CLIs.
+type jsonGraph struct {
+	Tasks []jsonTask `json:"tasks"`
+	Edges [][2]int   `json:"edges"`
+}
+
+type jsonTask struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+}
+
+// MarshalJSON encodes the graph as {"tasks":[{name,weight}...],
+// "edges":[[from,to]...]} with edges in deterministic (from, insertion)
+// order.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Tasks: make([]jsonTask, g.NumTasks())}
+	for i := 0; i < g.NumTasks(); i++ {
+		jg.Tasks[i] = jsonTask{Name: g.Name(i), Weight: g.Weight(i)}
+	}
+	for u := 0; u < g.NumTasks(); u++ {
+		for _, v := range g.Succ(u) {
+			jg.Edges = append(jg.Edges, [2]int{u, v})
+		}
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes a graph previously encoded by MarshalJSON. The
+// receiver is replaced wholesale.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	fresh := New(len(jg.Tasks))
+	for _, t := range jg.Tasks {
+		if _, err := fresh.AddTask(t.Name, t.Weight); err != nil {
+			return fmt.Errorf("dag: bad task %q: %w", t.Name, err)
+		}
+	}
+	for _, e := range jg.Edges {
+		if err := fresh.AddEdge(e[0], e[1]); err != nil {
+			return fmt.Errorf("dag: bad edge %v: %w", e, err)
+		}
+	}
+	*g = *fresh
+	return nil
+}
+
+// WriteJSON streams the graph to w as JSON.
+func WriteJSON(w io.Writer, g *Graph) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// ReadJSON parses a graph from r and validates it (acyclicity, weights).
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var g Graph
+	if err := json.NewDecoder(r).Decode(&g); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}

@@ -1,0 +1,142 @@
+package dag
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, _ := LayeredRandom(RandomConfig{Tasks: 30, EdgeProb: 0.3, MaxLayerWidth: 5}, rng)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTasks() != g.NumTasks() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape changed: %v vs %v", got, g)
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		if got.Name(i) != g.Name(i) || got.Weight(i) != g.Weight(i) {
+			t.Fatalf("task %d changed", i)
+		}
+		if len(got.Succ(i)) != len(g.Succ(i)) {
+			t.Fatalf("succ %d changed", i)
+		}
+		for k, s := range g.Succ(i) {
+			if got.Succ(i)[k] != s {
+				t.Fatalf("succ %d order changed", i)
+			}
+		}
+	}
+	d1, _ := Makespan(g)
+	d2, _ := Makespan(got)
+	if d1 != d2 {
+		t.Fatalf("makespans differ: %v %v", d1, d2)
+	}
+}
+
+func TestReadJSONRejectsCycle(t *testing.T) {
+	in := `{"tasks":[{"name":"a","weight":1},{"name":"b","weight":1}],
+	        "edges":[[0,1],[1,0]]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}
+
+func TestReadJSONRejectsBadEdge(t *testing.T) {
+	in := `{"tasks":[{"name":"a","weight":1}],"edges":[[0,5]]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Fatal("expected bad edge error")
+	}
+}
+
+func TestReadJSONRejectsBadWeight(t *testing.T) {
+	in := `{"tasks":[{"name":"a","weight":-3}],"edges":[]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Fatal("expected bad weight error")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	g := Diamond(1, 2, 3, 4)
+	var buf bytes.Buffer
+	err := WriteDot(&buf, g, DotOptions{ShowWeights: true, Highlight: []int{0, 1, 3}, RankDir: "LR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph G", "rankdir=LR", "n0 -> n1", "color=red", "src"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Edge inside the highlighted path is red; edge leaving it is not.
+	if !strings.Contains(out, "n0 -> n1 [color=red];") {
+		t.Errorf("highlighted edge not red")
+	}
+	if strings.Contains(out, "n0 -> n2 [color=red];") {
+		t.Errorf("non-highlighted edge red")
+	}
+}
+
+func TestDotID(t *testing.T) {
+	if dotID("abc_1") != "abc_1" {
+		t.Errorf("plain id quoted")
+	}
+	if dotID("a b") != `"a b"` {
+		t.Errorf("id with space not quoted: %s", dotID("a b"))
+	}
+	if dotID("") != `""` {
+		t.Errorf("empty id: %s", dotID(""))
+	}
+}
+
+func TestForkJoinShape(t *testing.T) {
+	g := ForkJoin(5, 2.0)
+	if g.NumTasks() != 7 {
+		t.Fatalf("tasks = %d want 7", g.NumTasks())
+	}
+	if g.NumEdges() != 10 {
+		t.Fatalf("edges = %d want 10", g.NumEdges())
+	}
+	d, _ := Makespan(g)
+	if d != 2 {
+		t.Fatalf("fork-join makespan = %v want 2", d)
+	}
+}
+
+func TestOutTreeShape(t *testing.T) {
+	g := OutTree(3, 2, 1.0)
+	if g.NumTasks() != 7 { // 1 + 2 + 4
+		t.Fatalf("tasks = %d want 7", g.NumTasks())
+	}
+	d, _ := Makespan(g)
+	if d != 3 {
+		t.Fatalf("tree makespan = %v want 3", d)
+	}
+	if g := OutTree(0, 0, 1); g.NumTasks() != 1 {
+		t.Fatalf("degenerate tree")
+	}
+}
+
+func TestChainWeightsCycle(t *testing.T) {
+	g := Chain(5, 1, 2)
+	want := []float64{1, 2, 1, 2, 1}
+	for i, w := range want {
+		if g.Weight(i) != w {
+			t.Fatalf("weight %d = %v want %v", i, g.Weight(i), w)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package dag
+
+// TopLevels returns tl(i) for every task, following the paper's definition:
+// tl(i) = 0 for source tasks, otherwise max over predecessors j of
+// tl(j) + a_j. tl(i) is the earliest start time of i with unlimited
+// processors and no failures.
+func TopLevels(g *Graph) ([]float64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	tl := make([]float64, g.NumTasks())
+	for _, v := range order {
+		best := 0.0
+		for _, p := range g.pred[v] {
+			if c := tl[p] + g.weights[p]; c > best {
+				best = c
+			}
+		}
+		tl[v] = best
+	}
+	return tl, nil
+}
+
+// BottomLevels returns bl(i) for every task, following the paper's
+// definition: bl(i) = 0 for sink tasks, otherwise max over successors j of
+// a_j + bl(j). Note this definition excludes a_i itself; the classic
+// CP-scheduling priority a_i + bl(i) is obtained by adding the task weight.
+func BottomLevels(g *Graph) ([]float64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	bl := make([]float64, g.NumTasks())
+	for k := len(order) - 1; k >= 0; k-- {
+		v := order[k]
+		best := 0.0
+		for _, s := range g.succ[v] {
+			if c := g.weights[s] + bl[s]; c > best {
+				best = c
+			}
+		}
+		bl[v] = best
+	}
+	return bl, nil
+}
+
+// CriticalPathLengths returns, for every task i, the length of the longest
+// path passing through i: head(i) + tail(i) - a_i = tl(i) + a_i + bl(i).
+func CriticalPathLengths(g *Graph) ([]float64, error) {
+	tl, err := TopLevels(g)
+	if err != nil {
+		return nil, err
+	}
+	bl, err := BottomLevels(g)
+	if err != nil {
+		return nil, err
+	}
+	through := make([]float64, g.NumTasks())
+	for i := range through {
+		through[i] = tl[i] + g.weights[i] + bl[i]
+	}
+	return through, nil
+}

@@ -1,0 +1,200 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// PathEvaluator computes longest-path quantities for one graph. It caches
+// the topological order and reusable scratch buffers so that the hot paths
+// (Monte Carlo trials, per-task weight perturbations) do not allocate.
+// A PathEvaluator is not safe for concurrent use; create one per goroutine.
+type PathEvaluator struct {
+	g     *Graph
+	order []int
+	// scratch
+	comp []float64 // completion time per task in the current pass
+	tail []float64 // longest path starting at task (inclusive)
+}
+
+// NewPathEvaluator prepares an evaluator for g. It fails if g is cyclic.
+func NewPathEvaluator(g *Graph) (*PathEvaluator, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumTasks()
+	return &PathEvaluator{
+		g:     g,
+		order: order,
+		comp:  make([]float64, n),
+		tail:  make([]float64, n),
+	}, nil
+}
+
+// Graph returns the underlying graph.
+func (pe *PathEvaluator) Graph() *Graph { return pe.g }
+
+// TopoOrder returns the cached topological order. The slice is owned by the
+// evaluator and must not be mutated.
+func (pe *PathEvaluator) TopoOrder() []int { return pe.order }
+
+// Makespan returns the failure-free makespan d(G): the maximum over tasks
+// of their completion time with unlimited processors,
+// C(i) = a_i + max_{j in Pred(i)} C(j).
+func (pe *PathEvaluator) Makespan() float64 {
+	return pe.MakespanWith(pe.g.weights)
+}
+
+// MakespanWith computes the makespan using the provided weight vector in
+// place of the graph's weights. len(weights) must equal NumTasks. This is
+// the Monte Carlo hot path: no allocation.
+func (pe *PathEvaluator) MakespanWith(weights []float64) float64 {
+	if len(weights) != pe.g.NumTasks() {
+		panic(fmt.Sprintf("dag: weight vector length %d != %d tasks", len(weights), pe.g.NumTasks()))
+	}
+	best := 0.0
+	for _, v := range pe.order {
+		start := 0.0
+		for _, p := range pe.g.pred[v] {
+			if pe.comp[p] > start {
+				start = pe.comp[p]
+			}
+		}
+		c := start + weights[v]
+		pe.comp[v] = c
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// CompletionTimes returns C(i) for every task under the graph's weights.
+func (pe *PathEvaluator) CompletionTimes() []float64 {
+	pe.Makespan()
+	out := make([]float64, len(pe.comp))
+	copy(out, pe.comp)
+	return out
+}
+
+// Heads returns head(i): the length of the longest path ending at i,
+// including a_i. head(i) equals the completion time C(i).
+func (pe *PathEvaluator) Heads() []float64 {
+	return pe.CompletionTimes()
+}
+
+// Tails returns tail(i): the length of the longest path starting at i,
+// including a_i. tail(i) = a_i + max_{j in Succ(i)} tail(j).
+func (pe *PathEvaluator) Tails() []float64 {
+	g := pe.g
+	for k := len(pe.order) - 1; k >= 0; k-- {
+		v := pe.order[k]
+		t := 0.0
+		for _, s := range g.succ[v] {
+			if pe.tail[s] > t {
+				t = pe.tail[s]
+			}
+		}
+		pe.tail[v] = t + g.weights[v]
+	}
+	out := make([]float64, len(pe.tail))
+	copy(out, pe.tail)
+	return out
+}
+
+// CriticalPath returns one longest path as a sequence of task IDs, and its
+// length. For an empty graph it returns (nil, 0).
+func (pe *PathEvaluator) CriticalPath() ([]int, float64) {
+	if pe.g.NumTasks() == 0 {
+		return nil, 0
+	}
+	d := pe.Makespan() // fills pe.comp
+	// Find a task whose completion time equals the makespan, then walk
+	// backwards through predecessors achieving the critical start time.
+	end := -1
+	for _, v := range pe.order {
+		if pe.comp[v] == d {
+			end = v
+			break
+		}
+	}
+	var rev []int
+	v := end
+	for v >= 0 {
+		rev = append(rev, v)
+		start := pe.comp[v] - pe.g.weights[v]
+		next := -1
+		for _, p := range pe.g.pred[v] {
+			if pe.comp[p] == start {
+				next = p
+				break
+			}
+		}
+		if len(pe.g.pred[v]) == 0 {
+			break
+		}
+		if next < 0 {
+			// Numerical slack: pick the max-completion predecessor.
+			bestC := math.Inf(-1)
+			for _, p := range pe.g.pred[v] {
+				if pe.comp[p] > bestC {
+					bestC, next = pe.comp[p], p
+				}
+			}
+		}
+		v = next
+	}
+	// Reverse.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, d
+}
+
+// Makespan returns the failure-free makespan d(G) of g. Convenience wrapper
+// that builds a transient evaluator.
+func Makespan(g *Graph) (float64, error) {
+	pe, err := NewPathEvaluator(g)
+	if err != nil {
+		return 0, err
+	}
+	return pe.Makespan(), nil
+}
+
+// ErrNoPath is returned by LongestPathBetween when no path exists.
+var ErrNoPath = errors.New("dag: no path between the given tasks")
+
+// LongestPathBetween returns the length of the longest path from task u to
+// task v, counting both endpoint weights. It returns ErrNoPath if v is not
+// reachable from u. O(V+E).
+func LongestPathBetween(g *Graph, u, v int) (float64, error) {
+	if u < 0 || u >= g.NumTasks() || v < 0 || v >= g.NumTasks() {
+		return 0, ErrBadTask
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	const unreach = math.MaxFloat64
+	dist := make([]float64, g.NumTasks())
+	for i := range dist {
+		dist[i] = -unreach
+	}
+	dist[u] = g.weights[u]
+	for _, x := range order {
+		if dist[x] == -unreach {
+			continue
+		}
+		for _, s := range g.succ[x] {
+			if c := dist[x] + g.weights[s]; c > dist[s] {
+				dist[s] = c
+			}
+		}
+	}
+	if dist[v] == -unreach {
+		return 0, ErrNoPath
+	}
+	return dist[v], nil
+}

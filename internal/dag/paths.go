@@ -1,0 +1,130 @@
+package dag
+
+import "math"
+
+// Reachability is a dense successor-reachability matrix: Reach(u, v)
+// reports whether v is reachable from u by a non-empty directed path or
+// u == v. Rows are bitsets, so memory is V²/8 bytes.
+type Reachability struct {
+	n    int
+	bits [][]uint64
+}
+
+// NewReachability computes the reachability closure of g in O(V·E/64).
+func NewReachability(g *Graph) (*Reachability, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumTasks()
+	words := (n + 63) / 64
+	bits := make([][]uint64, n)
+	backing := make([]uint64, n*words)
+	for i := range bits {
+		bits[i] = backing[i*words : (i+1)*words]
+	}
+	// Process in reverse topological order: reach(u) = {u} ∪ ⋃ reach(s).
+	for k := n - 1; k >= 0; k-- {
+		u := order[k]
+		row := bits[u]
+		row[u/64] |= 1 << (uint(u) % 64)
+		for _, s := range g.succ[u] {
+			srow := bits[s]
+			for w := range row {
+				row[w] |= srow[w]
+			}
+		}
+	}
+	return &Reachability{n: n, bits: bits}, nil
+}
+
+// Reach reports whether v is reachable from u (u == v counts as reachable).
+func (r *Reachability) Reach(u, v int) bool {
+	return r.bits[u][v/64]&(1<<(uint(v)%64)) != 0
+}
+
+// Comparable reports whether u and v lie on a common path (one reaches the
+// other). Tasks that are not comparable can never both lengthen the same
+// path, which the second-order approximation exploits.
+func (r *Reachability) Comparable(u, v int) bool {
+	return r.Reach(u, v) || r.Reach(v, u)
+}
+
+// AllPairsLongest holds, for every ordered pair (u,v), the length of the
+// longest u→v path counting both endpoint weights, or -Inf if v is not
+// reachable from u. Memory is 8·V² bytes; intended for the graph sizes of
+// the paper (≤ a few thousand tasks).
+type AllPairsLongest struct {
+	n    int
+	dist []float64 // row-major n×n
+}
+
+// NewAllPairsLongest computes all-pairs longest paths in O(V·(V+E)).
+func NewAllPairsLongest(g *Graph) (*AllPairsLongest, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumTasks()
+	apl := &AllPairsLongest{n: n, dist: make([]float64, n*n)}
+	ninf := math.Inf(-1)
+	for i := range apl.dist {
+		apl.dist[i] = ninf
+	}
+	// One forward DP per source u, visiting only positions at or after u in
+	// topological order.
+	pos := make([]int, n)
+	for idx, v := range order {
+		pos[v] = idx
+	}
+	for u := 0; u < n; u++ {
+		row := apl.dist[u*n : (u+1)*n]
+		row[u] = g.weights[u]
+		for k := pos[u]; k < n; k++ {
+			v := order[k]
+			if row[v] == ninf {
+				continue
+			}
+			for _, s := range g.succ[v] {
+				if c := row[v] + g.weights[s]; c > row[s] {
+					row[s] = c
+				}
+			}
+		}
+	}
+	return apl, nil
+}
+
+// Dist returns the longest u→v path length (inclusive of both endpoints),
+// or -Inf when v is unreachable from u. Dist(u,u) is the weight of u.
+func (a *AllPairsLongest) Dist(u, v int) float64 {
+	return a.dist[u*a.n+v]
+}
+
+// CountPaths returns the number of distinct source-to-sink paths, saturating
+// at math.MaxFloat64. This is the quantity that makes exhaustive makespan
+// enumeration infeasible and motivates the paper's approximation.
+func CountPaths(g *Graph) (float64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	n := g.NumTasks()
+	count := make([]float64, n)
+	total := 0.0
+	for _, v := range order {
+		if len(g.pred[v]) == 0 {
+			count[v] = 1
+		}
+		for _, p := range g.pred[v] {
+			count[v] += count[p]
+		}
+		if len(g.succ[v]) == 0 {
+			total += count[v]
+		}
+	}
+	if math.IsInf(total, 1) {
+		total = math.MaxFloat64
+	}
+	return total, nil
+}

@@ -1,0 +1,176 @@
+package dag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReachabilityDiamond(t *testing.T) {
+	g := Diamond(1, 1, 1, 1)
+	r, err := NewReachability(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		u, v int
+		want bool
+	}{
+		{0, 3, true}, {0, 1, true}, {0, 2, true},
+		{1, 2, false}, {2, 1, false},
+		{3, 0, false}, {1, 3, true}, {0, 0, true},
+	}
+	for _, c := range cases {
+		if got := r.Reach(c.u, c.v); got != c.want {
+			t.Errorf("Reach(%d,%d) = %v want %v", c.u, c.v, got, c.want)
+		}
+	}
+	if r.Comparable(1, 2) {
+		t.Errorf("parallel middles comparable")
+	}
+	if !r.Comparable(0, 3) || !r.Comparable(3, 0) {
+		t.Errorf("source/sink should be comparable both ways")
+	}
+}
+
+func TestReachabilityMatchesDFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, _ := ErdosRenyiDAG(RandomConfig{Tasks: 70, EdgeProb: 0.05}, rng)
+	r, err := NewReachability(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute-force DFS from each node.
+	n := g.NumTasks()
+	for u := 0; u < n; u++ {
+		seen := make([]bool, n)
+		stack := []int{u}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[x] {
+				continue
+			}
+			seen[x] = true
+			stack = append(stack, g.Succ(x)...)
+		}
+		for v := 0; v < n; v++ {
+			if r.Reach(u, v) != seen[v] {
+				t.Fatalf("Reach(%d,%d) = %v, DFS says %v", u, v, r.Reach(u, v), seen[v])
+			}
+		}
+	}
+}
+
+func TestAllPairsLongestDiamond(t *testing.T) {
+	g := Diamond(1, 5, 3, 2)
+	apl, err := NewAllPairsLongest(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := apl.Dist(0, 3); got != 8 {
+		t.Errorf("Dist(0,3)=%v want 8", got)
+	}
+	if got := apl.Dist(0, 0); got != 1 {
+		t.Errorf("Dist(0,0)=%v want 1", got)
+	}
+	if got := apl.Dist(1, 2); !math.IsInf(got, -1) {
+		t.Errorf("Dist(1,2)=%v want -Inf", got)
+	}
+	if got := apl.Dist(3, 0); !math.IsInf(got, -1) {
+		t.Errorf("Dist(3,0)=%v want -Inf", got)
+	}
+}
+
+// Property: AllPairsLongest agrees with LongestPathBetween on random DAGs.
+func TestQuickAllPairsAgrees(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := ErdosRenyiDAG(RandomConfig{Tasks: 15, EdgeProb: 0.3}, rng)
+		if err != nil {
+			return false
+		}
+		apl, err := NewAllPairsLongest(g)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < g.NumTasks(); u++ {
+			for v := 0; v < g.NumTasks(); v++ {
+				ref, err := LongestPathBetween(g, u, v)
+				if err != nil {
+					if !math.IsInf(apl.Dist(u, v), -1) {
+						return false
+					}
+					continue
+				}
+				if math.Abs(ref-apl.Dist(u, v)) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: max over pairs of Dist equals the makespan.
+func TestQuickAllPairsMaxIsMakespan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := LayeredRandom(RandomConfig{Tasks: 20, EdgeProb: 0.4, MaxLayerWidth: 4}, rng)
+		if err != nil {
+			return false
+		}
+		apl, err := NewAllPairsLongest(g)
+		if err != nil {
+			return false
+		}
+		best := math.Inf(-1)
+		for u := 0; u < g.NumTasks(); u++ {
+			for v := 0; v < g.NumTasks(); v++ {
+				if d := apl.Dist(u, v); d > best {
+					best = d
+				}
+			}
+		}
+		d, _ := Makespan(g)
+		return math.Abs(best-d) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountPaths(t *testing.T) {
+	g := Diamond(1, 1, 1, 1)
+	n, err := CountPaths(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("diamond paths = %v want 2", n)
+	}
+	// A stack of d diamonds has 2^d paths.
+	stack := New(0)
+	prev := stack.MustAddTask("s", 1)
+	for d := 0; d < 10; d++ {
+		l := stack.MustAddTask("l", 1)
+		r := stack.MustAddTask("r", 1)
+		join := stack.MustAddTask("j", 1)
+		stack.MustAddEdge(prev, l)
+		stack.MustAddEdge(prev, r)
+		stack.MustAddEdge(l, join)
+		stack.MustAddEdge(r, join)
+		prev = join
+	}
+	n, _ = CountPaths(stack)
+	if n != 1024 {
+		t.Fatalf("diamond stack paths = %v want 1024", n)
+	}
+	if n, _ := CountPaths(Chain(5)); n != 1 {
+		t.Fatalf("chain paths = %v want 1", n)
+	}
+}

@@ -1,0 +1,238 @@
+package dag
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomConfig parameterizes the synthetic DAG generators used by the test
+// suite (property tests over many shapes) and by the ablation benchmarks.
+type RandomConfig struct {
+	// Tasks is the number of tasks to generate (must be > 0).
+	Tasks int
+	// MinWeight and MaxWeight bound the uniform task weights.
+	MinWeight, MaxWeight float64
+	// EdgeProb is the probability of adding each forward candidate edge
+	// (Erdős–Rényi layering); in [0,1].
+	EdgeProb float64
+	// MaxLayerWidth caps layer sizes in LayeredRandom; 0 means Tasks.
+	MaxLayerWidth int
+}
+
+func (c *RandomConfig) normalize() error {
+	if c.Tasks <= 0 {
+		return fmt.Errorf("dag: RandomConfig.Tasks must be positive, got %d", c.Tasks)
+	}
+	if c.MinWeight <= 0 {
+		c.MinWeight = 0.01
+	}
+	if c.MaxWeight < c.MinWeight {
+		c.MaxWeight = c.MinWeight
+	}
+	if c.EdgeProb <= 0 || c.EdgeProb > 1 {
+		c.EdgeProb = 0.2
+	}
+	if c.MaxLayerWidth <= 0 {
+		c.MaxLayerWidth = c.Tasks
+	}
+	return nil
+}
+
+func (c *RandomConfig) weight(rng *rand.Rand) float64 {
+	return c.MinWeight + rng.Float64()*(c.MaxWeight-c.MinWeight)
+}
+
+// ErdosRenyiDAG generates a random DAG on cfg.Tasks vertices: each edge
+// (i,j) with i<j is present independently with probability cfg.EdgeProb.
+// The ID order is a topological order by construction.
+func ErdosRenyiDAG(cfg RandomConfig, rng *rand.Rand) (*Graph, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	g := New(cfg.Tasks)
+	for i := 0; i < cfg.Tasks; i++ {
+		g.MustAddTask(fmt.Sprintf("t%d", i), cfg.weight(rng))
+	}
+	for i := 0; i < cfg.Tasks; i++ {
+		for j := i + 1; j < cfg.Tasks; j++ {
+			if rng.Float64() < cfg.EdgeProb {
+				g.MustAddEdge(i, j)
+			}
+		}
+	}
+	return g, nil
+}
+
+// LayeredRandom generates a layer-structured DAG: tasks are grouped into
+// random layers of width ≤ cfg.MaxLayerWidth and edges only connect
+// consecutive layers, each present with probability cfg.EdgeProb (at least
+// one incoming edge per non-first-layer task so the layering is tight).
+func LayeredRandom(cfg RandomConfig, rng *rand.Rand) (*Graph, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	g := New(cfg.Tasks)
+	var layers [][]int
+	remaining := cfg.Tasks
+	for remaining > 0 {
+		w := 1 + rng.Intn(cfg.MaxLayerWidth)
+		if w > remaining {
+			w = remaining
+		}
+		layer := make([]int, 0, w)
+		for k := 0; k < w; k++ {
+			id := g.MustAddTask(fmt.Sprintf("l%d_%d", len(layers), k), cfg.weight(rng))
+			layer = append(layer, id)
+		}
+		layers = append(layers, layer)
+		remaining -= w
+	}
+	for li := 1; li < len(layers); li++ {
+		prev, cur := layers[li-1], layers[li]
+		for _, v := range cur {
+			connected := false
+			for _, u := range prev {
+				if rng.Float64() < cfg.EdgeProb {
+					g.MustAddEdge(u, v)
+					connected = true
+				}
+			}
+			if !connected {
+				g.MustAddEdge(prev[rng.Intn(len(prev))], v)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Chain returns a linear chain of n tasks with the given weights cycling
+// over weights (all 1.0 if empty). Chains are the worst case for
+// parallelism and a useful analytic baseline: the expected makespan has a
+// closed form.
+func Chain(n int, weights ...float64) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if len(weights) > 0 {
+			w = weights[i%len(weights)]
+		}
+		g.MustAddTask(fmt.Sprintf("c%d", i), w)
+	}
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(i-1, i)
+	}
+	return g
+}
+
+// ForkJoin returns a fork-join DAG: one source task, width parallel tasks,
+// one sink task. Weights cycle over weights (1.0 if empty) for the middle
+// tasks; source and sink have zero weight. Fork-joins are the worst case
+// for the "max of expectations vs expectation of max" gap the paper
+// discusses, and have a closed-form expected makespan used in tests.
+func ForkJoin(width int, weights ...float64) *Graph {
+	g := New(width + 2)
+	src := g.MustAddTask("fork", 0)
+	for i := 0; i < width; i++ {
+		w := 1.0
+		if len(weights) > 0 {
+			w = weights[i%len(weights)]
+		}
+		id := g.MustAddTask(fmt.Sprintf("p%d", i), w)
+		g.MustAddEdge(src, id)
+	}
+	snk := g.MustAddTask("join", 0)
+	for i := 0; i < width; i++ {
+		g.MustAddEdge(src+1+i, snk)
+	}
+	return g
+}
+
+// Diamond returns the 4-task diamond (source, two parallel middles, sink)
+// with the given four weights. The smallest graph on which the expectation
+// of the max differs from the max of expectations.
+func Diamond(w0, w1, w2, w3 float64) *Graph {
+	g := New(4)
+	a := g.MustAddTask("src", w0)
+	b := g.MustAddTask("mid0", w1)
+	c := g.MustAddTask("mid1", w2)
+	d := g.MustAddTask("snk", w3)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(a, c)
+	g.MustAddEdge(b, d)
+	g.MustAddEdge(c, d)
+	return g
+}
+
+// RandomSeriesParallel generates a random two-terminal series-parallel
+// task graph with roughly targetTasks tasks by recursive composition:
+// a block is a single task, two blocks in series (exit wired to entry), or
+// two blocks in parallel between fresh fork and join tasks. Every block
+// keeps a unique entry and exit task, which guarantees the result is
+// series-parallel in the activity-on-arc sense (property-tested against
+// the recognizer). Used to cross-validate the exact SP evaluator and the
+// SP-tree decomposition.
+func RandomSeriesParallel(targetTasks int, cfg RandomConfig, rng *rand.Rand) (*Graph, error) {
+	if targetTasks < 1 {
+		return nil, fmt.Errorf("dag: RandomSeriesParallel needs targetTasks >= 1, got %d", targetTasks)
+	}
+	cfg.Tasks = targetTasks
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	g := New(targetTasks)
+	var build func(budget int) (entry, exit int)
+	build = func(budget int) (int, int) {
+		if budget <= 1 {
+			id := g.MustAddTask(fmt.Sprintf("sp%d", g.NumTasks()), cfg.weight(rng))
+			return id, id
+		}
+		if rng.Intn(2) == 0 || budget < 4 {
+			// Series: split the budget.
+			left := 1 + rng.Intn(budget-1)
+			e1, x1 := build(left)
+			e2, x2 := build(budget - left)
+			g.MustAddEdge(x1, e2)
+			return e1, x2
+		}
+		// Parallel between fresh fork and join tasks (2 of the budget).
+		fork := g.MustAddTask(fmt.Sprintf("fork%d", g.NumTasks()), cfg.weight(rng))
+		inner := budget - 2
+		left := 1 + rng.Intn(inner-1)
+		e1, x1 := build(left)
+		e2, x2 := build(inner - left)
+		join := g.MustAddTask(fmt.Sprintf("join%d", g.NumTasks()), cfg.weight(rng))
+		g.MustAddEdge(fork, e1)
+		g.MustAddEdge(fork, e2)
+		g.MustAddEdge(x1, join)
+		g.MustAddEdge(x2, join)
+		return fork, join
+	}
+	build(targetTasks)
+	return g, nil
+}
+
+// OutTree returns a complete out-tree (each task has fanout children) with
+// depth levels and unit weights scaled by scale.
+func OutTree(depth, fanout int, scale float64) *Graph {
+	if depth < 1 {
+		depth = 1
+	}
+	if fanout < 1 {
+		fanout = 1
+	}
+	g := New(0)
+	root := g.MustAddTask("r", scale)
+	frontier := []int{root}
+	for d := 1; d < depth; d++ {
+		var next []int
+		for _, u := range frontier {
+			for f := 0; f < fanout; f++ {
+				v := g.MustAddTask(fmt.Sprintf("d%d_%d", d, len(next)), scale)
+				g.MustAddEdge(u, v)
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	return g
+}

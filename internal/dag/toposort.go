@@ -1,0 +1,130 @@
+package dag
+
+// TopoOrder returns the task IDs in a topological order computed with
+// Kahn's algorithm, or ErrCycle if the graph has a cycle. Ties are broken
+// by smallest ID, so the order is deterministic.
+func (g *Graph) TopoOrder() ([]int, error) {
+	n := g.NumTasks()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.pred[i])
+	}
+	// Min-ID frontier kept as a simple binary heap for deterministic output.
+	heap := make([]int, 0, n)
+	push := func(v int) {
+		heap = append(heap, v)
+		for c := len(heap) - 1; c > 0; {
+			p := (c - 1) / 2
+			if heap[p] <= heap[c] {
+				break
+			}
+			heap[p], heap[c] = heap[c], heap[p]
+			c = p
+		}
+	}
+	pop := func() int {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for p := 0; ; {
+			l, r := 2*p+1, 2*p+2
+			m := p
+			if l < last && heap[l] < heap[m] {
+				m = l
+			}
+			if r < last && heap[r] < heap[m] {
+				m = r
+			}
+			if m == p {
+				break
+			}
+			heap[p], heap[m] = heap[m], heap[p]
+			p = m
+		}
+		return top
+	}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			push(i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(heap) > 0 {
+		v := pop()
+		order = append(order, v)
+		for _, s := range g.succ[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				push(s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// IsAcyclic reports whether the graph is a DAG.
+func (g *Graph) IsAcyclic() bool {
+	_, err := g.TopoOrder()
+	return err == nil
+}
+
+// Levels partitions tasks into precedence levels: level 0 holds the
+// sources; level l+1 holds tasks whose deepest predecessor is at level l.
+// The graph must be acyclic.
+func (g *Graph) Levels() ([][]int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	depth := make([]int, g.NumTasks())
+	maxDepth := 0
+	for _, v := range order {
+		d := 0
+		for _, p := range g.pred[v] {
+			if depth[p]+1 > d {
+				d = depth[p] + 1
+			}
+		}
+		depth[v] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	levels := make([][]int, maxDepth+1)
+	for _, v := range order {
+		levels[depth[v]] = append(levels[depth[v]], v)
+	}
+	return levels, nil
+}
+
+// Depth returns the number of precedence levels (longest chain in edges,
+// plus one). An empty graph has depth 0.
+func (g *Graph) Depth() (int, error) {
+	if g.NumTasks() == 0 {
+		return 0, nil
+	}
+	levels, err := g.Levels()
+	if err != nil {
+		return 0, err
+	}
+	return len(levels), nil
+}
+
+// Width returns the size of the largest precedence level.
+func (g *Graph) Width() (int, error) {
+	levels, err := g.Levels()
+	if err != nil {
+		return 0, err
+	}
+	w := 0
+	for _, l := range levels {
+		if len(l) > w {
+			w = len(l)
+		}
+	}
+	return w, nil
+}

@@ -1,0 +1,130 @@
+package dag
+
+import "fmt"
+
+// This file provides the classic structured DAG families used as extra
+// workloads in the ablation benchmarks and scheduling experiments: stage
+// pipelines (scientific-workflow shaped), 2D wavefronts (stencil sweeps),
+// FFT butterflies and divide-and-conquer trees. All have closed-form task
+// counts (unit-tested) and, except the pipeline, are far from
+// series-parallel — useful stress tests for Dodin.
+
+// Pipeline returns a stages-deep pipeline of parallel sections: each stage
+// has width tasks of the given weight, every task depends on all tasks of
+// the previous stage (a Montage/Epigenomics-style bus pattern). Task count
+// is stages·width.
+func Pipeline(stages, width int, weight float64) *Graph {
+	if stages < 1 {
+		stages = 1
+	}
+	if width < 1 {
+		width = 1
+	}
+	g := New(stages * width)
+	var prev []int
+	for s := 0; s < stages; s++ {
+		cur := make([]int, width)
+		for w := 0; w < width; w++ {
+			cur[w] = g.MustAddTask(fmt.Sprintf("s%d_%d", s, w), weight)
+			for _, p := range prev {
+				g.MustAddEdge(p, cur[w])
+			}
+		}
+		prev = cur
+	}
+	return g
+}
+
+// Wavefront returns the n×n 2D wavefront (stencil sweep) DAG: task (i,j)
+// depends on (i−1,j) and (i,j−1). Task count n², longest chain 2n−1. The
+// canonical non-series-parallel HPC dependence pattern (Gauss–Seidel,
+// Smith–Waterman, triangular solves).
+func Wavefront(n int, weight float64) *Graph {
+	if n < 1 {
+		n = 1
+	}
+	g := New(n * n)
+	id := func(i, j int) int { return i*n + j }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			g.MustAddTask(fmt.Sprintf("w%d_%d", i, j), weight)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i > 0 {
+				g.MustAddEdge(id(i-1, j), id(i, j))
+			}
+			if j > 0 {
+				g.MustAddEdge(id(i, j-1), id(i, j))
+			}
+		}
+	}
+	return g
+}
+
+// FFT returns the butterfly DAG of an n-point FFT (n must be a power of
+// two): log2(n)+1 ranks of n tasks; task (r,i) depends on (r−1,i) and
+// (r−1, i XOR 2^{r−1}). Task count n·(log2(n)+1).
+func FFT(n int, weight float64) (*Graph, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("dag: FFT size %d is not a power of two >= 2", n)
+	}
+	ranks := 1
+	for m := n; m > 1; m >>= 1 {
+		ranks++
+	}
+	g := New(n * ranks)
+	id := func(r, i int) int { return r*n + i }
+	for r := 0; r < ranks; r++ {
+		for i := 0; i < n; i++ {
+			g.MustAddTask(fmt.Sprintf("f%d_%d", r, i), weight)
+		}
+	}
+	for r := 1; r < ranks; r++ {
+		stride := 1 << uint(r-1)
+		for i := 0; i < n; i++ {
+			g.MustAddEdge(id(r-1, i), id(r, i))
+			g.MustAddEdge(id(r-1, i^stride), id(r, i))
+		}
+	}
+	return g, nil
+}
+
+// DivideAndConquer returns the divide-and-conquer DAG of depth levels: a
+// binary out-tree of "divide" tasks, a layer of leaf "work" tasks, and the
+// mirrored in-tree of "merge" tasks. Task count 3·2^(levels) − 2 ... more
+// precisely: 2^levels leaves plus 2·(2^levels − 1) internal tasks.
+func DivideAndConquer(levels int, weight float64) *Graph {
+	if levels < 0 {
+		levels = 0
+	}
+	leaves := 1 << uint(levels)
+	g := New(3*leaves - 2)
+	// Divide out-tree.
+	divide := make([][]int, levels+1)
+	divide[0] = []int{g.MustAddTask("div0_0", weight)}
+	for l := 1; l <= levels; l++ {
+		divide[l] = make([]int, 1<<uint(l))
+		for i := range divide[l] {
+			if l == levels {
+				divide[l][i] = g.MustAddTask(fmt.Sprintf("leaf_%d", i), weight)
+			} else {
+				divide[l][i] = g.MustAddTask(fmt.Sprintf("div%d_%d", l, i), weight)
+			}
+			g.MustAddEdge(divide[l-1][i/2], divide[l][i])
+		}
+	}
+	// Merge in-tree.
+	prev := divide[levels]
+	for l := levels - 1; l >= 0; l-- {
+		cur := make([]int, 1<<uint(l))
+		for i := range cur {
+			cur[i] = g.MustAddTask(fmt.Sprintf("mrg%d_%d", l, i), weight)
+			g.MustAddEdge(prev[2*i], cur[i])
+			g.MustAddEdge(prev[2*i+1], cur[i])
+		}
+		prev = cur
+	}
+	return g
+}

@@ -1,0 +1,118 @@
+package dag
+
+import "testing"
+
+func TestPipelineShape(t *testing.T) {
+	g := Pipeline(4, 3, 2.0)
+	if g.NumTasks() != 12 {
+		t.Fatalf("tasks = %d want 12", g.NumTasks())
+	}
+	if g.NumEdges() != 3*3*3 {
+		t.Fatalf("edges = %d want 27", g.NumEdges())
+	}
+	d, _ := Makespan(g)
+	if d != 8 {
+		t.Fatalf("makespan = %v want 8", d)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if depth, _ := g.Depth(); depth != 4 {
+		t.Fatalf("depth = %d", depth)
+	}
+	// Degenerate arguments clamp.
+	if g := Pipeline(0, 0, 1); g.NumTasks() != 1 {
+		t.Fatalf("degenerate pipeline: %d tasks", g.NumTasks())
+	}
+}
+
+func TestWavefrontShape(t *testing.T) {
+	g := Wavefront(4, 1.0)
+	if g.NumTasks() != 16 {
+		t.Fatalf("tasks = %d", g.NumTasks())
+	}
+	// Edges: 2·n·(n−1).
+	if g.NumEdges() != 24 {
+		t.Fatalf("edges = %d want 24", g.NumEdges())
+	}
+	d, _ := Makespan(g)
+	if d != 7 { // 2n − 1 unit tasks on the anti-diagonal path
+		t.Fatalf("makespan = %v want 7", d)
+	}
+	if src := g.Sources(); len(src) != 1 || src[0] != 0 {
+		t.Fatalf("sources = %v", src)
+	}
+	if snk := g.Sinks(); len(snk) != 1 || snk[0] != 15 {
+		t.Fatalf("sinks = %v", snk)
+	}
+	if g := Wavefront(0, 1); g.NumTasks() != 1 {
+		t.Fatalf("degenerate wavefront")
+	}
+}
+
+func TestFFTShape(t *testing.T) {
+	g, err := FFT(8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 points, log2(8)+1 = 4 ranks.
+	if g.NumTasks() != 32 {
+		t.Fatalf("tasks = %d want 32", g.NumTasks())
+	}
+	// Each of the 3 butterfly stages has 2 incoming edges per task: 3·8·2.
+	if g.NumEdges() != 48 {
+		t.Fatalf("edges = %d want 48", g.NumEdges())
+	}
+	d, _ := Makespan(g)
+	if d != 4 {
+		t.Fatalf("makespan = %v want 4", d)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FFT(6, 1); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	if _, err := FFT(1, 1); err == nil {
+		t.Fatal("size 1 accepted")
+	}
+}
+
+func TestDivideAndConquerShape(t *testing.T) {
+	g := DivideAndConquer(3, 1.0)
+	// 8 leaves + 7 divide + 7 merge = 22 = 3·8 − 2.
+	if g.NumTasks() != 22 {
+		t.Fatalf("tasks = %d want 22", g.NumTasks())
+	}
+	d, _ := Makespan(g)
+	if d != 7 { // 3 divides + leaf + 3 merges
+		t.Fatalf("makespan = %v want 7", d)
+	}
+	if src := g.Sources(); len(src) != 1 {
+		t.Fatalf("sources = %v", src)
+	}
+	if snk := g.Sinks(); len(snk) != 1 {
+		t.Fatalf("sinks = %v", snk)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g := DivideAndConquer(0, 1); g.NumTasks() != 1 {
+		t.Fatalf("degenerate D&C: %d", g.NumTasks())
+	}
+	if g := DivideAndConquer(-2, 1); g.NumTasks() != 1 {
+		t.Fatalf("negative D&C: %d", g.NumTasks())
+	}
+}
+
+func TestWavefrontPathCountIsBinomial(t *testing.T) {
+	// Paths from corner to corner of an n×n wavefront: C(2n−2, n−1).
+	g := Wavefront(5, 1)
+	paths, err := CountPaths(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paths != 70 { // C(8,4)
+		t.Fatalf("paths = %v want 70", paths)
+	}
+}

@@ -1,0 +1,371 @@
+package distribution
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPoint(t *testing.T) {
+	d := Point(3.5)
+	if d.Len() != 1 || d.Mean() != 3.5 || d.Variance() != 0 {
+		t.Fatalf("point: %v", d)
+	}
+	if d.CDF(3.4) != 0 || d.CDF(3.5) != 1 {
+		t.Fatalf("point CDF wrong")
+	}
+}
+
+func TestNewDiscreteValidation(t *testing.T) {
+	if _, err := NewDiscrete([]float64{1}, []float64{0.5}); err == nil {
+		t.Error("accepted non-normalized probs")
+	}
+	if _, err := NewDiscrete([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := NewDiscrete(nil, nil); err == nil {
+		t.Error("accepted empty support")
+	}
+	if _, err := NewDiscrete([]float64{math.NaN()}, []float64{1}); err == nil {
+		t.Error("accepted NaN value")
+	}
+	if _, err := NewDiscrete([]float64{1}, []float64{-1}); err == nil {
+		t.Error("accepted negative prob")
+	}
+	if _, err := NewDiscrete([]float64{1, 2}, []float64{1, 0}); err != nil {
+		t.Error("rejected zero-prob atom that should be dropped")
+	}
+}
+
+func TestNewDiscreteMergesAndSorts(t *testing.T) {
+	d, err := NewDiscrete([]float64{3, 1, 3}, []float64{0.25, 0.5, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("len = %d want 2 (duplicates merged)", d.Len())
+	}
+	v0, p0 := d.Atom(0)
+	v1, p1 := d.Atom(1)
+	if v0 != 1 || p0 != 0.5 || v1 != 3 || !almostEq(p1, 0.5, 1e-12) {
+		t.Fatalf("atoms: (%v,%v) (%v,%v)", v0, p0, v1, p1)
+	}
+}
+
+func TestTwoState(t *testing.T) {
+	d, err := TwoState(2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	if !almostEq(d.Mean(), 2*0.9+4*0.1, 1e-12) {
+		t.Fatalf("mean = %v", d.Mean())
+	}
+	// Variance of {a wp p, 2a wp 1-p} is a² p (1-p).
+	if !almostEq(d.Variance(), 4*0.9*0.1, 1e-12) {
+		t.Fatalf("var = %v", d.Variance())
+	}
+	if d, _ := TwoState(2, 1); d.Len() != 1 || d.Mean() != 2 {
+		t.Fatalf("p=1 degenerate wrong: %v", d)
+	}
+	if d, _ := TwoState(2, 0); d.Len() != 1 || d.Mean() != 4 {
+		t.Fatalf("p=0 degenerate wrong: %v", d)
+	}
+	if d, _ := TwoState(0, 0.5); d.Len() != 1 {
+		t.Fatalf("zero-weight task should be a point: %v", d)
+	}
+	if _, err := TwoState(1, 1.5); err == nil {
+		t.Fatal("accepted p > 1")
+	}
+}
+
+func TestAddExact(t *testing.T) {
+	x, _ := TwoState(1, 0.5) // {1, 2} each 0.5
+	y, _ := TwoState(10, 0.5)
+	s := x.Add(y)
+	// Support {11,12,21,22} each 0.25.
+	if s.Len() != 4 {
+		t.Fatalf("len = %d want 4", s.Len())
+	}
+	if !almostEq(s.Mean(), x.Mean()+y.Mean(), 1e-12) {
+		t.Fatalf("mean not additive: %v", s.Mean())
+	}
+	if !almostEq(s.Variance(), x.Variance()+y.Variance(), 1e-12) {
+		t.Fatalf("variance not additive: %v", s.Variance())
+	}
+}
+
+func TestAddMergesCollisions(t *testing.T) {
+	x, _ := TwoState(1, 0.5) // {1,2}
+	s := x.Add(x)            // {2,3,3,4} -> {2,3,4} with probs {.25,.5,.25}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d want 3", s.Len())
+	}
+	if v, p := s.Atom(1); v != 3 || !almostEq(p, 0.5, 1e-12) {
+		t.Fatalf("middle atom (%v,%v)", v, p)
+	}
+}
+
+func TestMaxIndExact(t *testing.T) {
+	x, _ := TwoState(1, 0.5) // {1,2}
+	y, _ := TwoState(1, 0.5)
+	m := x.MaxInd(y)
+	// max of two iid {1,2}: P(1)=0.25, P(2)=0.75.
+	if m.Len() != 2 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if v, p := m.Atom(0); v != 1 || !almostEq(p, 0.25, 1e-12) {
+		t.Fatalf("atom0 (%v,%v)", v, p)
+	}
+	if v, p := m.Atom(1); v != 2 || !almostEq(p, 0.75, 1e-12) {
+		t.Fatalf("atom1 (%v,%v)", v, p)
+	}
+}
+
+func TestMaxIndWithPoint(t *testing.T) {
+	x, _ := TwoState(4, 0.5) // {4,8}
+	p := Point(6)
+	m := x.MaxInd(p)
+	// max: 6 wp 0.5 (when x=4), 8 wp 0.5.
+	if m.Len() != 2 {
+		t.Fatalf("len = %d: %v", m.Len(), m)
+	}
+	if v, q := m.Atom(0); v != 6 || !almostEq(q, 0.5, 1e-12) {
+		t.Fatalf("atom0 (%v,%v)", v, q)
+	}
+}
+
+// Property: Add and MaxInd agree with brute-force enumeration over random
+// small discrete distributions.
+func TestQuickOpsMatchEnumeration(t *testing.T) {
+	gen := func(rng *rand.Rand) Discrete {
+		n := 1 + rng.Intn(4)
+		vals := make([]float64, n)
+		prbs := make([]float64, n)
+		var tot float64
+		for i := range vals {
+			vals[i] = float64(rng.Intn(20))
+			prbs[i] = rng.Float64() + 0.01
+			tot += prbs[i]
+		}
+		for i := range prbs {
+			prbs[i] /= tot
+		}
+		d, err := NewDiscrete(vals, prbs)
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x, y := gen(rng), gen(rng)
+		sum := x.Add(y)
+		max := x.MaxInd(y)
+		// Enumerate.
+		sumMean, maxMean, sumM2, maxM2 := 0.0, 0.0, 0.0, 0.0
+		for i := 0; i < x.Len(); i++ {
+			for j := 0; j < y.Len(); j++ {
+				xv, xp := x.Atom(i)
+				yv, yp := y.Atom(j)
+				p := xp * yp
+				s := xv + yv
+				m := math.Max(xv, yv)
+				sumMean += p * s
+				maxMean += p * m
+				sumM2 += p * s * s
+				maxM2 += p * m * m
+			}
+		}
+		return almostEq(sum.Mean(), sumMean, 1e-9) &&
+			almostEq(max.Mean(), maxMean, 1e-9) &&
+			almostEq(sum.Variance(), sumM2-sumMean*sumMean, 1e-9) &&
+			almostEq(max.Variance(), maxM2-maxMean*maxMean, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add and MaxInd are commutative and associative (up to
+// floating-point), and Point(0) / Point(-inf-ish) act as identities.
+func TestQuickOperatorAlgebra(t *testing.T) {
+	gen := func(rng *rand.Rand) Discrete {
+		n := 1 + rng.Intn(3)
+		vals := make([]float64, n)
+		prbs := make([]float64, n)
+		var tot float64
+		for i := range vals {
+			vals[i] = float64(rng.Intn(12))
+			prbs[i] = rng.Float64() + 0.05
+			tot += prbs[i]
+		}
+		for i := range prbs {
+			prbs[i] /= tot
+		}
+		d, err := NewDiscrete(vals, prbs)
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x, y, z := gen(rng), gen(rng), gen(rng)
+		// Commutativity (moments).
+		if !almostEq(x.Add(y).Mean(), y.Add(x).Mean(), 1e-9) ||
+			!almostEq(x.MaxInd(y).Mean(), y.MaxInd(x).Mean(), 1e-9) {
+			return false
+		}
+		// Associativity (moments).
+		if !almostEq(x.Add(y).Add(z).Variance(), x.Add(y.Add(z)).Variance(), 1e-9) ||
+			!almostEq(x.MaxInd(y).MaxInd(z).Mean(), x.MaxInd(y.MaxInd(z)).Mean(), 1e-9) {
+			return false
+		}
+		// Identity: adding Point(0) changes nothing.
+		s := x.Add(Point(0))
+		if !almostEq(s.Mean(), x.Mean(), 1e-12) || s.Len() != x.Len() {
+			return false
+		}
+		// Max with a point below the minimum changes nothing.
+		m := x.MaxInd(Point(x.Min() - 1))
+		return almostEq(m.Mean(), x.Mean(), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Quantile inverts CDF on the support.
+func TestQuickQuantileCDFConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		vals := make([]float64, n)
+		prbs := make([]float64, n)
+		var tot float64
+		for i := range vals {
+			vals[i] = float64(i) + rng.Float64()
+			prbs[i] = rng.Float64() + 0.01
+			tot += prbs[i]
+		}
+		for i := range prbs {
+			prbs[i] /= tot
+		}
+		d, err := NewDiscrete(vals, prbs)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < d.Len(); i++ {
+			v, _ := d.Atom(i)
+			if d.Quantile(d.CDF(v)) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFAndQuantile(t *testing.T) {
+	d, _ := NewDiscrete([]float64{1, 2, 4}, []float64{0.2, 0.3, 0.5})
+	if d.CDF(0) != 0 || !almostEq(d.CDF(2), 0.5, 1e-12) || d.CDF(10) != 1 {
+		t.Fatalf("CDF wrong: %v %v %v", d.CDF(0), d.CDF(2), d.CDF(10))
+	}
+	if d.Quantile(0.1) != 1 || d.Quantile(0.5) != 2 || d.Quantile(0.51) != 4 || d.Quantile(1) != 4 {
+		t.Fatalf("quantiles wrong: %v %v %v", d.Quantile(0.1), d.Quantile(0.5), d.Quantile(1))
+	}
+	if d.Quantile(0) != 1 {
+		t.Fatalf("Quantile(0) = %v", d.Quantile(0))
+	}
+	if d.Min() != 1 || d.Max() != 4 {
+		t.Fatalf("bounds wrong")
+	}
+}
+
+func TestShiftScale(t *testing.T) {
+	d, _ := TwoState(3, 0.75)
+	s := d.Shift(10)
+	if !almostEq(s.Mean(), d.Mean()+10, 1e-12) || !almostEq(s.Variance(), d.Variance(), 1e-12) {
+		t.Fatalf("shift moments wrong")
+	}
+	c := d.Scale(2)
+	if !almostEq(c.Mean(), 2*d.Mean(), 1e-12) || !almostEq(c.Variance(), 4*d.Variance(), 1e-12) {
+		t.Fatalf("scale moments wrong")
+	}
+	if z := d.Scale(0); z.Len() != 1 || z.Mean() != 0 {
+		t.Fatalf("scale 0 wrong: %v", z)
+	}
+}
+
+func TestRediscretizePreservesMean(t *testing.T) {
+	// Build a distribution with many atoms by convolving 12 two-states.
+	d, _ := TwoState(1, 0.7)
+	acc := d
+	for i := 0; i < 11; i++ {
+		x, _ := TwoState(1+float64(i)*0.1, 0.7)
+		acc = acc.Add(x)
+	}
+	if acc.Len() < 100 {
+		t.Fatalf("expected large support, got %d", acc.Len())
+	}
+	for _, m := range []int{64, 16, 5, 1} {
+		r := acc.Rediscretize(m)
+		if r.Len() > m {
+			t.Errorf("Rediscretize(%d) produced %d atoms", m, r.Len())
+		}
+		if !almostEq(r.Mean(), acc.Mean(), 1e-9) {
+			t.Errorf("Rediscretize(%d) mean %v != %v", m, r.Mean(), acc.Mean())
+		}
+		if r.Variance() > acc.Variance()+1e-9 {
+			t.Errorf("Rediscretize(%d) inflated variance", m)
+		}
+	}
+	// No-op when it fits.
+	small, _ := TwoState(1, 0.5)
+	if got := small.Rediscretize(10); got.Len() != 2 {
+		t.Errorf("no-op rediscretize changed the distribution")
+	}
+}
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	d, _ := NewDiscrete([]float64{1, 2, 4}, []float64{0.2, 0.3, 0.5})
+	rng := rand.New(rand.NewSource(99))
+	counts := map[float64]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[d.Sample(rng.Float64())]++
+	}
+	for i := 0; i < d.Len(); i++ {
+		v, p := d.Atom(i)
+		got := float64(counts[v]) / n
+		if !almostEq(got, p, 0.01) {
+			t.Errorf("P(%v) sampled %v want %v", v, got, p)
+		}
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	d, _ := TwoState(1, 0.5)
+	if d.String() == "" {
+		t.Error("empty String")
+	}
+	var z Discrete
+	if z.String() != "Discrete{}" {
+		t.Errorf("zero String = %q", z.String())
+	}
+	big := d
+	for i := 0; i < 4; i++ {
+		big = big.Add(d)
+	}
+	if big.String() == "" {
+		t.Error("empty big String")
+	}
+}

@@ -1,0 +1,136 @@
+package distribution
+
+import (
+	"fmt"
+	"math"
+)
+
+// Normal is a Gaussian distribution parameterized by mean and variance.
+// Variance zero (a point mass) is allowed: Sculli's sweep starts from the
+// deterministic source task.
+type Normal struct {
+	Mu     float64 // mean
+	Sigma2 float64 // variance (>= 0)
+}
+
+// NormalFromMoments builds a Normal matching the first two moments of an
+// arbitrary distribution — the "normality assumption" step of the paper's
+// Normal method.
+func NormalFromMoments(mean, variance float64) (Normal, error) {
+	if variance < 0 || math.IsNaN(variance) || math.IsNaN(mean) {
+		return Normal{}, fmt.Errorf("distribution: invalid moments mean=%v var=%v", mean, variance)
+	}
+	return Normal{Mu: mean, Sigma2: variance}, nil
+}
+
+// NormalOfDiscrete moment-matches a Normal to a discrete distribution.
+func NormalOfDiscrete(d Discrete) Normal {
+	return Normal{Mu: d.Mean(), Sigma2: d.Variance()}
+}
+
+// Sigma returns the standard deviation.
+func (n Normal) Sigma() float64 { return math.Sqrt(n.Sigma2) }
+
+// Add returns the distribution of X+Y for independent X ~ n, Y ~ o.
+func (n Normal) Add(o Normal) Normal {
+	return Normal{Mu: n.Mu + o.Mu, Sigma2: n.Sigma2 + o.Sigma2}
+}
+
+// Shift returns the distribution of X + c.
+func (n Normal) Shift(c float64) Normal { return Normal{Mu: n.Mu + c, Sigma2: n.Sigma2} }
+
+// StdNormPDF is the standard normal density φ.
+func StdNormPDF(x float64) float64 {
+	return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+}
+
+// StdNormCDF is the standard normal CDF Φ, via math.Erf.
+func StdNormCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// CDF returns P(X <= x).
+func (n Normal) CDF(x float64) float64 {
+	if n.Sigma2 == 0 {
+		if x >= n.Mu {
+			return 1
+		}
+		return 0
+	}
+	return StdNormCDF((x - n.Mu) / n.Sigma())
+}
+
+// ClarkMax returns the normal moment-matched to max(X,Y) where (X,Y) is
+// bivariate normal with correlation rho, using Clark's exact formulas for
+// the first two moments of the maximum (Clark 1961, eqs. 2-5):
+//
+//	a² = σx² + σy² − 2ρσxσy
+//	α  = (μx − μy)/a
+//	E[max]  = μx Φ(α) + μy Φ(−α) + a φ(α)
+//	E[max²] = (μx²+σx²) Φ(α) + (μy²+σy²) Φ(−α) + (μx+μy) a φ(α)
+//
+// The returned Normal matches these two moments (the "assume the max is
+// normal again" step of Sculli's method). When a == 0 the two variables are
+// almost-surely ordered by mean and the larger one is returned.
+func ClarkMax(x, y Normal, rho float64) Normal {
+	if rho < -1 || rho > 1 || math.IsNaN(rho) {
+		rho = 0
+	}
+	sx, sy := x.Sigma(), y.Sigma()
+	a2 := x.Sigma2 + y.Sigma2 - 2*rho*sx*sy
+	if a2 <= 1e-300 {
+		// Degenerate: X − Y is (almost surely) constant μx − μy.
+		if x.Mu >= y.Mu {
+			return x
+		}
+		return y
+	}
+	a := math.Sqrt(a2)
+	alpha := (x.Mu - y.Mu) / a
+	phiA := StdNormPDF(alpha)
+	cdfA := StdNormCDF(alpha)
+	cdfMA := StdNormCDF(-alpha)
+	nu1 := x.Mu*cdfA + y.Mu*cdfMA + a*phiA
+	nu2 := (x.Mu*x.Mu+x.Sigma2)*cdfA + (y.Mu*y.Mu+y.Sigma2)*cdfMA + (x.Mu+y.Mu)*a*phiA
+	v := nu2 - nu1*nu1
+	if v < 0 {
+		v = 0 // floating-point guard; Clark's variance is non-negative
+	}
+	return Normal{Mu: nu1, Sigma2: v}
+}
+
+// ClarkMaxCorrelation returns the correlation between max(X,Y) and a third
+// normal Z, given corr(X,Z)=rxz and corr(Y,Z)=ryz (Clark 1961, eq. 7):
+//
+//	corr(max, Z) = (σx rxz Φ(α) + σy ryz Φ(−α)) / σ_max
+//
+// It is used by the correlation-aware (CorLCA-style) sweep to propagate
+// correlations through successive maxima.
+func ClarkMaxCorrelation(x, y Normal, rho, rxz, ryz float64, maxDist Normal) float64 {
+	sx, sy := x.Sigma(), y.Sigma()
+	a2 := x.Sigma2 + y.Sigma2 - 2*rho*sx*sy
+	if a2 <= 1e-300 {
+		if x.Mu >= y.Mu {
+			return rxz
+		}
+		return ryz
+	}
+	a := math.Sqrt(a2)
+	alpha := (x.Mu - y.Mu) / a
+	sm := maxDist.Sigma()
+	if sm == 0 {
+		return 0
+	}
+	r := (sx*rxz*StdNormCDF(alpha) + sy*ryz*StdNormCDF(-alpha)) / sm
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return r
+}
+
+// String renders the normal for debugging.
+func (n Normal) String() string {
+	return fmt.Sprintf("N(%.6g, %.6g)", n.Mu, n.Sigma2)
+}

@@ -1,0 +1,205 @@
+package distribution
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStdNormCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.96, 0.9750021048517795},
+	}
+	for _, c := range cases {
+		if got := StdNormCDF(c.x); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Phi(%v) = %v want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestStdNormPDFIntegratesToCDF(t *testing.T) {
+	// Trapezoid integrate phi from -8 to x, compare with Phi(x).
+	for _, x := range []float64{-1.5, 0, 0.7, 2.3} {
+		const steps = 200000
+		lo := -8.0
+		h := (x - lo) / steps
+		sum := (StdNormPDF(lo) + StdNormPDF(x)) / 2
+		for i := 1; i < steps; i++ {
+			sum += StdNormPDF(lo + float64(i)*h)
+		}
+		got := sum * h
+		if !almostEq(got, StdNormCDF(x), 1e-8) {
+			t.Errorf("integral to %v = %v want %v", x, got, StdNormCDF(x))
+		}
+	}
+}
+
+func TestNormalAddShift(t *testing.T) {
+	a := Normal{Mu: 1, Sigma2: 2}
+	b := Normal{Mu: 3, Sigma2: 5}
+	s := a.Add(b)
+	if s.Mu != 4 || s.Sigma2 != 7 {
+		t.Fatalf("Add = %v", s)
+	}
+	if sh := a.Shift(2); sh.Mu != 3 || sh.Sigma2 != 2 {
+		t.Fatalf("Shift = %v", sh)
+	}
+	if !almostEq(b.Sigma(), math.Sqrt(5), 1e-15) {
+		t.Fatalf("Sigma = %v", b.Sigma())
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	n := Normal{Mu: 10, Sigma2: 4}
+	if !almostEq(n.CDF(10), 0.5, 1e-12) {
+		t.Errorf("CDF(mu) = %v", n.CDF(10))
+	}
+	if !almostEq(n.CDF(12), StdNormCDF(1), 1e-12) {
+		t.Errorf("CDF(mu+sigma) = %v", n.CDF(12))
+	}
+	p := Normal{Mu: 3}
+	if p.CDF(2.9) != 0 || p.CDF(3) != 1 {
+		t.Errorf("point CDF wrong")
+	}
+}
+
+func TestNormalFromMomentsValidation(t *testing.T) {
+	if _, err := NormalFromMoments(0, -1); err == nil {
+		t.Error("accepted negative variance")
+	}
+	if _, err := NormalFromMoments(math.NaN(), 1); err == nil {
+		t.Error("accepted NaN mean")
+	}
+	n, err := NormalFromMoments(2, 3)
+	if err != nil || n.Mu != 2 || n.Sigma2 != 3 {
+		t.Errorf("round trip wrong: %v %v", n, err)
+	}
+}
+
+func TestNormalOfDiscreteMatchesMoments(t *testing.T) {
+	d, _ := TwoState(2, 0.9)
+	n := NormalOfDiscrete(d)
+	if !almostEq(n.Mu, d.Mean(), 1e-12) || !almostEq(n.Sigma2, d.Variance(), 1e-12) {
+		t.Fatalf("moment match failed: %v vs (%v,%v)", n, d.Mean(), d.Variance())
+	}
+}
+
+// Clark's formulas for independent standard normals: E[max(Z1,Z2)] = 1/sqrt(pi),
+// Var = 1 - 1/pi.
+func TestClarkMaxStandardPair(t *testing.T) {
+	z := Normal{Mu: 0, Sigma2: 1}
+	m := ClarkMax(z, z, 0)
+	if !almostEq(m.Mu, 1/math.Sqrt(math.Pi), 1e-12) {
+		t.Errorf("mean = %v want %v", m.Mu, 1/math.Sqrt(math.Pi))
+	}
+	if !almostEq(m.Sigma2, 1-1/math.Pi, 1e-12) {
+		t.Errorf("var = %v want %v", m.Sigma2, 1-1/math.Pi)
+	}
+}
+
+// Monte Carlo check of Clark's moments for correlated pairs.
+func TestClarkMaxMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	cases := []struct {
+		x, y Normal
+		rho  float64
+	}{
+		{Normal{0, 1}, Normal{0, 1}, 0},
+		{Normal{1, 4}, Normal{2, 1}, 0},
+		{Normal{0, 1}, Normal{0.5, 2}, 0.6},
+		{Normal{3, 2}, Normal{3, 2}, -0.4},
+	}
+	const n = 400000
+	for _, c := range cases {
+		m := ClarkMax(c.x, c.y, c.rho)
+		var sum, sum2 float64
+		sx, sy := c.x.Sigma(), c.y.Sigma()
+		for i := 0; i < n; i++ {
+			z1 := rng.NormFloat64()
+			z2 := c.rho*z1 + math.Sqrt(1-c.rho*c.rho)*rng.NormFloat64()
+			v := math.Max(c.x.Mu+sx*z1, c.y.Mu+sy*z2)
+			sum += v
+			sum2 += v * v
+		}
+		mean := sum / n
+		varc := sum2/n - mean*mean
+		if !almostEq(m.Mu, mean, 0.01) {
+			t.Errorf("case %+v: Clark mean %v vs MC %v", c, m.Mu, mean)
+		}
+		if !almostEq(m.Sigma2, varc, 0.02) {
+			t.Errorf("case %+v: Clark var %v vs MC %v", c, m.Sigma2, varc)
+		}
+	}
+}
+
+func TestClarkMaxDegenerate(t *testing.T) {
+	// Perfectly correlated equal-variance pair: max is just the larger mean.
+	x := Normal{Mu: 1, Sigma2: 4}
+	y := Normal{Mu: 5, Sigma2: 4}
+	m := ClarkMax(x, y, 1)
+	if m != y {
+		t.Errorf("degenerate max = %v want %v", m, y)
+	}
+	m = ClarkMax(y, x, 1)
+	if m != y {
+		t.Errorf("degenerate max (swapped) = %v want %v", m, y)
+	}
+	// Two point masses.
+	p1 := Normal{Mu: 2}
+	p2 := Normal{Mu: 7}
+	if m := ClarkMax(p1, p2, 0); m != p2 {
+		t.Errorf("point max = %v", m)
+	}
+	// Invalid rho falls back to 0.
+	m1 := ClarkMax(x, y, math.NaN())
+	m2 := ClarkMax(x, y, 0)
+	if m1 != m2 {
+		t.Errorf("NaN rho not treated as 0")
+	}
+}
+
+// Property: Clark's mean dominates both input means, and is monotone in
+// input means (basic sanity of a max operator).
+func TestQuickClarkMaxDominance(t *testing.T) {
+	f := func(m1, m2 int8, v1, v2 uint8, r int8) bool {
+		x := Normal{Mu: float64(m1) / 10, Sigma2: float64(v1%50)/10 + 0.01}
+		y := Normal{Mu: float64(m2) / 10, Sigma2: float64(v2%50)/10 + 0.01}
+		rho := float64(r) / 128
+		m := ClarkMax(x, y, rho)
+		return m.Mu >= math.Max(x.Mu, y.Mu)-1e-12 && m.Sigma2 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClarkMaxCorrelation(t *testing.T) {
+	// If X ⟂ Y and Z = X, then corr(max, Z) should be sigma_x * Phi(alpha) / sigma_max.
+	x := Normal{Mu: 0, Sigma2: 1}
+	y := Normal{Mu: 0, Sigma2: 1}
+	m := ClarkMax(x, y, 0)
+	got := ClarkMaxCorrelation(x, y, 0, 1, 0, m)
+	want := 1 * StdNormCDF(0) / m.Sigma()
+	if !almostEq(got, want, 1e-12) {
+		t.Errorf("corr = %v want %v", got, want)
+	}
+	// Clamping.
+	if r := ClarkMaxCorrelation(x, y, 0, 1, 1, Normal{Mu: 0, Sigma2: 1e-9}); r > 1 || r < -1 {
+		t.Errorf("correlation not clamped: %v", r)
+	}
+	// Zero-variance max.
+	if r := ClarkMaxCorrelation(Normal{Mu: 1}, Normal{Mu: 0}, 0, 0.5, 0.5, Normal{Mu: 1}); r != 0.5 {
+		// degenerate path: a2 == 0 returns rxz since x.Mu >= y.Mu
+		t.Errorf("degenerate corr = %v", r)
+	}
+}
+
+func TestNormalString(t *testing.T) {
+	if (Normal{Mu: 1, Sigma2: 2}).String() == "" {
+		t.Error("empty String")
+	}
+}

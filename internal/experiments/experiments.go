@@ -1,0 +1,271 @@
+// Package experiments defines and runs the paper's evaluation (§V): the
+// nine relative-error figures (Figures 4-12: three factorizations × three
+// failure probabilities, graph sizes k = 4..12) and the Table I
+// scalability study (LU k=20). Each experiment compares the First Order,
+// Dodin and Normal estimators against a Monte Carlo ground truth and
+// reports the normalized difference (approx − MC)/MC, exactly the quantity
+// on the paper's vertical axes (negative = underestimation).
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/linalg"
+	"repro/internal/montecarlo"
+	"repro/internal/normal"
+	"repro/internal/spgraph"
+)
+
+// Method identifies an expected-makespan estimator.
+type Method string
+
+// The estimators. The paper's three are FirstOrder, Dodin and Normal
+// (Normal is the correlation-aware CorLCA sweep, see DESIGN.md §4);
+// Sculli and SecondOrder are the additional baselines this repository
+// implements.
+const (
+	MethodFirstOrder  Method = "First Order"
+	MethodDodin       Method = "Dodin"
+	MethodNormal      Method = "Normal"
+	MethodSculli      Method = "Sculli"
+	MethodSecondOrder Method = "Second Order"
+)
+
+// PaperMethods lists the three methods of the paper's evaluation, in its
+// plotting order.
+func PaperMethods() []Method {
+	return []Method{MethodDodin, MethodNormal, MethodFirstOrder}
+}
+
+// AllMethods lists every implemented estimator.
+func AllMethods() []Method {
+	return []Method{MethodDodin, MethodNormal, MethodSculli, MethodFirstOrder, MethodSecondOrder}
+}
+
+// Estimate runs one estimator on g under model, returning the estimate and
+// its wall-clock time.
+func Estimate(m Method, g *dag.Graph, model failure.Model, dodinAtoms int) (float64, time.Duration, error) {
+	t0 := time.Now()
+	var est float64
+	var err error
+	switch m {
+	case MethodFirstOrder:
+		var r core.FirstOrderResult
+		r, err = core.FirstOrder(g, model)
+		est = r.Estimate
+	case MethodSecondOrder:
+		var r core.SecondOrderResult
+		r, err = core.SecondOrder(g, model)
+		est = r.Estimate
+	case MethodDodin:
+		var r spgraph.Result
+		r, _, err = spgraph.Dodin(g, model, dodinAtoms)
+		est = r.Estimate
+	case MethodNormal:
+		var r normal.Result
+		r, err = normal.CorLCA(g, model)
+		est = r.Estimate
+	case MethodSculli:
+		var r normal.Result
+		r, err = normal.Sculli(g, model)
+		est = r.Estimate
+	default:
+		return 0, 0, fmt.Errorf("experiments: unknown method %q", m)
+	}
+	return est, time.Since(t0), err
+}
+
+// Options tunes an experiment run; the zero value reproduces the paper's
+// setup at full fidelity (300,000 Monte Carlo trials).
+type Options struct {
+	// Trials overrides the Monte Carlo trial count (0 = paper's 300,000).
+	Trials int
+	// Seed seeds the Monte Carlo streams.
+	Seed uint64
+	// Methods selects estimators (nil = the paper's three).
+	Methods []Method
+	// DodinMaxAtoms caps Dodin's distribution supports
+	// (0 = spgraph.DefaultMaxAtoms).
+	DodinMaxAtoms int
+	// Ks overrides the graph sizes (nil = the figure's own sizes).
+	Ks []int
+	// Progress, when non-nil, receives one line per completed data point.
+	Progress func(string)
+}
+
+func (o *Options) normalize() {
+	if o.Trials <= 0 {
+		o.Trials = montecarlo.DefaultTrials
+	}
+	if len(o.Methods) == 0 {
+		o.Methods = PaperMethods()
+	}
+}
+
+// FigureSpec describes one of the paper's error figures.
+type FigureSpec struct {
+	ID    int // paper figure number, 4..12
+	Fact  linalg.Factorization
+	PFail float64
+	Ks    []int
+}
+
+// Caption returns the paper's caption, e.g. "Cholesky, pfail = 0.001".
+func (s FigureSpec) Caption() string {
+	return fmt.Sprintf("%s, pfail = %g", factLabel(s.Fact), s.PFail)
+}
+
+func factLabel(f linalg.Factorization) string {
+	switch f {
+	case linalg.FactCholesky:
+		return "Cholesky"
+	case linalg.FactLU:
+		return "LU"
+	case linalg.FactQR:
+		return "QR"
+	}
+	return string(f)
+}
+
+// paperKs are the graph sizes of Figures 4-12.
+var paperKs = []int{4, 6, 8, 10, 12}
+
+// paperPFails are the three failure probabilities of §V-C.
+var paperPFails = []float64{0.01, 0.001, 0.0001}
+
+// Figures returns the specs of the paper's Figures 4-12 in order.
+func Figures() []FigureSpec {
+	var specs []FigureSpec
+	id := 4
+	for _, f := range linalg.All() {
+		for _, pf := range paperPFails {
+			specs = append(specs, FigureSpec{ID: id, Fact: f, PFail: pf, Ks: append([]int(nil), paperKs...)})
+			id++
+		}
+	}
+	return specs
+}
+
+// Figure returns the spec of paper figure id (4..12).
+func Figure(id int) (FigureSpec, error) {
+	for _, s := range Figures() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return FigureSpec{}, fmt.Errorf("experiments: no figure %d (have 4..12)", id)
+}
+
+// Point is one data point of a figure: one graph size.
+type Point struct {
+	K      int
+	Tasks  int
+	MCMean float64 // Monte Carlo ground truth
+	MCCI95 float64
+	// RelErr[m] = (estimate_m − MC)/MC, the paper's normalized difference.
+	RelErr map[Method]float64
+	// Estimate and Time record the raw value and wall-clock per method.
+	Estimate map[Method]float64
+	Time     map[Method]time.Duration
+	MCTime   time.Duration
+}
+
+// FigureResult is a fully evaluated figure.
+type FigureResult struct {
+	Spec   FigureSpec
+	Trials int
+	Points []Point
+}
+
+// RunFigure evaluates one figure spec.
+func RunFigure(spec FigureSpec, opts Options) (FigureResult, error) {
+	opts.normalize()
+	ks := spec.Ks
+	if len(opts.Ks) > 0 {
+		ks = opts.Ks
+	}
+	res := FigureResult{Spec: spec, Trials: opts.Trials}
+	for _, k := range ks {
+		p, err := runPoint(spec.Fact, k, spec.PFail, opts)
+		if err != nil {
+			return FigureResult{}, fmt.Errorf("figure %d k=%d: %w", spec.ID, k, err)
+		}
+		res.Points = append(res.Points, p)
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("fig %d: %s k=%d done (MC %.6g ± %.2g)",
+				spec.ID, spec.Fact, k, p.MCMean, p.MCCI95))
+		}
+	}
+	return res, nil
+}
+
+func runPoint(fact linalg.Factorization, k int, pfail float64, opts Options) (Point, error) {
+	g, err := linalg.Generate(fact, k, linalg.KernelTimes{})
+	if err != nil {
+		return Point{}, err
+	}
+	model, err := failure.FromPfail(pfail, g.MeanWeight())
+	if err != nil {
+		return Point{}, err
+	}
+	p := Point{
+		K:        k,
+		Tasks:    g.NumTasks(),
+		RelErr:   make(map[Method]float64, len(opts.Methods)),
+		Estimate: make(map[Method]float64, len(opts.Methods)),
+		Time:     make(map[Method]time.Duration, len(opts.Methods)),
+	}
+	t0 := time.Now()
+	mc, err := montecarlo.Estimate(g, model, montecarlo.Config{Trials: opts.Trials, Seed: opts.Seed})
+	if err != nil {
+		return Point{}, err
+	}
+	p.MCTime = time.Since(t0)
+	p.MCMean, p.MCCI95 = mc.Mean, mc.CI95
+	for _, m := range opts.Methods {
+		est, dt, err := Estimate(m, g, model, opts.DodinMaxAtoms)
+		if err != nil {
+			return Point{}, fmt.Errorf("%s: %w", m, err)
+		}
+		p.Estimate[m] = est
+		p.Time[m] = dt
+		p.RelErr[m] = (est - mc.Mean) / mc.Mean
+	}
+	return p, nil
+}
+
+// Table1Spec mirrors the paper's Table I: LU with k=20 (2,870 tasks) and
+// pfail = 0.0001, reporting normalized difference and execution time per
+// method.
+type Table1Spec struct {
+	Fact  linalg.Factorization
+	K     int
+	PFail float64
+}
+
+// Table1 returns the paper's Table I spec.
+func Table1() Table1Spec {
+	return Table1Spec{Fact: linalg.FactLU, K: 20, PFail: 0.0001}
+}
+
+// Table1Result is the evaluated table.
+type Table1Result struct {
+	Spec   Table1Spec
+	Trials int
+	Point  Point
+}
+
+// RunTable1 evaluates Table I (optionally with a smaller k or trial count
+// through opts for quick runs).
+func RunTable1(spec Table1Spec, opts Options) (Table1Result, error) {
+	opts.normalize()
+	p, err := runPoint(spec.Fact, spec.K, spec.PFail, opts)
+	if err != nil {
+		return Table1Result{}, fmt.Errorf("table 1: %w", err)
+	}
+	return Table1Result{Spec: spec, Trials: opts.Trials, Point: p}, nil
+}

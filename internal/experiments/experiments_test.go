@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/linalg"
+)
+
+func TestFiguresSpecsMatchPaper(t *testing.T) {
+	specs := Figures()
+	if len(specs) != 9 {
+		t.Fatalf("figures = %d want 9", len(specs))
+	}
+	if specs[0].ID != 4 || specs[8].ID != 12 {
+		t.Fatalf("figure IDs wrong: %v..%v", specs[0].ID, specs[8].ID)
+	}
+	// Figure 4 is Cholesky pfail=0.01; Figure 9 is LU pfail=0.0001;
+	// Figure 12 is QR pfail=0.0001 (paper layout).
+	f4, _ := Figure(4)
+	if f4.Fact != linalg.FactCholesky || f4.PFail != 0.01 {
+		t.Fatalf("figure 4 = %+v", f4)
+	}
+	f9, _ := Figure(9)
+	if f9.Fact != linalg.FactLU || f9.PFail != 0.0001 {
+		t.Fatalf("figure 9 = %+v", f9)
+	}
+	f12, _ := Figure(12)
+	if f12.Fact != linalg.FactQR || f12.PFail != 0.0001 {
+		t.Fatalf("figure 12 = %+v", f12)
+	}
+	for _, s := range specs {
+		if len(s.Ks) != 5 || s.Ks[0] != 4 || s.Ks[4] != 12 {
+			t.Fatalf("figure %d sizes = %v", s.ID, s.Ks)
+		}
+	}
+	if _, err := Figure(3); err == nil {
+		t.Fatal("figure 3 accepted")
+	}
+	if _, err := Figure(13); err == nil {
+		t.Fatal("figure 13 accepted")
+	}
+}
+
+func TestTable1SpecMatchesPaper(t *testing.T) {
+	s := Table1()
+	if s.Fact != linalg.FactLU || s.K != 20 || s.PFail != 0.0001 {
+		t.Fatalf("table 1 spec = %+v", s)
+	}
+	if n := linalg.LUTaskCount(s.K); n != 2870 {
+		t.Fatalf("table 1 task count = %d want 2870", n)
+	}
+}
+
+func TestCaption(t *testing.T) {
+	f4, _ := Figure(4)
+	if f4.Caption() != "Cholesky, pfail = 0.01" {
+		t.Fatalf("caption = %q", f4.Caption())
+	}
+}
+
+func TestEstimateUnknownMethod(t *testing.T) {
+	g := dag.Chain(3)
+	if _, _, err := Estimate("bogus", g, failure.Model{Lambda: 0.1}, 0); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestEstimateAllMethodsRun(t *testing.T) {
+	g, _ := linalg.Cholesky(4, linalg.KernelTimes{})
+	m, _ := failure.FromPfail(0.001, g.MeanWeight())
+	d, _ := dag.Makespan(g)
+	for _, meth := range AllMethods() {
+		est, dt, err := Estimate(meth, g, m, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", meth, err)
+		}
+		if est < 0.5*d || est > 3*d {
+			t.Fatalf("%s estimate %v implausible (d=%v)", meth, est, d)
+		}
+		if dt < 0 {
+			t.Fatalf("%s negative duration", meth)
+		}
+	}
+}
+
+// Integration: a reduced-size figure run reproduces the paper's core
+// finding — at pfail = 0.001, First Order has (much) lower error than
+// Dodin, and all methods land within a few percent of the truth.
+func TestRunFigureReducedReproducesOrdering(t *testing.T) {
+	spec, _ := Figure(5) // Cholesky, pfail = 0.001
+	var progress []string
+	res, err := RunFigure(spec, Options{
+		Trials:  40000,
+		Seed:    1,
+		Ks:      []int{4, 6},
+		Methods: AllMethods(),
+		Progress: func(s string) {
+			progress = append(progress, s)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if len(progress) != 2 {
+		t.Fatalf("progress lines = %d", len(progress))
+	}
+	for _, p := range res.Points {
+		fo := math.Abs(p.RelErr[MethodFirstOrder])
+		dodin := math.Abs(p.RelErr[MethodDodin])
+		if fo > 0.02 {
+			t.Errorf("k=%d: First Order error %v too large", p.K, fo)
+		}
+		if dodin < fo {
+			t.Errorf("k=%d: Dodin (%v) beat First Order (%v) — contradicts the paper", p.K, dodin, fo)
+		}
+		if p.Tasks != linalg.CholeskyTaskCount(p.K) {
+			t.Errorf("k=%d: task count %d", p.K, p.Tasks)
+		}
+		// First Order must run at least as fast as Dodin.
+		if p.Time[MethodFirstOrder] > p.Time[MethodDodin] {
+			t.Errorf("k=%d: First Order slower than Dodin", p.K)
+		}
+	}
+}
+
+func TestRunTable1Reduced(t *testing.T) {
+	spec := Table1()
+	spec.K = 6 // reduced for test speed; structure identical
+	res, err := RunTable1(spec, Options{Trials: 20000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Point.Tasks != linalg.LUTaskCount(6) {
+		t.Fatalf("tasks = %d", res.Point.Tasks)
+	}
+	if math.Abs(res.Point.RelErr[MethodFirstOrder]) > 0.01 {
+		t.Fatalf("First Order rel err %v at pfail=1e-4", res.Point.RelErr[MethodFirstOrder])
+	}
+}
+
+func TestWriteFigureFormats(t *testing.T) {
+	spec, _ := Figure(4)
+	res, err := RunFigure(spec, Options{Trials: 2000, Seed: 3, Ks: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure(&buf, res, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 4", "Cholesky, pfail = 0.01", "First Order", "Dodin", "Normal"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure table missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := WriteFigureCSV(&buf, res, nil); err != nil {
+		t.Fatal(err)
+	}
+	csv := buf.String()
+	if !strings.HasPrefix(csv, "figure,factorization,pfail,k,tasks,") {
+		t.Errorf("CSV header wrong:\n%s", csv)
+	}
+	if lines := strings.Count(csv, "\n"); lines != 1+3 { // header + 3 methods × 1 k
+		t.Errorf("CSV lines = %d want 4:\n%s", lines, csv)
+	}
+}
+
+func TestWriteTable1Format(t *testing.T) {
+	spec := Table1()
+	spec.K = 4
+	res, err := RunTable1(spec, Options{Trials: 2000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable1(&buf, res, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I", "Normalized difference", "Execution time", "First Order"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPaperMethodsOrder(t *testing.T) {
+	pm := PaperMethods()
+	if len(pm) != 3 || pm[0] != MethodDodin || pm[2] != MethodFirstOrder {
+		t.Fatalf("paper methods = %v", pm)
+	}
+	if len(AllMethods()) != 5 {
+		t.Fatalf("all methods = %v", AllMethods())
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteFigure renders a figure result as an aligned text table, one row
+// per graph size, one relative-error column per method — the textual
+// equivalent of the paper's log-scale plots.
+func WriteFigure(w io.Writer, r FigureResult, methods []Method) error {
+	if len(methods) == 0 {
+		methods = sortedMethods(r.Points)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %d: %s (MC trials: %d)\n", r.Spec.ID, r.Spec.Caption(), r.Trials)
+	fmt.Fprintf(&b, "%-4s %-7s %-14s %-10s", "k", "tasks", "MC mean", "MC ±95%")
+	for _, m := range methods {
+		fmt.Fprintf(&b, " %14s", string(m))
+	}
+	b.WriteByte('\n')
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-4d %-7d %-14.6g %-10.3g", p.K, p.Tasks, p.MCMean, p.MCCI95)
+		for _, m := range methods {
+			fmt.Fprintf(&b, " %14s", formatRelErr(p.RelErr[m]))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteFigureCSV renders a figure result as CSV with columns
+// figure,factorization,pfail,k,tasks,mc_mean,mc_ci95,method,estimate,
+// rel_err,time_seconds.
+func WriteFigureCSV(w io.Writer, r FigureResult, methods []Method) error {
+	if len(methods) == 0 {
+		methods = sortedMethods(r.Points)
+	}
+	var b strings.Builder
+	b.WriteString("figure,factorization,pfail,k,tasks,mc_mean,mc_ci95,method,estimate,rel_err,time_seconds\n")
+	for _, p := range r.Points {
+		for _, m := range methods {
+			fmt.Fprintf(&b, "%d,%s,%g,%d,%d,%.9g,%.3g,%s,%.9g,%.6g,%.6g\n",
+				r.Spec.ID, r.Spec.Fact, r.Spec.PFail, p.K, p.Tasks,
+				p.MCMean, p.MCCI95, m, p.Estimate[m], p.RelErr[m], p.Time[m].Seconds())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteTable1 renders a Table I result in the paper's layout: one column
+// per method, rows for normalized difference and execution time.
+func WriteTable1(w io.Writer, r Table1Result, methods []Method) error {
+	if len(methods) == 0 {
+		methods = sortedMethods([]Point{r.Point})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: %s with k = %d (%d tasks) and pfail = %g (MC trials: %d, MC time: %v)\n",
+		factLabel(r.Spec.Fact), r.Spec.K, r.Point.Tasks, r.Spec.PFail, r.Trials, round(r.Point.MCTime))
+	fmt.Fprintf(&b, "%-36s", "")
+	for _, m := range methods {
+		fmt.Fprintf(&b, " %14s", string(m))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-36s", "Normalized difference with MC")
+	for _, m := range methods {
+		fmt.Fprintf(&b, " %14s", formatRelErr(r.Point.RelErr[m]))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-36s", "Execution time")
+	for _, m := range methods {
+		fmt.Fprintf(&b, " %14s", round(r.Point.Time[m]).String())
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatRelErr(v float64) string {
+	return fmt.Sprintf("%+.3g", v)
+}
+
+func round(d time.Duration) time.Duration {
+	switch {
+	case d > time.Second:
+		return d.Round(10 * time.Millisecond)
+	case d > time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(10 * time.Nanosecond)
+	}
+}
+
+// sortedMethods extracts a stable method order from points, following
+// AllMethods ordering.
+func sortedMethods(points []Point) []Method {
+	if len(points) == 0 {
+		return nil
+	}
+	var out []Method
+	for _, m := range AllMethods() {
+		if _, ok := points[0].RelErr[m]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}

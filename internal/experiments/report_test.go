@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFormatRelErrSigned(t *testing.T) {
+	if got := formatRelErr(0.0123); got != "+0.0123" {
+		t.Errorf("positive = %q", got)
+	}
+	if got := formatRelErr(-0.0123); got != "-0.0123" {
+		t.Errorf("negative = %q", got)
+	}
+	if got := formatRelErr(0); got != "+0" {
+		t.Errorf("zero = %q", got)
+	}
+}
+
+func TestRoundDurations(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want time.Duration
+	}{
+		{1234567890 * time.Nanosecond, 1230 * time.Millisecond},
+		{1234567 * time.Nanosecond, 1230 * time.Microsecond},
+		{123 * time.Nanosecond, 120 * time.Nanosecond},
+	}
+	for _, c := range cases {
+		if got := round(c.in); got != c.want {
+			t.Errorf("round(%v) = %v want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSortedMethodsFollowsCanonicalOrder(t *testing.T) {
+	p := Point{RelErr: map[Method]float64{
+		MethodFirstOrder: 1,
+		MethodDodin:      2,
+		MethodSculli:     3,
+	}}
+	got := sortedMethods([]Point{p})
+	want := []Method{MethodDodin, MethodSculli, MethodFirstOrder}
+	if len(got) != len(want) {
+		t.Fatalf("methods = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("methods = %v want %v", got, want)
+		}
+	}
+	if sortedMethods(nil) != nil {
+		t.Fatal("empty points should give nil")
+	}
+	if sortedMethodsSweepEmpty() != nil {
+		t.Fatal("empty sweep points should give nil")
+	}
+}
+
+func sortedMethodsSweepEmpty() []Method { return sortedSweepMethods(nil) }

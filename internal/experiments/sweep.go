@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/linalg"
+	"repro/internal/montecarlo"
+)
+
+// SweepSpec is an extension experiment not in the paper: fix one graph and
+// sweep the failure probability across decades, exposing the error-vs-λ
+// scaling law of each estimator directly (First Order's error is O(λ²), so
+// its relative-error curve must drop two decades per pfail decade until it
+// hits the Monte Carlo noise floor).
+type SweepSpec struct {
+	Fact   linalg.Factorization
+	K      int
+	PFails []float64
+}
+
+// DefaultSweep sweeps LU k=10 across five decades of pfail.
+func DefaultSweep() SweepSpec {
+	return SweepSpec{
+		Fact:   linalg.FactLU,
+		K:      10,
+		PFails: []float64{0.1, 0.01, 0.001, 0.0001, 0.00001},
+	}
+}
+
+// SweepPoint is one pfail value of a sweep.
+type SweepPoint struct {
+	PFail  float64
+	MCMean float64
+	MCCI95 float64
+	RelErr map[Method]float64
+	Time   map[Method]time.Duration
+}
+
+// SweepResult is a fully evaluated sweep.
+type SweepResult struct {
+	Spec   SweepSpec
+	Tasks  int
+	Trials int
+	Points []SweepPoint
+}
+
+// RunSweep evaluates the sweep.
+func RunSweep(spec SweepSpec, opts Options) (SweepResult, error) {
+	opts.normalize()
+	g, err := linalg.Generate(spec.Fact, spec.K, linalg.KernelTimes{})
+	if err != nil {
+		return SweepResult{}, err
+	}
+	res := SweepResult{Spec: spec, Tasks: g.NumTasks(), Trials: opts.Trials}
+	for _, pf := range spec.PFails {
+		model, err := failure.FromPfail(pf, g.MeanWeight())
+		if err != nil {
+			return SweepResult{}, err
+		}
+		mc, err := montecarlo.Estimate(g, model, montecarlo.Config{Trials: opts.Trials, Seed: opts.Seed})
+		if err != nil {
+			return SweepResult{}, err
+		}
+		p := SweepPoint{
+			PFail:  pf,
+			MCMean: mc.Mean,
+			MCCI95: mc.CI95,
+			RelErr: make(map[Method]float64, len(opts.Methods)),
+			Time:   make(map[Method]time.Duration, len(opts.Methods)),
+		}
+		for _, m := range opts.Methods {
+			est, dt, err := Estimate(m, g, model, opts.DodinMaxAtoms)
+			if err != nil {
+				return SweepResult{}, fmt.Errorf("sweep %s pfail=%g: %w", m, pf, err)
+			}
+			p.RelErr[m] = (est - mc.Mean) / mc.Mean
+			p.Time[m] = dt
+		}
+		res.Points = append(res.Points, p)
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("sweep: %s k=%d pfail=%g done", spec.Fact, spec.K, pf))
+		}
+	}
+	return res, nil
+}
+
+// WriteSweep renders a sweep as an aligned text table.
+func WriteSweep(w io.Writer, r SweepResult, methods []Method) error {
+	if len(methods) == 0 {
+		methods = sortedSweepMethods(r.Points)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension sweep: %s k=%d (%d tasks), relative error vs pfail (MC trials: %d)\n",
+		factLabel(r.Spec.Fact), r.Spec.K, r.Tasks, r.Trials)
+	fmt.Fprintf(&b, "%-10s %-14s %-10s", "pfail", "MC mean", "MC ±95%")
+	for _, m := range methods {
+		fmt.Fprintf(&b, " %14s", string(m))
+	}
+	b.WriteByte('\n')
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-10g %-14.6g %-10.3g", p.PFail, p.MCMean, p.MCCI95)
+		for _, m := range methods {
+			fmt.Fprintf(&b, " %14s", formatRelErr(p.RelErr[m]))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedSweepMethods(points []SweepPoint) []Method {
+	if len(points) == 0 {
+		return nil
+	}
+	var out []Method
+	for _, m := range AllMethods() {
+		if _, ok := points[0].RelErr[m]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}

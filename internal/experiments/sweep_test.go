@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestDefaultSweepSpec(t *testing.T) {
+	s := DefaultSweep()
+	if s.Fact != linalg.FactLU || s.K != 10 || len(s.PFails) != 5 {
+		t.Fatalf("spec = %+v", s)
+	}
+}
+
+func TestRunSweepErrorDropsWithPfail(t *testing.T) {
+	spec := SweepSpec{Fact: linalg.FactCholesky, K: 5, PFails: []float64{0.05, 0.005}}
+	res, err := RunSweep(spec, Options{Trials: 60000, Seed: 7, Methods: []Method{MethodFirstOrder}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if res.Tasks != linalg.CholeskyTaskCount(5) {
+		t.Fatalf("tasks = %d", res.Tasks)
+	}
+	hi := math.Abs(res.Points[0].RelErr[MethodFirstOrder])
+	lo := math.Abs(res.Points[1].RelErr[MethodFirstOrder])
+	// One decade of pfail should shrink First Order's error well below the
+	// high-pfail level (O(λ²) predicts 100×; MC noise bounds what is
+	// observable, so demand only a clear drop).
+	if lo > hi/3 {
+		t.Fatalf("First Order error did not drop with pfail: %v -> %v", hi, lo)
+	}
+}
+
+func TestRunSweepUnknownMethod(t *testing.T) {
+	spec := SweepSpec{Fact: linalg.FactCholesky, K: 4, PFails: []float64{0.01}}
+	if _, err := RunSweep(spec, Options{Trials: 1000, Methods: []Method{"bogus"}}); err == nil {
+		t.Fatal("bogus method accepted")
+	}
+}
+
+func TestRunSweepBadSpec(t *testing.T) {
+	if _, err := RunSweep(SweepSpec{Fact: "nope", K: 4, PFails: []float64{0.1}}, Options{Trials: 100}); err == nil {
+		t.Fatal("bad factorization accepted")
+	}
+	if _, err := RunSweep(SweepSpec{Fact: linalg.FactLU, K: 4, PFails: []float64{2}}, Options{Trials: 100}); err == nil {
+		t.Fatal("pfail=2 accepted")
+	}
+}
+
+func TestWriteSweep(t *testing.T) {
+	spec := SweepSpec{Fact: linalg.FactQR, K: 4, PFails: []float64{0.01, 0.001}}
+	var progress int
+	res, err := RunSweep(spec, Options{Trials: 2000, Seed: 1, Progress: func(string) { progress++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progress != 2 {
+		t.Fatalf("progress calls = %d", progress)
+	}
+	var buf bytes.Buffer
+	if err := WriteSweep(&buf, res, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Extension sweep: QR k=4", "pfail", "First Order", "0.001"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep table missing %q:\n%s", want, out)
+		}
+	}
+}

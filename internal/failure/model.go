@@ -1,0 +1,143 @@
+// Package failure models silent errors striking tasks: the exponential
+// error process of the paper (§III), the pfail ↔ λ calibration used
+// throughout its evaluation (§V-C), MTBF conversions, and the DVFS
+// error-rate model of the paper's Eq. (1).
+package failure
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a silent-error model with exponential inter-arrival times of
+// rate Lambda (per second). A task of weight a fails its first execution
+// attempt with probability 1 − e^{−λa}; errors are detected by a
+// verification at task end and trigger a full re-execution.
+type Model struct {
+	Lambda float64
+}
+
+// New returns a Model with the given error rate λ ≥ 0.
+func New(lambda float64) (Model, error) {
+	if lambda < 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return Model{}, fmt.Errorf("failure: bad rate λ=%v", lambda)
+	}
+	return Model{Lambda: lambda}, nil
+}
+
+// FromPfail calibrates λ so that a task of the given average weight ā
+// fails with probability pfail, i.e. pfail = 1 − e^{−λā} (paper §V-C):
+// λ = −ln(1−pfail)/ā.
+func FromPfail(pfail, meanWeight float64) (Model, error) {
+	if pfail < 0 || pfail >= 1 || math.IsNaN(pfail) {
+		return Model{}, fmt.Errorf("failure: pfail=%v outside [0,1)", pfail)
+	}
+	if meanWeight <= 0 {
+		return Model{}, fmt.Errorf("failure: mean weight %v must be positive", meanWeight)
+	}
+	if pfail == 0 {
+		return Model{Lambda: 0}, nil
+	}
+	return Model{Lambda: -math.Log1p(-pfail) / meanWeight}, nil
+}
+
+// MTBF returns the mean time between errors 1/λ (+Inf when λ = 0).
+func (m Model) MTBF() float64 {
+	if m.Lambda == 0 {
+		return math.Inf(1)
+	}
+	return 1 / m.Lambda
+}
+
+// PFail returns the probability that one execution attempt of a task of
+// weight a is struck by an error: 1 − e^{−λa}.
+func (m Model) PFail(a float64) float64 {
+	return -math.Expm1(-m.Lambda * a)
+}
+
+// PSuccess returns e^{−λa}, the probability an attempt is error-free.
+func (m Model) PSuccess(a float64) float64 {
+	return math.Exp(-m.Lambda * a)
+}
+
+// ExpectedExecutions returns the expected number of execution attempts of
+// a task of weight a under the full re-execute-until-success model: the
+// attempt count is geometric with success probability e^{−λa}, so the
+// expectation is e^{λa}.
+func (m Model) ExpectedExecutions(a float64) float64 {
+	return math.Exp(m.Lambda * a)
+}
+
+// ExpectedTime returns the expected total execution time of a task of
+// weight a under re-execution until success: a·e^{λa}.
+func (m Model) ExpectedTime(a float64) float64 {
+	return a * math.Exp(m.Lambda*a)
+}
+
+// IndividualMTBF converts the platform-wide MTBF µ = 1/λ into the MTBF of
+// one of nProcs processors, µ_ind = nProcs·µ (paper §V-C uses
+// nProcs = 100,000 to argue its pfail values are pessimistic).
+func (m Model) IndividualMTBF(nProcs int) float64 {
+	if nProcs <= 0 {
+		return math.NaN()
+	}
+	return float64(nProcs) * m.MTBF()
+}
+
+// DVFS is the voltage/frequency-dependent error model of the paper's
+// Eq. (1): λ(s) = λ0 · 10^{d(smax−s)/(smax−smin)}. Lower speeds raise the
+// error rate exponentially.
+type DVFS struct {
+	Lambda0     float64 // error rate at maximum speed
+	Sensitivity float64 // d > 0
+	SMin, SMax  float64 // speed range, SMin < SMax
+}
+
+// NewDVFS validates and returns a DVFS model.
+func NewDVFS(lambda0, d, smin, smax float64) (DVFS, error) {
+	if lambda0 < 0 || math.IsNaN(lambda0) {
+		return DVFS{}, fmt.Errorf("failure: bad λ0=%v", lambda0)
+	}
+	if d <= 0 {
+		return DVFS{}, fmt.Errorf("failure: sensitivity d=%v must be > 0", d)
+	}
+	if !(smin < smax) || smin <= 0 {
+		return DVFS{}, fmt.Errorf("failure: bad speed range [%v,%v]", smin, smax)
+	}
+	return DVFS{Lambda0: lambda0, Sensitivity: d, SMin: smin, SMax: smax}, nil
+}
+
+// Rate returns λ(s) for speed s clamped into [SMin, SMax].
+func (v DVFS) Rate(s float64) float64 {
+	if s < v.SMin {
+		s = v.SMin
+	}
+	if s > v.SMax {
+		s = v.SMax
+	}
+	exp := v.Sensitivity * (v.SMax - s) / (v.SMax - v.SMin)
+	return v.Lambda0 * math.Pow(10, exp)
+}
+
+// ModelAt returns the failure Model at speed s.
+func (v DVFS) ModelAt(s float64) Model {
+	return Model{Lambda: v.Rate(s)}
+}
+
+// TimeAt scales a task weight measured at SMax to its duration at speed s:
+// a·smax/s. Combined with Rate this captures the energy/resilience
+// trade-off the paper's introduction motivates.
+func (v DVFS) TimeAt(a, s float64) float64 {
+	if s < v.SMin {
+		s = v.SMin
+	}
+	if s > v.SMax {
+		s = v.SMax
+	}
+	return a * v.SMax / s
+}
+
+// DynamicPower returns the conventional cubic dynamic power model s³
+// (normalized), used by the DVFS example to weigh energy against expected
+// makespan.
+func (v DVFS) DynamicPower(s float64) float64 { return s * s * s }

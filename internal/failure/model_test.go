@@ -1,0 +1,188 @@
+package failure
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Error("negative λ accepted")
+	}
+	if _, err := New(math.Inf(1)); err == nil {
+		t.Error("infinite λ accepted")
+	}
+	m, err := New(0.5)
+	if err != nil || m.Lambda != 0.5 {
+		t.Errorf("New: %v %v", m, err)
+	}
+}
+
+func TestFromPfailRoundTrip(t *testing.T) {
+	// Paper §V-C: ā = 0.15 s, pfail = 0.01 gives λ ≈ 0.067, MTBF ≈ 14.9 s.
+	m, err := FromPfail(0.01, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(m.Lambda, 0.067, 0.001) {
+		t.Errorf("λ = %v want ≈0.067 (paper)", m.Lambda)
+	}
+	if !almostEq(m.MTBF(), 14.9, 0.1) {
+		t.Errorf("MTBF = %v want ≈14.9 s (paper)", m.MTBF())
+	}
+	if !almostEq(m.PFail(0.15), 0.01, 1e-12) {
+		t.Errorf("round trip PFail = %v", m.PFail(0.15))
+	}
+	// Individual MTBF for 100,000 processors ≈ 17.27 days (paper).
+	days := m.IndividualMTBF(100000) / 86400
+	if !almostEq(days, 17.27, 0.05) {
+		t.Errorf("individual MTBF = %v days want ≈17.27 (paper)", days)
+	}
+}
+
+func TestFromPfailPaperOtherValues(t *testing.T) {
+	// pfail = 0.001 -> individual MTBF ≈ 174 days; 0.0001 -> ≈ 4.7 years.
+	m, _ := FromPfail(0.001, 0.15)
+	days := m.IndividualMTBF(100000) / 86400
+	if !almostEq(days, 174, 1) {
+		t.Errorf("pfail=1e-3: %v days want ≈174", days)
+	}
+	m, _ = FromPfail(0.0001, 0.15)
+	years := m.IndividualMTBF(100000) / (365 * 86400)
+	if !almostEq(years, 4.75, 0.1) {
+		t.Errorf("pfail=1e-4: %v years want ≈4.7", years)
+	}
+}
+
+func TestFromPfailValidation(t *testing.T) {
+	if _, err := FromPfail(1, 0.15); err == nil {
+		t.Error("pfail=1 accepted")
+	}
+	if _, err := FromPfail(-0.1, 0.15); err == nil {
+		t.Error("negative pfail accepted")
+	}
+	if _, err := FromPfail(0.01, 0); err == nil {
+		t.Error("zero mean weight accepted")
+	}
+	m, err := FromPfail(0, 0.15)
+	if err != nil || m.Lambda != 0 {
+		t.Errorf("pfail=0: %v %v", m, err)
+	}
+	if !math.IsInf(m.MTBF(), 1) {
+		t.Errorf("MTBF at λ=0 should be +Inf")
+	}
+}
+
+func TestProbabilities(t *testing.T) {
+	m, _ := New(0.1)
+	if !almostEq(m.PFail(2)+m.PSuccess(2), 1, 1e-15) {
+		t.Error("PFail + PSuccess != 1")
+	}
+	if m.PFail(0) != 0 || m.PSuccess(0) != 1 {
+		t.Error("zero-weight task should never fail")
+	}
+	// First-order: PFail(a) ≈ λa for small λa.
+	if !almostEq(m.PFail(0.001), 0.1*0.001, 1e-8) {
+		t.Errorf("small PFail = %v", m.PFail(0.001))
+	}
+}
+
+func TestExpectedExecutionsAndTime(t *testing.T) {
+	m, _ := New(0.5)
+	// Geometric expectation: 1/p_success = e^{λa}.
+	if !almostEq(m.ExpectedExecutions(2), math.E, 1e-12) {
+		t.Errorf("E[attempts] = %v want e", m.ExpectedExecutions(2))
+	}
+	if !almostEq(m.ExpectedTime(2), 2*math.E, 1e-12) {
+		t.Errorf("E[time] = %v", m.ExpectedTime(2))
+	}
+	z, _ := New(0)
+	if z.ExpectedExecutions(5) != 1 || z.ExpectedTime(5) != 5 {
+		t.Error("λ=0 should be failure-free")
+	}
+}
+
+func TestIndividualMTBFEdge(t *testing.T) {
+	m, _ := New(0.1)
+	if !math.IsNaN(m.IndividualMTBF(0)) {
+		t.Error("nProcs=0 should be NaN")
+	}
+}
+
+// Property: PFail is increasing in a and bounded by [0,1).
+func TestQuickPFailMonotone(t *testing.T) {
+	m, _ := New(0.3)
+	f := func(x, y uint16) bool {
+		a, b := float64(x)/1000, float64(y)/1000
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := m.PFail(a), m.PFail(b)
+		return pa >= 0 && pb < 1 && pa <= pb+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDVFSValidation(t *testing.T) {
+	if _, err := NewDVFS(-1, 1, 1, 2); err == nil {
+		t.Error("negative λ0 accepted")
+	}
+	if _, err := NewDVFS(1, 0, 1, 2); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := NewDVFS(1, 1, 2, 2); err == nil {
+		t.Error("smin=smax accepted")
+	}
+	if _, err := NewDVFS(1, 1, 0, 2); err == nil {
+		t.Error("smin=0 accepted")
+	}
+}
+
+func TestDVFSRate(t *testing.T) {
+	v, err := NewDVFS(1e-6, 3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At smax: λ0. At smin: λ0·10^d.
+	if !almostEq(v.Rate(2), 1e-6, 1e-18) {
+		t.Errorf("rate(smax) = %v", v.Rate(2))
+	}
+	if !almostEq(v.Rate(1), 1e-3, 1e-12) {
+		t.Errorf("rate(smin) = %v want λ0·10³", v.Rate(1))
+	}
+	// Midpoint: λ0·10^{d/2}.
+	if !almostEq(v.Rate(1.5), 1e-6*math.Pow(10, 1.5), 1e-12) {
+		t.Errorf("rate(mid) = %v", v.Rate(1.5))
+	}
+	// Clamping.
+	if v.Rate(0.5) != v.Rate(1) || v.Rate(3) != v.Rate(2) {
+		t.Error("rate not clamped")
+	}
+	if v.ModelAt(2).Lambda != v.Rate(2) {
+		t.Error("ModelAt inconsistent")
+	}
+}
+
+func TestDVFSTimeAndPower(t *testing.T) {
+	v, _ := NewDVFS(1e-6, 3, 1, 2)
+	if !almostEq(v.TimeAt(1, 1), 2, 1e-15) {
+		t.Errorf("TimeAt(smin) = %v want 2 (half speed)", v.TimeAt(1, 1))
+	}
+	if !almostEq(v.TimeAt(1, 2), 1, 1e-15) {
+		t.Errorf("TimeAt(smax) = %v want 1", v.TimeAt(1, 2))
+	}
+	if v.TimeAt(1, 5) != 1 {
+		t.Error("TimeAt not clamped above")
+	}
+	if v.TimeAt(1, 0.1) != 2 {
+		t.Error("TimeAt not clamped below")
+	}
+	if v.DynamicPower(2) != 8 {
+		t.Errorf("power = %v", v.DynamicPower(2))
+	}
+}

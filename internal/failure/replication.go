@@ -1,0 +1,58 @@
+package failure
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// Replication models the general-purpose detector of the paper's related
+// work (§II-B, Fiala et al.): run two copies of each task and compare
+// outputs; any mismatch counts as a detected error and the task is
+// re-executed from scratch. An attempt succeeds only when both copies are
+// error-free, so the per-attempt success probability drops from e^{−λa}
+// to e^{−2λa}.
+//
+// Both variants reduce exactly to the model every estimator in this
+// repository already solves:
+//
+//   - Parallel replication (copies on two processors): attempt duration
+//     stays a, success probability e^{−2λa} — equivalent to the original
+//     graph under a doubled error rate.
+//   - Serial replication (copies back-to-back on one processor): attempt
+//     duration 2a, success probability e^{−2λa} — equivalent to a graph
+//     with doubled weights under the original rate.
+type Replication struct {
+	// Serial selects back-to-back copies on one processor; the default is
+	// side-by-side copies on two processors.
+	Serial bool
+}
+
+// Transform returns the (graph, model) pair whose plain verified-execution
+// semantics coincide with replicated execution of g under model. The
+// returned graph is g itself for parallel replication (no copy needed) and
+// a doubled-weight clone for serial replication.
+func (r Replication) Transform(g *dag.Graph, m Model) (*dag.Graph, Model, error) {
+	if r.Serial {
+		out := g.Clone()
+		for i := 0; i < out.NumTasks(); i++ {
+			if err := out.SetWeight(i, 2*out.Weight(i)); err != nil {
+				return nil, Model{}, fmt.Errorf("failure: replication transform: %w", err)
+			}
+		}
+		return out, m, nil
+	}
+	return g, Model{Lambda: 2 * m.Lambda}, nil
+}
+
+// ExpectedTime returns the expected completion time of a single replicated
+// task of weight a: a·e^{2λa} for parallel copies, 2a·e^{2λa} for serial.
+func (r Replication) ExpectedTime(a float64, m Model) float64 {
+	g := dag.New(1)
+	g.MustAddTask("t", a)
+	tg, tm, err := r.Transform(g, m)
+	if err != nil {
+		return 0
+	}
+	return tm.ExpectedTime(tg.Weight(0))
+}

@@ -1,0 +1,101 @@
+package failure
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+func TestReplicationParallelDoublesRate(t *testing.T) {
+	g := dag.Chain(3, 1, 2)
+	m, _ := New(0.1)
+	tg, tm, err := Replication{}.Transform(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg != g {
+		t.Fatal("parallel replication should reuse the graph")
+	}
+	if tm.Lambda != 0.2 {
+		t.Fatalf("λ = %v want 0.2", tm.Lambda)
+	}
+}
+
+func TestReplicationSerialDoublesWeights(t *testing.T) {
+	g := dag.Chain(3, 1, 2)
+	m, _ := New(0.1)
+	tg, tm, err := Replication{Serial: true}.Transform(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Lambda != 0.1 {
+		t.Fatalf("λ changed: %v", tm.Lambda)
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		if tg.Weight(i) != 2*g.Weight(i) {
+			t.Fatalf("weight %d = %v want %v", i, tg.Weight(i), 2*g.Weight(i))
+		}
+	}
+	if g.Weight(0) != 1 {
+		t.Fatal("input graph mutated")
+	}
+}
+
+func TestReplicationAttemptSuccessEquivalence(t *testing.T) {
+	// Both variants must give per-attempt success e^{−2λa}.
+	m, _ := New(0.3)
+	a := 1.5
+	want := math.Exp(-2 * 0.3 * a)
+	for _, r := range []Replication{{}, {Serial: true}} {
+		g := dag.New(1)
+		g.MustAddTask("t", a)
+		tg, tm, err := r.Transform(g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tm.PSuccess(tg.Weight(0)); math.Abs(got-want) > 1e-15 {
+			t.Fatalf("serial=%v: success %v want %v", r.Serial, got, want)
+		}
+	}
+}
+
+func TestReplicationExpectedTimes(t *testing.T) {
+	m, _ := New(0.2)
+	a := 2.0
+	par := Replication{}.ExpectedTime(a, m)
+	ser := Replication{Serial: true}.ExpectedTime(a, m)
+	wantPar := a * math.Exp(2*0.2*a)
+	wantSer := 2 * a * math.Exp(2*0.2*a)
+	if math.Abs(par-wantPar) > 1e-12 {
+		t.Fatalf("parallel = %v want %v", par, wantPar)
+	}
+	if math.Abs(ser-wantSer) > 1e-12 {
+		t.Fatalf("serial = %v want %v", ser, wantSer)
+	}
+	// Replication is never cheaper than plain verified execution.
+	if par < m.ExpectedTime(a) {
+		t.Fatalf("parallel replication %v beats plain %v", par, m.ExpectedTime(a))
+	}
+}
+
+func TestReplicationVsVerificationTradeoff(t *testing.T) {
+	// A cheap application-specific verification beats parallel replication
+	// once the detector costs less than the extra failure exposure — the
+	// trade-off the paper's related work discusses. With λa small,
+	// replication costs ≈ a(1+2λa) while 5% verification costs ≈ 1.05a:
+	// verification wins iff 2λa < 0.05·(stuff). Just pin both orderings.
+	m, _ := New(0.001)
+	a := 1.0
+	rep := Replication{}.ExpectedTime(a, m)
+	ver := m.ExpectedTime(a * 1.05) // 5% detector overhead
+	if ver < rep {
+		t.Fatalf("at tiny λ the 5%% detector (%v) should LOSE to replication (%v)", ver, rep)
+	}
+	m2, _ := New(0.5)
+	rep = Replication{}.ExpectedTime(a, m2)
+	ver = m2.ExpectedTime(a * 1.05)
+	if ver > rep {
+		t.Fatalf("at high λ the 5%% detector (%v) should BEAT replication (%v)", ver, rep)
+	}
+}

@@ -1,0 +1,64 @@
+package failure
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// Verification models the cost of the error detector run after every
+// execution attempt of a task (paper §I–II: replication-based, ABFT,
+// orthogonality checks, data-analytics detectors, …). The verification
+// itself is assumed reliable, as in the paper.
+type Verification struct {
+	// Fraction adds Fraction·a_i to every task (detectors whose cost
+	// scales with the task, e.g. ABFT checksums).
+	Fraction float64
+	// Fixed adds a constant overhead to every task (e.g. a signature
+	// comparison).
+	Fixed float64
+}
+
+// Validate checks the overhead parameters.
+func (v Verification) Validate() error {
+	if v.Fraction < 0 || v.Fixed < 0 || v.Fraction != v.Fraction || v.Fixed != v.Fixed {
+		return fmt.Errorf("failure: invalid verification overhead %+v", v)
+	}
+	return nil
+}
+
+// Apply returns a copy of g whose task weights include the verification
+// overhead: a_i → a_i·(1+Fraction) + Fixed. Because the verification runs
+// after every attempt, the verified weight is the correct per-attempt
+// weight for all estimators in this module; zero-weight (structural) tasks
+// stay zero so synthetic sources/sinks remain free.
+func (v Verification) Apply(g *dag.Graph) (*dag.Graph, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	out := g.Clone()
+	for i := 0; i < out.NumTasks(); i++ {
+		a := out.Weight(i)
+		if a == 0 {
+			continue
+		}
+		if err := out.SetWeight(i, a*(1+v.Fraction)+v.Fixed); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Overhead returns the relative increase in total weight that Apply would
+// cause on g.
+func (v Verification) Overhead(g *dag.Graph) (float64, error) {
+	verified, err := v.Apply(g)
+	if err != nil {
+		return 0, err
+	}
+	base := g.TotalWeight()
+	if base == 0 {
+		return 0, nil
+	}
+	return verified.TotalWeight()/base - 1, nil
+}

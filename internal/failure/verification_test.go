@@ -1,0 +1,88 @@
+package failure
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+func TestVerificationValidate(t *testing.T) {
+	if err := (Verification{Fraction: -0.1}).Validate(); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if err := (Verification{Fixed: math.NaN()}).Validate(); err == nil {
+		t.Error("NaN fixed accepted")
+	}
+	if err := (Verification{Fraction: 0.05, Fixed: 0.01}).Validate(); err != nil {
+		t.Errorf("valid overhead rejected: %v", err)
+	}
+}
+
+func TestVerificationApply(t *testing.T) {
+	g := dag.Chain(3, 1, 2, 4)
+	v := Verification{Fraction: 0.1, Fixed: 0.5}
+	out, err := v.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1*1.1 + 0.5, 2*1.1 + 0.5, 4*1.1 + 0.5}
+	for i, w := range want {
+		if math.Abs(out.Weight(i)-w) > 1e-12 {
+			t.Fatalf("weight %d = %v want %v", i, out.Weight(i), w)
+		}
+	}
+	// Original untouched.
+	if g.Weight(0) != 1 {
+		t.Fatal("Apply mutated the input graph")
+	}
+	// Structure preserved.
+	if out.NumEdges() != g.NumEdges() || out.NumTasks() != g.NumTasks() {
+		t.Fatal("Apply changed the structure")
+	}
+}
+
+func TestVerificationSkipsZeroWeightTasks(t *testing.T) {
+	g := dag.ForkJoin(3, 2.0) // source and sink have zero weight
+	v := Verification{Fixed: 1}
+	out, err := v.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Weight(0) != 0 {
+		t.Fatalf("structural source gained weight %v", out.Weight(0))
+	}
+	if out.Weight(1) != 3 {
+		t.Fatalf("real task weight = %v want 3", out.Weight(1))
+	}
+}
+
+func TestVerificationOverhead(t *testing.T) {
+	g := dag.Chain(4, 1)
+	v := Verification{Fraction: 0.25}
+	oh, err := v.Overhead(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(oh-0.25) > 1e-12 {
+		t.Fatalf("overhead = %v want 0.25", oh)
+	}
+	empty := dag.New(0)
+	if oh, _ := v.Overhead(empty); oh != 0 {
+		t.Fatalf("empty overhead = %v", oh)
+	}
+	if _, err := (Verification{Fraction: -1}).Overhead(g); err == nil {
+		t.Fatal("invalid verification accepted")
+	}
+}
+
+func TestVerificationRaisesExpectedMakespan(t *testing.T) {
+	// Verified tasks are longer, so they fail more often AND cost more per
+	// re-execution: the expected time must grow superlinearly vs Fixed=0.
+	m, _ := New(0.1)
+	base := m.ExpectedTime(2)
+	verified := m.ExpectedTime(2 * 1.1)
+	if verified <= base*1.1 {
+		t.Fatalf("verification should compound with failures: %v vs %v", verified, base*1.1)
+	}
+}

@@ -1,0 +1,68 @@
+package linalg
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// Cholesky returns the task DAG of a right-looking tiled Cholesky
+// factorization of a k×k tile matrix with the given kernel times
+// (DefaultKernelTimes if the zero value is passed). Task names follow the
+// paper's Figure 1: POTRF_j, TRSM_i_j, SYRK_i_j, GEMM_i_l_j.
+//
+// The DAG has k POTRF, k(k-1)/2 TRSM, k(k-1)/2 SYRK and k(k-1)(k-2)/6
+// GEMM tasks: CholeskyTaskCount(k) in total, k³/3 + O(k²) as in the paper.
+func Cholesky(k int, kt KernelTimes) (*dag.Graph, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("linalg: Cholesky tile count k must be >= 1, got %d", k)
+	}
+	if kt == (KernelTimes{}) {
+		kt = DefaultKernelTimes()
+	}
+	g := dag.New(CholeskyTaskCount(k))
+	potrf := make([]int, k)
+	trsm := make(map[[2]int]int) // (i,j) i>j
+	syrk := make(map[[2]int]int) // (i,j) update of tile (i,i) at step j
+	gemm := make(map[[3]int]int) // (i,l,j) update of tile (i,l), i>l>j
+	for j := 0; j < k; j++ {
+		potrf[j] = g.MustAddTask(fmt.Sprintf("POTRF_%d", j), kt[POTRF])
+		if j > 0 {
+			// The diagonal tile (j,j) accumulated SYRK updates; the last
+			// one in the serialized chain is SYRK_j_{j-1}.
+			g.MustAddEdge(syrk[[2]int{j, j - 1}], potrf[j])
+		}
+		for i := j + 1; i < k; i++ {
+			id := g.MustAddTask(fmt.Sprintf("TRSM_%d_%d", i, j), kt[TRSM])
+			trsm[[2]int{i, j}] = id
+			g.MustAddEdge(potrf[j], id)
+			if j > 0 {
+				g.MustAddEdge(gemm[[3]int{i, j, j - 1}], id)
+			}
+		}
+		for i := j + 1; i < k; i++ {
+			id := g.MustAddTask(fmt.Sprintf("SYRK_%d_%d", i, j), kt[SYRK])
+			syrk[[2]int{i, j}] = id
+			g.MustAddEdge(trsm[[2]int{i, j}], id)
+			if j > 0 {
+				g.MustAddEdge(syrk[[2]int{i, j - 1}], id)
+			}
+			for l := j + 1; l < i; l++ {
+				gid := g.MustAddTask(fmt.Sprintf("GEMM_%d_%d_%d", i, l, j), kt[GEMM])
+				gemm[[3]int{i, l, j}] = gid
+				g.MustAddEdge(trsm[[2]int{i, j}], gid)
+				g.MustAddEdge(trsm[[2]int{l, j}], gid)
+				if j > 0 {
+					g.MustAddEdge(gemm[[3]int{i, l, j - 1}], gid)
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// CholeskyTaskCount returns the number of tasks of Cholesky(k):
+// k + k(k-1) + k(k-1)(k-2)/6.
+func CholeskyTaskCount(k int) int {
+	return k + k*(k-1) + k*(k-1)*(k-2)/6
+}

@@ -1,0 +1,246 @@
+package linalg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+func TestKernelStrings(t *testing.T) {
+	if POTRF.String() != "POTRF" || TSMQR.String() != "TSMQR" {
+		t.Fatalf("kernel names wrong: %v %v", POTRF, TSMQR)
+	}
+	if s := Kernel(99).String(); !strings.Contains(s, "99") {
+		t.Fatalf("out-of-range kernel String: %s", s)
+	}
+}
+
+func TestDefaultKernelTimesPositive(t *testing.T) {
+	kt := DefaultKernelTimes()
+	for k := Kernel(0); k < numKernels; k++ {
+		if kt.Time(k) <= 0 {
+			t.Errorf("time(%v) = %v", k, kt.Time(k))
+		}
+	}
+	// GEMM-class kernels must be cheaper per flop than panel kernels
+	// (GPU substitution documented in the package comment).
+	if kt[GEMM]/flopsB3[GEMM] >= kt[POTRF]/flopsB3[POTRF] {
+		t.Errorf("GEMM per-flop time should be below POTRF's")
+	}
+	// QR kernels roughly 2x their LU counterparts in flops.
+	if flopsB3[TSMQR] != 2*flopsB3[GEMM] || flopsB3[GEQRT] != 2*flopsB3[GETRF] {
+		t.Errorf("QR/LU flop ratio broken")
+	}
+}
+
+func TestUniformAndScaledTimes(t *testing.T) {
+	u := UniformKernelTimes(2)
+	for k := Kernel(0); k < numKernels; k++ {
+		if u.Time(k) != 2 {
+			t.Fatalf("uniform time(%v) = %v", k, u.Time(k))
+		}
+	}
+	s := u.Scaled(3)
+	if s.Time(GEMM) != 6 {
+		t.Fatalf("scaled = %v", s.Time(GEMM))
+	}
+}
+
+func TestCholeskyCounts(t *testing.T) {
+	for k := 1; k <= 12; k++ {
+		g, err := Cholesky(k, KernelTimes{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumTasks() != CholeskyTaskCount(k) {
+			t.Fatalf("k=%d: tasks %d != formula %d", k, g.NumTasks(), CholeskyTaskCount(k))
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+	// Paper Figure 1: k=5 Cholesky DAG has 35 tasks.
+	if CholeskyTaskCount(5) != 35 {
+		t.Fatalf("CholeskyTaskCount(5) = %d want 35", CholeskyTaskCount(5))
+	}
+}
+
+func TestLUCounts(t *testing.T) {
+	for k := 1; k <= 12; k++ {
+		g, err := LU(k, KernelTimes{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumTasks() != LUTaskCount(k) {
+			t.Fatalf("k=%d: tasks %d != formula %d", k, g.NumTasks(), LUTaskCount(k))
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+	// Paper Figure 2: k=5 LU DAG has 55 tasks; Table I: k=20 has 2,870.
+	if LUTaskCount(5) != 55 {
+		t.Fatalf("LUTaskCount(5) = %d want 55", LUTaskCount(5))
+	}
+	if LUTaskCount(20) != 2870 {
+		t.Fatalf("LUTaskCount(20) = %d want 2870 (paper Table I)", LUTaskCount(20))
+	}
+}
+
+func TestQRCounts(t *testing.T) {
+	for k := 1; k <= 12; k++ {
+		g, err := QR(k, KernelTimes{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumTasks() != QRTaskCount(k) {
+			t.Fatalf("k=%d: tasks %d != formula %d", k, g.NumTasks(), QRTaskCount(k))
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+	if QRTaskCount(5) != 55 {
+		t.Fatalf("QRTaskCount(5) = %d want 55", QRTaskCount(5))
+	}
+}
+
+func TestSingleSourceSingleSink(t *testing.T) {
+	// Each factorization DAG must start at the step-0 panel task and end at
+	// the step-(k-1) panel task.
+	for _, f := range All() {
+		g, err := Generate(f, 6, KernelTimes{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src := g.Sources(); len(src) != 1 {
+			t.Errorf("%s: sources = %d want 1", f, len(src))
+		}
+		if snk := g.Sinks(); len(snk) != 1 {
+			t.Errorf("%s: sinks = %d want 1", f, len(snk))
+		}
+	}
+}
+
+func TestCholeskyK2Structure(t *testing.T) {
+	// k=2: POTRF_0 -> TRSM_1_0 -> SYRK_1_0 -> POTRF_1, a 4-task chain.
+	g, _ := Cholesky(2, UniformKernelTimes(1))
+	if g.NumTasks() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("k=2 shape: %v", g)
+	}
+	d, _ := dag.Makespan(g)
+	if d != 4 {
+		t.Fatalf("k=2 makespan = %v want 4", d)
+	}
+}
+
+func TestCriticalPathGrowsWithK(t *testing.T) {
+	kt := DefaultKernelTimes()
+	var prev float64
+	for _, k := range []int{2, 4, 6, 8} {
+		for _, f := range All() {
+			g, _ := Generate(f, k, kt)
+			d, err := dag.Makespan(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d <= 0 {
+				t.Fatalf("%s k=%d: makespan %v", f, k, d)
+			}
+			_ = prev
+		}
+		g, _ := Cholesky(k, kt)
+		d, _ := dag.Makespan(g)
+		if d <= prev {
+			t.Fatalf("Cholesky makespan not increasing: k=%d d=%v prev=%v", k, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestMeanWeightNearPaperValue(t *testing.T) {
+	// The substitution scales kernel times so ā is near the paper's 0.15 s
+	// for mid-size Cholesky DAGs (see package comment); allow a wide band.
+	g, _ := Cholesky(10, KernelTimes{})
+	mean := g.MeanWeight()
+	if mean < 0.05 || mean > 0.45 {
+		t.Fatalf("mean weight %v not near 0.15", mean)
+	}
+}
+
+func TestQRMoreExpensiveThanLU(t *testing.T) {
+	kt := DefaultKernelTimes()
+	lu, _ := LU(8, kt)
+	qr, _ := QR(8, kt)
+	if qr.TotalWeight() <= lu.TotalWeight() {
+		t.Fatalf("QR total %v should exceed LU total %v", qr.TotalWeight(), lu.TotalWeight())
+	}
+}
+
+func TestTaskNamesMatchPaperConvention(t *testing.T) {
+	g, _ := Cholesky(5, KernelTimes{})
+	seen := map[string]bool{}
+	for i := 0; i < g.NumTasks(); i++ {
+		seen[g.Name(i)] = true
+	}
+	for _, want := range []string{"POTRF_4", "TRSM_4_2", "SYRK_4_3", "GEMM_4_2_1", "GEMM_3_2_0"} {
+		if !seen[want] {
+			t.Errorf("Cholesky k=5 missing task %s (paper Fig. 1)", want)
+		}
+	}
+	g, _ = LU(5, KernelTimes{})
+	seen = map[string]bool{}
+	for i := 0; i < g.NumTasks(); i++ {
+		seen[g.Name(i)] = true
+	}
+	for _, want := range []string{"GETRF_4", "TRSML_4_1", "TRSMU_1_4", "GEMM_4_4_2", "GEMM_1_2_0"} {
+		if !seen[want] {
+			t.Errorf("LU k=5 missing task %s (paper Fig. 2)", want)
+		}
+	}
+	g, _ = QR(5, KernelTimes{})
+	seen = map[string]bool{}
+	for i := 0; i < g.NumTasks(); i++ {
+		seen[g.Name(i)] = true
+	}
+	for _, want := range []string{"GEQRT_4", "TSQRT_4_2", "UNMQR_2_4", "TSMQR_4_4_3", "TSMQR_1_2_0"} {
+		if !seen[want] {
+			t.Errorf("QR k=5 missing task %s (paper Fig. 3)", want)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate("nope", 4, KernelTimes{}); err == nil {
+		t.Error("unknown factorization accepted")
+	}
+	if _, err := Cholesky(0, KernelTimes{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := LU(-1, KernelTimes{}); err == nil {
+		t.Error("k<0 accepted")
+	}
+	if _, err := QR(0, KernelTimes{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestEdgeCountsStable(t *testing.T) {
+	// Golden edge counts guard against accidental dependency changes.
+	cases := []struct {
+		f    Factorization
+		k    int
+		want int
+	}{
+		{FactCholesky, 5, 60},
+		{FactLU, 5, 110},
+		{FactQR, 5, 110},
+	}
+	for _, c := range cases {
+		g, _ := Generate(c.f, c.k, KernelTimes{})
+		if g.NumEdges() != c.want {
+			t.Errorf("%s k=%d edges = %d want %d", c.f, c.k, g.NumEdges(), c.want)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package linalg
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// LU returns the task DAG of a tiled LU factorization (no pivoting across
+// tiles) of a k×k tile matrix. Task names follow the paper's Figure 2:
+// GETRF_j, TRSML_i_j (column panel, i>j), TRSMU_j_l (row panel, l>j),
+// GEMM_i_l_j (trailing update of tile (i,l) at step j).
+//
+// The DAG has k GETRF, k(k-1)/2 TRSML, k(k-1)/2 TRSMU and
+// Σ_{j} (k-1-j)² = k(k-1)(2k-1)/6 GEMM tasks — LUTaskCount(k) in total.
+// For k=20 this is 2,870 tasks, the count the paper reports in Table I.
+func LU(k int, kt KernelTimes) (*dag.Graph, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("linalg: LU tile count k must be >= 1, got %d", k)
+	}
+	if kt == (KernelTimes{}) {
+		kt = DefaultKernelTimes()
+	}
+	g := dag.New(LUTaskCount(k))
+	getrf := make([]int, k)
+	trsml := make(map[[2]int]int) // (i,j): update of tile (i,j), i>j
+	trsmu := make(map[[2]int]int) // (j,l): update of tile (j,l), l>j
+	gemm := make(map[[3]int]int)  // (i,l,j): update of tile (i,l) at step j
+	for j := 0; j < k; j++ {
+		getrf[j] = g.MustAddTask(fmt.Sprintf("GETRF_%d", j), kt[GETRF])
+		if j > 0 {
+			g.MustAddEdge(gemm[[3]int{j, j, j - 1}], getrf[j])
+		}
+		for i := j + 1; i < k; i++ {
+			id := g.MustAddTask(fmt.Sprintf("TRSML_%d_%d", i, j), kt[TRSML])
+			trsml[[2]int{i, j}] = id
+			g.MustAddEdge(getrf[j], id)
+			if j > 0 {
+				g.MustAddEdge(gemm[[3]int{i, j, j - 1}], id)
+			}
+		}
+		for l := j + 1; l < k; l++ {
+			id := g.MustAddTask(fmt.Sprintf("TRSMU_%d_%d", j, l), kt[TRSMU])
+			trsmu[[2]int{j, l}] = id
+			g.MustAddEdge(getrf[j], id)
+			if j > 0 {
+				g.MustAddEdge(gemm[[3]int{j, l, j - 1}], id)
+			}
+		}
+		for i := j + 1; i < k; i++ {
+			for l := j + 1; l < k; l++ {
+				id := g.MustAddTask(fmt.Sprintf("GEMM_%d_%d_%d", i, l, j), kt[GEMM])
+				gemm[[3]int{i, l, j}] = id
+				g.MustAddEdge(trsml[[2]int{i, j}], id)
+				g.MustAddEdge(trsmu[[2]int{j, l}], id)
+				if j > 0 {
+					g.MustAddEdge(gemm[[3]int{i, l, j - 1}], id)
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// LUTaskCount returns the number of tasks of LU(k):
+// k + k(k-1) + k(k-1)(2k-1)/6. LUTaskCount(20) == 2870 (paper Table I).
+func LUTaskCount(k int) int {
+	return k + k*(k-1) + k*(k-1)*(2*k-1)/6
+}

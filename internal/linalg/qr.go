@@ -1,0 +1,103 @@
+package linalg
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// QR returns the task DAG of a tiled QR factorization (flat-tree
+// tall-skinny reduction) of a k×k tile matrix. Task names follow the
+// paper's Figure 3: GEQRT_j, TSQRT_i_j (i>j, chained down the panel),
+// UNMQR_j_l (l>j), TSMQR_i_l_j (trailing update of tile (i,l) at step j).
+//
+// Task counts match LU — QRTaskCount(k) = LUTaskCount(k) — but the QR
+// kernels entail about twice the flops of their LU counterparts, as the
+// paper notes in §V-B.
+func QR(k int, kt KernelTimes) (*dag.Graph, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("linalg: QR tile count k must be >= 1, got %d", k)
+	}
+	if kt == (KernelTimes{}) {
+		kt = DefaultKernelTimes()
+	}
+	g := dag.New(QRTaskCount(k))
+	geqrt := make([]int, k)
+	tsqrt := make(map[[2]int]int) // (i,j), i>j
+	unmqr := make(map[[2]int]int) // (j,l), l>j
+	tsmqr := make(map[[3]int]int) // (i,l,j), i>j, l>j
+	for j := 0; j < k; j++ {
+		geqrt[j] = g.MustAddTask(fmt.Sprintf("GEQRT_%d", j), kt[GEQRT])
+		if j > 0 {
+			g.MustAddEdge(tsmqr[[3]int{j, j, j - 1}], geqrt[j])
+		}
+		for i := j + 1; i < k; i++ {
+			id := g.MustAddTask(fmt.Sprintf("TSQRT_%d_%d", i, j), kt[TSQRT])
+			tsqrt[[2]int{i, j}] = id
+			if i == j+1 {
+				g.MustAddEdge(geqrt[j], id)
+			} else {
+				g.MustAddEdge(tsqrt[[2]int{i - 1, j}], id)
+			}
+			if j > 0 {
+				g.MustAddEdge(tsmqr[[3]int{i, j, j - 1}], id)
+			}
+		}
+		for l := j + 1; l < k; l++ {
+			id := g.MustAddTask(fmt.Sprintf("UNMQR_%d_%d", j, l), kt[UNMQR])
+			unmqr[[2]int{j, l}] = id
+			g.MustAddEdge(geqrt[j], id)
+			if j > 0 {
+				g.MustAddEdge(tsmqr[[3]int{j, l, j - 1}], id)
+			}
+		}
+		for i := j + 1; i < k; i++ {
+			for l := j + 1; l < k; l++ {
+				id := g.MustAddTask(fmt.Sprintf("TSMQR_%d_%d_%d", i, l, j), kt[TSMQR])
+				tsmqr[[3]int{i, l, j}] = id
+				g.MustAddEdge(tsqrt[[2]int{i, j}], id)
+				if i == j+1 {
+					g.MustAddEdge(unmqr[[2]int{j, l}], id)
+				} else {
+					g.MustAddEdge(tsmqr[[3]int{i - 1, l, j}], id)
+				}
+				if j > 0 {
+					g.MustAddEdge(tsmqr[[3]int{i, l, j - 1}], id)
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// QRTaskCount returns the number of tasks of QR(k), equal to LUTaskCount(k).
+func QRTaskCount(k int) int { return LUTaskCount(k) }
+
+// Factorization names a generator for CLI and experiment plumbing.
+type Factorization string
+
+// The three application classes of the paper's evaluation.
+const (
+	FactCholesky Factorization = "cholesky"
+	FactLU       Factorization = "lu"
+	FactQR       Factorization = "qr"
+)
+
+// Generate builds the named factorization DAG.
+func Generate(f Factorization, k int, kt KernelTimes) (*dag.Graph, error) {
+	switch f {
+	case FactCholesky:
+		return Cholesky(k, kt)
+	case FactLU:
+		return LU(k, kt)
+	case FactQR:
+		return QR(k, kt)
+	default:
+		return nil, fmt.Errorf("linalg: unknown factorization %q", f)
+	}
+}
+
+// All lists the three factorizations in the paper's presentation order.
+func All() []Factorization {
+	return []Factorization{FactCholesky, FactLU, FactQR}
+}

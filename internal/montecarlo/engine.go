@@ -1,0 +1,208 @@
+package montecarlo
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"repro/internal/dag"
+	"repro/internal/failure"
+)
+
+// Mode selects the re-execution model sampled per task.
+type Mode int
+
+const (
+	// FullReexecution re-executes a failed task until an attempt succeeds:
+	// the attempt count is geometric. This is the true model and the
+	// paper's ground truth (§V-C samples time-to-failure per attempt).
+	FullReexecution Mode = iota
+	// SingleRetry allows at most one re-execution (weight a or 2a): the
+	// 2-state model underlying the First Order approximation. Useful for
+	// isolating the truncation error of the approximations from the
+	// modelling error of dropping multi-failures.
+	SingleRetry
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case FullReexecution:
+		return "full-reexecution"
+	case SingleRetry:
+		return "single-retry"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a Monte Carlo run.
+type Config struct {
+	// Trials is the number of samples; the paper uses 300,000.
+	Trials int
+	// Workers is the number of goroutines (0 = GOMAXPROCS).
+	Workers int
+	// Seed makes runs reproducible; two runs with equal Config produce
+	// identical results regardless of Workers.
+	Seed uint64
+	// Mode selects the re-execution model (default FullReexecution).
+	Mode Mode
+}
+
+// DefaultTrials is the paper's trial count.
+const DefaultTrials = 300000
+
+// Result summarizes a Monte Carlo estimate of the expected makespan.
+type Result struct {
+	Mean     float64 // estimated expected makespan
+	StdDev   float64 // sample standard deviation of the makespan
+	StdErr   float64 // standard error of Mean
+	CI95     float64 // half-width of the 95% CI around Mean
+	Min, Max float64 // extreme sampled makespans
+	Trials   int
+}
+
+// Estimator runs Monte Carlo estimation on one graph. It precomputes
+// per-task failure probabilities and reuses evaluator scratch space.
+type Estimator struct {
+	g     *dag.Graph
+	cfg   Config
+	pfail []float64 // per-task first-attempt failure probability
+}
+
+// NewEstimator prepares a Monte Carlo estimator. The graph must be acyclic.
+func NewEstimator(g *dag.Graph, model failure.Model, cfg Config) (*Estimator, error) {
+	rates := make([]float64, g.NumTasks())
+	for i := range rates {
+		rates[i] = model.Lambda
+	}
+	return NewEstimatorRates(g, rates, cfg)
+}
+
+// NewEstimatorRates prepares an estimator with a per-task error rate λ_i
+// (tasks at different DVFS speeds or on heterogeneous processors).
+func NewEstimatorRates(g *dag.Graph, rates []float64, cfg Config) (*Estimator, error) {
+	if len(rates) != g.NumTasks() {
+		return nil, fmt.Errorf("montecarlo: %d rates for %d tasks", len(rates), g.NumTasks())
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = DefaultTrials
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers > cfg.Trials {
+		cfg.Workers = cfg.Trials
+	}
+	if !g.IsAcyclic() {
+		return nil, dag.ErrCycle
+	}
+	pf := make([]float64, g.NumTasks())
+	for i := range pf {
+		if rates[i] < 0 || rates[i] != rates[i] {
+			return nil, fmt.Errorf("montecarlo: bad rate λ_%d = %v", i, rates[i])
+		}
+		pf[i] = failure.Model{Lambda: rates[i]}.PFail(g.Weight(i))
+	}
+	return &Estimator{g: g, cfg: cfg, pfail: pf}, nil
+}
+
+// Run executes the configured number of trials and returns the estimate.
+func (e *Estimator) Run() (Result, error) {
+	per := e.cfg.Trials / e.cfg.Workers
+	extra := e.cfg.Trials % e.cfg.Workers
+	accs := make([]Welford, e.cfg.Workers)
+	errs := make([]error, e.cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < e.cfg.Workers; w++ {
+		trials := per
+		if w < extra {
+			trials++
+		}
+		wg.Add(1)
+		go func(w, trials int) {
+			defer wg.Done()
+			// Independent deterministic stream per worker.
+			rng := newWorkerRNG(e.cfg.Seed, w)
+			pe, err := dag.NewPathEvaluator(e.g)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			weights := make([]float64, e.g.NumTasks())
+			for t := 0; t < trials; t++ {
+				e.sampleWeights(rng, weights)
+				accs[w].Add(pe.MakespanWith(weights))
+			}
+		}(w, trials)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	var total Welford
+	for i := range accs {
+		total.Merge(accs[i])
+	}
+	return Result{
+		Mean:   total.Mean(),
+		StdDev: total.StdDev(),
+		StdErr: total.StdErr(),
+		CI95:   total.CI95(),
+		Min:    total.Min(),
+		Max:    total.Max(),
+		Trials: int(total.N()),
+	}, nil
+}
+
+// sampleWeights fills weights with one sample of per-task execution times.
+func (e *Estimator) sampleWeights(rng *rand.Rand, weights []float64) {
+	for i := 0; i < e.g.NumTasks(); i++ {
+		a := e.g.Weight(i)
+		pf := e.pfail[i]
+		if pf == 0 {
+			weights[i] = a
+			continue
+		}
+		switch e.cfg.Mode {
+		case SingleRetry:
+			if rng.Float64() < pf {
+				weights[i] = 2 * a
+			} else {
+				weights[i] = a
+			}
+		default: // FullReexecution
+			attempts := 1
+			for rng.Float64() < pf {
+				attempts++
+			}
+			weights[i] = float64(attempts) * a
+		}
+	}
+}
+
+// newWorkerRNG returns the independent deterministic stream of worker w.
+func newWorkerRNG(seed uint64, w int) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, uint64(w)+0x9e3779b97f4a7c15))
+}
+
+// Estimate is a convenience wrapper building a transient Estimator.
+func Estimate(g *dag.Graph, model failure.Model, cfg Config) (Result, error) {
+	e, err := NewEstimator(g, model, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run()
+}
+
+// EstimateRates is Estimate with per-task error rates.
+func EstimateRates(g *dag.Graph, rates []float64, cfg Config) (Result, error) {
+	e, err := NewEstimatorRates(g, rates, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run()
+}

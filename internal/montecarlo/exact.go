@@ -1,0 +1,176 @@
+package montecarlo
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/failure"
+)
+
+// MaxExactTasks bounds the subset enumeration of ExactTwoState; beyond
+// ~24 tasks the 2^V sum is impractical, which is precisely the
+// #P-hardness the paper works around.
+const MaxExactTasks = 24
+
+// ExactTwoState computes the exact expected makespan under the 2-state
+// model (each task takes a_i w.p. e^{−λa_i} and 2a_i otherwise,
+// independently) by enumerating all 2^V failure subsets:
+// E = Σ_S P(S)·L(S). Exponential time; only for graphs with at most
+// MaxExactTasks tasks. It is the test oracle for every estimator.
+func ExactTwoState(g *dag.Graph, model failure.Model) (float64, error) {
+	n := g.NumTasks()
+	if n > MaxExactTasks {
+		return 0, fmt.Errorf("montecarlo: %d tasks exceed exact enumeration limit %d", n, MaxExactTasks)
+	}
+	pe, err := dag.NewPathEvaluator(g)
+	if err != nil {
+		return 0, err
+	}
+	psucc := make([]float64, n)
+	for i := 0; i < n; i++ {
+		psucc[i] = model.PSuccess(g.Weight(i))
+	}
+	weights := make([]float64, n)
+	var expected float64
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		p := 1.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				p *= 1 - psucc[i]
+				weights[i] = 2 * g.Weight(i)
+			} else {
+				p *= psucc[i]
+				weights[i] = g.Weight(i)
+			}
+		}
+		if p == 0 {
+			continue
+		}
+		expected += p * pe.MakespanWith(weights)
+	}
+	return expected, nil
+}
+
+// ExactTwoStateRates is ExactTwoState with a per-task error rate λ_i.
+func ExactTwoStateRates(g *dag.Graph, rates []float64) (float64, error) {
+	n := g.NumTasks()
+	if len(rates) != n {
+		return 0, fmt.Errorf("montecarlo: %d rates for %d tasks", len(rates), n)
+	}
+	if n > MaxExactTasks {
+		return 0, fmt.Errorf("montecarlo: %d tasks exceed exact enumeration limit %d", n, MaxExactTasks)
+	}
+	pe, err := dag.NewPathEvaluator(g)
+	if err != nil {
+		return 0, err
+	}
+	psucc := make([]float64, n)
+	for i := 0; i < n; i++ {
+		psucc[i] = failure.Model{Lambda: rates[i]}.PSuccess(g.Weight(i))
+	}
+	weights := make([]float64, n)
+	var expected float64
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		p := 1.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				p *= 1 - psucc[i]
+				weights[i] = 2 * g.Weight(i)
+			} else {
+				p *= psucc[i]
+				weights[i] = g.Weight(i)
+			}
+		}
+		if p == 0 {
+			continue
+		}
+		expected += p * pe.MakespanWith(weights)
+	}
+	return expected, nil
+}
+
+// ExactGeometric computes the expected makespan under the full
+// re-execute-until-success model by enumerating per-task attempt counts in
+// 1..maxAttempts with exact geometric probabilities; the residual tail
+// mass (attempt count > maxAttempts) is lumped into the maxAttempts state,
+// so the result underestimates the truth by O(Σ(λa_i)^maxAttempts) — make
+// maxAttempts large enough for the precision a test needs. Cost is
+// maxAttempts^V longest-path passes; the product is capped at ~4M states.
+func ExactGeometric(g *dag.Graph, model failure.Model, maxAttempts int) (float64, error) {
+	n := g.NumTasks()
+	if maxAttempts < 2 {
+		maxAttempts = 2
+	}
+	states := 1.0
+	for i := 0; i < n; i++ {
+		states *= float64(maxAttempts)
+		if states > 4e6 {
+			return 0, fmt.Errorf("montecarlo: %d^%d states exceed enumeration budget", maxAttempts, n)
+		}
+	}
+	pe, err := dag.NewPathEvaluator(g)
+	if err != nil {
+		return 0, err
+	}
+	// probs[i][k] = P(task i takes k+1 attempts), tail lumped into last.
+	probs := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		p := model.PSuccess(g.Weight(i))
+		q := 1 - p
+		probs[i] = make([]float64, maxAttempts)
+		mass := 1.0
+		for k := 0; k < maxAttempts-1; k++ {
+			probs[i][k] = mass * p
+			mass *= q
+		}
+		probs[i][maxAttempts-1] = mass
+	}
+	weights := make([]float64, n)
+	var expected float64
+	var rec func(idx int, p float64)
+	rec = func(idx int, p float64) {
+		if p == 0 {
+			return
+		}
+		if idx == n {
+			expected += p * pe.MakespanWith(weights)
+			return
+		}
+		for k := 0; k < maxAttempts; k++ {
+			weights[idx] = float64(k+1) * g.Weight(idx)
+			rec(idx+1, p*probs[idx][k])
+		}
+	}
+	rec(0, 1)
+	return expected, nil
+}
+
+// ExactFirstOrderTruth computes Σ_{|S|<=1} P(S)·L(S) exactly under the
+// 2-state model — the quantity the paper's First Order approximation
+// targets before dropping O(λ²) probability terms. Used in tests to
+// separate the two truncation steps.
+func ExactFirstOrderTruth(g *dag.Graph, model failure.Model) (float64, error) {
+	n := g.NumTasks()
+	pe, err := dag.NewPathEvaluator(g)
+	if err != nil {
+		return 0, err
+	}
+	psucc := make([]float64, n)
+	pEmpty := 1.0
+	for i := 0; i < n; i++ {
+		psucc[i] = model.PSuccess(g.Weight(i))
+		pEmpty *= psucc[i]
+	}
+	weights := g.Weights()
+	total := pEmpty * pe.MakespanWith(weights)
+	for i := 0; i < n; i++ {
+		if psucc[i] == 1 {
+			continue
+		}
+		p := pEmpty / psucc[i] * (1 - psucc[i])
+		weights[i] = 2 * g.Weight(i)
+		total += p * pe.MakespanWith(weights)
+		weights[i] = g.Weight(i)
+	}
+	return total, nil
+}

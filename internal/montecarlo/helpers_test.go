@@ -1,0 +1,9 @@
+package montecarlo
+
+import "math/rand"
+
+// newRand returns a math/rand (v1) source for the dag generators, which
+// take *rand.Rand.
+func newRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

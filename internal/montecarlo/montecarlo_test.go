@@ -1,0 +1,380 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/failure"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("n = %d", w.N())
+	}
+	if !almostEq(w.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	// Population variance of this classic dataset is 4; sample variance
+	// is 4*8/7.
+	if !almostEq(w.Variance(), 32.0/7, 1e-12) {
+		t.Fatalf("var = %v", w.Variance())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+	if w.CI95() <= 0 || w.StdErr() <= 0 {
+		t.Fatalf("CI/StdErr not positive")
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdErr() != 0 {
+		t.Fatal("empty accumulator should be zero")
+	}
+	w.Add(3)
+	if w.Variance() != 0 {
+		t.Fatalf("single-sample variance = %v", w.Variance())
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	xs := []float64{1, 2.5, 3, 3, 7, 8, 9.5, 11, 0.5, 4}
+	var all Welford
+	for _, x := range xs {
+		all.Add(x)
+	}
+	var a, b Welford
+	for i, x := range xs {
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != all.N() || !almostEq(a.Mean(), all.Mean(), 1e-12) ||
+		!almostEq(a.Variance(), all.Variance(), 1e-12) ||
+		a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merge mismatch: %+v vs %+v", a, all)
+	}
+	// Merging into empty and merging empty.
+	var e Welford
+	e.Merge(all)
+	if e.N() != all.N() || e.Mean() != all.Mean() {
+		t.Fatal("merge into empty broken")
+	}
+	before := e.Mean()
+	e.Merge(Welford{})
+	if e.Mean() != before {
+		t.Fatal("merge of empty changed state")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if FullReexecution.String() != "full-reexecution" || SingleRetry.String() != "single-retry" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode String empty")
+	}
+}
+
+func TestEstimatorRejectsCycle(t *testing.T) {
+	g := dag.New(2)
+	a := g.MustAddTask("a", 1)
+	b := g.MustAddTask("b", 1)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, a)
+	if _, err := NewEstimator(g, failure.Model{Lambda: 0.1}, Config{Trials: 10}); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestZeroLambdaIsDeterministic(t *testing.T) {
+	g := dag.Diamond(1, 5, 3, 2)
+	res, err := Estimate(g, failure.Model{}, Config{Trials: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean != 8 || res.StdDev != 0 || res.Min != 8 || res.Max != 8 {
+		t.Fatalf("λ=0 result = %+v want constant 8", res)
+	}
+	if res.Trials != 100 {
+		t.Fatalf("trials = %d", res.Trials)
+	}
+}
+
+func TestReproducibleAcrossWorkerCounts(t *testing.T) {
+	g := dag.Diamond(1, 5, 3, 2)
+	m := failure.Model{Lambda: 0.2}
+	r1, err := Estimate(g, m, Config{Trials: 5000, Seed: 42, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1b, _ := Estimate(g, m, Config{Trials: 5000, Seed: 42, Workers: 1})
+	if r1.Mean != r1b.Mean {
+		t.Fatalf("same config differs: %v vs %v", r1.Mean, r1b.Mean)
+	}
+	// Different worker counts shard streams differently, so exact equality
+	// is not promised; estimates must agree within joint CI.
+	r4, _ := Estimate(g, m, Config{Trials: 5000, Seed: 42, Workers: 4})
+	if !almostEq(r1.Mean, r4.Mean, r1.CI95+r4.CI95) {
+		t.Fatalf("worker counts disagree beyond CI: %v vs %v", r1.Mean, r4.Mean)
+	}
+}
+
+func TestSingleTaskAgainstClosedForm(t *testing.T) {
+	// One task of weight a: E[makespan] = a·E[attempts] = a·e^{λa} under
+	// full re-execution; a(1+pfail) under single retry.
+	g := dag.New(1)
+	g.MustAddTask("solo", 2)
+	m := failure.Model{Lambda: 0.3}
+	full, err := Estimate(g, m, Config{Trials: 400000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * math.Exp(0.3*2)
+	if !almostEq(full.Mean, want, 4*full.CI95) {
+		t.Fatalf("full mean = %v want %v (CI %v)", full.Mean, want, full.CI95)
+	}
+	single, err := Estimate(g, m, Config{Trials: 400000, Seed: 7, Mode: SingleRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = 2 * (1 + m.PFail(2))
+	if !almostEq(single.Mean, want, 4*single.CI95) {
+		t.Fatalf("single mean = %v want %v", single.Mean, want)
+	}
+	if full.Mean <= single.Mean-4*(full.CI95+single.CI95) {
+		t.Fatalf("full re-execution should not be cheaper than single retry")
+	}
+}
+
+func TestEstimateRatesMatchesUniformAndExact(t *testing.T) {
+	g := dag.Diamond(0.5, 2, 1.5, 1)
+	lam := 0.15
+	rates := []float64{lam, lam, lam, lam}
+	uni, err := Estimate(g, failure.Model{Lambda: lam}, Config{Trials: 40000, Seed: 4, Mode: SingleRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	het, err := EstimateRates(g, rates, Config{Trials: 40000, Seed: 4, Mode: SingleRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni.Mean != het.Mean {
+		t.Fatalf("same seed uniform %v != hetero %v", uni.Mean, het.Mean)
+	}
+	// Truly heterogeneous rates against exact enumeration.
+	rates = []float64{0, 0.3, 0.05, 0.2}
+	exact, err := ExactTwoStateRates(g, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := EstimateRates(g, rates, Config{Trials: 300000, Seed: 5, Mode: SingleRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(mc.Mean, exact, 5*mc.CI95) {
+		t.Fatalf("hetero MC %v vs exact %v (CI %v)", mc.Mean, exact, mc.CI95)
+	}
+}
+
+func TestEstimateRatesValidation(t *testing.T) {
+	g := dag.Chain(3)
+	if _, err := EstimateRates(g, []float64{0.1}, Config{Trials: 10}); err == nil {
+		t.Fatal("short rates accepted")
+	}
+	if _, err := EstimateRates(g, []float64{0.1, -1, 0.1}, Config{Trials: 10}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := ExactTwoStateRates(g, []float64{0.1}); err == nil {
+		t.Fatal("short rates accepted by exact")
+	}
+}
+
+func TestExactTwoStateChain(t *testing.T) {
+	// Chain of independent 2-state tasks: expectation is the sum of
+	// per-task expectations a(1+pfail).
+	g := dag.Chain(5, 1, 2, 3)
+	m := failure.Model{Lambda: 0.1}
+	got, err := ExactTwoState(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for i := 0; i < g.NumTasks(); i++ {
+		a := g.Weight(i)
+		want += a * (1 + m.PFail(a))
+	}
+	if !almostEq(got, want, 1e-12) {
+		t.Fatalf("exact chain = %v want %v", got, want)
+	}
+}
+
+func TestExactTwoStateForkJoinClosedForm(t *testing.T) {
+	// Fork-join of w iid 2-state tasks of weight a (source/sink weight 0):
+	// E[max] = 2a - a·(1-pfail)^w.
+	const w = 6
+	g := dag.ForkJoin(w, 1.0)
+	m := failure.Model{Lambda: 0.25}
+	pf := m.PFail(1)
+	want := 2 - math.Pow(1-pf, w)
+	got, err := ExactTwoState(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, want, 1e-12) {
+		t.Fatalf("exact fork-join = %v want %v", got, want)
+	}
+}
+
+func TestExactGeometricSingleTask(t *testing.T) {
+	// Single task weight a: truth is a·e^{λa}; truncation at many attempts
+	// must converge to it.
+	g := dag.New(1)
+	g.MustAddTask("solo", 2)
+	m := failure.Model{Lambda: 0.1}
+	want := 2 * math.Exp(0.2)
+	got, err := ExactGeometric(g, m, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, want, 1e-6) {
+		t.Fatalf("geometric exact = %v want %v", got, want)
+	}
+	// More attempts gets closer (truncation underestimates).
+	lo, _ := ExactGeometric(g, m, 3)
+	if lo > got {
+		t.Fatalf("truncation should underestimate: %v vs %v", lo, got)
+	}
+}
+
+func TestExactGeometricBudget(t *testing.T) {
+	g := dag.Chain(30)
+	if _, err := ExactGeometric(g, failure.Model{Lambda: 0.1}, 5); err == nil {
+		t.Fatal("oversized enumeration accepted")
+	}
+	// maxAttempts below 2 is clamped, not an error.
+	small := dag.Chain(2)
+	if _, err := ExactGeometric(small, failure.Model{Lambda: 0.1}, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactGeometricMatchesMonteCarlo(t *testing.T) {
+	g := dag.Diamond(0.5, 2, 1.5, 1)
+	m := failure.Model{Lambda: 0.2}
+	exact, err := ExactGeometric(g, m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := Estimate(g, m, Config{Trials: 400000, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(mc.Mean, exact, 5*mc.CI95) {
+		t.Fatalf("MC %v vs exact %v (CI %v)", mc.Mean, exact, mc.CI95)
+	}
+}
+
+func TestExactTwoStateRejectsBigGraph(t *testing.T) {
+	g := dag.Chain(MaxExactTasks + 1)
+	if _, err := ExactTwoState(g, failure.Model{Lambda: 0.1}); err == nil {
+		t.Fatal("oversized graph accepted")
+	}
+}
+
+func TestMonteCarloSingleRetryMatchesExact(t *testing.T) {
+	g := dag.Diamond(0.5, 2, 1.5, 1)
+	m := failure.Model{Lambda: 0.3}
+	exact, err := ExactTwoState(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := Estimate(g, m, Config{Trials: 500000, Seed: 3, Mode: SingleRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(mc.Mean, exact, 5*mc.CI95) {
+		t.Fatalf("MC %v vs exact %v (CI %v)", mc.Mean, exact, mc.CI95)
+	}
+}
+
+// Property: on random small DAGs, single-retry Monte Carlo stays within
+// 6 standard errors of the exact enumeration.
+func TestQuickMonteCarloWithinCI(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newRand(seed)
+		g, err := dag.LayeredRandom(dag.RandomConfig{Tasks: 10, EdgeProb: 0.5, MaxLayerWidth: 3}, rng)
+		if err != nil {
+			return false
+		}
+		m := failure.Model{Lambda: 0.2}
+		exact, err := ExactTwoState(g, m)
+		if err != nil {
+			return false
+		}
+		mc, err := Estimate(g, m, Config{Trials: 60000, Seed: uint64(seed), Mode: SingleRetry})
+		if err != nil {
+			return false
+		}
+		tol := 6 * mc.StdErr
+		if tol < 1e-9 {
+			tol = 1e-9
+		}
+		return almostEq(mc.Mean, exact, tol)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactFirstOrderTruthBelowExact(t *testing.T) {
+	// Dropping multi-failure subsets can only lose probability mass times
+	// path lengths, so the |S|<=1 truncation underestimates.
+	g := dag.Diamond(1, 2, 2, 1)
+	m := failure.Model{Lambda: 0.4}
+	exact, _ := ExactTwoState(g, m)
+	trunc, err := ExactFirstOrderTruth(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trunc > exact {
+		t.Fatalf("truncated %v > exact %v", trunc, exact)
+	}
+	// At tiny λ they agree closely.
+	m = failure.Model{Lambda: 1e-5}
+	exact, _ = ExactTwoState(g, m)
+	trunc, _ = ExactFirstOrderTruth(g, m)
+	if !almostEq(exact, trunc, 1e-8) {
+		t.Fatalf("low-λ mismatch: %v vs %v", exact, trunc)
+	}
+}
+
+func TestMakespanBoundsRespected(t *testing.T) {
+	g := dag.Diamond(1, 5, 3, 2)
+	res, err := Estimate(g, failure.Model{Lambda: 0.5}, Config{Trials: 20000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := dag.Makespan(g)
+	if res.Min < d {
+		t.Fatalf("sampled makespan %v below failure-free %v", res.Min, d)
+	}
+	if res.Mean < d {
+		t.Fatalf("mean %v below failure-free %v", res.Mean, d)
+	}
+	if res.Max < res.Mean || res.Min > res.Mean {
+		t.Fatalf("ordering broken: %+v", res)
+	}
+}

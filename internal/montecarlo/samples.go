@@ -1,0 +1,186 @@
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/distribution"
+)
+
+// Samples holds the raw makespans of a Monte Carlo run, sorted ascending,
+// for distribution-level questions the mean alone cannot answer: tail
+// quantiles (a scheduler deadline is a quantile question), histograms, and
+// goodness-of-fit against analytic distributions.
+type Samples struct {
+	sorted []float64
+}
+
+// NewSamples sorts and wraps a sample set; the slice is taken over.
+func NewSamples(xs []float64) *Samples {
+	sort.Float64s(xs)
+	return &Samples{sorted: xs}
+}
+
+// N returns the sample count.
+func (s *Samples) N() int { return len(s.sorted) }
+
+// Quantile returns the empirical q-quantile (nearest-rank), q in [0,1].
+func (s *Samples) Quantile(q float64) float64 {
+	if len(s.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return s.sorted[0]
+	}
+	if q >= 1 {
+		return s.sorted[len(s.sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(s.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s.sorted[idx]
+}
+
+// Mean returns the sample mean.
+func (s *Samples) Mean() float64 {
+	if len(s.sorted) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range s.sorted {
+		sum += x
+	}
+	return sum / float64(len(s.sorted))
+}
+
+// CDF returns the empirical CDF at x.
+func (s *Samples) CDF(x float64) float64 {
+	// First index with value > x.
+	i := sort.SearchFloat64s(s.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(s.sorted))
+}
+
+// HistogramBin is one bin of a histogram.
+type HistogramBin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram bins the samples into n equal-width bins over [min, max].
+func (s *Samples) Histogram(n int) []HistogramBin {
+	if n < 1 || len(s.sorted) == 0 {
+		return nil
+	}
+	lo, hi := s.sorted[0], s.sorted[len(s.sorted)-1]
+	if lo == hi {
+		return []HistogramBin{{Lo: lo, Hi: hi, Count: len(s.sorted)}}
+	}
+	width := (hi - lo) / float64(n)
+	bins := make([]HistogramBin, n)
+	for i := range bins {
+		bins[i].Lo = lo + float64(i)*width
+		bins[i].Hi = bins[i].Lo + width
+	}
+	for _, x := range s.sorted {
+		idx := int((x - lo) / width)
+		if idx >= n {
+			idx = n - 1
+		}
+		bins[idx].Count++
+	}
+	return bins
+}
+
+// KolmogorovSmirnov returns the KS statistic sup_x |F_emp(x) − F(x)|
+// between the samples and a discrete reference distribution — used to
+// validate the Monte Carlo engine against exact series-parallel
+// evaluations and to quantify how far an approximated distribution is from
+// the truth. The supremum over a discrete reference is attained at the
+// reference's atoms or immediately before them.
+func (s *Samples) KolmogorovSmirnov(ref distribution.Discrete) float64 {
+	if len(s.sorted) == 0 || ref.IsZero() {
+		return math.NaN()
+	}
+	var worst float64
+	var cum float64
+	for i := 0; i < ref.Len(); i++ {
+		v, p := ref.Atom(i)
+		// Just below the atom.
+		below := s.CDF(math.Nextafter(v, math.Inf(-1)))
+		if d := math.Abs(below - cum); d > worst {
+			worst = d
+		}
+		cum += p
+		// At the atom.
+		if d := math.Abs(s.CDF(v) - cum); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// RunSamples runs the estimator like Run but additionally returns every
+// sampled makespan. Memory is 8 bytes per trial.
+func (e *Estimator) RunSamples() (Result, *Samples, error) {
+	// Reuse Run's worker layout but with per-worker slices.
+	type chunk struct {
+		xs  []float64
+		err error
+	}
+	per := e.cfg.Trials / e.cfg.Workers
+	extra := e.cfg.Trials % e.cfg.Workers
+	chunks := make([]chunk, e.cfg.Workers)
+	done := make(chan int, e.cfg.Workers)
+	for w := 0; w < e.cfg.Workers; w++ {
+		trials := per
+		if w < extra {
+			trials++
+		}
+		go func(w, trials int) {
+			defer func() { done <- w }()
+			rng := newWorkerRNG(e.cfg.Seed, w)
+			pe, err := dag.NewPathEvaluator(e.g)
+			if err != nil {
+				chunks[w].err = err
+				return
+			}
+			weights := make([]float64, e.g.NumTasks())
+			xs := make([]float64, 0, trials)
+			for t := 0; t < trials; t++ {
+				e.sampleWeights(rng, weights)
+				xs = append(xs, pe.MakespanWith(weights))
+			}
+			chunks[w].xs = xs
+		}(w, trials)
+	}
+	for i := 0; i < e.cfg.Workers; i++ {
+		<-done
+	}
+	var all []float64
+	for _, c := range chunks {
+		if c.err != nil {
+			return Result{}, nil, c.err
+		}
+		all = append(all, c.xs...)
+	}
+	if len(all) == 0 {
+		return Result{}, nil, fmt.Errorf("montecarlo: no samples produced")
+	}
+	var acc Welford
+	for _, x := range all {
+		acc.Add(x)
+	}
+	res := Result{
+		Mean:   acc.Mean(),
+		StdDev: acc.StdDev(),
+		StdErr: acc.StdErr(),
+		CI95:   acc.CI95(),
+		Min:    acc.Min(),
+		Max:    acc.Max(),
+		Trials: int(acc.N()),
+	}
+	return res, NewSamples(all), nil
+}

@@ -1,0 +1,106 @@
+package normal
+
+import (
+	"repro/internal/dag"
+	"repro/internal/distribution"
+	"repro/internal/failure"
+)
+
+// CorLCA computes the correlation-aware normality-assumption estimate.
+//
+// The method (Canon–Jeannot) keeps, alongside each task's Gaussian
+// completion time, a correlation tree: each task points to its dominant
+// predecessor (the one with the largest mean completion time, i.e. the
+// branch most likely to carry the task's start time). The covariance of
+// two completion times is approximated by the variance of the completion
+// of their lowest common ancestor in that tree:
+//
+//	Cov(C_u, C_v) ≈ Var(C_lca(u,v)),  ρ = Cov/(σ_u σ_v)
+//
+// and the estimated ρ is fed into Clark's max formulas when folding
+// predecessor completions. LCA queries walk parent pointers, so the worst
+// case is O(V·E·depth) — the method is markedly slower than First Order on
+// deep graphs, consistent with the paper's Table I runtimes.
+func CorLCA(g *dag.Graph, model failure.Model) (Result, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return Result{}, err
+	}
+	n := g.NumTasks()
+	comp := make([]distribution.Normal, n)
+	parent := make([]int, n)
+	depth := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	// lcaVar returns Var(C_lca(u,v)) by walking the correlation tree, or 0
+	// when the tasks share no ancestor.
+	lcaVar := func(u, v int) float64 {
+		for u != v {
+			if u == -1 || v == -1 {
+				return 0
+			}
+			if depth[u] >= depth[v] {
+				u = parent[u]
+			} else {
+				v = parent[v]
+			}
+		}
+		if u == -1 {
+			return 0
+		}
+		return comp[u].Sigma2
+	}
+	rho := func(u, v int) float64 {
+		su, sv := comp[u].Sigma(), comp[v].Sigma()
+		if su == 0 || sv == 0 {
+			return 0
+		}
+		r := lcaVar(u, v) / (su * sv)
+		if r > 1 {
+			r = 1
+		} else if r < -1 {
+			r = -1
+		}
+		return r
+	}
+	fold := func(preds []int) (distribution.Normal, int) {
+		var acc distribution.Normal
+		rep := -1
+		for k, p := range preds {
+			if k == 0 {
+				acc, rep = comp[p], p
+				continue
+			}
+			acc = distribution.ClarkMax(acc, comp[p], rho(rep, p))
+			// The dominant branch is the one with the larger mean
+			// completion; it becomes the representative for subsequent
+			// correlation queries and the correlation-tree parent.
+			if comp[p].Mu > comp[rep].Mu {
+				rep = p
+			}
+		}
+		return acc, rep
+	}
+	var final distribution.Normal
+	finalRep := -1
+	for _, v := range order {
+		start, rep := fold(g.Pred(v))
+		comp[v] = start.Add(taskNormal(g.Weight(v), model))
+		parent[v] = rep
+		if rep >= 0 {
+			depth[v] = depth[rep] + 1
+		}
+		if g.OutDegree(v) == 0 {
+			if finalRep == -1 {
+				final, finalRep = comp[v], v
+			} else {
+				final = distribution.ClarkMax(final, comp[v], rho(finalRep, v))
+				if comp[v].Mu > comp[finalRep].Mu {
+					finalRep = v
+				}
+			}
+		}
+	}
+	return Result{Estimate: final.Mu, Makespan: final}, nil
+}

@@ -1,0 +1,235 @@
+package normal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/distribution"
+	"repro/internal/failure"
+	"repro/internal/linalg"
+	"repro/internal/montecarlo"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTaskNormalMoments(t *testing.T) {
+	m := failure.Model{Lambda: 0.1}
+	n := taskNormal(2, m)
+	d, _ := distribution.TwoState(2, m.PSuccess(2))
+	if !almostEq(n.Mu, d.Mean(), 1e-12) || !almostEq(n.Sigma2, d.Variance(), 1e-12) {
+		t.Fatalf("taskNormal %v vs discrete (%v, %v)", n, d.Mean(), d.Variance())
+	}
+	z := taskNormal(0, m)
+	if z.Mu != 0 || z.Sigma2 != 0 {
+		t.Fatalf("zero-weight task: %v", z)
+	}
+}
+
+func TestSculliChainIsExactSum(t *testing.T) {
+	// On a chain there are no maxima: the estimate is the exact sum of
+	// per-task means Σ a_i(2−p_i).
+	g := dag.Chain(5, 1, 2, 3)
+	m := failure.Model{Lambda: 0.05}
+	res, err := Sculli(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for i := 0; i < g.NumTasks(); i++ {
+		a := g.Weight(i)
+		want += a * (2 - m.PSuccess(a))
+	}
+	if !almostEq(res.Estimate, want, 1e-12) {
+		t.Fatalf("chain estimate = %v want %v", res.Estimate, want)
+	}
+	exact, _ := montecarlo.ExactTwoState(g, m)
+	if !almostEq(res.Estimate, exact, 1e-12) {
+		t.Fatalf("chain should be exact: %v vs %v", res.Estimate, exact)
+	}
+}
+
+func TestCorLCAChainMatchesSculli(t *testing.T) {
+	g := dag.Chain(6, 1.5, 0.5)
+	m := failure.Model{Lambda: 0.08}
+	s, err := Sculli(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CorLCA(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(s.Estimate, c.Estimate, 1e-12) {
+		t.Fatalf("chain: Sculli %v vs CorLCA %v", s.Estimate, c.Estimate)
+	}
+}
+
+func TestBothRejectCycle(t *testing.T) {
+	g := dag.New(2)
+	a := g.MustAddTask("a", 1)
+	b := g.MustAddTask("b", 1)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, a)
+	if _, err := Sculli(g, failure.Model{Lambda: 0.1}); err == nil {
+		t.Fatal("Sculli accepted cycle")
+	}
+	if _, err := CorLCA(g, failure.Model{Lambda: 0.1}); err == nil {
+		t.Fatal("CorLCA accepted cycle")
+	}
+}
+
+func TestZeroLambdaStillAccountsForStructure(t *testing.T) {
+	// With λ=0 every task is deterministic: both methods reduce to the
+	// longest path.
+	g := dag.Diamond(1, 5, 3, 2)
+	for _, f := range []func(*dag.Graph, failure.Model) (Result, error){Sculli, CorLCA} {
+		res, err := f(g, failure.Model{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(res.Estimate, 8, 1e-12) || res.Makespan.Sigma2 != 0 {
+			t.Fatalf("λ=0 estimate = %+v want 8", res)
+		}
+	}
+}
+
+func TestCorLCAHandlesSharedAncestorBetterThanSculli(t *testing.T) {
+	// Two long parallel branches hanging off a heavy shared prefix:
+	// completions are strongly correlated through the prefix. Sculli
+	// treats them as independent and overestimates the max; CorLCA should
+	// land closer to the exact expectation.
+	g := dag.New(0)
+	root := g.MustAddTask("root", 8)
+	l1 := g.MustAddTask("l1", 1)
+	l2 := g.MustAddTask("l2", 1)
+	r1 := g.MustAddTask("r1", 1)
+	r2 := g.MustAddTask("r2", 1)
+	sink := g.MustAddTask("sink", 1)
+	g.MustAddEdge(root, l1)
+	g.MustAddEdge(l1, l2)
+	g.MustAddEdge(root, r1)
+	g.MustAddEdge(r1, r2)
+	g.MustAddEdge(l2, sink)
+	g.MustAddEdge(r2, sink)
+	m := failure.Model{Lambda: 0.08}
+	exact, err := montecarlo.ExactTwoState(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := Sculli(g, m)
+	c, _ := CorLCA(g, m)
+	errS := math.Abs(s.Estimate - exact)
+	errC := math.Abs(c.Estimate - exact)
+	if errC > errS {
+		t.Fatalf("CorLCA error %v worse than Sculli %v (exact %v, S %v, C %v)",
+			errC, errS, exact, s.Estimate, c.Estimate)
+	}
+}
+
+func TestEstimatesNearExactOnSmallGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		g, _ := dag.LayeredRandom(dag.RandomConfig{Tasks: 12, EdgeProb: 0.5, MaxLayerWidth: 3}, rng)
+		m := failure.Model{Lambda: 0.02}
+		exact, err := montecarlo.ExactTwoState(g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, f := range map[string]func(*dag.Graph, failure.Model) (Result, error){
+			"sculli": Sculli, "corlca": CorLCA,
+		} {
+			res, err := f(g, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel := math.Abs(res.Estimate-exact) / exact; rel > 0.05 {
+				t.Fatalf("%s trial %d: rel err %v (est %v exact %v)", name, trial, rel, res.Estimate, exact)
+			}
+		}
+	}
+}
+
+// Property: both estimates are at least the failure-free makespan minus
+// slack (they can dip slightly below d(G) since a Gaussian has mass below
+// its mean, but not structurally lower), and both have finite variance.
+func TestQuickEstimatesSane(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := dag.LayeredRandom(dag.RandomConfig{Tasks: 25, EdgeProb: 0.4, MaxLayerWidth: 5}, rng)
+		if err != nil {
+			return false
+		}
+		m := failure.Model{Lambda: 0.03}
+		d, _ := dag.Makespan(g)
+		s, err := Sculli(g, m)
+		if err != nil {
+			return false
+		}
+		c, err := CorLCA(g, m)
+		if err != nil {
+			return false
+		}
+		return s.Estimate > 0.9*d && c.Estimate > 0.9*d &&
+			s.Makespan.Sigma2 >= 0 && c.Makespan.Sigma2 >= 0 &&
+			!math.IsNaN(s.Estimate) && !math.IsNaN(c.Estimate)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnFactorizationDAGs(t *testing.T) {
+	m := failure.Model{Lambda: 0.01}
+	for _, fk := range linalg.All() {
+		g, err := linalg.Generate(fk, 6, linalg.KernelTimes{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _ := dag.Makespan(g)
+		s, err := Sculli(g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := CorLCA(g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, est := range map[string]float64{"sculli": s.Estimate, "corlca": c.Estimate} {
+			if est < d || est > 2*d {
+				t.Errorf("%s on %s: estimate %v outside [d, 2d] = [%v, %v]", name, fk, est, d, 2*d)
+			}
+		}
+	}
+}
+
+func TestMultiSourceMultiSink(t *testing.T) {
+	// Two disjoint chains: makespan is the max of the two sums.
+	g := dag.New(4)
+	a := g.MustAddTask("a", 3)
+	b := g.MustAddTask("b", 3)
+	c := g.MustAddTask("c", 2)
+	d := g.MustAddTask("d", 2)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(c, d)
+	m := failure.Model{Lambda: 0.05}
+	exact, _ := montecarlo.ExactTwoState(g, m)
+	s, err := Sculli(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(s.Estimate-exact) / exact; rel > 0.05 {
+		t.Fatalf("two chains: rel err %v (est %v exact %v)", rel, s.Estimate, exact)
+	}
+	cl, err := CorLCA(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disjoint components share no ancestor: CorLCA must use ρ=0 and agree
+	// with Sculli exactly.
+	if !almostEq(cl.Estimate, s.Estimate, 1e-12) {
+		t.Fatalf("disjoint components: CorLCA %v != Sculli %v", cl.Estimate, s.Estimate)
+	}
+}

@@ -1,0 +1,89 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/dag"
+)
+
+// WriteGantt renders a schedule as an ASCII Gantt chart, one row per
+// processor, time flowing right, width columns wide. Tasks are drawn with
+// the first letter of their name (or '#'); idle time is '.'. Intended for
+// eyeballing schedsim output and for documentation.
+func WriteGantt(w io.Writer, g *dag.Graph, s Schedule, width int) error {
+	if width < 10 {
+		width = 80
+	}
+	if s.Makespan <= 0 {
+		_, err := fmt.Fprintln(w, "(empty schedule)")
+		return err
+	}
+	nprocs := 0
+	for _, p := range s.Proc {
+		if p+1 > nprocs {
+			nprocs = p + 1
+		}
+	}
+	scale := float64(width) / s.Makespan
+	rows := make([][]byte, nprocs)
+	for p := range rows {
+		rows[p] = []byte(strings.Repeat(".", width))
+	}
+	// Draw longer tasks first so 1-column tasks don't vanish under them.
+	order := make([]int, g.NumTasks())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da := s.Finish[order[a]] - s.Start[order[a]]
+		db := s.Finish[order[b]] - s.Start[order[b]]
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	for _, i := range order {
+		p := s.Proc[i]
+		if p < 0 {
+			continue
+		}
+		lo := int(s.Start[i] * scale)
+		hi := int(s.Finish[i] * scale)
+		if hi >= width {
+			hi = width - 1
+		}
+		if hi < lo {
+			hi = lo
+		}
+		mark := byte('#')
+		if name := g.Name(i); name != "" {
+			mark = name[0]
+		}
+		for c := lo; c <= hi && c < width; c++ {
+			rows[p][c] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=0%s t=%.4g\n", strings.Repeat(" ", width-len(fmt.Sprintf("t=%.4g", s.Makespan))-3), s.Makespan)
+	for p, row := range rows {
+		fmt.Fprintf(&b, "P%-3d|%s|\n", p, string(row))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteScheduleCSV dumps a schedule as CSV rows
+// (task,name,proc,start,finish,attempts) for external plotting.
+func WriteScheduleCSV(w io.Writer, g *dag.Graph, s Schedule) error {
+	var b strings.Builder
+	b.WriteString("task,name,proc,start,finish,attempts\n")
+	for i := 0; i < g.NumTasks(); i++ {
+		fmt.Fprintf(&b, "%d,%s,%d,%.9g,%.9g,%d\n",
+			i, g.Name(i), s.Proc[i], s.Start[i], s.Finish[i], s.Attempts[i])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

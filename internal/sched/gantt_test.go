@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+func TestWriteGantt(t *testing.T) {
+	g := dag.Diamond(1, 5, 3, 2)
+	p, _ := Priorities(g)
+	s, err := ListSchedule(g, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGantt(&buf, g, s, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 processors
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "P0  |") || !strings.HasPrefix(lines[2], "P1  |") {
+		t.Fatalf("row labels wrong:\n%s", out)
+	}
+	// Tasks src(s), mid0(m), mid1(m), snk(s) appear by first letter.
+	if !strings.Contains(out, "m") || !strings.Contains(out, "s") {
+		t.Fatalf("task marks missing:\n%s", out)
+	}
+	// Idle time exists on the second processor (it only runs one middle).
+	if !strings.Contains(lines[2], ".") {
+		t.Fatalf("no idle time drawn:\n%s", out)
+	}
+}
+
+func TestWriteGanttEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGantt(&buf, dag.New(0), Schedule{}, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatalf("empty schedule output: %q", buf.String())
+	}
+}
+
+func TestWriteGanttTinyWidthClamped(t *testing.T) {
+	g := dag.Chain(3, 1)
+	p, _ := Priorities(g)
+	s, _ := ListSchedule(g, p, 1)
+	var buf bytes.Buffer
+	if err := WriteGantt(&buf, g, s, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.String()) < 80 {
+		t.Fatalf("width not clamped up: %d chars", len(buf.String()))
+	}
+}
+
+func TestWriteScheduleCSV(t *testing.T) {
+	g := dag.Chain(3, 1, 2)
+	p, _ := Priorities(g)
+	s, _ := ListSchedule(g, p, 1)
+	var buf bytes.Buffer
+	if err := WriteScheduleCSV(&buf, g, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "task,name,proc,start,finish,attempts\n") {
+		t.Fatalf("header wrong: %q", out)
+	}
+	if strings.Count(out, "\n") != 4 {
+		t.Fatalf("rows = %d want 4:\n%s", strings.Count(out, "\n"), out)
+	}
+	if !strings.Contains(out, "c0,0,0,1,1") && !strings.Contains(out, "c0,0,0,1") {
+		t.Fatalf("first row content missing:\n%s", out)
+	}
+}

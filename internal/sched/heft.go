@@ -1,0 +1,211 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/failure"
+)
+
+// Platform is a set of heterogeneous processors. Task i runs on processor
+// p in time a_i / Speeds[p]; moving a dependency between two different
+// processors costs Comm seconds (the classic uniform-communication HEFT
+// simplification).
+type Platform struct {
+	Speeds []float64
+	Comm   float64
+}
+
+// Uniform returns a platform of n identical unit-speed processors with
+// zero communication cost.
+func Uniform(n int) Platform {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 1
+	}
+	return Platform{Speeds: s}
+}
+
+// Validate checks the platform parameters.
+func (p Platform) Validate() error {
+	if len(p.Speeds) == 0 {
+		return fmt.Errorf("sched: platform has no processors")
+	}
+	for i, s := range p.Speeds {
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return fmt.Errorf("sched: processor %d has speed %v", i, s)
+		}
+	}
+	if p.Comm < 0 || math.IsNaN(p.Comm) {
+		return fmt.Errorf("sched: negative communication cost %v", p.Comm)
+	}
+	return nil
+}
+
+func (p Platform) meanSpeed() float64 {
+	var sum float64
+	for _, s := range p.Speeds {
+		sum += s
+	}
+	return sum / float64(len(p.Speeds))
+}
+
+// UpwardRanks returns HEFT's task priorities: rank_u(i) = w̄_i +
+// max_{j ∈ Succ(i)} (Comm + rank_u(j)), with w̄_i the task's execution
+// time at the platform's mean speed. weights lets callers substitute
+// failure-inflated durations; pass nil for the graph's weights.
+func UpwardRanks(g *dag.Graph, plat Platform, weights []float64) ([]float64, error) {
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	if weights == nil {
+		weights = g.Weights()
+	} else if len(weights) != g.NumTasks() {
+		return nil, fmt.Errorf("sched: %d weights for %d tasks", len(weights), g.NumTasks())
+	}
+	mean := plat.meanSpeed()
+	rank := make([]float64, g.NumTasks())
+	for k := len(order) - 1; k >= 0; k-- {
+		v := order[k]
+		best := 0.0
+		for _, s := range g.Succ(v) {
+			if c := plat.Comm + rank[s]; c > best {
+				best = c
+			}
+		}
+		rank[v] = weights[v]/mean + best
+	}
+	return rank, nil
+}
+
+// busyInterval is one reserved slot on a processor, kept sorted by start.
+type busyInterval struct{ start, end float64 }
+
+// insertEarliest finds the earliest start ≥ ready on the interval list
+// that fits duration, using HEFT's insertion policy, and reserves it.
+func insertEarliest(ivs *[]busyInterval, ready, duration float64) (start float64) {
+	list := *ivs
+	prevEnd := ready
+	for i, iv := range list {
+		if prevEnd+duration <= iv.start+1e-15 {
+			// Fits in the gap before interval i.
+			*ivs = append(list[:i], append([]busyInterval{{prevEnd, prevEnd + duration}}, list[i:]...)...)
+			return prevEnd
+		}
+		if iv.end > prevEnd {
+			prevEnd = iv.end
+		}
+	}
+	*ivs = append(list, busyInterval{prevEnd, prevEnd + duration})
+	return prevEnd
+}
+
+// HEFT schedules g on the platform with the HEFT algorithm (Topcuoglu et
+// al. 2002, the heterogeneous CP-scheduling extension the paper cites):
+// tasks in decreasing upward rank, each placed on the processor minimizing
+// its earliest finish time under the insertion policy. weights substitutes
+// failure-inflated durations for both ranking and placement when non-nil —
+// passing failure.Model expected durations makes this the failure-aware
+// HEFT variant enabled by the paper's approximation.
+func HEFT(g *dag.Graph, plat Platform, weights []float64) (Schedule, error) {
+	if err := plat.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	n := g.NumTasks()
+	if weights == nil {
+		weights = g.Weights()
+	} else if len(weights) != n {
+		return Schedule{}, fmt.Errorf("sched: %d weights for %d tasks", len(weights), n)
+	}
+	ranks, err := UpwardRanks(g, plat, weights)
+	if err != nil {
+		return Schedule{}, err
+	}
+	// Decreasing rank is a topological order up to ties (rank[pred] ≥
+	// rank[succ] since weights and comm are non-negative); breaking ties
+	// by topological position makes it one unconditionally.
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return Schedule{}, err
+	}
+	pos := make([]int, n)
+	for i, v := range topo {
+		pos[v] = i
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if ranks[order[a]] != ranks[order[b]] {
+			return ranks[order[a]] > ranks[order[b]]
+		}
+		return pos[order[a]] < pos[order[b]]
+	})
+	s := Schedule{
+		Start:    make([]float64, n),
+		Finish:   make([]float64, n),
+		Proc:     make([]int, n),
+		Attempts: make([]int, n),
+	}
+	for i := range s.Proc {
+		s.Proc[i] = -1
+		s.Attempts[i] = 1
+	}
+	busy := make([][]busyInterval, len(plat.Speeds))
+	scheduled := make([]bool, n)
+	for _, v := range order {
+		for _, p := range g.Pred(v) {
+			if !scheduled[p] {
+				return Schedule{}, fmt.Errorf("sched: internal error: %d visited before predecessor %d", v, p)
+			}
+		}
+		bestProc, bestStart, bestFinish := -1, 0.0, math.Inf(1)
+		for p := range plat.Speeds {
+			ready := 0.0
+			for _, pred := range g.Pred(v) {
+				arr := s.Finish[pred]
+				if s.Proc[pred] != p {
+					arr += plat.Comm
+				}
+				if arr > ready {
+					ready = arr
+				}
+			}
+			dur := weights[v] / plat.Speeds[p]
+			// Probe without reserving.
+			probe := append([]busyInterval(nil), busy[p]...)
+			start := insertEarliest(&probe, ready, dur)
+			if start+dur < bestFinish {
+				bestProc, bestStart, bestFinish = p, start, start+dur
+			}
+		}
+		dur := weights[v] / plat.Speeds[bestProc]
+		insertEarliest(&busy[bestProc], bestStart, dur)
+		s.Start[v] = bestStart
+		s.Finish[v] = bestFinish
+		s.Proc[v] = bestProc
+		scheduled[v] = true
+		if bestFinish > s.Makespan {
+			s.Makespan = bestFinish
+		}
+	}
+	return s, nil
+}
+
+// FailureAwareWeights returns the expected task durations a_i·e^{λ a_i}
+// under re-execution until success, the natural input for a
+// failure-aware HEFT.
+func FailureAwareWeights(g *dag.Graph, model failure.Model) []float64 {
+	w := make([]float64, g.NumTasks())
+	for i := range w {
+		w[i] = model.ExpectedTime(g.Weight(i))
+	}
+	return w
+}

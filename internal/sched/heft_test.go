@@ -1,0 +1,242 @@
+package sched
+
+import (
+	"math"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/linalg"
+)
+
+func TestPlatformValidate(t *testing.T) {
+	if err := (Platform{}).Validate(); err == nil {
+		t.Error("empty platform accepted")
+	}
+	if err := (Platform{Speeds: []float64{1, 0}}).Validate(); err == nil {
+		t.Error("zero speed accepted")
+	}
+	if err := (Platform{Speeds: []float64{1}, Comm: -1}).Validate(); err == nil {
+		t.Error("negative comm accepted")
+	}
+	if err := Uniform(3).Validate(); err != nil {
+		t.Errorf("uniform platform rejected: %v", err)
+	}
+}
+
+func TestUpwardRanksChain(t *testing.T) {
+	// Unit-speed single processor, no comm: rank is the tail length.
+	g := dag.Chain(4, 1, 2, 3, 4)
+	r, err := UpwardRanks(g, Uniform(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 9, 7, 4}
+	for i := range want {
+		if math.Abs(r[i]-want[i]) > 1e-12 {
+			t.Fatalf("rank[%d] = %v want %v", i, r[i], want[i])
+		}
+	}
+}
+
+func TestUpwardRanksWithComm(t *testing.T) {
+	g := dag.Chain(3, 1)
+	plat := Platform{Speeds: []float64{1}, Comm: 0.5}
+	r, _ := UpwardRanks(g, plat, nil)
+	// rank(last)=1, rank(mid)=1+0.5+1=2.5, rank(first)=1+0.5+2.5=4.
+	want := []float64{4, 2.5, 1}
+	for i := range want {
+		if math.Abs(r[i]-want[i]) > 1e-12 {
+			t.Fatalf("rank[%d] = %v want %v", i, r[i], want[i])
+		}
+	}
+}
+
+func TestUpwardRanksErrors(t *testing.T) {
+	g := dag.Chain(3)
+	if _, err := UpwardRanks(g, Platform{}, nil); err == nil {
+		t.Error("bad platform accepted")
+	}
+	if _, err := UpwardRanks(g, Uniform(1), []float64{1}); err == nil {
+		t.Error("short weights accepted")
+	}
+}
+
+func TestHEFTSingleUnitProcessorMatchesListSchedule(t *testing.T) {
+	g, _ := linalg.Cholesky(4, linalg.KernelTimes{})
+	s, err := HEFT(g, Uniform(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Makespan-g.TotalWeight()) > 1e-9 {
+		t.Fatalf("1-proc HEFT %v != total %v", s.Makespan, g.TotalWeight())
+	}
+}
+
+func TestHEFTUnlimitedIdenticalIsCriticalPath(t *testing.T) {
+	g := dag.Diamond(1, 5, 3, 2)
+	s, err := HEFT(g, Uniform(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := dag.Makespan(g)
+	if math.Abs(s.Makespan-d) > 1e-12 {
+		t.Fatalf("HEFT %v != d(G) %v", s.Makespan, d)
+	}
+}
+
+func TestHEFTPrefersFastProcessor(t *testing.T) {
+	// One task, two processors, the second twice as fast.
+	g := dag.New(1)
+	g.MustAddTask("t", 4)
+	s, err := HEFT(g, Platform{Speeds: []float64{1, 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Proc[0] != 1 || s.Makespan != 2 {
+		t.Fatalf("HEFT chose proc %d, makespan %v", s.Proc[0], s.Makespan)
+	}
+}
+
+func TestHEFTCommMakesColocationWin(t *testing.T) {
+	// Chain of two tasks; comm so high that moving to a second faster
+	// processor loses.
+	g := dag.Chain(2, 2, 2)
+	plat := Platform{Speeds: []float64{1, 1.25}, Comm: 10}
+	s, err := HEFT(g, plat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Proc[0] != s.Proc[1] {
+		t.Fatalf("HEFT split a chain across procs with comm=10: %v", s.Proc)
+	}
+}
+
+func TestHEFTInsertionPolicyFillsGap(t *testing.T) {
+	// Processor timeline with a gap: fork of one long and one short task
+	// followed by a dependent of the long one; the short task should slot
+	// next to the others without delaying them.
+	g := dag.New(0)
+	src := g.MustAddTask("src", 1)
+	long := g.MustAddTask("long", 10)
+	short := g.MustAddTask("short", 1)
+	dep := g.MustAddTask("dep", 1)
+	g.MustAddEdge(src, long)
+	g.MustAddEdge(src, short)
+	g.MustAddEdge(long, dep)
+	s, err := HEFT(g, Uniform(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := dag.Makespan(g)
+	if math.Abs(s.Makespan-d) > 1e-12 {
+		t.Fatalf("HEFT %v != critical path %v", s.Makespan, d)
+	}
+}
+
+func TestHEFTRespectsPrecedenceAndComm(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(3))
+	g, _ := dag.LayeredRandom(dag.RandomConfig{Tasks: 40, EdgeProb: 0.3, MaxLayerWidth: 6}, rng)
+	plat := Platform{Speeds: []float64{1, 2, 0.5}, Comm: 0.1}
+	s, err := HEFT(g, plat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.NumTasks(); u++ {
+		for _, v := range g.Succ(u) {
+			arr := s.Finish[u]
+			if s.Proc[u] != s.Proc[v] {
+				arr += plat.Comm
+			}
+			if s.Start[v] < arr-1e-9 {
+				t.Fatalf("task %d starts %v before data from %d arrives %v", v, s.Start[v], u, arr)
+			}
+		}
+	}
+	// No overlap per processor.
+	type iv struct{ s, f float64 }
+	byProc := map[int][]iv{}
+	for i := 0; i < g.NumTasks(); i++ {
+		byProc[s.Proc[i]] = append(byProc[s.Proc[i]], iv{s.Start[i], s.Finish[i]})
+	}
+	for p, ivs := range byProc {
+		for i := range ivs {
+			for j := i + 1; j < len(ivs); j++ {
+				a, b := ivs[i], ivs[j]
+				if a.s < b.f-1e-9 && b.s < a.f-1e-9 {
+					t.Fatalf("proc %d: overlap [%v,%v] [%v,%v]", p, a.s, a.f, b.s, b.f)
+				}
+			}
+		}
+	}
+}
+
+// Property: HEFT on identical processors never exceeds the serial time and
+// never beats the critical path; more processors never hurt... (HEFT is a
+// heuristic, so only the bounds are guaranteed).
+func TestQuickHEFTBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := mrand.New(mrand.NewSource(seed))
+		g, err := dag.LayeredRandom(dag.RandomConfig{Tasks: 25, EdgeProb: 0.4, MaxLayerWidth: 5}, rng)
+		if err != nil {
+			return false
+		}
+		d, _ := dag.Makespan(g)
+		for _, np := range []int{1, 3, 8} {
+			s, err := HEFT(g, Uniform(np), nil)
+			if err != nil {
+				return false
+			}
+			if s.Makespan < d-1e-9 || s.Makespan > g.TotalWeight()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailureAwareHEFTUsesInflatedWeights(t *testing.T) {
+	g, _ := linalg.LU(5, linalg.KernelTimes{})
+	m := failure.Model{Lambda: 0.5}
+	w := FailureAwareWeights(g, m)
+	for i := range w {
+		if w[i] < g.Weight(i) {
+			t.Fatalf("inflated weight %v below base %v", w[i], g.Weight(i))
+		}
+	}
+	plain, err := HEFT(g, Uniform(3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := HEFT(g, Uniform(3), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The failure-aware schedule plans for longer tasks.
+	if aware.Makespan < plain.Makespan {
+		t.Fatalf("aware plan %v shorter than plain %v", aware.Makespan, plain.Makespan)
+	}
+}
+
+func TestHEFTRejectsCycle(t *testing.T) {
+	g := dag.New(2)
+	a := g.MustAddTask("a", 1)
+	b := g.MustAddTask("b", 1)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, a)
+	if _, err := HEFT(g, Uniform(2), nil); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestHEFTWeightsLengthChecked(t *testing.T) {
+	g := dag.Chain(3)
+	if _, err := HEFT(g, Uniform(2), []float64{1}); err == nil {
+		t.Fatal("short weights accepted")
+	}
+}

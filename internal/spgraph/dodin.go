@@ -1,0 +1,149 @@
+package spgraph
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/distribution"
+	"repro/internal/failure"
+)
+
+// Result is the outcome of a series-parallel (or Dodin-approximated)
+// evaluation.
+type Result struct {
+	// Estimate is the mean of Distribution: the approximated expected
+	// makespan.
+	Estimate float64
+	// Distribution is the (possibly rediscretized) makespan distribution
+	// of the reduced network.
+	Distribution distribution.Discrete
+}
+
+// DodinStats reports how far the input was from series-parallel.
+type DodinStats struct {
+	// Duplications is the number of node duplications needed; 0 means the
+	// graph was already series-parallel and the result is exact (up to the
+	// support cap).
+	Duplications int
+	// Reductions is the total number of series/parallel reductions.
+	Reductions int
+}
+
+// Dodin approximates the expected makespan of g by Dodin's method: convert
+// to an activity-on-arc network, apply series/parallel reductions, and
+// when stuck duplicate a join node (splitting one incoming arc onto a
+// fresh copy of the node and duplicating its outgoing arcs) until the
+// network collapses to a single arc. Duplication treats the duplicated
+// subpaths as independent, which is the method's approximation.
+//
+// maxAtoms caps distribution supports (DefaultMaxAtoms if <= 0 — pass a
+// negative value for an unlimited, exact-arithmetic run on small graphs).
+func Dodin(g *dag.Graph, model failure.Model, maxAtoms int) (Result, DodinStats, error) {
+	if maxAtoms == 0 {
+		maxAtoms = DefaultMaxAtoms
+	}
+	if maxAtoms < 0 {
+		maxAtoms = 0 // unlimited
+	}
+	net, err := FromDAG(g, model, maxAtoms)
+	if err != nil {
+		return Result{}, DodinStats{}, err
+	}
+	return net.Dodin()
+}
+
+// Dodin runs the reduction/duplication loop on the network.
+func (net *Network) Dodin() (Result, DodinStats, error) {
+	var stats DodinStats
+	// Every duplication removes one excess incoming arc from an existing
+	// join; the subsequent reductions can create new joins, so guard the
+	// loop with a generous budget proportional to the initial size.
+	budget := 40*net.nAlive + 1000
+	for {
+		stats.Reductions += net.reducePass()
+		if d, err := net.result(); err == nil {
+			return Result{Estimate: d.Mean(), Distribution: d}, stats, nil
+		}
+		if !net.duplicateOne() {
+			return Result{}, stats, fmt.Errorf("spgraph: reduction stuck with %d arcs and no join to duplicate", net.nAlive)
+		}
+		stats.Duplications++
+		if stats.Duplications > budget {
+			return Result{}, stats, fmt.Errorf("spgraph: duplication budget %d exceeded (arcs left: %d)", budget, net.nAlive)
+		}
+	}
+}
+
+// duplicateOne performs one Dodin duplication. It selects the join node v
+// (in-degree ≥ 2) with the smallest out-degree — ties broken by smallest
+// node ID — so that the fresh copy v' collapses by a series reduction as
+// soon as possible, then moves v's first incoming arc onto a new node v'
+// carrying copies of all of v's outgoing arcs. Returns false if the
+// network has no join node.
+func (net *Network) duplicateOne() bool {
+	bestV, bestOut := -1, -1
+	for v := range net.in {
+		if v == net.src || v == net.snk {
+			continue
+		}
+		if len(net.liveIn(v)) < 2 {
+			continue
+		}
+		od := len(net.liveOut(v))
+		if od == 0 {
+			continue
+		}
+		if bestV == -1 || od < bestOut {
+			bestV, bestOut = v, od
+		}
+	}
+	if bestV == -1 {
+		return false
+	}
+	v := bestV
+	in := net.liveIn(v)
+	moved := in[0]
+	u := net.arcs[moved].from
+	d := net.arcs[moved].dist
+	// New node v'.
+	vp := len(net.in)
+	net.in = append(net.in, nil)
+	net.out = append(net.out, nil)
+	movedTree := net.arcs[moved].tree
+	net.killArc(moved)
+	net.addArc(u, vp, d, movedTree)
+	for _, id := range net.liveOut(v) {
+		// Duplicated subpaths share tree pointers; a later evaluation
+		// treats the copies as independent, which is Dodin's approximation.
+		net.addArc(vp, net.arcs[id].to, net.arcs[id].dist, net.arcs[id].tree)
+	}
+	return true
+}
+
+// IsSeriesParallel reports whether the task graph g is series-parallel in
+// the two-terminal AoA sense used by the reduction (true iff Dodin needs
+// zero duplications).
+func IsSeriesParallel(g *dag.Graph) (bool, error) {
+	net, err := FromDAG(g, failure.Model{}, DefaultMaxAtoms)
+	if err != nil {
+		return false, err
+	}
+	return net.IsSeriesParallel(), nil
+}
+
+// EvaluateSP computes the exact makespan distribution of a series-parallel
+// task graph (exact when maxAtoms < 0, i.e. uncapped). It fails if g is
+// not series-parallel.
+func EvaluateSP(g *dag.Graph, model failure.Model, maxAtoms int) (Result, error) {
+	if maxAtoms == 0 {
+		maxAtoms = DefaultMaxAtoms
+	}
+	if maxAtoms < 0 {
+		maxAtoms = 0
+	}
+	net, err := FromDAG(g, model, maxAtoms)
+	if err != nil {
+		return Result{}, err
+	}
+	return net.EvaluateSP()
+}

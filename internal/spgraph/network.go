@@ -1,0 +1,155 @@
+// Package spgraph implements the series-parallel machinery behind the
+// paper's "Dodin" competitor (§II-A2, §V-A): conversion of a task DAG into
+// an activity-on-arc (AoA) network, exact series/parallel reductions over
+// discrete distributions, series-parallel recognition, and Dodin's node
+// duplication that forces an arbitrary DAG into series-parallel form so
+// its makespan distribution can be evaluated by reduction.
+package spgraph
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/distribution"
+	"repro/internal/failure"
+)
+
+// Network is a directed multigraph with a distribution on every arc, a
+// single source and a single sink — a PERT activity-on-arc network.
+type Network struct {
+	arcs     []arc
+	aliveArc []bool
+	in, out  [][]int // arc IDs per node (may contain dead arcs; filtered on use)
+	src, snk int
+	nAlive   int
+	maxAtoms int // distribution support cap; 0 = unlimited (exact)
+}
+
+type arc struct {
+	from, to int
+	dist     distribution.Discrete
+	tree     *SPNode // SP decomposition witness; nil for zero arcs
+}
+
+// DefaultMaxAtoms caps distribution supports during reductions. Without a
+// cap, chains of convolutions of 2-state distributions grow exponentially
+// (the pseudo-polynomial blow-up the paper notes for series-parallel
+// graphs).
+const DefaultMaxAtoms = 64
+
+// FromDAG converts a task graph into an AoA network: task i becomes an arc
+// carrying its 2-state distribution between a fresh start/end node pair;
+// each precedence edge becomes a zero-length arc; a super-source and
+// super-sink tie up entry and exit tasks. maxAtoms caps distribution
+// supports during subsequent reductions (0 = unlimited).
+func FromDAG(g *dag.Graph, model failure.Model, maxAtoms int) (*Network, error) {
+	if _, err := g.TopoOrder(); err != nil {
+		return nil, err
+	}
+	n := g.NumTasks()
+	// Node layout: 2i = start of task i, 2i+1 = end of task i,
+	// 2n = super-source, 2n+1 = super-sink.
+	nn := 2*n + 2
+	net := &Network{
+		in:       make([][]int, nn),
+		out:      make([][]int, nn),
+		src:      2 * n,
+		snk:      2*n + 1,
+		maxAtoms: maxAtoms,
+	}
+	zero := distribution.Point(0)
+	for i := 0; i < n; i++ {
+		d, err := distribution.TwoState(g.Weight(i), model.PSuccess(g.Weight(i)))
+		if err != nil {
+			return nil, fmt.Errorf("spgraph: task %d: %w", i, err)
+		}
+		net.addArc(2*i, 2*i+1, d, leafNode(i))
+		if g.InDegree(i) == 0 {
+			net.addArc(net.src, 2*i, zero, nil)
+		}
+		if g.OutDegree(i) == 0 {
+			net.addArc(2*i+1, net.snk, zero, nil)
+		}
+		for _, s := range g.Succ(i) {
+			net.addArc(2*i+1, 2*s, zero, nil)
+		}
+	}
+	if n == 0 {
+		net.addArc(net.src, net.snk, zero, nil)
+	}
+	return net, nil
+}
+
+func (net *Network) addArc(u, v int, d distribution.Discrete, tree *SPNode) int {
+	id := len(net.arcs)
+	net.arcs = append(net.arcs, arc{from: u, to: v, dist: d, tree: tree})
+	net.aliveArc = append(net.aliveArc, true)
+	net.out[u] = append(net.out[u], id)
+	net.in[v] = append(net.in[v], id)
+	net.nAlive++
+	return id
+}
+
+func (net *Network) killArc(id int) {
+	if net.aliveArc[id] {
+		net.aliveArc[id] = false
+		net.nAlive--
+	}
+}
+
+// liveIn returns the live incoming arc IDs of v, compacting the list.
+func (net *Network) liveIn(v int) []int {
+	live := net.in[v][:0]
+	for _, id := range net.in[v] {
+		if net.aliveArc[id] && net.arcs[id].to == v {
+			live = append(live, id)
+		}
+	}
+	net.in[v] = live
+	return live
+}
+
+// liveOut returns the live outgoing arc IDs of u, compacting the list.
+func (net *Network) liveOut(u int) []int {
+	live := net.out[u][:0]
+	for _, id := range net.out[u] {
+		if net.aliveArc[id] && net.arcs[id].from == u {
+			live = append(live, id)
+		}
+	}
+	net.out[u] = live
+	return live
+}
+
+// NumArcs returns the number of live arcs.
+func (net *Network) NumArcs() int { return net.nAlive }
+
+// cap applies the support cap to a distribution.
+func (net *Network) cap(d distribution.Discrete) distribution.Discrete {
+	if net.maxAtoms > 0 {
+		return d.Rediscretize(net.maxAtoms)
+	}
+	return d
+}
+
+// errNotReduced reports a network that did not collapse to a single arc.
+var errNotReduced = errors.New("spgraph: network not reduced to a single arc")
+
+// result returns the final arc's distribution once the network has been
+// fully reduced.
+func (net *Network) result() (distribution.Discrete, error) {
+	if net.nAlive != 1 {
+		return distribution.Discrete{}, errNotReduced
+	}
+	for id, alive := range net.aliveArc {
+		if alive {
+			a := net.arcs[id]
+			if a.from != net.src || a.to != net.snk {
+				return distribution.Discrete{}, fmt.Errorf("%w: last arc (%d,%d) is not source→sink", errNotReduced, a.from, a.to)
+			}
+			return a.dist, nil
+		}
+	}
+	return distribution.Discrete{}, errNotReduced
+}

@@ -1,0 +1,93 @@
+package spgraph
+
+import (
+	"fmt"
+)
+
+// reducePass applies series and parallel reductions until none applies,
+// returning the number of reductions performed.
+//
+// Parallel reduction: two live arcs with the same endpoints merge into one
+// carrying the independent max of their distributions. Series reduction:
+// an internal node with exactly one live incoming and one live outgoing
+// arc disappears; the arcs merge into their convolution. Both are exact
+// under the model's independence assumptions.
+func (net *Network) reducePass() int {
+	reductions := 0
+	// Worklist of nodes to examine; start with every node that has arcs.
+	queue := make([]int, 0, len(net.in))
+	inQueue := make([]bool, len(net.in))
+	push := func(v int) {
+		if v >= 0 && v < len(inQueue) && !inQueue[v] {
+			inQueue[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for v := range net.in {
+		push(v)
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		inQueue[v] = false
+
+		// Parallel reductions among v's outgoing arcs.
+		out := net.liveOut(v)
+		if len(out) > 1 {
+			byHead := make(map[int]int, len(out)) // head -> first arc id
+			for _, id := range out {
+				head := net.arcs[id].to
+				if first, ok := byHead[head]; ok {
+					merged := net.cap(net.arcs[first].dist.MaxInd(net.arcs[id].dist))
+					net.arcs[first].dist = merged
+					net.arcs[first].tree = parallelNode(net.arcs[first].tree, net.arcs[id].tree)
+					net.killArc(id)
+					reductions++
+					push(v)
+					push(head)
+				} else {
+					byHead[head] = id
+				}
+			}
+		}
+
+		// Series reduction at v.
+		if v == net.src || v == net.snk {
+			continue
+		}
+		in, out := net.liveIn(v), net.liveOut(v)
+		if len(in) == 1 && len(out) == 1 {
+			a, b := net.arcs[in[0]], net.arcs[out[0]]
+			merged := net.cap(a.dist.Add(b.dist))
+			net.killArc(in[0])
+			net.killArc(out[0])
+			net.addArc(a.from, b.to, merged, seriesNode(a.tree, b.tree))
+			reductions++
+			push(a.from)
+			push(b.to)
+		}
+	}
+	return reductions
+}
+
+// IsSeriesParallel reports whether the network is (two-terminal)
+// series-parallel: it is iff series/parallel reductions alone collapse it
+// to a single source→sink arc (Valdes–Tarjan–Lawler). The network is
+// consumed.
+func (net *Network) IsSeriesParallel() bool {
+	net.reducePass()
+	_, err := net.result()
+	return err == nil
+}
+
+// EvaluateSP reduces a series-parallel network to its exact makespan
+// distribution (exact up to the configured support cap). It fails with an
+// error mentioning Dodin if the network is not series-parallel.
+func (net *Network) EvaluateSP() (Result, error) {
+	net.reducePass()
+	d, err := net.result()
+	if err != nil {
+		return Result{}, fmt.Errorf("%w (graph is not series-parallel; use Dodin)", err)
+	}
+	return Result{Estimate: d.Mean(), Distribution: d}, nil
+}

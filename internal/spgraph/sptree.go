@@ -1,0 +1,192 @@
+package spgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dag"
+	"repro/internal/distribution"
+	"repro/internal/failure"
+)
+
+// SPKind classifies SP-tree nodes.
+type SPKind int
+
+// SP-tree node kinds.
+const (
+	SPLeaf SPKind = iota // a single task
+	SPSeries
+	SPParallel
+)
+
+// SPNode is a node of the series-parallel decomposition tree of a task
+// graph: leaves are tasks, internal nodes compose children in series
+// (sequential sum) or parallel (independent max). The tree is the
+// structural witness of series-parallelism produced by Decompose and the
+// input to an exact recursive evaluation cross-checking the
+// reduction-based evaluator.
+type SPNode struct {
+	Kind     SPKind
+	Task     int // valid for SPLeaf
+	Children []*SPNode
+	// minLeaf caches the smallest leaf task ID of the subtree. Dodin
+	// duplication shares subtrees between arcs, so the "tree" reachable
+	// from an arc is really a DAG — a recursive minimum would revisit
+	// shared subtrees exponentially often. Filled at construction.
+	minLeaf int
+}
+
+func leafNode(task int) *SPNode {
+	return &SPNode{Kind: SPLeaf, Task: task, minLeaf: task}
+}
+
+func seriesNode(a, b *SPNode) *SPNode {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	// Flatten nested series for canonical shape.
+	var kids []*SPNode
+	for _, n := range []*SPNode{a, b} {
+		if n.Kind == SPSeries {
+			kids = append(kids, n.Children...)
+		} else {
+			kids = append(kids, n)
+		}
+	}
+	return &SPNode{Kind: SPSeries, Children: kids, minLeaf: min(a.minLeaf, b.minLeaf)}
+}
+
+func parallelNode(a, b *SPNode) *SPNode {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	var kids []*SPNode
+	for _, n := range []*SPNode{a, b} {
+		if n.Kind == SPParallel {
+			kids = append(kids, n.Children...)
+		} else {
+			kids = append(kids, n)
+		}
+	}
+	// Parallel composition is commutative; sort children by smallest leaf
+	// so the decomposition is canonical regardless of reduction order.
+	sort.Slice(kids, func(i, j int) bool { return kids[i].minLeaf < kids[j].minLeaf })
+	return &SPNode{Kind: SPParallel, Children: kids, minLeaf: min(a.minLeaf, b.minLeaf)}
+}
+
+// String renders the tree as S(...) / P(...) / T<id> — e.g. the diamond
+// 0→{1,2}→3 prints "S(T0, P(T1, T2), T3)".
+func (n *SPNode) String() string {
+	if n == nil {
+		return "ε"
+	}
+	switch n.Kind {
+	case SPLeaf:
+		return fmt.Sprintf("T%d", n.Task)
+	case SPSeries, SPParallel:
+		tag := "S"
+		if n.Kind == SPParallel {
+			tag = "P"
+		}
+		parts := make([]string, len(n.Children))
+		for i, c := range n.Children {
+			parts[i] = c.String()
+		}
+		return tag + "(" + strings.Join(parts, ", ") + ")"
+	}
+	return "?"
+}
+
+// Tasks returns the leaf task IDs in tree order.
+func (n *SPNode) Tasks() []int {
+	var out []int
+	var walk func(*SPNode)
+	walk = func(m *SPNode) {
+		if m == nil {
+			return
+		}
+		if m.Kind == SPLeaf {
+			out = append(out, m.Task)
+			return
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Evaluate computes the makespan distribution of the subtree under the
+// 2-state model, recursively: leaves are TwoState(a_i, p_i), series
+// convolve, parallel take the independent max. maxAtoms caps supports
+// (<= 0 = unlimited). On a tree produced by Decompose this equals the
+// reduction-based EvaluateSP exactly (property-tested).
+func (n *SPNode) Evaluate(g *dag.Graph, model failure.Model, maxAtoms int) (distribution.Discrete, error) {
+	capd := func(d distribution.Discrete) distribution.Discrete {
+		if maxAtoms > 0 {
+			return d.Rediscretize(maxAtoms)
+		}
+		return d
+	}
+	var eval func(*SPNode) (distribution.Discrete, error)
+	eval = func(m *SPNode) (distribution.Discrete, error) {
+		if m == nil {
+			return distribution.Point(0), nil
+		}
+		switch m.Kind {
+		case SPLeaf:
+			a := g.Weight(m.Task)
+			return distribution.TwoState(a, model.PSuccess(a))
+		case SPSeries, SPParallel:
+			acc, err := eval(m.Children[0])
+			if err != nil {
+				return distribution.Discrete{}, err
+			}
+			for _, c := range m.Children[1:] {
+				d, err := eval(c)
+				if err != nil {
+					return distribution.Discrete{}, err
+				}
+				if m.Kind == SPSeries {
+					acc = capd(acc.Add(d))
+				} else {
+					acc = capd(acc.MaxInd(d))
+				}
+			}
+			return acc, nil
+		}
+		return distribution.Discrete{}, fmt.Errorf("spgraph: bad SP node kind %d", m.Kind)
+	}
+	return eval(n)
+}
+
+// Decompose returns the SP decomposition tree of g, or an error if g is
+// not two-terminal series-parallel. An empty graph decomposes to nil.
+func Decompose(g *dag.Graph) (*SPNode, error) {
+	net, err := FromDAG(g, failure.Model{}, DefaultMaxAtoms)
+	if err != nil {
+		return nil, err
+	}
+	net.reducePass()
+	if net.nAlive != 1 {
+		return nil, fmt.Errorf("spgraph: graph is not series-parallel (%d arcs left after reduction)", net.nAlive)
+	}
+	for id, alive := range net.aliveArc {
+		if alive {
+			a := net.arcs[id]
+			if a.from != net.src || a.to != net.snk {
+				return nil, fmt.Errorf("spgraph: reduction ended off the terminals")
+			}
+			return a.tree, nil
+		}
+	}
+	return nil, fmt.Errorf("spgraph: no live arc after reduction")
+}

@@ -1,0 +1,212 @@
+package spgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/linalg"
+	"repro/internal/montecarlo"
+)
+
+func TestDecomposeChain(t *testing.T) {
+	g := dag.Chain(3, 1)
+	tree, err := Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.String(); got != "S(T0, T1, T2)" {
+		t.Fatalf("chain tree = %s", got)
+	}
+}
+
+func TestDecomposeDiamond(t *testing.T) {
+	g := dag.Diamond(1, 2, 3, 4)
+	tree, err := Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.String(); got != "S(T0, P(T1, T2), T3)" {
+		t.Fatalf("diamond tree = %s", got)
+	}
+	tasks := tree.Tasks()
+	if len(tasks) != 4 {
+		t.Fatalf("leaf count = %d", len(tasks))
+	}
+}
+
+func TestDecomposeForkJoin(t *testing.T) {
+	g := dag.ForkJoin(3, 2)
+	tree, err := Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Child order inside P(...) follows reduction order, so assert shape
+	// rather than ordering: S(T0, P(three tasks), T4).
+	if tree.Kind != SPSeries || len(tree.Children) != 3 {
+		t.Fatalf("fork-join tree = %s", tree)
+	}
+	mid := tree.Children[1]
+	if mid.Kind != SPParallel || len(mid.Children) != 3 {
+		t.Fatalf("fork-join middle = %s", mid)
+	}
+	got := map[int]bool{}
+	for _, c := range mid.Children {
+		if c.Kind != SPLeaf {
+			t.Fatalf("non-leaf branch %s", c)
+		}
+		got[c.Task] = true
+	}
+	if !got[1] || !got[2] || !got[3] {
+		t.Fatalf("parallel branches = %v", got)
+	}
+}
+
+func TestDecomposeRejectsNonSP(t *testing.T) {
+	if _, err := Decompose(nGraph()); err == nil {
+		t.Fatal("N graph decomposed")
+	}
+}
+
+func TestDecomposeEmptyAndSingle(t *testing.T) {
+	tree, err := Decompose(dag.New(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree != nil {
+		t.Fatalf("empty tree = %v", tree)
+	}
+	single := dag.New(1)
+	single.MustAddTask("solo", 2)
+	tree, err = Decompose(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.String() != "T0" {
+		t.Fatalf("single tree = %s", tree)
+	}
+}
+
+func TestSPNodeStringNil(t *testing.T) {
+	var n *SPNode
+	if n.String() != "ε" {
+		t.Fatalf("nil String = %q", n.String())
+	}
+}
+
+func TestTreeEvaluateMatchesExactOnDiamond(t *testing.T) {
+	g := dag.Diamond(1, 5, 3, 2)
+	m := failure.Model{Lambda: 0.2}
+	tree, err := Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tree.Evaluate(g, m, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := montecarlo.ExactTwoState(g, m)
+	if math.Abs(d.Mean()-exact) > 1e-9 {
+		t.Fatalf("tree evaluate %v != exact %v", d.Mean(), exact)
+	}
+}
+
+func TestRandomSeriesParallelIsSP(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		g, err := dag.RandomSeriesParallel(1+rng.Intn(40), dag.RandomConfig{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		sp, err := IsSeriesParallel(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sp {
+			t.Fatalf("trial %d: generated graph not SP (%d tasks)", trial, g.NumTasks())
+		}
+	}
+}
+
+// Property: on random SP graphs, the three independent evaluations agree —
+// reduction-based EvaluateSP, recursive tree Evaluate, and (for small
+// graphs) exhaustive enumeration.
+func TestQuickSPEvaluationsAgree(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := 1 + int(szRaw)%14
+		g, err := dag.RandomSeriesParallel(size, dag.RandomConfig{}, rng)
+		if err != nil || g.NumTasks() > montecarlo.MaxExactTasks {
+			return err == nil // oversized: skip but don't fail
+		}
+		m := failure.Model{Lambda: 0.1}
+		spRes, err := EvaluateSP(g, m, -1)
+		if err != nil {
+			return false
+		}
+		tree, err := Decompose(g)
+		if err != nil {
+			return false
+		}
+		d, err := tree.Evaluate(g, m, -1)
+		if err != nil {
+			return false
+		}
+		exact, err := montecarlo.ExactTwoState(g, m)
+		if err != nil {
+			return false
+		}
+		return math.Abs(spRes.Estimate-exact) < 1e-9 &&
+			math.Abs(d.Mean()-exact) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression guard: Dodin duplication shares SP subtrees between arcs, so
+// any per-merge operation that walks subtrees recursively (rather than
+// using cached fields like minLeaf) degrades exponentially. QR at high
+// pfail exercised the worst case: ~0.2 s healthy, ~17 s when the
+// canonical-order sort recomputed subtree minima recursively.
+func TestDodinTreeSharingStaysFast(t *testing.T) {
+	g, _ := linalg.QR(8, linalg.KernelTimes{})
+	m, _ := failure.FromPfail(0.01, g.MeanWeight())
+	start := time.Now()
+	if _, _, err := Dodin(g, m, 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("Dodin on QR k=8 took %v; shared-subtree blowup regressed", elapsed)
+	}
+}
+
+func TestTreeTaskCountMatchesGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := dag.RandomSeriesParallel(25, dag.RandomConfig{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := tree.Tasks()
+	if len(tasks) != g.NumTasks() {
+		t.Fatalf("tree has %d leaves for %d tasks", len(tasks), g.NumTasks())
+	}
+	seen := make(map[int]bool)
+	for _, id := range tasks {
+		if seen[id] {
+			t.Fatalf("task %d appears twice in the tree", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,249 @@
+// Package makespan estimates the expected makespan of task graphs whose
+// tasks are subject to silent errors, reproducing "Computing the expected
+// makespan of task graphs in the presence of silent errors" (Casanova,
+// Herrmann, Robert; P2S2/ICPP 2016).
+//
+// Tasks run on unlimited processors under precedence constraints; a silent
+// error strikes a running task with exponential rate λ and is detected by
+// a verification at task end, forcing a full re-execution. Computing the
+// resulting expected makespan exactly is #P-complete, so this package
+// offers the paper's estimators:
+//
+//   - FirstOrder — the paper's contribution: exact to first order in λ,
+//     computed in O(V+E). The method of choice at realistic error rates.
+//   - SecondOrder — the O(λ²) extension sketched in the paper's
+//     conclusion.
+//   - Dodin — series-parallel approximation of the DAG, evaluated exactly
+//     by series/parallel reductions over discrete distributions.
+//   - Normal and Sculli — normality-assumption sweeps using Clark's
+//     formulas (correlation-aware and independent variants).
+//   - MonteCarlo — the brute-force ground truth.
+//
+// Application DAG generators for tiled Cholesky, LU and QR factorizations
+// (the paper's three workloads), a pfail ↔ λ calibration helper, and
+// failure-aware list-scheduling priorities round out the API. See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction results.
+package makespan
+
+import (
+	"math/rand"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/linalg"
+	"repro/internal/montecarlo"
+	"repro/internal/normal"
+	"repro/internal/sched"
+	"repro/internal/spgraph"
+)
+
+// Graph is a weighted directed acyclic task graph. Build one with
+// NewGraph/AddTask/AddEdge or with the generators below.
+type Graph = dag.Graph
+
+// NewGraph returns an empty task graph with capacity for n tasks.
+func NewGraph(n int) *Graph { return dag.New(n) }
+
+// Model is a silent-error model with exponential error rate Lambda.
+type Model = failure.Model
+
+// NewModel returns a model with error rate lambda (errors per second).
+func NewModel(lambda float64) (Model, error) { return failure.New(lambda) }
+
+// ModelFromPfail calibrates the error rate so a task of the given mean
+// weight fails with probability pfail, as in the paper's evaluation:
+// pfail = 1 − e^{−λ·meanWeight}.
+func ModelFromPfail(pfail, meanWeight float64) (Model, error) {
+	return failure.FromPfail(pfail, meanWeight)
+}
+
+// KernelTimes holds per-kernel execution times for the factorization
+// generators; the zero value selects the documented defaults.
+type KernelTimes = linalg.KernelTimes
+
+// Cholesky returns the task DAG of a tiled Cholesky factorization of a
+// k×k tile matrix (paper Figure 1 for k=5).
+func Cholesky(k int) (*Graph, error) { return linalg.Cholesky(k, linalg.KernelTimes{}) }
+
+// LU returns the task DAG of a tiled LU factorization (paper Figure 2).
+func LU(k int) (*Graph, error) { return linalg.LU(k, linalg.KernelTimes{}) }
+
+// QR returns the task DAG of a tiled QR factorization (paper Figure 3).
+func QR(k int) (*Graph, error) { return linalg.QR(k, linalg.KernelTimes{}) }
+
+// FailureFreeMakespan returns d(G), the longest path length and a lower
+// bound on the expected makespan.
+func FailureFreeMakespan(g *Graph) (float64, error) { return dag.Makespan(g) }
+
+// FirstOrder computes the paper's first-order approximation of the
+// expected makespan in O(V+E).
+func FirstOrder(g *Graph, m Model) (float64, error) {
+	res, err := core.FirstOrder(g, m)
+	return res.Estimate, err
+}
+
+// FirstOrderDetail additionally returns d(G) and each task's sensitivity
+// a_i·(d(G_i) − d(G)); the estimate equals d(G) + λ·Σ contributions.
+func FirstOrderDetail(g *Graph, m Model) (core.FirstOrderResult, error) {
+	return core.FirstOrder(g, m)
+}
+
+// FirstOrderRates is FirstOrder with a per-task error rate — for tasks
+// running at different DVFS speeds or on processors of different quality.
+func FirstOrderRates(g *Graph, rates []float64) (float64, error) {
+	res, err := core.FirstOrderRates(g, rates)
+	return res.Estimate, err
+}
+
+// SecondOrder computes the O(λ²) extension (O(V(V+E)) time, O(V²) space).
+func SecondOrder(g *Graph, m Model) (float64, error) {
+	res, err := core.SecondOrder(g, m)
+	return res.Estimate, err
+}
+
+// Dodin approximates the expected makespan with Dodin's series-parallel
+// method. maxAtoms caps distribution supports (0 = default 64, negative =
+// unlimited/exact arithmetic).
+func Dodin(g *Graph, m Model, maxAtoms int) (float64, error) {
+	res, _, err := spgraph.Dodin(g, m, maxAtoms)
+	return res.Estimate, err
+}
+
+// Normal computes the correlation-aware normality-assumption estimate
+// (the paper's "Normal" method).
+func Normal(g *Graph, m Model) (float64, error) {
+	res, err := normal.CorLCA(g, m)
+	return res.Estimate, err
+}
+
+// Sculli computes the classical independent-maxima normal estimate.
+func Sculli(g *Graph, m Model) (float64, error) {
+	res, err := normal.Sculli(g, m)
+	return res.Estimate, err
+}
+
+// MonteCarloResult is a Monte Carlo estimate with its uncertainty.
+type MonteCarloResult = montecarlo.Result
+
+// MonteCarloConfig tunes a Monte Carlo run; the zero value uses the
+// paper's 300,000 trials on all cores.
+type MonteCarloConfig = montecarlo.Config
+
+// MonteCarlo estimates the expected makespan by sampling, the paper's
+// ground truth.
+func MonteCarlo(g *Graph, m Model, cfg MonteCarloConfig) (MonteCarloResult, error) {
+	return montecarlo.Estimate(g, m, cfg)
+}
+
+// ExpectedBottomLevels returns failure-aware expected bottom levels (the
+// expected longest path from each task to the end of the execution),
+// the priority the paper's conclusion proposes for list scheduling.
+func ExpectedBottomLevels(g *Graph, m Model) ([]float64, error) {
+	return core.ExpectedBottomLevels(g, m)
+}
+
+// IsSeriesParallel reports whether g is two-terminal series-parallel, in
+// which case Dodin with unlimited atoms is exact.
+func IsSeriesParallel(g *Graph) (bool, error) { return spgraph.IsSeriesParallel(g) }
+
+// Schedule is the outcome of a (possibly failure-injected) list-scheduled
+// execution on a bounded number of processors.
+type Schedule = sched.Schedule
+
+// ListSchedule runs failure-free CP list scheduling with the given
+// priorities on nprocs identical processors.
+func ListSchedule(g *Graph, prio []float64, nprocs int) (Schedule, error) {
+	return sched.ListSchedule(g, prio, nprocs)
+}
+
+// SchedulingPriorities returns deterministic CP (critical-path) list
+// scheduling priorities a_i + bl(i).
+func SchedulingPriorities(g *Graph) ([]float64, error) { return sched.Priorities(g) }
+
+// FailureAwarePriorities returns priorities from First Order expected
+// bottom levels.
+func FailureAwarePriorities(g *Graph, m Model) ([]float64, error) {
+	return sched.FailureAwarePriorities(g, m)
+}
+
+// Bracket returns analytic bounds [lo, hi] guaranteed to contain the
+// exact expected makespan under the 2-state model: a Jensen lower bound
+// (longest path of expected durations) and an independent-sweep upper
+// bound. maxAtoms caps the sweep's distribution supports (0 = default).
+func Bracket(g *Graph, m Model, maxAtoms int) (lo, hi float64, err error) {
+	return bounds.Bracket(g, m, maxAtoms)
+}
+
+// MonteCarloSamples runs Monte Carlo like MonteCarlo but also returns the
+// raw makespan samples for quantile, histogram and goodness-of-fit
+// queries.
+func MonteCarloSamples(g *Graph, m Model, cfg MonteCarloConfig) (MonteCarloResult, *montecarlo.Samples, error) {
+	e, err := montecarlo.NewEstimator(g, m, cfg)
+	if err != nil {
+		return MonteCarloResult{}, nil, err
+	}
+	return e.RunSamples()
+}
+
+// Verification models the cost of the per-task error detector; Apply
+// folds it into a graph's weights.
+type Verification = failure.Verification
+
+// Replication models duplicate-and-compare error detection; Transform
+// reduces it to the plain verified-execution model.
+type Replication = failure.Replication
+
+// Platform is a heterogeneous processor set for HEFT.
+type Platform = sched.Platform
+
+// UniformPlatform returns n identical unit-speed processors with free
+// communication.
+func UniformPlatform(n int) Platform { return sched.Uniform(n) }
+
+// HEFT schedules g on a heterogeneous platform with the HEFT heuristic.
+// Pass FailureAwareWeights-style expected durations as weights (nil = the
+// graph's failure-free weights) to obtain the failure-aware variant.
+func HEFT(g *Graph, plat Platform, weights []float64) (Schedule, error) {
+	return sched.HEFT(g, plat, weights)
+}
+
+// ExpectedWeights returns per-task expected durations a_i·e^{λa_i} under
+// re-execution until success — HEFT-ready failure-aware weights.
+func ExpectedWeights(g *Graph, m Model) []float64 {
+	return sched.FailureAwareWeights(g, m)
+}
+
+// Wavefront returns the n×n 2D stencil-sweep DAG, a canonical
+// non-series-parallel HPC dependence pattern.
+func Wavefront(n int, weight float64) *Graph { return dag.Wavefront(n, weight) }
+
+// Pipeline returns a stages×width bus-structured workflow DAG.
+func Pipeline(stages, width int, weight float64) *Graph {
+	return dag.Pipeline(stages, width, weight)
+}
+
+// FFT returns the n-point butterfly DAG (n a power of two).
+func FFT(n int, weight float64) (*Graph, error) { return dag.FFT(n, weight) }
+
+// TransitiveReduction removes redundant precedence edges without changing
+// any path length.
+func TransitiveReduction(g *Graph) (*Graph, error) { return dag.TransitiveReduction(g) }
+
+// DVFS is the voltage/frequency-dependent error-rate model of the paper's
+// Eq. (1): lowering the speed raises the silent-error rate exponentially.
+type DVFS = failure.DVFS
+
+// NewDVFS builds a DVFS model with error rate lambda0 at speed smax,
+// sensitivity d > 0, and speed range [smin, smax].
+func NewDVFS(lambda0, d, smin, smax float64) (DVFS, error) {
+	return failure.NewDVFS(lambda0, d, smin, smax)
+}
+
+// RandomLayeredGraph generates a random layered DAG; a convenience
+// re-export for experimentation and fuzzing.
+func RandomLayeredGraph(tasks int, edgeProb float64, maxWidth int, rng *rand.Rand) (*Graph, error) {
+	return dag.LayeredRandom(dag.RandomConfig{Tasks: tasks, EdgeProb: edgeProb, MaxLayerWidth: maxWidth}, rng)
+}

@@ -1,0 +1,163 @@
+package makespan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	g, err := Cholesky(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ModelFromPfail(0.001, g.MeanWeight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := FailureFreeMakespan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MonteCarlo(g, m, MonteCarloConfig{Trials: 30000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	estimators := map[string]func() (float64, error){
+		"FirstOrder":  func() (float64, error) { return FirstOrder(g, m) },
+		"SecondOrder": func() (float64, error) { return SecondOrder(g, m) },
+		"Dodin":       func() (float64, error) { return Dodin(g, m, 0) },
+		"Normal":      func() (float64, error) { return Normal(g, m) },
+		"Sculli":      func() (float64, error) { return Sculli(g, m) },
+	}
+	for name, f := range estimators {
+		est, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if est < d {
+			t.Errorf("%s estimate %v below failure-free %v", name, est, d)
+		}
+		if rel := math.Abs(est-mc.Mean) / mc.Mean; rel > 0.10 {
+			t.Errorf("%s estimate %v more than 10%% from MC %v", name, est, mc.Mean)
+		}
+	}
+	// First Order should be the closest to MC at this pfail.
+	fo, _ := FirstOrder(g, m)
+	dod, _ := Dodin(g, m, 0)
+	if math.Abs(fo-mc.Mean) > math.Abs(dod-mc.Mean) {
+		t.Errorf("First Order (%v) further from MC (%v) than Dodin (%v)", fo, mc.Mean, dod)
+	}
+}
+
+func TestFacadeBuildGraphManually(t *testing.T) {
+	g := NewGraph(3)
+	a := g.MustAddTask("prepare", 1.0)
+	b := g.MustAddTask("compute", 4.0)
+	c := g.MustAddTask("reduce", 0.5)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, c)
+	m, _ := NewModel(0.01)
+	est, err := FirstOrder(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5.5 + 0.01*(1+16+0.25)
+	if math.Abs(est-want) > 1e-12 {
+		t.Fatalf("estimate = %v want %v", est, want)
+	}
+	res, err := FirstOrderDetail(g, m)
+	if err != nil || res.FailureFree != 5.5 {
+		t.Fatalf("detail: %+v %v", res, err)
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	for name, gen := range map[string]func(int) (*Graph, error){
+		"cholesky": Cholesky, "lu": LU, "qr": QR,
+	} {
+		g, err := gen(5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumTasks() == 0 {
+			t.Fatalf("%s: empty graph", name)
+		}
+		if _, err := gen(0); err == nil {
+			t.Fatalf("%s: k=0 accepted", name)
+		}
+	}
+}
+
+func TestFacadeSeriesParallel(t *testing.T) {
+	g := NewGraph(2)
+	a := g.MustAddTask("a", 1)
+	b := g.MustAddTask("b", 1)
+	g.MustAddEdge(a, b)
+	sp, err := IsSeriesParallel(g)
+	if err != nil || !sp {
+		t.Fatalf("chain not SP: %v %v", sp, err)
+	}
+	ch, _ := Cholesky(4)
+	sp, _ = IsSeriesParallel(ch)
+	if sp {
+		t.Fatal("Cholesky reported SP")
+	}
+}
+
+func TestFacadeScheduling(t *testing.T) {
+	g, _ := LU(4)
+	m, _ := ModelFromPfail(0.01, g.MeanWeight())
+	det, err := SchedulingPriorities(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := FailureAwarePriorities(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ListSchedule(g, det, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := FailureFreeMakespan(g)
+	if s.Makespan < d {
+		t.Fatalf("schedule %v beats critical path %v", s.Makespan, d)
+	}
+	for i := range fa {
+		if fa[i] < det[i]-1e-12 {
+			t.Fatalf("failure-aware priority below deterministic at %d", i)
+		}
+	}
+	ebl, err := ExpectedBottomLevels(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ebl) != g.NumTasks() {
+		t.Fatalf("ebl length %d", len(ebl))
+	}
+}
+
+func TestFacadeRandomGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := RandomLayeredGraph(40, 0.3, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 40 {
+		t.Fatalf("tasks = %d", g.NumTasks())
+	}
+	m, _ := NewModel(0.01)
+	if _, err := FirstOrder(g, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeModelValidation(t *testing.T) {
+	if _, err := NewModel(-1); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+	if _, err := ModelFromPfail(2, 1); err == nil {
+		t.Fatal("pfail=2 accepted")
+	}
+}

@@ -258,6 +258,70 @@ func BenchmarkPathEvaluatorLU20(b *testing.B) {
 	}
 }
 
+// The frozen CSR kernel alone: one streaming longest-path pass over
+// topo-ordered weights, the per-trial floor of the Monte Carlo engine.
+// Must stay at 0 allocs/op.
+func BenchmarkFrozenEvalLU20(b *testing.B) {
+	g, _ := linalg.LU(20, linalg.KernelTimes{})
+	f, err := dag.Freeze(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := f.WeightsTopo()
+	comp := make([]float64, f.NumTasks())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.MakespanTopo(w, comp)
+	}
+}
+
+// Before/after Monte Carlo kernels on the Table I workload: the fused
+// single-pass sampler (default) against the legacy two-pass v1 stream.
+// trials/sec is the headline throughput metric tracked by
+// scripts/bench.sh.
+func benchMCSampler(b *testing.B, legacy bool) {
+	g, m := table1Graph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := montecarlo.Config{Trials: benchTrials, Seed: 42, LegacySampler: legacy}
+		if _, err := montecarlo.Estimate(g, m, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(benchTrials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+func BenchmarkMCFusedLU20(b *testing.B)  { benchMCSampler(b, false) }
+func BenchmarkMCLegacyLU20(b *testing.B) { benchMCSampler(b, true) }
+
+// Dense-graph construction: AddEdge's duplicate detection must not turn
+// construction into O(E·deg). One hub layer feeding a wide layer gives
+// out-degrees far past dupMapThreshold.
+func BenchmarkGraphConstructionDense(b *testing.B) {
+	const layers, width = 6, 64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := dag.New(layers * width)
+		for l := 0; l < layers; l++ {
+			for j := 0; j < width; j++ {
+				g.MustAddTask("t", 1)
+			}
+		}
+		for l := 0; l < layers-1; l++ {
+			for j := 0; j < width; j++ {
+				for k := 0; k < width; k++ {
+					g.MustAddEdge(l*width+j, (l+1)*width+k)
+				}
+			}
+		}
+		if g.NumEdges() != (layers-1)*width*width {
+			b.Fatal("bad edge count")
+		}
+	}
+}
+
 // Ablation 5: Dodin on structured non-series-parallel families — how the
 // duplication count (distance from SP) drives runtime.
 func benchDodinFamily(b *testing.B, g *dag.Graph) {

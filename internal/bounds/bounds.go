@@ -68,7 +68,7 @@ func SweepUpper(g *dag.Graph, model failure.Model, maxAtoms int) (float64, error
 	if maxAtoms == 0 {
 		maxAtoms = distDefaultAtoms
 	}
-	order, err := g.TopoOrder()
+	f, err := dag.Freeze(g)
 	if err != nil {
 		return 0, err
 	}
@@ -78,18 +78,20 @@ func SweepUpper(g *dag.Graph, model failure.Model, maxAtoms int) (float64, error
 		}
 		return d
 	}
-	comp := make([]distribution.Discrete, g.NumTasks())
+	n := f.NumTasks()
+	w := f.WeightsTopo()
+	comp := make([]distribution.Discrete, n)
 	var final distribution.Discrete
-	for _, v := range order {
+	for v := 0; v < n; v++ {
 		var start distribution.Discrete
-		for k, p := range g.Pred(v) {
+		for k, p := range f.PredTopo(v) {
 			if k == 0 {
 				start = comp[p]
 			} else {
 				start = capd(start.MaxInd(comp[p]))
 			}
 		}
-		x, err := distribution.TwoState(g.Weight(v), model.PSuccess(g.Weight(v)))
+		x, err := distribution.TwoState(w[v], model.PSuccess(w[v]))
 		if err != nil {
 			return 0, err
 		}
@@ -98,7 +100,7 @@ func SweepUpper(g *dag.Graph, model failure.Model, maxAtoms int) (float64, error
 		} else {
 			comp[v] = capd(start.Add(x))
 		}
-		if g.OutDegree(v) == 0 {
+		if f.OutDegreeTopo(v) == 0 {
 			if final.IsZero() {
 				final = comp[v]
 			} else {

@@ -24,14 +24,12 @@ import (
 // where lp(i→j) is the longest i→j path (inclusive). Cost O(V(V+E)) time
 // and O(V²) memory via the all-pairs longest-path matrix.
 func ExpectedBottomLevels(g *dag.Graph, model failure.Model) ([]float64, error) {
-	pe, err := dag.NewPathEvaluator(g)
+	f, err := dag.Freeze(g)
 	if err != nil {
 		return nil, err
 	}
-	apl, err := dag.NewAllPairsLongest(g)
-	if err != nil {
-		return nil, err
-	}
+	pe := dag.NewPathEvaluatorFrozen(f)
+	apl := dag.NewAllPairsLongestFrozen(f)
 	tails := pe.Tails()
 	n := g.NumTasks()
 	out := make([]float64, n)
@@ -58,14 +56,12 @@ func ExpectedBottomLevels(g *dag.Graph, model failure.Model) ([]float64, error) 
 // the expected longest path ending at i (inclusive), the failure-aware
 // earliest completion time of i with unlimited processors.
 func ExpectedTopLevels(g *dag.Graph, model failure.Model) ([]float64, error) {
-	pe, err := dag.NewPathEvaluator(g)
+	f, err := dag.Freeze(g)
 	if err != nil {
 		return nil, err
 	}
-	apl, err := dag.NewAllPairsLongest(g)
-	if err != nil {
-		return nil, err
-	}
+	pe := dag.NewPathEvaluatorFrozen(f)
+	apl := dag.NewAllPairsLongestFrozen(f)
 	heads := pe.Heads()
 	n := g.NumTasks()
 	out := make([]float64, n)

@@ -38,14 +38,13 @@ type SecondOrderResult struct {
 // where through(i,j) is the longest path containing both tasks.
 // Total cost O(V(V+E) + V²) time and O(V²) memory.
 func SecondOrder(g *dag.Graph, model failure.Model) (SecondOrderResult, error) {
-	pe, err := dag.NewPathEvaluator(g)
+	// One frozen compilation shared by the evaluator and the all-pairs DP.
+	f, err := dag.Freeze(g)
 	if err != nil {
 		return SecondOrderResult{}, err
 	}
-	apl, err := dag.NewAllPairsLongest(g)
-	if err != nil {
-		return SecondOrderResult{}, err
-	}
+	pe := dag.NewPathEvaluatorFrozen(f)
+	apl := dag.NewAllPairsLongestFrozen(f)
 	lam := model.Lambda
 	d := pe.Makespan()
 	heads := pe.Heads()

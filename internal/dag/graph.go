@@ -20,8 +20,21 @@ type Graph struct {
 	weights []float64
 	succ    [][]int
 	pred    [][]int
+	// succSet[i] mirrors succ[i] as a set once the out-degree crosses
+	// dupMapThreshold, so duplicate-edge detection on dense nodes is O(1)
+	// instead of an O(out-degree) scan. Sparse nodes stay map-free.
+	succSet []map[int]struct{}
 	edges   int
+	// version counts mutations; Frozen snapshots record it to detect
+	// staleness (see Frozen.UpToDate).
+	version uint64
 }
+
+// dupMapThreshold is the out-degree above which AddEdge switches from a
+// linear duplicate scan to a per-node set. Small enough to keep dense-graph
+// construction O(E), large enough that typical sparse DAGs never allocate
+// a map.
+const dupMapThreshold = 16
 
 // New returns an empty graph with capacity hints for n tasks.
 func New(n int) *Graph {
@@ -30,6 +43,7 @@ func New(n int) *Graph {
 		weights: make([]float64, 0, n),
 		succ:    make([][]int, 0, n),
 		pred:    make([][]int, 0, n),
+		succSet: make([]map[int]struct{}, 0, n),
 	}
 }
 
@@ -54,6 +68,8 @@ func (g *Graph) AddTask(name string, weight float64) (int, error) {
 	g.weights = append(g.weights, weight)
 	g.succ = append(g.succ, nil)
 	g.pred = append(g.pred, nil)
+	g.succSet = append(g.succSet, nil)
+	g.version++
 	return id, nil
 }
 
@@ -77,14 +93,30 @@ func (g *Graph) AddEdge(from, to int) error {
 	if from == to {
 		return fmt.Errorf("%w: task %d", ErrSelfLoop, from)
 	}
-	for _, s := range g.succ[from] {
-		if s == to {
+	if set := g.succSet[from]; set != nil {
+		if _, dup := set[to]; dup {
 			return fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, from, to)
+		}
+		set[to] = struct{}{}
+	} else {
+		for _, s := range g.succ[from] {
+			if s == to {
+				return fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, from, to)
+			}
+		}
+		if len(g.succ[from]) >= dupMapThreshold {
+			set = make(map[int]struct{}, 2*dupMapThreshold)
+			for _, s := range g.succ[from] {
+				set[s] = struct{}{}
+			}
+			set[to] = struct{}{}
+			g.succSet[from] = set
 		}
 	}
 	g.succ[from] = append(g.succ[from], to)
 	g.pred[to] = append(g.pred[to], from)
 	g.edges++
+	g.version++
 	return nil
 }
 
@@ -116,6 +148,7 @@ func (g *Graph) SetWeight(i int, w float64) error {
 		return fmt.Errorf("%w: %v", ErrBadWeight, w)
 	}
 	g.weights[i] = w
+	g.version++
 	return nil
 }
 
@@ -180,13 +213,15 @@ func (g *Graph) Sinks() []int {
 	return snk
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. Duplicate-detection sets are not
+// copied; AddEdge rebuilds them lazily when a dense node grows further.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		names:   append([]string(nil), g.names...),
 		weights: append([]float64(nil), g.weights...),
 		succ:    make([][]int, len(g.succ)),
 		pred:    make([][]int, len(g.pred)),
+		succSet: make([]map[int]struct{}, len(g.succ)),
 		edges:   g.edges,
 	}
 	for i := range g.succ {
@@ -204,6 +239,10 @@ func (g *Graph) Clone() *Graph {
 func (g *Graph) HasEdge(from, to int) bool {
 	if from < 0 || from >= len(g.names) {
 		return false
+	}
+	if set := g.succSet[from]; set != nil {
+		_, ok := set[to]
+		return ok
 	}
 	for _, s := range g.succ[from] {
 		if s == to {

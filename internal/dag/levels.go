@@ -5,21 +5,31 @@ package dag
 // tl(j) + a_j. tl(i) is the earliest start time of i with unlimited
 // processors and no failures.
 func TopLevels(g *Graph) ([]float64, error) {
-	order, err := g.TopoOrder()
+	f, err := Freeze(g)
 	if err != nil {
 		return nil, err
 	}
-	tl := make([]float64, g.NumTasks())
-	for _, v := range order {
+	return topLevelsFrozen(f), nil
+}
+
+// topLevelsFrozen is TopLevels on a prepared snapshot; the result is
+// task-ID indexed.
+func topLevelsFrozen(f *Frozen) []float64 {
+	n := f.NumTasks()
+	tl := make([]float64, n)
+	for k := 0; k < n; k++ {
 		best := 0.0
-		for _, p := range g.pred[v] {
-			if c := tl[p] + g.weights[p]; c > best {
+		for _, p := range f.PredTopo(k) {
+			if c := tl[p] + f.wTopo[p]; c > best {
 				best = c
 			}
 		}
-		tl[v] = best
+		tl[k] = best
 	}
-	return tl, nil
+	if f.identity {
+		return tl // topo order == ID order: tl is already ID-indexed
+	}
+	return f.Scatter(make([]float64, n), tl)
 }
 
 // BottomLevels returns bl(i) for every task, following the paper's
@@ -27,35 +37,43 @@ func TopLevels(g *Graph) ([]float64, error) {
 // a_j + bl(j). Note this definition excludes a_i itself; the classic
 // CP-scheduling priority a_i + bl(i) is obtained by adding the task weight.
 func BottomLevels(g *Graph) ([]float64, error) {
-	order, err := g.TopoOrder()
+	f, err := Freeze(g)
 	if err != nil {
 		return nil, err
 	}
-	bl := make([]float64, g.NumTasks())
-	for k := len(order) - 1; k >= 0; k-- {
-		v := order[k]
+	return bottomLevelsFrozen(f), nil
+}
+
+// bottomLevelsFrozen is BottomLevels on a prepared snapshot; the result is
+// task-ID indexed.
+func bottomLevelsFrozen(f *Frozen) []float64 {
+	n := f.NumTasks()
+	bl := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
 		best := 0.0
-		for _, s := range g.succ[v] {
-			if c := g.weights[s] + bl[s]; c > best {
+		for _, s := range f.SuccTopo(k) {
+			if c := f.wTopo[s] + bl[s]; c > best {
 				best = c
 			}
 		}
-		bl[v] = best
+		bl[k] = best
 	}
-	return bl, nil
+	if f.identity {
+		return bl // topo order == ID order: bl is already ID-indexed
+	}
+	return f.Scatter(make([]float64, n), bl)
 }
 
 // CriticalPathLengths returns, for every task i, the length of the longest
 // path passing through i: head(i) + tail(i) - a_i = tl(i) + a_i + bl(i).
+// One snapshot serves both sweeps.
 func CriticalPathLengths(g *Graph) ([]float64, error) {
-	tl, err := TopLevels(g)
+	f, err := Freeze(g)
 	if err != nil {
 		return nil, err
 	}
-	bl, err := BottomLevels(g)
-	if err != nil {
-		return nil, err
-	}
+	tl := topLevelsFrozen(f)
+	bl := bottomLevelsFrozen(f)
 	through := make([]float64, g.NumTasks())
 	for i := range through {
 		through[i] = tl[i] + g.weights[i] + bl[i]

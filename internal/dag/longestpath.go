@@ -6,77 +6,85 @@ import (
 	"math"
 )
 
-// PathEvaluator computes longest-path quantities for one graph. It caches
-// the topological order and reusable scratch buffers so that the hot paths
-// (Monte Carlo trials, per-task weight perturbations) do not allocate.
-// A PathEvaluator is not safe for concurrent use; create one per goroutine.
+// PathEvaluator computes longest-path quantities for one graph. It compiles
+// the graph into its Frozen CSR form once and keeps reusable scratch
+// buffers, so the hot paths (Monte Carlo trials, per-task weight
+// perturbations) stream memory sequentially and do not allocate.
+// A PathEvaluator is not safe for concurrent use; create one per goroutine
+// (they can share the same Frozen via NewPathEvaluatorFrozen).
 type PathEvaluator struct {
-	g     *Graph
-	order []int
-	// scratch
-	comp []float64 // completion time per task in the current pass
-	tail []float64 // longest path starting at task (inclusive)
+	f *Frozen
+	// scratch, all in topological order
+	wTopo []float64 // gathered weight vector for the current pass
+	comp  []float64 // completion time per position in the current pass
+	tail  []float64 // longest path starting at position (inclusive)
 }
 
 // NewPathEvaluator prepares an evaluator for g. It fails if g is cyclic.
 func NewPathEvaluator(g *Graph) (*PathEvaluator, error) {
-	order, err := g.TopoOrder()
+	f, err := Freeze(g)
 	if err != nil {
 		return nil, err
 	}
-	n := g.NumTasks()
+	return NewPathEvaluatorFrozen(f), nil
+}
+
+// NewPathEvaluatorFrozen wraps per-goroutine scratch around an existing
+// Frozen, sharing the compiled graph across evaluators.
+func NewPathEvaluatorFrozen(f *Frozen) *PathEvaluator {
+	n := f.NumTasks()
 	return &PathEvaluator{
-		g:     g,
-		order: order,
+		f:     f,
+		wTopo: make([]float64, n),
 		comp:  make([]float64, n),
 		tail:  make([]float64, n),
-	}, nil
+	}
 }
 
 // Graph returns the underlying graph.
-func (pe *PathEvaluator) Graph() *Graph { return pe.g }
+func (pe *PathEvaluator) Graph() *Graph { return pe.f.g }
 
-// TopoOrder returns the cached topological order. The slice is owned by the
-// evaluator and must not be mutated.
-func (pe *PathEvaluator) TopoOrder() []int { return pe.order }
+// Frozen returns the compiled representation the evaluator runs on.
+func (pe *PathEvaluator) Frozen() *Frozen { return pe.f }
+
+// TopoOrder returns the cached topological order. The slice is allocated
+// per call; the cached order itself lives in the Frozen.
+func (pe *PathEvaluator) TopoOrder() []int {
+	out := make([]int, pe.f.n)
+	for k := range out {
+		out[k] = pe.f.TaskID(k)
+	}
+	return out
+}
 
 // Makespan returns the failure-free makespan d(G): the maximum over tasks
 // of their completion time with unlimited processors,
-// C(i) = a_i + max_{j in Pred(i)} C(j).
+// C(i) = a_i + max_{j in Pred(i)} C(j). It reads the graph's live weights,
+// so SetWeight between calls is honored.
 func (pe *PathEvaluator) Makespan() float64 {
-	return pe.MakespanWith(pe.g.weights)
+	return pe.MakespanWith(pe.f.g.weights)
 }
 
-// MakespanWith computes the makespan using the provided weight vector in
-// place of the graph's weights. len(weights) must equal NumTasks. This is
-// the Monte Carlo hot path: no allocation.
+// MakespanWith computes the makespan using the provided weight vector
+// (task-ID indexed) in place of the graph's weights. len(weights) must
+// equal NumTasks. This is the Monte Carlo hot path: no allocation.
 func (pe *PathEvaluator) MakespanWith(weights []float64) float64 {
-	if len(weights) != pe.g.NumTasks() {
-		panic(fmt.Sprintf("dag: weight vector length %d != %d tasks", len(weights), pe.g.NumTasks()))
+	if len(weights) != pe.f.n {
+		panic(fmt.Sprintf("dag: weight vector length %d != %d tasks", len(weights), pe.f.n))
 	}
-	best := 0.0
-	for _, v := range pe.order {
-		start := 0.0
-		for _, p := range pe.g.pred[v] {
-			if pe.comp[p] > start {
-				start = pe.comp[p]
-			}
-		}
-		c := start + weights[v]
-		pe.comp[v] = c
-		if c > best {
-			best = c
-		}
+	if pe.f.identity {
+		// Topo order == ID order: evaluate the caller's vector in place,
+		// no copy. Consumers of pe.wTopo (CriticalPath) re-gather.
+		return pe.f.MakespanTopo(weights, pe.comp)
 	}
-	return best
+	pe.f.Gather(pe.wTopo, weights)
+	return pe.f.MakespanTopo(pe.wTopo, pe.comp)
 }
 
 // CompletionTimes returns C(i) for every task under the graph's weights.
 func (pe *PathEvaluator) CompletionTimes() []float64 {
 	pe.Makespan()
-	out := make([]float64, len(pe.comp))
-	copy(out, pe.comp)
-	return out
+	return pe.f.Scatter(make([]float64, pe.f.n), pe.comp)
 }
 
 // Heads returns head(i): the length of the longest path ending at i,
@@ -88,63 +96,74 @@ func (pe *PathEvaluator) Heads() []float64 {
 // Tails returns tail(i): the length of the longest path starting at i,
 // including a_i. tail(i) = a_i + max_{j in Succ(i)} tail(j).
 func (pe *PathEvaluator) Tails() []float64 {
-	g := pe.g
-	for k := len(pe.order) - 1; k >= 0; k-- {
-		v := pe.order[k]
-		t := 0.0
-		for _, s := range g.succ[v] {
-			if pe.tail[s] > t {
-				t = pe.tail[s]
-			}
-		}
-		pe.tail[v] = t + g.weights[v]
-	}
-	out := make([]float64, len(pe.tail))
-	copy(out, pe.tail)
-	return out
+	pe.f.Gather(pe.wTopo, pe.f.g.weights)
+	pe.f.TailsTopo(pe.wTopo, pe.tail)
+	return pe.f.Scatter(make([]float64, pe.f.n), pe.tail)
+}
+
+// pathEps returns the tolerance used when matching completion times along
+// a critical path: float64 longest-path sums accumulate rounding, so exact
+// equality would sporadically miss the true predecessor.
+func pathEps(d float64) float64 {
+	return 1e-9 * math.Max(1, math.Abs(d))
 }
 
 // CriticalPath returns one longest path as a sequence of task IDs, and its
-// length. For an empty graph it returns (nil, 0).
+// length. For an empty graph it returns (nil, 0). Completion times are
+// matched with a relative epsilon rather than exact float equality, so
+// paths whose lengths differ only by accumulated rounding are still
+// recognized.
 func (pe *PathEvaluator) CriticalPath() ([]int, float64) {
-	if pe.g.NumTasks() == 0 {
+	f := pe.f
+	if f.n == 0 {
 		return nil, 0
 	}
-	d := pe.Makespan() // fills pe.comp
-	// Find a task whose completion time equals the makespan, then walk
+	d := pe.Makespan() // fills pe.comp (topo order)
+	if f.identity {
+		// Makespan's identity fast path evaluates the live weights in
+		// place without filling pe.wTopo; the walk below needs them.
+		f.Gather(pe.wTopo, f.g.weights)
+	}
+	eps := pathEps(d)
+	// Find a position whose completion time reaches the makespan, then walk
 	// backwards through predecessors achieving the critical start time.
+	// The endpoint match is exact: d is the running max of comp, so some
+	// position attains it bit for bit; the tolerance is only for the
+	// backward walk, where subtraction reintroduces rounding.
 	end := -1
-	for _, v := range pe.order {
-		if pe.comp[v] == d {
-			end = v
+	for k := 0; k < f.n; k++ {
+		if pe.comp[k] == d {
+			end = k
 			break
 		}
 	}
 	var rev []int
-	v := end
-	for v >= 0 {
-		rev = append(rev, v)
-		start := pe.comp[v] - pe.g.weights[v]
+	k := end
+	for k >= 0 {
+		rev = append(rev, f.TaskID(k))
+		preds := f.PredTopo(k)
+		if len(preds) == 0 {
+			break
+		}
+		start := pe.comp[k] - pe.wTopo[k]
 		next := -1
-		for _, p := range pe.g.pred[v] {
-			if pe.comp[p] == start {
-				next = p
+		for _, p := range preds {
+			if math.Abs(pe.comp[p]-start) <= eps {
+				next = int(p)
 				break
 			}
 		}
-		if len(pe.g.pred[v]) == 0 {
-			break
-		}
 		if next < 0 {
-			// Numerical slack: pick the max-completion predecessor.
+			// Numerical slack beyond eps: pick the max-completion
+			// predecessor, which by construction achieves the start time.
 			bestC := math.Inf(-1)
-			for _, p := range pe.g.pred[v] {
+			for _, p := range preds {
 				if pe.comp[p] > bestC {
-					bestC, next = pe.comp[p], p
+					bestC, next = pe.comp[p], int(p)
 				}
 			}
 		}
-		v = next
+		k = next
 	}
 	// Reverse.
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
@@ -173,28 +192,30 @@ func LongestPathBetween(g *Graph, u, v int) (float64, error) {
 	if u < 0 || u >= g.NumTasks() || v < 0 || v >= g.NumTasks() {
 		return 0, ErrBadTask
 	}
-	order, err := g.TopoOrder()
+	f, err := Freeze(g)
 	if err != nil {
 		return 0, err
 	}
 	const unreach = math.MaxFloat64
-	dist := make([]float64, g.NumTasks())
+	n := f.NumTasks()
+	dist := make([]float64, n)
 	for i := range dist {
 		dist[i] = -unreach
 	}
-	dist[u] = g.weights[u]
-	for _, x := range order {
-		if dist[x] == -unreach {
+	ku, kv := f.Pos(u), f.Pos(v)
+	dist[ku] = f.wTopo[ku]
+	for k := ku; k <= kv; k++ {
+		if dist[k] == -unreach {
 			continue
 		}
-		for _, s := range g.succ[x] {
-			if c := dist[x] + g.weights[s]; c > dist[s] {
+		for _, s := range f.SuccTopo(k) {
+			if c := dist[k] + f.wTopo[s]; c > dist[s] {
 				dist[s] = c
 			}
 		}
 	}
-	if dist[v] == -unreach {
+	if kv < ku || dist[kv] == -unreach {
 		return 0, ErrNoPath
 	}
-	return dist[v], nil
+	return dist[kv], nil
 }

@@ -52,47 +52,64 @@ func (r *Reachability) Comparable(u, v int) bool {
 
 // AllPairsLongest holds, for every ordered pair (u,v), the length of the
 // longest u→v path counting both endpoint weights, or -Inf if v is not
-// reachable from u. Memory is 8·V² bytes; intended for the graph sizes of
-// the paper (≤ a few thousand tasks).
+// reachable from u. Memory is 8·V² bytes (transiently 16·V² during
+// construction when the graph was not built in topological order);
+// intended for the graph sizes of the paper (≤ a few thousand tasks).
+// The DP runs in topological order so
+// it streams the frozen CSR adjacency; the matrix is then permuted back to
+// task-ID order once (a no-op for graphs built in topo order) so Dist stays
+// a direct index in the O(V²) consumer loops.
 type AllPairsLongest struct {
 	n    int
-	dist []float64 // row-major n×n
+	dist []float64 // row-major n×n, both axes task-ID order
 }
 
 // NewAllPairsLongest computes all-pairs longest paths in O(V·(V+E)).
 func NewAllPairsLongest(g *Graph) (*AllPairsLongest, error) {
-	order, err := g.TopoOrder()
+	f, err := Freeze(g)
 	if err != nil {
 		return nil, err
 	}
-	n := g.NumTasks()
+	return NewAllPairsLongestFrozen(f), nil
+}
+
+// NewAllPairsLongestFrozen computes all-pairs longest paths on an existing
+// Frozen, sharing the compiled graph with other consumers.
+func NewAllPairsLongestFrozen(f *Frozen) *AllPairsLongest {
+	n := f.NumTasks()
 	apl := &AllPairsLongest{n: n, dist: make([]float64, n*n)}
 	ninf := math.Inf(-1)
 	for i := range apl.dist {
 		apl.dist[i] = ninf
 	}
-	// One forward DP per source u, visiting only positions at or after u in
-	// topological order.
-	pos := make([]int, n)
-	for idx, v := range order {
-		pos[v] = idx
-	}
-	for u := 0; u < n; u++ {
-		row := apl.dist[u*n : (u+1)*n]
-		row[u] = g.weights[u]
-		for k := pos[u]; k < n; k++ {
-			v := order[k]
-			if row[v] == ninf {
+	// One forward DP per source position, visiting only later positions.
+	for ku := 0; ku < n; ku++ {
+		row := apl.dist[ku*n : (ku+1)*n]
+		row[ku] = f.wTopo[ku]
+		for k := ku; k < n; k++ {
+			if row[k] == ninf {
 				continue
 			}
-			for _, s := range g.succ[v] {
-				if c := row[v] + g.weights[s]; c > row[s] {
+			for _, s := range f.SuccTopo(k) {
+				if c := row[k] + f.wTopo[s]; c > row[s] {
 					row[s] = c
 				}
 			}
 		}
 	}
-	return apl, nil
+	if !f.identity {
+		// Permute both axes from topo positions back to task IDs.
+		byID := make([]float64, n*n)
+		for ku := 0; ku < n; ku++ {
+			row := apl.dist[ku*n : (ku+1)*n]
+			dst := byID[f.TaskID(ku)*n:]
+			for kv, d := range row {
+				dst[f.TaskID(kv)] = d
+			}
+		}
+		apl.dist = byID
+	}
+	return apl
 }
 
 // Dist returns the longest u→v path length (inclusive of both endpoints),

@@ -1,10 +1,13 @@
 package montecarlo
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dag"
 	"repro/internal/failure"
@@ -41,17 +44,31 @@ func (m Mode) String() string {
 type Config struct {
 	// Trials is the number of samples; the paper uses 300,000.
 	Trials int
-	// Workers is the number of goroutines (0 = GOMAXPROCS).
+	// Workers is the number of goroutines (0 = GOMAXPROCS). With the
+	// default fused sampler the result is bit-identical for any Workers;
+	// with LegacySampler it is reproducible per (Seed, Workers) pair.
 	Workers int
-	// Seed makes runs reproducible; two runs with equal Config produce
-	// identical results regardless of Workers.
+	// Seed makes runs reproducible.
 	Seed uint64
 	// Mode selects the re-execution model (default FullReexecution).
 	Mode Mode
+	// LegacySampler reproduces the v1 sampling stream: one PCG stream per
+	// worker, a two-pass sample-then-evaluate trial, and a rejection loop
+	// for geometric attempt counts. The default fused sampler is
+	// statistically equivalent and much faster but draws a different
+	// stream; keep the old one available for cross-version parity tests.
+	LegacySampler bool
 }
 
 // DefaultTrials is the paper's trial count.
 const DefaultTrials = 300000
+
+// chunkSize is the number of consecutive trials sharing one RNG stream.
+// Chunking is what makes results independent of the worker count: chunk c
+// always covers trials [c·chunkSize, (c+1)·chunkSize) with the stream
+// derived from (Seed, c), whichever worker happens to run it, and the
+// final reduction folds chunks in index order.
+const chunkSize = 4096
 
 // Result summarizes a Monte Carlo estimate of the expected makespan.
 type Result struct {
@@ -63,12 +80,30 @@ type Result struct {
 	Trials   int
 }
 
-// Estimator runs Monte Carlo estimation on one graph. It precomputes
-// per-task failure probabilities and reuses evaluator scratch space.
+// Estimator runs Monte Carlo estimation on one graph. It compiles the
+// graph into its frozen CSR form, precomputes per-task failure
+// probabilities (permuted into topological order), and fuses sampling and
+// evaluation into a single per-trial pass with no intermediate weight
+// buffer and no allocation.
+// An Estimator is a snapshot: weights and failure probabilities are
+// captured at construction, and both samplers run on the snapshot.
+// Mutating the graph afterwards makes Run/RunSamples fail with
+// ErrStaleGraph — build a new estimator instead.
 type Estimator struct {
-	g     *dag.Graph
-	cfg   Config
-	pfail []float64 // per-task first-attempt failure probability
+	g      *dag.Graph
+	cfg    Config
+	pfail  []float64 // task-ID order, for the legacy sampler
+	baseID []float64 // task-ID-order weight snapshot, for the legacy sampler
+
+	frozen *dag.Frozen
+	// Everything below is in topological order.
+	base    []float64 // failure-free weights
+	pfTopo  []float64 // first-attempt failure probability
+	invLnPf []float64 // 1/ln(pf) where pf > 0 (direct geometric inversion)
+	hpt     []float64 // head+tail−2a: longest path through k, minus its weight counted twice
+	d0      float64   // failure-free makespan
+	pfMax   float64   // max over tasks of pf, the thinning envelope
+	invLnQ  float64   // 1/ln(1−pfMax); 0 when pfMax == 0
 }
 
 // NewEstimator prepares a Monte Carlo estimator. The graph must be acyclic.
@@ -95,25 +130,257 @@ func NewEstimatorRates(g *dag.Graph, rates []float64, cfg Config) (*Estimator, e
 	if cfg.Workers > cfg.Trials {
 		cfg.Workers = cfg.Trials
 	}
-	if !g.IsAcyclic() {
-		return nil, dag.ErrCycle
+	frozen, err := dag.Freeze(g)
+	if err != nil {
+		return nil, err
 	}
-	pf := make([]float64, g.NumTasks())
+	n := g.NumTasks()
+	pf := make([]float64, n)
 	for i := range pf {
 		if rates[i] < 0 || rates[i] != rates[i] {
 			return nil, fmt.Errorf("montecarlo: bad rate λ_%d = %v", i, rates[i])
 		}
 		pf[i] = failure.Model{Lambda: rates[i]}.PFail(g.Weight(i))
+		// pf saturates to exactly 1 once λ·a ≳ 37. Under SingleRetry that
+		// is still well-defined (the task always takes 2a); under full
+		// re-execution the attempt count diverges, so reject it instead of
+		// sampling astronomically large geometric counts (the v1 rejection
+		// loop would never have terminated either).
+		if pf[i] >= 1 && cfg.Mode != SingleRetry {
+			return nil, fmt.Errorf("montecarlo: task %d can never succeed (pfail = %v)", i, pf[i])
+		}
 	}
-	return &Estimator{g: g, cfg: cfg, pfail: pf}, nil
+	e := &Estimator{
+		g:       g,
+		cfg:     cfg,
+		frozen:  frozen,
+		base:    frozen.WeightsTopo(),
+		pfTopo:  make([]float64, n),
+		invLnPf: make([]float64, n),
+		hpt:     make([]float64, n),
+	}
+	if cfg.LegacySampler {
+		// Task-ID-order snapshots only the legacy sampler reads.
+		e.pfail = pf
+		e.baseID = g.Weights()
+	}
+	e.frozen.Gather(e.pfTopo, pf)
+	for k, p := range e.pfTopo {
+		if p > 0 {
+			e.invLnPf[k] = 1 / math.Log(p)
+		}
+		if p > e.pfMax {
+			e.pfMax = p
+		}
+	}
+	if e.pfMax > 0 {
+		e.invLnQ = 1 / math.Log1p(-e.pfMax)
+	}
+	// Heads, tails and d0 of the failure-free graph: a single failure of
+	// the task at position k moves the makespan to max(d0, hpt[k]+w) where
+	// w is the task's inflated weight — an O(1) trial.
+	heads := make([]float64, n)
+	tails := make([]float64, n)
+	e.d0 = frozen.MakespanTopo(e.base, heads)
+	frozen.TailsTopo(e.base, tails)
+	for k := 0; k < n; k++ {
+		e.hpt[k] = heads[k] + tails[k] - 2*e.base[k]
+	}
+	return e, nil
+}
+
+// mcWorker is the per-goroutine trial state: scratch buffers sized once so
+// the per-trial loop never allocates.
+type mcWorker struct {
+	e       *Estimator
+	w       []float64 // topo weights, == base between trials
+	comp    []float64 // kernel scratch
+	failPos []int32   // positions failed this trial
+	failW   []float64 // their inflated weights
+}
+
+func (e *Estimator) newWorker() *mcWorker {
+	n := e.frozen.NumTasks()
+	wk := &mcWorker{
+		e:       e,
+		w:       make([]float64, n),
+		comp:    make([]float64, n),
+		failPos: make([]int32, n),
+		failW:   make([]float64, n),
+	}
+	copy(wk.w, e.base)
+	return wk
+}
+
+// trial draws one makespan sample. Sampling and evaluation are fused:
+// failing tasks are located by inverted-geometric skips under the pfMax
+// envelope (thinning), so a trial touches only O(V·pfMax) tasks instead of
+// drawing per task; trials with zero failures return the precomputed d0
+// without touching the graph, single-failure trials use the longest-path-
+// through identity in O(1), and only multi-failure trials run the full CSR
+// kernel.
+func (wk *mcWorker) trial(rng *splitMix64) float64 {
+	e := wk.e
+	if e.pfMax == 0 {
+		return e.d0 // zero-pfail fast path: every task is deterministic
+	}
+	n := len(wk.w)
+	single := e.cfg.Mode == SingleRetry
+	nfail := 0
+	for k := 0; ; k++ {
+		// Skip directly to the next candidate failure under the envelope:
+		// the gap is geometric with parameter pfMax.
+		g := math.Log(rng.unitOpen()) * e.invLnQ
+		if g >= float64(n-k) {
+			break
+		}
+		k += int(g)
+		pf := e.pfTopo[k]
+		// Thinning: the candidate is a real first-attempt failure w.p.
+		// pf/pfMax (zero-pfail tasks are never accepted).
+		if rng.Float64()*e.pfMax >= pf {
+			continue
+		}
+		mult := 2.0
+		if !single {
+			// Extra re-executions beyond the retry: inverted geometric,
+			// 1 + floor(ln U / ln pf) attempts total beyond the first.
+			mult += math.Floor(math.Log(rng.unitOpen()) * e.invLnPf[k])
+		}
+		wk.failPos[nfail] = int32(k)
+		wk.failW[nfail] = mult * e.base[k]
+		nfail++
+	}
+	switch nfail {
+	case 0:
+		return e.d0
+	case 1:
+		// Only one task changed: the new makespan is the longest path
+		// through it against the failure-free rest, exactly.
+		v := e.hpt[wk.failPos[0]] + wk.failW[0]
+		if v < e.d0 {
+			v = e.d0
+		}
+		return v
+	}
+	for i := 0; i < nfail; i++ {
+		wk.w[wk.failPos[i]] = wk.failW[i]
+	}
+	ms := e.frozen.MakespanTopo(wk.w, wk.comp)
+	for i := 0; i < nfail; i++ {
+		wk.w[wk.failPos[i]] = e.base[wk.failPos[i]]
+	}
+	return ms
+}
+
+// numChunks is the fixed chunk count for this estimator's trial budget;
+// chunk assignment and the reduction both derive from it.
+func (e *Estimator) numChunks() int {
+	return (e.cfg.Trials + chunkSize - 1) / chunkSize
+}
+
+// runChunks executes all trial chunks across cfg.Workers goroutines,
+// calling observe(chunk, trialIndex, makespan) for every trial. observe
+// must be safe for concurrent calls with distinct chunks; chunk indices
+// are in [0, numChunks()).
+func (e *Estimator) runChunks(observe func(c int64, t int, x float64)) {
+	trials := e.cfg.Trials
+	nChunks := int64(e.numChunks())
+	workers := e.cfg.Workers
+	if int64(workers) > nChunks {
+		workers = int(nChunks)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wk := e.newWorker()
+			for {
+				c := next.Add(1) - 1
+				if c >= nChunks {
+					return
+				}
+				rng := newChunkRNG(e.cfg.Seed, c)
+				t0 := int(c) * chunkSize
+				t1 := t0 + chunkSize
+				if t1 > trials {
+					t1 = trials
+				}
+				for t := t0; t < t1; t++ {
+					observe(c, t, wk.trial(&rng))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ErrStaleGraph is returned by Run/RunSamples when the graph was mutated
+// after NewEstimator; the estimator is a snapshot and will not observe
+// the mutation.
+var ErrStaleGraph = errors.New("montecarlo: graph mutated after NewEstimator; build a new estimator")
+
+// fresh verifies the snapshot still matches the source graph.
+func (e *Estimator) fresh() error {
+	if !e.frozen.UpToDate() {
+		return ErrStaleGraph
+	}
+	return nil
 }
 
 // Run executes the configured number of trials and returns the estimate.
+// With the default sampler the result depends only on (Seed, Trials, Mode),
+// not on Workers.
 func (e *Estimator) Run() (Result, error) {
+	if err := e.fresh(); err != nil {
+		return Result{}, err
+	}
+	if e.cfg.LegacySampler {
+		return e.legacyRun()
+	}
+	return e.runReduce(nil), nil
+}
+
+// runReduce runs all chunks, reduces the per-chunk accumulators in chunk
+// order (the step that makes the Result worker-count invariant), and
+// optionally streams every trial to sink. Shared by Run and RunSamples so
+// their Results cannot diverge.
+func (e *Estimator) runReduce(sink func(t int, x float64)) Result {
+	accs := make([]Welford, e.numChunks())
+	e.runChunks(func(c int64, t int, x float64) {
+		accs[c].Add(x)
+		if sink != nil {
+			sink(t, x)
+		}
+	})
+	var total Welford
+	for i := range accs {
+		total.Merge(accs[i])
+	}
+	return resultFrom(total)
+}
+
+func resultFrom(w Welford) Result {
+	return Result{
+		Mean:   w.Mean(),
+		StdDev: w.StdDev(),
+		StdErr: w.StdErr(),
+		CI95:   w.CI95(),
+		Min:    w.Min(),
+		Max:    w.Max(),
+		Trials: int(w.N()),
+	}
+}
+
+// legacyRun is the v1 engine: one deterministic PCG stream per worker and
+// a two-pass sample-then-evaluate trial. Kept behind Config.LegacySampler
+// so parity tests can compare the fused sampler against the old stream.
+func (e *Estimator) legacyRun() (Result, error) {
 	per := e.cfg.Trials / e.cfg.Workers
 	extra := e.cfg.Trials % e.cfg.Workers
 	accs := make([]Welford, e.cfg.Workers)
-	errs := make([]error, e.cfg.Workers)
 	var wg sync.WaitGroup
 	for w := 0; w < e.cfg.Workers; w++ {
 		trials := per
@@ -123,13 +390,8 @@ func (e *Estimator) Run() (Result, error) {
 		wg.Add(1)
 		go func(w, trials int) {
 			defer wg.Done()
-			// Independent deterministic stream per worker.
 			rng := newWorkerRNG(e.cfg.Seed, w)
-			pe, err := dag.NewPathEvaluator(e.g)
-			if err != nil {
-				errs[w] = err
-				return
-			}
+			pe := dag.NewPathEvaluatorFrozen(e.frozen)
 			weights := make([]float64, e.g.NumTasks())
 			for t := 0; t < trials; t++ {
 				e.sampleWeights(rng, weights)
@@ -138,30 +400,18 @@ func (e *Estimator) Run() (Result, error) {
 		}(w, trials)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return Result{}, err
-		}
-	}
 	var total Welford
 	for i := range accs {
 		total.Merge(accs[i])
 	}
-	return Result{
-		Mean:   total.Mean(),
-		StdDev: total.StdDev(),
-		StdErr: total.StdErr(),
-		CI95:   total.CI95(),
-		Min:    total.Min(),
-		Max:    total.Max(),
-		Trials: int(total.N()),
-	}, nil
+	return resultFrom(total), nil
 }
 
-// sampleWeights fills weights with one sample of per-task execution times.
+// sampleWeights fills weights (task-ID order) with one sample of per-task
+// execution times, using the legacy rejection loop.
 func (e *Estimator) sampleWeights(rng *rand.Rand, weights []float64) {
-	for i := 0; i < e.g.NumTasks(); i++ {
-		a := e.g.Weight(i)
+	for i := range e.baseID {
+		a := e.baseID[i]
 		pf := e.pfail[i]
 		if pf == 0 {
 			weights[i] = a
@@ -184,7 +434,8 @@ func (e *Estimator) sampleWeights(rng *rand.Rand, weights []float64) {
 	}
 }
 
-// newWorkerRNG returns the independent deterministic stream of worker w.
+// newWorkerRNG returns the independent deterministic stream of legacy
+// worker w.
 func newWorkerRNG(seed uint64, w int) *rand.Rand {
 	return rand.New(rand.NewPCG(seed, uint64(w)+0x9e3779b97f4a7c15))
 }

@@ -123,16 +123,28 @@ func (s *Samples) KolmogorovSmirnov(ref distribution.Discrete) float64 {
 }
 
 // RunSamples runs the estimator like Run but additionally returns every
-// sampled makespan. Memory is 8 bytes per trial.
+// sampled makespan. Memory is 8 bytes per trial. With the default fused
+// sampler the sample vector is written in trial order and is bit-identical
+// for any worker count; Result matches Run exactly.
 func (e *Estimator) RunSamples() (Result, *Samples, error) {
-	// Reuse Run's worker layout but with per-worker slices.
-	type chunk struct {
-		xs  []float64
-		err error
+	if err := e.fresh(); err != nil {
+		return Result{}, nil, err
 	}
+	if e.cfg.LegacySampler {
+		return e.legacyRunSamples()
+	}
+	// cfg.Trials is normalized to >= 1 at construction, so the run always
+	// produces samples.
+	all := make([]float64, e.cfg.Trials)
+	res := e.runReduce(func(t int, x float64) { all[t] = x })
+	return res, NewSamples(all), nil
+}
+
+// legacyRunSamples is RunSamples on the v1 per-worker streams.
+func (e *Estimator) legacyRunSamples() (Result, *Samples, error) {
 	per := e.cfg.Trials / e.cfg.Workers
 	extra := e.cfg.Trials % e.cfg.Workers
-	chunks := make([]chunk, e.cfg.Workers)
+	chunks := make([][]float64, e.cfg.Workers)
 	done := make(chan int, e.cfg.Workers)
 	for w := 0; w < e.cfg.Workers; w++ {
 		trials := per
@@ -142,29 +154,22 @@ func (e *Estimator) RunSamples() (Result, *Samples, error) {
 		go func(w, trials int) {
 			defer func() { done <- w }()
 			rng := newWorkerRNG(e.cfg.Seed, w)
-			pe, err := dag.NewPathEvaluator(e.g)
-			if err != nil {
-				chunks[w].err = err
-				return
-			}
+			pe := dag.NewPathEvaluatorFrozen(e.frozen)
 			weights := make([]float64, e.g.NumTasks())
 			xs := make([]float64, 0, trials)
 			for t := 0; t < trials; t++ {
 				e.sampleWeights(rng, weights)
 				xs = append(xs, pe.MakespanWith(weights))
 			}
-			chunks[w].xs = xs
+			chunks[w] = xs
 		}(w, trials)
 	}
 	for i := 0; i < e.cfg.Workers; i++ {
 		<-done
 	}
 	var all []float64
-	for _, c := range chunks {
-		if c.err != nil {
-			return Result{}, nil, c.err
-		}
-		all = append(all, c.xs...)
+	for _, xs := range chunks {
+		all = append(all, xs...)
 	}
 	if len(all) == 0 {
 		return Result{}, nil, fmt.Errorf("montecarlo: no samples produced")
@@ -173,14 +178,5 @@ func (e *Estimator) RunSamples() (Result, *Samples, error) {
 	for _, x := range all {
 		acc.Add(x)
 	}
-	res := Result{
-		Mean:   acc.Mean(),
-		StdDev: acc.StdDev(),
-		StdErr: acc.StdErr(),
-		CI95:   acc.CI95(),
-		Min:    acc.Min(),
-		Max:    acc.Max(),
-		Trials: int(acc.N()),
-	}
-	return res, NewSamples(all), nil
+	return resultFrom(acc), NewSamples(all), nil
 }

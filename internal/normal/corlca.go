@@ -22,11 +22,15 @@ import (
 // case is O(V·E·depth) — the method is markedly slower than First Order on
 // deep graphs, consistent with the paper's Table I runtimes.
 func CorLCA(g *dag.Graph, model failure.Model) (Result, error) {
-	order, err := g.TopoOrder()
+	f, err := dag.Freeze(g)
 	if err != nil {
 		return Result{}, err
 	}
-	n := g.NumTasks()
+	// Everything below is indexed by topological position: the correlation
+	// tree's parent pointers always point at smaller positions, so the
+	// sweep and the LCA walks both stream the frozen arrays.
+	n := f.NumTasks()
+	w := f.WeightsTopo()
 	comp := make([]distribution.Normal, n)
 	parent := make([]int, n)
 	depth := make([]int, n)
@@ -64,10 +68,11 @@ func CorLCA(g *dag.Graph, model failure.Model) (Result, error) {
 		}
 		return r
 	}
-	fold := func(preds []int) (distribution.Normal, int) {
+	fold := func(preds []int32) (distribution.Normal, int) {
 		var acc distribution.Normal
 		rep := -1
-		for k, p := range preds {
+		for k, p32 := range preds {
+			p := int(p32)
 			if k == 0 {
 				acc, rep = comp[p], p
 				continue
@@ -84,14 +89,14 @@ func CorLCA(g *dag.Graph, model failure.Model) (Result, error) {
 	}
 	var final distribution.Normal
 	finalRep := -1
-	for _, v := range order {
-		start, rep := fold(g.Pred(v))
-		comp[v] = start.Add(taskNormal(g.Weight(v), model))
+	for v := 0; v < n; v++ {
+		start, rep := fold(f.PredTopo(v))
+		comp[v] = start.Add(taskNormal(w[v], model))
 		parent[v] = rep
 		if rep >= 0 {
 			depth[v] = depth[rep] + 1
 		}
-		if g.OutDegree(v) == 0 {
+		if f.OutDegreeTopo(v) == 0 {
 			if finalRep == -1 {
 				final, finalRep = comp[v], v
 			} else {

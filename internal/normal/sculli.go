@@ -39,24 +39,26 @@ func taskNormal(a float64, model failure.Model) distribution.Normal {
 // Sculli computes the normality-assumption estimate with independent
 // maxima (ρ = 0 in Clark's formulas). O(V+E) Gaussian operations.
 func Sculli(g *dag.Graph, model failure.Model) (Result, error) {
-	order, err := g.TopoOrder()
+	f, err := dag.Freeze(g)
 	if err != nil {
 		return Result{}, err
 	}
-	comp := make([]distribution.Normal, g.NumTasks())
+	n := f.NumTasks()
+	w := f.WeightsTopo()
+	comp := make([]distribution.Normal, n)
 	var final distribution.Normal
 	haveFinal := false
-	for _, v := range order {
+	for v := 0; v < n; v++ {
 		var start distribution.Normal
-		for k, p := range g.Pred(v) {
+		for k, p := range f.PredTopo(v) {
 			if k == 0 {
 				start = comp[p]
 			} else {
 				start = distribution.ClarkMax(start, comp[p], 0)
 			}
 		}
-		comp[v] = start.Add(taskNormal(g.Weight(v), model))
-		if g.OutDegree(v) == 0 {
+		comp[v] = start.Add(taskNormal(w[v], model))
+		if f.OutDegreeTopo(v) == 0 {
 			if !haveFinal {
 				final, haveFinal = comp[v], true
 			} else {

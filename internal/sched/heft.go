@@ -60,28 +60,36 @@ func UpwardRanks(g *dag.Graph, plat Platform, weights []float64) ([]float64, err
 	if err := plat.Validate(); err != nil {
 		return nil, err
 	}
-	order, err := g.TopoOrder()
+	f, err := dag.Freeze(g)
 	if err != nil {
 		return nil, err
 	}
-	if weights == nil {
-		weights = g.Weights()
-	} else if len(weights) != g.NumTasks() {
-		return nil, fmt.Errorf("sched: %d weights for %d tasks", len(weights), g.NumTasks())
+	return upwardRanksFrozen(f, plat, weights)
+}
+
+// upwardRanksFrozen is UpwardRanks on a prepared frozen graph: a reverse
+// sweep over the CSR successor arrays. Callers have validated plat.
+func upwardRanksFrozen(f *dag.Frozen, plat Platform, weights []float64) ([]float64, error) {
+	n := f.NumTasks()
+	wTopo := f.WeightsTopo()
+	if weights != nil {
+		if len(weights) != n {
+			return nil, fmt.Errorf("sched: %d weights for %d tasks", len(weights), n)
+		}
+		wTopo = f.Gather(make([]float64, n), weights)
 	}
 	mean := plat.meanSpeed()
-	rank := make([]float64, g.NumTasks())
-	for k := len(order) - 1; k >= 0; k-- {
-		v := order[k]
+	rank := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
 		best := 0.0
-		for _, s := range g.Succ(v) {
+		for _, s := range f.SuccTopo(k) {
 			if c := plat.Comm + rank[s]; c > best {
 				best = c
 			}
 		}
-		rank[v] = weights[v]/mean + best
+		rank[k] = wTopo[k]/mean + best
 	}
-	return rank, nil
+	return f.Scatter(make([]float64, n), rank), nil
 }
 
 // busyInterval is one reserved slot on a processor, kept sorted by start.
@@ -117,27 +125,23 @@ func HEFT(g *dag.Graph, plat Platform, weights []float64) (Schedule, error) {
 	if err := plat.Validate(); err != nil {
 		return Schedule{}, err
 	}
+	f, err := dag.Freeze(g)
+	if err != nil {
+		return Schedule{}, err
+	}
 	n := g.NumTasks()
 	if weights == nil {
 		weights = g.Weights()
 	} else if len(weights) != n {
 		return Schedule{}, fmt.Errorf("sched: %d weights for %d tasks", len(weights), n)
 	}
-	ranks, err := UpwardRanks(g, plat, weights)
+	ranks, err := upwardRanksFrozen(f, plat, weights)
 	if err != nil {
 		return Schedule{}, err
 	}
 	// Decreasing rank is a topological order up to ties (rank[pred] ≥
 	// rank[succ] since weights and comm are non-negative); breaking ties
 	// by topological position makes it one unconditionally.
-	topo, err := g.TopoOrder()
-	if err != nil {
-		return Schedule{}, err
-	}
-	pos := make([]int, n)
-	for i, v := range topo {
-		pos[v] = i
-	}
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
@@ -146,7 +150,7 @@ func HEFT(g *dag.Graph, plat Platform, weights []float64) (Schedule, error) {
 		if ranks[order[a]] != ranks[order[b]] {
 			return ranks[order[a]] > ranks[order[b]]
 		}
-		return pos[order[a]] < pos[order[b]]
+		return f.Pos(order[a]) < f.Pos(order[b])
 	})
 	s := Schedule{
 		Start:    make([]float64, n),

@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# bench.sh — run the Monte Carlo / frozen-kernel benchmarks and emit
+# BENCH_mc.json so successive PRs can track the perf trajectory.
+#
+# Usage: scripts/bench.sh [output.json]
+#   COUNT=5   repetitions per benchmark (go test -count)
+#
+# The JSON holds one entry per benchmark with every ns/op sample, the best
+# (minimum) ns/op, allocs/op, and — for the Monte Carlo benchmarks, which
+# run benchTrials=20000 trials per op — the best trials/sec.
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_mc.json}"
+count="${COUNT:-5}"
+benches='BenchmarkFrozenEvalLU20|BenchmarkMCFusedLU20|BenchmarkMCLegacyLU20|BenchmarkTable1MonteCarloLU20|BenchmarkPathEvaluatorLU20|BenchmarkGraphConstructionDense'
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$benches" -benchmem -count="$count" . | tee "$tmp"
+
+awk -v trials=20000 '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op" && ns == "") ns = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+    samples[name] = samples[name] (samples[name] == "" ? "" : ", ") ns
+    if (best[name] == "" || ns + 0 < best[name] + 0) best[name] = ns
+    if (allocs != "") alloc[name] = allocs
+}
+END {
+    printf "{\n  \"unit\": \"ns/op\",\n  \"bench_trials\": %d,\n  \"results\": [\n", trials
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"ns_op\": [%s], \"best_ns_op\": %s", name, samples[name], best[name]
+        if (alloc[name] != "") printf ", \"allocs_op\": %s", alloc[name]
+        if (name ~ /^BenchmarkMC|^BenchmarkTable1MonteCarlo/)
+            printf ", \"best_trials_per_sec\": %.0f", trials * 1e9 / best[name]
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out"

@@ -19,6 +19,7 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/distribution"
 	"repro/internal/experiments"
 	"repro/internal/failure"
 	"repro/internal/linalg"
@@ -138,11 +139,55 @@ func BenchmarkTable1NormalLU20(b *testing.B) {
 
 func BenchmarkTable1DodinLU20(b *testing.B) {
 	g, m := table1Graph(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := spgraph.Dodin(g, m, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// The PR-2 tentpole target: Dodin on LU k=16 (1,496 tasks), the point
+// where the sort-based distribution kernel took 8.6 s. Tracked in
+// BENCH_dodin.json by scripts/bench.sh.
+func BenchmarkTable1DodinLU16(b *testing.B) {
+	g, err := linalg.LU(16, linalg.KernelTimes{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := failure.FromPfail(0.0001, g.MeanWeight())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := spgraph.Dodin(g, m, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The distribution kernel in isolation, at Dodin's default cap: chained
+// fused capped convolutions and maxima over a shared scratch, the inner
+// loop of every series/parallel reduction.
+func BenchmarkDistributionFusedOps(b *testing.B) {
+	d, err := distribution.TwoState(1.5, 0.99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s distribution.Scratch
+	acc := d
+	for i := 0; i < 40; i++ {
+		acc = acc.AddCapped(d, 64, &s)
+	}
+	other := acc.Shift(0.25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := acc.AddCapped(other, 64, &s)
+		_ = sum.MaxIndCapped(acc, 64, &s)
 	}
 }
 

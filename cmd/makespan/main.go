@@ -83,7 +83,9 @@ func run(kind string, k int, path string, pfail, lambda float64, trials int, see
 		}
 		fmt.Printf("%-14s %-16.8g %-12v\n", m, est, dt.Round(time.Microsecond))
 	}
-	if trials > 0 {
+	if trials != 0 {
+		// Negative trials flow through so the engine's config validation
+		// reports them instead of being silently treated as "skip MC".
 		t0 := time.Now()
 		mc, err := montecarlo.Estimate(g, model, montecarlo.Config{Trials: trials, Seed: seed})
 		if err != nil {

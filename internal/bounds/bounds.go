@@ -72,12 +72,15 @@ func SweepUpper(g *dag.Graph, model failure.Model, maxAtoms int) (float64, error
 	if err != nil {
 		return 0, err
 	}
-	capd := func(d distribution.Discrete) distribution.Discrete {
-		if maxAtoms > 0 {
-			return d.Rediscretize(maxAtoms)
-		}
-		return d
+	// The fused capped ops bin on the fly (bit-identical to op followed by
+	// Rediscretize) and share one scratch, so the sweep allocates only its
+	// per-task results. maxAtoms < 0 means unlimited: cap 0 disables
+	// binning inside the fused ops.
+	atoms := maxAtoms
+	if atoms < 0 {
+		atoms = 0
 	}
+	var s distribution.Scratch
 	n := f.NumTasks()
 	w := f.WeightsTopo()
 	comp := make([]distribution.Discrete, n)
@@ -88,7 +91,7 @@ func SweepUpper(g *dag.Graph, model failure.Model, maxAtoms int) (float64, error
 			if k == 0 {
 				start = comp[p]
 			} else {
-				start = capd(start.MaxInd(comp[p]))
+				start = start.MaxIndCapped(comp[p], atoms, &s)
 			}
 		}
 		x, err := distribution.TwoState(w[v], model.PSuccess(w[v]))
@@ -98,13 +101,13 @@ func SweepUpper(g *dag.Graph, model failure.Model, maxAtoms int) (float64, error
 		if start.IsZero() {
 			comp[v] = x
 		} else {
-			comp[v] = capd(start.Add(x))
+			comp[v] = start.AddCapped(x, atoms, &s)
 		}
 		if f.OutDegreeTopo(v) == 0 {
 			if final.IsZero() {
 				final = comp[v]
 			} else {
-				final = capd(final.MaxInd(comp[v]))
+				final = final.MaxIndCapped(comp[v], atoms, &s)
 			}
 		}
 	}

@@ -1,0 +1,509 @@
+package distribution
+
+import "sync"
+
+// This file is the merge-based discrete-distribution kernel behind Add,
+// MaxInd and their fused capped variants. Supports are always sorted, so
+// the n·m-atom convolution can be produced in ascending order by a k-way
+// merge over the shorter operand's rows instead of the build-then-sort
+// pass the naive algorithm uses (O(nm log nm) with ~5 allocations per op).
+// The capped variants additionally stream the merged atoms through a
+// binner that replicates Rediscretize bit for bit, so a capped op never
+// materializes the full n·m product: peak extra memory is
+// O(min(n,m) + maxAtoms), and with a reused Scratch the only allocations
+// per op are the two exact-size result slices.
+
+// Scratch holds the reusable buffers of the merge kernel. A zero Scratch
+// is ready to use; buffers grow to the high-water mark of the ops threaded
+// through it and are reused across calls. Not safe for concurrent use.
+type Scratch struct {
+	hSum []float64 // k-way merge heap: current sum per live row
+	hRow []int32   // row index per heap slot
+	cols []int32   // next column per row
+	vals []float64 // staging for merged atoms (MaxInd support, binner ring)
+	prbs []float64
+	binV []float64 // streaming binner output staging
+	binP []float64
+}
+
+// scratchPool backs the public Add/MaxInd entry points so every caller
+// gets buffer reuse without threading a Scratch explicitly.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+func (s *Scratch) rows(n int) {
+	if cap(s.hSum) < n {
+		s.hSum = make([]float64, n)
+		s.hRow = make([]int32, n)
+		s.cols = make([]int32, n)
+	}
+	s.hSum = s.hSum[:n]
+	s.hRow = s.hRow[:n]
+	s.cols = s.cols[:n]
+}
+
+// stage returns the vals/prbs staging buffers with length 0 and capacity
+// at least c.
+func (s *Scratch) stage(c int) {
+	if cap(s.vals) < c {
+		s.vals = make([]float64, 0, c)
+		s.prbs = make([]float64, 0, c)
+	}
+	s.vals = s.vals[:0]
+	s.prbs = s.prbs[:0]
+}
+
+// Add returns the distribution of X+Y for independent X ~ d, Y ~ o, by
+// exact convolution. The result has at most Len(d)*Len(o) atoms; callers
+// that chain many capped Adds should use AddCapped, which never builds
+// the full product.
+func (d Discrete) Add(o Discrete) Discrete {
+	s := scratchPool.Get().(*Scratch)
+	out := d.AddCapped(o, 0, s)
+	scratchPool.Put(s)
+	return out
+}
+
+// AddCapped returns Add(d, o) re-discretized to at most maxAtoms support
+// points (maxAtoms <= 0 = uncapped). The result is bit-identical to
+// d.Add(o).Rediscretize(maxAtoms) but merges and bins in one streaming
+// pass. A nil Scratch uses an internal pool.
+func (d Discrete) AddCapped(o Discrete, maxAtoms int, s *Scratch) Discrete {
+	if s == nil {
+		s = scratchPool.Get().(*Scratch)
+		defer scratchPool.Put(s)
+	}
+	// Merge over the shorter operand's rows: sums and products are
+	// commutative bit for bit, so swapping operands is free.
+	x, y := d, o
+	if len(x.values) > len(y.values) {
+		x, y = y, x
+	}
+	if len(x.values) == 0 || len(y.values) == 0 {
+		panic("distribution: Add on zero-value Discrete")
+	}
+	if maxAtoms > 0 && len(x.values)*len(y.values) > maxAtoms {
+		return addCapped(x, y, maxAtoms, s)
+	}
+	return addExact(x, y, s)
+}
+
+// addExact emits the full merged product into the staging buffers and
+// copies it out, replicating NewDiscrete's merge + renormalize exactly.
+func addExact(x, y Discrete, s *Scratch) Discrete {
+	s.stage(len(x.values) * len(y.values))
+	m := newMerger(x, y, s)
+	for {
+		v, p, ok := m.next()
+		if !ok {
+			break
+		}
+		s.vals = append(s.vals, v)
+		s.prbs = append(s.prbs, p)
+	}
+	// Renormalize exactly as Discrete.renormalize: ascending total, divide
+	// only when the drift exceeds probEps.
+	total := 0.0
+	for _, p := range s.prbs {
+		total += p
+	}
+	if total <= 0 {
+		panic("distribution: zero total probability")
+	}
+	vals := make([]float64, len(s.vals))
+	prbs := make([]float64, len(s.prbs))
+	copy(vals, s.vals)
+	if total-1 > probEps || 1-total > probEps {
+		for i, p := range s.prbs {
+			prbs[i] = p / total
+		}
+	} else {
+		copy(prbs, s.prbs)
+	}
+	return Discrete{values: vals, probs: prbs}
+}
+
+// addCapped fuses the merge with Rediscretize. Renormalization is the
+// only step that needs the total before the first atom is binned, so the
+// common no-renormalization case runs in a single pass: the merge is
+// replayed only when the raw total drifts beyond probEps (rare — the
+// product of two normalized supports).
+func addCapped(x, y Discrete, maxAtoms int, s *Scratch) Discrete {
+	m := newMerger(x, y, s)
+	total := 0.0
+	b := newBinner(maxAtoms, 1, s)
+	for {
+		v, p, ok := m.next()
+		if !ok {
+			break
+		}
+		total += p
+		b.push(v, p)
+	}
+	if total <= 0 {
+		panic("distribution: zero total probability")
+	}
+	if total-1 > probEps || 1-total > probEps {
+		// Rare: rerun the merge feeding normalized probabilities.
+		m = newMerger(x, y, s)
+		b = newBinner(maxAtoms, total, s)
+		for {
+			v, p, ok := m.next()
+			if !ok {
+				break
+			}
+			b.push(v, p)
+		}
+	}
+	return b.finish()
+}
+
+// merger streams the convolution of x and y in ascending value order,
+// with equal values merged into a single atom. x must be the row operand
+// (any of the two; callers pick the shorter for a shallower heap).
+type merger struct {
+	x, y Discrete
+	s    *Scratch
+	n    int // live heap size
+	// Pending run accumulator.
+	runV    float64
+	runP    float64
+	started bool
+	done    bool
+}
+
+func newMerger(x, y Discrete, s *Scratch) merger {
+	n := len(x.values)
+	s.rows(n)
+	w0 := y.values[0]
+	for i := 0; i < n; i++ {
+		s.cols[i] = 0
+		s.hSum[i] = x.values[i] + w0
+		s.hRow[i] = int32(i)
+	}
+	// x.values ascending makes the initial arrays an already-valid min-heap.
+	return merger{x: x, y: y, s: s, n: n}
+}
+
+// next returns the next distinct merged atom in ascending order. Runs of
+// equal sums are accumulated in heap pop order; zero-probability runs
+// (fully underflowed products) are skipped, matching NewDiscrete's
+// drop-zero-atoms behavior.
+func (m *merger) next() (v, p float64, ok bool) {
+	s := m.s
+	for m.n > 0 {
+		sum := s.hSum[0]
+		row := s.hRow[0]
+		col := s.cols[row]
+		prob := m.x.probs[row] * m.y.probs[col]
+		// Advance the popped row's cursor.
+		col++
+		s.cols[row] = col
+		if int(col) < len(m.y.values) {
+			s.hSum[0] = m.x.values[row] + m.y.values[col]
+			m.siftDown()
+		} else {
+			m.n--
+			s.hSum[0] = s.hSum[m.n]
+			s.hRow[0] = s.hRow[m.n]
+			m.siftDown()
+		}
+		if m.started && sum == m.runV {
+			m.runP += prob
+			continue
+		}
+		outV, outP, flush := m.runV, m.runP, m.started && m.runP > 0
+		m.runV, m.runP, m.started = sum, prob, true
+		if flush {
+			return outV, outP, true
+		}
+	}
+	if m.started && !m.done && m.runP > 0 {
+		m.done = true
+		return m.runV, m.runP, true
+	}
+	return 0, 0, false
+}
+
+func (m *merger) siftDown() {
+	s := m.s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= m.n {
+			return
+		}
+		if r := l + 1; r < m.n && s.hSum[r] < s.hSum[l] {
+			l = r
+		}
+		if s.hSum[i] <= s.hSum[l] {
+			return
+		}
+		s.hSum[i], s.hSum[l] = s.hSum[l], s.hSum[i]
+		s.hRow[i], s.hRow[l] = s.hRow[l], s.hRow[i]
+		i = l
+	}
+}
+
+// binner replicates Rediscretize over a stream of ascending atoms without
+// knowing the stream length in advance. Emission is delayed through a
+// ring of maxAtoms+1 pending atoms: an atom forced out of a full ring is
+// guaranteed to have at least maxAtoms >= binsLeft atoms after it, so the
+// atomsLeft < binsLeft close rule cannot fire for it and the mass-only
+// rule is exact; the atoms still pending at finish() are drained with the
+// full rule and exact remaining counts. A stream of at most maxAtoms
+// atoms is emitted unchanged (Rediscretize's identity fast path). inv is
+// the normalization divisor applied to incoming probabilities (1 = none).
+type binner struct {
+	s        *Scratch
+	maxAtoms int
+	total    float64 // normalization divisor (1 = none)
+	norm     bool
+	target   float64
+	binP     float64
+	binM     float64
+	binsLeft int
+	seen     int // total atoms pushed
+	head     int // ring start within s.vals/s.prbs
+}
+
+func newBinner(maxAtoms int, total float64, s *Scratch) binner {
+	s.stage(maxAtoms + 1)
+	if cap(s.binV) < maxAtoms {
+		s.binV = make([]float64, 0, maxAtoms)
+		s.binP = make([]float64, 0, maxAtoms)
+	}
+	s.binV = s.binV[:0]
+	s.binP = s.binP[:0]
+	return binner{
+		s:        s,
+		maxAtoms: maxAtoms,
+		total:    total,
+		norm:     total != 1,
+		target:   1.0 / float64(maxAtoms),
+		binsLeft: maxAtoms,
+	}
+}
+
+func (b *binner) push(v, p float64) {
+	if p == 0 {
+		return // NewDiscrete drops zero atoms before Rediscretize sees them
+	}
+	if b.norm {
+		p /= b.total
+	}
+	s := b.s
+	if len(s.vals)-b.head == b.maxAtoms+1 {
+		// Ring full: the oldest atom has >= maxAtoms successors, so only
+		// the mass rule can close its bin.
+		b.feed(s.vals[b.head], s.prbs[b.head], false, false)
+		b.head++
+		if b.head == len(s.vals) { // fully drained; restart the ring
+			s.vals = s.vals[:0]
+			s.prbs = s.prbs[:0]
+			b.head = 0
+		} else if b.head > b.maxAtoms {
+			// Compact so the ring slices stay bounded.
+			n := copy(s.vals, s.vals[b.head:])
+			s.vals = s.vals[:n]
+			copy(s.prbs, s.prbs[b.head:len(s.prbs)])
+			s.prbs = s.prbs[:n]
+			b.head = 0
+		}
+	}
+	s.vals = append(s.vals, v)
+	s.prbs = append(s.prbs, p)
+	b.seen++
+}
+
+// feed runs one atom through the Rediscretize bin-close rule. scarce
+// reports atomsLeft < binsLeft for this atom; last marks the final atom.
+func (b *binner) feed(v, p float64, scarce, last bool) {
+	b.binP += p
+	b.binM += v * p
+	if (b.binP >= b.target-probEps && b.binsLeft > 1) || scarce || last {
+		if b.binP > 0 {
+			emitBin(&b.s.binV, &b.s.binP, b.binM/b.binP, b.binP)
+			b.binsLeft--
+		}
+		b.binP, b.binM = 0, 0
+	}
+}
+
+// emitBin appends a bin, replicating the NewDiscrete pass Rediscretize
+// ends with: two bins of near-coincident atoms can have conditional
+// means that round to the same double — NewDiscrete merges them — or,
+// pathologically, to means that swap order — NewDiscrete sorts them.
+func emitBin(outV *[]float64, outP *[]float64, mean, p float64) {
+	vs, ps := *outV, *outP
+	i := len(vs)
+	for i > 0 && mean < vs[i-1] {
+		i--
+	}
+	if i > 0 && vs[i-1] == mean {
+		ps[i-1] += p
+		return
+	}
+	vs = append(vs, 0)
+	ps = append(ps, 0)
+	copy(vs[i+1:], vs[i:])
+	copy(ps[i+1:], ps[i:])
+	vs[i], ps[i] = mean, p
+	*outV, *outP = vs, ps
+}
+
+func (b *binner) finish() Discrete {
+	s := b.s
+	pend := len(s.vals) - b.head
+	if b.seen <= b.maxAtoms {
+		// Identity fast path: the merged product already fits.
+		vals := make([]float64, pend)
+		prbs := make([]float64, pend)
+		copy(vals, s.vals[b.head:])
+		copy(prbs, s.prbs[b.head:])
+		if len(vals) == 0 {
+			panic("distribution: empty convolution")
+		}
+		return Discrete{values: vals, probs: prbs}
+	}
+	for i := 0; i < pend; i++ {
+		atomsLeft := pend - 1 - i
+		b.feed(s.vals[b.head+i], s.prbs[b.head+i], atomsLeft < b.binsLeft, i == pend-1)
+	}
+	// Final renormalize, exactly as the NewDiscrete call inside
+	// Rediscretize: ascending total over the bins, divide past probEps.
+	total := 0.0
+	for _, p := range s.binP {
+		total += p
+	}
+	if total <= 0 {
+		panic("distribution: zero total probability")
+	}
+	vals := make([]float64, len(s.binV))
+	prbs := make([]float64, len(s.binP))
+	copy(vals, s.binV)
+	if total-1 > probEps || 1-total > probEps {
+		for i, p := range s.binP {
+			prbs[i] = p / total
+		}
+	} else {
+		copy(prbs, s.binP)
+	}
+	return Discrete{values: vals, probs: prbs}
+}
+
+// MaxInd returns the distribution of max(X,Y) for independent X ~ d,
+// Y ~ o, via the CDF product: P(max <= v) = F_X(v) F_Y(v).
+func (d Discrete) MaxInd(o Discrete) Discrete {
+	s := scratchPool.Get().(*Scratch)
+	out := d.MaxIndCapped(o, 0, s)
+	scratchPool.Put(s)
+	return out
+}
+
+// MaxIndCapped returns MaxInd(d, o) re-discretized to at most maxAtoms
+// support points (maxAtoms <= 0 = uncapped), bit-identical to
+// d.MaxInd(o).Rediscretize(maxAtoms) with a single merged pass over the
+// two supports. A nil Scratch uses an internal pool.
+func (d Discrete) MaxIndCapped(o Discrete, maxAtoms int, s *Scratch) Discrete {
+	if s == nil {
+		s = scratchPool.Get().(*Scratch)
+		defer scratchPool.Put(s)
+	}
+	// One pass over the merged supports, accumulating both CDFs; atoms at
+	// or below probEps are dropped as in the naive implementation.
+	s.stage(len(d.values) + len(o.values))
+	i, j := 0, 0
+	cd, co := 0.0, 0.0
+	prev := 0.0
+	for i < len(d.values) || j < len(o.values) {
+		var v float64
+		switch {
+		case i == len(d.values):
+			v = o.values[j]
+		case j == len(o.values):
+			v = d.values[i]
+		case d.values[i] <= o.values[j]:
+			v = d.values[i]
+		default:
+			v = o.values[j]
+		}
+		for i < len(d.values) && d.values[i] <= v {
+			cd += d.probs[i]
+			i++
+		}
+		for j < len(o.values) && o.values[j] <= v {
+			co += o.probs[j]
+			j++
+		}
+		f := cd * co
+		if p := f - prev; p > probEps {
+			s.vals = append(s.vals, v)
+			s.prbs = append(s.prbs, p)
+		}
+		prev = f
+	}
+	if len(s.vals) == 0 {
+		panic("distribution: MaxInd produced empty support")
+	}
+	// NewDiscrete's renormalize: the dropped <= probEps atoms routinely
+	// push the total past the tolerance.
+	total := 0.0
+	for _, p := range s.prbs {
+		total += p
+	}
+	if total-1 > probEps || 1-total > probEps {
+		inv := total
+		for k := range s.prbs {
+			s.prbs[k] /= inv
+		}
+	}
+	if maxAtoms > 0 && len(s.vals) > maxAtoms {
+		return rediscretizeSlices(s.vals, s.prbs, maxAtoms)
+	}
+	vals := make([]float64, len(s.vals))
+	prbs := make([]float64, len(s.prbs))
+	copy(vals, s.vals)
+	copy(prbs, s.prbs)
+	return Discrete{values: vals, probs: prbs}
+}
+
+// rediscretizeSlices is the binning loop shared by Rediscretize and the
+// fused capped ops (the streaming binner above replicates it with
+// bounded lookahead — any change here must be mirrored in
+// binner.feed/finish or the bit-identity contract between fused and
+// unfused capped ops breaks). vals must be strictly increasing with
+// positive probabilities; it emits fresh result slices, closing a bin
+// once it has target mass but never leaving more bins than atoms.
+func rediscretizeSlices(vals, prbs []float64, maxAtoms int) Discrete {
+	target := 1.0 / float64(maxAtoms)
+	outV := make([]float64, 0, maxAtoms)
+	outP := make([]float64, 0, maxAtoms)
+	binP, binM := 0.0, 0.0
+	binsLeft := maxAtoms
+	atomsLeft := len(vals)
+	for i, v := range vals {
+		binP += prbs[i]
+		binM += v * prbs[i]
+		atomsLeft--
+		if (binP >= target-probEps && binsLeft > 1) || atomsLeft < binsLeft || i == len(vals)-1 {
+			if binP > 0 {
+				emitBin(&outV, &outP, binM/binP, binP)
+				binsLeft--
+			}
+			binP, binM = 0, 0
+		}
+	}
+	total := 0.0
+	for _, p := range outP {
+		total += p
+	}
+	if total <= 0 {
+		panic("distribution: zero total probability")
+	}
+	if total-1 > probEps || 1-total > probEps {
+		for i := range outP {
+			outP[i] /= total
+		}
+	}
+	return Discrete{values: outV, probs: outP}
+}

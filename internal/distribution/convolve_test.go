@@ -1,0 +1,314 @@
+package distribution
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomDiscrete builds a valid distribution with n atoms. Lattice mode
+// places values on multiples of a step so the convolution has many exact
+// ties, stressing the merge kernel's tie accumulation.
+func randomDiscrete(rng *rand.Rand, n int, lattice bool) Discrete {
+	vals := make([]float64, n)
+	prbs := make([]float64, n)
+	for i := range vals {
+		if lattice {
+			vals[i] = 0.25 * float64(rng.Intn(8*n))
+		} else {
+			vals[i] = rng.Float64() * 10
+		}
+		prbs[i] = rng.ExpFloat64() + 1e-6
+	}
+	total := 0.0
+	for _, p := range prbs {
+		total += p
+	}
+	for i := range prbs {
+		prbs[i] /= total
+	}
+	d, err := NewDiscrete(vals, prbs)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func bitEqual(a, b Discrete) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		av, ap := a.Atom(i)
+		bv, bp := b.Atom(i)
+		if math.Float64bits(av) != math.Float64bits(bv) || math.Float64bits(ap) != math.Float64bits(bp) {
+			return false
+		}
+	}
+	return true
+}
+
+// ulpsApart returns the distance in representable float64 steps; both
+// arguments must be finite and positive.
+func ulpsApart(a, b float64) uint64 {
+	ia, ib := math.Float64bits(a), math.Float64bits(b)
+	if ia > ib {
+		return ia - ib
+	}
+	return ib - ia
+}
+
+// nearlyEqual accepts per-atom differences of a few ULPs from the naive
+// oracle: tie runs are summed in a different order than its unstable
+// sort, which can move probabilities (and, once binned, the bin-mean
+// values) by an ULP. valueUlps = 0 demands exact value bits.
+func nearlyEqual(t *testing.T, name string, a, b Discrete, valueUlps, probUlps uint64) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: len %d vs naive %d", name, a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		av, ap := a.Atom(i)
+		bv, bp := b.Atom(i)
+		if ulpsApart(av, bv) > valueUlps {
+			t.Fatalf("%s: value[%d] %v vs naive %v (%d ulps)", name, i, av, bv, ulpsApart(av, bv))
+		}
+		if ulpsApart(ap, bp) > probUlps {
+			t.Fatalf("%s: prob[%d] %v vs naive %v (%d ulps)", name, i, ap, bp, ulpsApart(ap, bp))
+		}
+	}
+}
+
+// --- bit-parity of the merge kernel against the preserved naive oracle ---
+
+func TestAddParityRandomSupports(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 400; trial++ {
+		d := randomDiscrete(rng, 1+rng.Intn(40), false)
+		o := randomDiscrete(rng, 1+rng.Intn(40), false)
+		got, want := d.Add(o), addNaive(d, o)
+		if !bitEqual(got, want) {
+			t.Fatalf("trial %d: merge Add differs from naive\n got %v\nwant %v", trial, got, want)
+		}
+	}
+}
+
+// On lattice supports the convolution has many exact value ties; runs of
+// two tie atoms sum commutatively so most results are still bit-equal,
+// but runs of three or more may differ from the naive oracle's unstable
+// sort order by an ULP. Values must match exactly; probabilities within
+// a few ULPs; means effectively exactly.
+func TestAddParityLatticeSupports(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 400; trial++ {
+		d := randomDiscrete(rng, 1+rng.Intn(24), true)
+		o := randomDiscrete(rng, 1+rng.Intn(24), true)
+		got, want := d.Add(o), addNaive(d, o)
+		nearlyEqual(t, "lattice Add", got, want, 0, 4)
+		if rel := math.Abs(got.Mean()-want.Mean()) / math.Abs(want.Mean()); rel > 1e-14 {
+			t.Fatalf("trial %d: mean drifted %v", trial, rel)
+		}
+	}
+}
+
+func TestAddParityTwoState(t *testing.T) {
+	// The estimator workloads convolve long chains against 2-atom task
+	// distributions; ties are at most 2-way there, so bit parity is exact.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		acc, err := TwoState(1.5, 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accNaive := acc
+		for step := 0; step < 6; step++ {
+			x, err := TwoState(1.5, 0.9+0.09*rng.Float64())
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc = acc.Add(x)
+			accNaive = addNaive(accNaive, x)
+			if !bitEqual(acc, accNaive) {
+				t.Fatalf("trial %d step %d: TwoState chain diverged", trial, step)
+			}
+		}
+	}
+}
+
+func TestMaxIndParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 400; trial++ {
+		lattice := trial%2 == 0
+		d := randomDiscrete(rng, 1+rng.Intn(40), lattice)
+		o := randomDiscrete(rng, 1+rng.Intn(40), lattice)
+		got, want := d.MaxInd(o), maxIndNaive(d, o)
+		if !bitEqual(got, want) {
+			t.Fatalf("trial %d: merge MaxInd differs from naive", trial)
+		}
+	}
+}
+
+func TestAddCappedParityWithRediscretize(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := &Scratch{}
+	for trial := 0; trial < 400; trial++ {
+		lattice := trial%3 == 0
+		d := randomDiscrete(rng, 1+rng.Intn(40), lattice)
+		o := randomDiscrete(rng, 1+rng.Intn(40), lattice)
+		for _, maxAtoms := range []int{1, 2, 7, 16, 64, 200} {
+			got := d.AddCapped(o, maxAtoms, s)
+			want := addNaive(d, o).Rediscretize(maxAtoms)
+			if lattice {
+				nearlyEqual(t, "capped lattice Add", got, want, 8, 8)
+			} else if !bitEqual(got, want) {
+				t.Fatalf("trial %d cap %d: AddCapped differs from naive+Rediscretize\n got %v\nwant %v",
+					trial, maxAtoms, got, want)
+			}
+			if got.Len() > maxAtoms {
+				t.Fatalf("cap %d produced %d atoms", maxAtoms, got.Len())
+			}
+		}
+	}
+}
+
+func TestMaxIndCappedParityWithRediscretize(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := &Scratch{}
+	for trial := 0; trial < 400; trial++ {
+		d := randomDiscrete(rng, 1+rng.Intn(60), trial%2 == 0)
+		o := randomDiscrete(rng, 1+rng.Intn(60), trial%2 == 0)
+		for _, maxAtoms := range []int{1, 3, 16, 64} {
+			got := d.MaxIndCapped(o, maxAtoms, s)
+			want := maxIndNaive(d, o).Rediscretize(maxAtoms)
+			if !bitEqual(got, want) {
+				t.Fatalf("trial %d cap %d: MaxIndCapped differs from naive+Rediscretize", trial, maxAtoms)
+			}
+		}
+	}
+}
+
+// --- properties of the fused ops: the invariants every operator must keep ---
+
+func checkInvariants(t *testing.T, name string, d Discrete) {
+	t.Helper()
+	if d.Len() == 0 {
+		t.Fatalf("%s: empty distribution", name)
+	}
+	total := 0.0
+	prev := math.Inf(-1)
+	for i := 0; i < d.Len(); i++ {
+		v, p := d.Atom(i)
+		if v <= prev {
+			t.Fatalf("%s: values not strictly increasing at %d (%v after %v)", name, i, v, prev)
+		}
+		if p <= 0 || math.IsNaN(p) {
+			t.Fatalf("%s: bad probability %v at %d", name, p, i)
+		}
+		prev = v
+		total += p
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("%s: probabilities sum to %v", name, total)
+	}
+}
+
+func TestFusedOpsInvariantsAndMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := &Scratch{}
+	for trial := 0; trial < 300; trial++ {
+		d := randomDiscrete(rng, 1+rng.Intn(50), trial%2 == 0)
+		o := randomDiscrete(rng, 1+rng.Intn(50), trial%2 == 0)
+		sum := d.Add(o)
+		checkInvariants(t, "Add", sum)
+		if rel := math.Abs(sum.Mean()-(d.Mean()+o.Mean())) / (d.Mean() + o.Mean() + 1); rel > 1e-12 {
+			t.Fatalf("Add mean %v != %v + %v", sum.Mean(), d.Mean(), o.Mean())
+		}
+		mx := d.MaxInd(o)
+		checkInvariants(t, "MaxInd", mx)
+		if mx.Mean() < math.Max(d.Mean(), o.Mean())-1e-9 {
+			t.Fatalf("MaxInd mean %v below operand means %v, %v", mx.Mean(), d.Mean(), o.Mean())
+		}
+		for _, maxAtoms := range []int{2, 16, 64} {
+			cs := d.AddCapped(o, maxAtoms, s)
+			checkInvariants(t, "AddCapped", cs)
+			// Rediscretize and the fused capped ops are mean-preserving:
+			// the binned mean must match the exact convolution mean to
+			// rounding error (the PR's 1e-9 acceptance bound is loose).
+			if rel := math.Abs(cs.Mean()-sum.Mean()) / sum.Mean(); rel > 1e-12 {
+				t.Fatalf("AddCapped(%d) mean drifted by %v", maxAtoms, rel)
+			}
+			cm := d.MaxIndCapped(o, maxAtoms, s)
+			checkInvariants(t, "MaxIndCapped", cm)
+			if rel := math.Abs(cm.Mean()-mx.Mean()) / mx.Mean(); rel > 1e-12 {
+				t.Fatalf("MaxIndCapped(%d) mean drifted by %v", maxAtoms, rel)
+			}
+		}
+	}
+}
+
+func TestRediscretizePreservesMeanExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		d := randomDiscrete(rng, 2+rng.Intn(200), false)
+		for _, maxAtoms := range []int{1, 2, 16, 64} {
+			r := d.Rediscretize(maxAtoms)
+			if r.Len() > maxAtoms {
+				t.Fatalf("Rediscretize(%d) kept %d atoms", maxAtoms, r.Len())
+			}
+			if rel := math.Abs(r.Mean()-d.Mean()) / d.Mean(); rel > 1e-12 {
+				t.Fatalf("Rediscretize(%d) mean drifted by %v", maxAtoms, rel)
+			}
+		}
+	}
+}
+
+func TestAddCappedNeverExpandsScratchUnbounded(t *testing.T) {
+	// The fused capped op must not materialize the n·m product: its
+	// staging buffers stay O(maxAtoms), not O(n·m).
+	rng := rand.New(rand.NewSource(9))
+	d := randomDiscrete(rng, 64, false)
+	o := randomDiscrete(rng, 64, false)
+	s := &Scratch{}
+	const maxAtoms = 64
+	got := d.AddCapped(o, maxAtoms, s)
+	checkInvariants(t, "AddCapped", got)
+	if cap(s.vals) > 4*(maxAtoms+1) {
+		t.Fatalf("capped Add staged %d atoms; the full product is %d", cap(s.vals), d.Len()*o.Len())
+	}
+}
+
+// --- fuzz: random operands through every op, invariants + naive agreement ---
+
+func FuzzConvolutionOps(f *testing.F) {
+	f.Add(int64(1), 5, 7, false, 16)
+	f.Add(int64(2), 1, 1, true, 1)
+	f.Add(int64(3), 30, 2, true, 64)
+	f.Add(int64(4), 12, 12, false, 0)
+	f.Fuzz(func(t *testing.T, seed int64, n, m int, lattice bool, maxAtoms int) {
+		if n < 1 || n > 80 || m < 1 || m > 80 || maxAtoms < 0 || maxAtoms > 256 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDiscrete(rng, n, lattice)
+		o := randomDiscrete(rng, m, lattice)
+		s := &Scratch{}
+
+		sum := d.AddCapped(o, maxAtoms, s)
+		checkInvariants(t, "AddCapped", sum)
+		wantSum := addNaive(d, o)
+		if maxAtoms > 0 {
+			wantSum = wantSum.Rediscretize(maxAtoms)
+		}
+		nearlyEqual(t, "fuzz Add", sum, wantSum, 8, 8)
+
+		mx := d.MaxIndCapped(o, maxAtoms, s)
+		checkInvariants(t, "MaxIndCapped", mx)
+		wantMx := maxIndNaive(d, o)
+		if maxAtoms > 0 {
+			wantMx = wantMx.Rediscretize(maxAtoms)
+		}
+		if !bitEqual(mx, wantMx) {
+			t.Fatalf("MaxIndCapped differs from naive oracle")
+		}
+	})
+}

@@ -161,83 +161,6 @@ func (d Discrete) Quantile(q float64) float64 {
 	return d.values[len(d.values)-1]
 }
 
-// Add returns the distribution of X+Y for independent X ~ d, Y ~ o, by
-// exact convolution. The result has at most Len(d)*Len(o) atoms; callers
-// that chain many Adds should interleave Rediscretize.
-func (d Discrete) Add(o Discrete) Discrete {
-	vals := make([]float64, 0, len(d.values)*len(o.values))
-	prbs := make([]float64, 0, len(d.values)*len(o.values))
-	for i, v := range d.values {
-		for j, w := range o.values {
-			vals = append(vals, v+w)
-			prbs = append(prbs, d.probs[i]*o.probs[j])
-		}
-	}
-	out, err := NewDiscrete(vals, prbs)
-	if err != nil {
-		panic(fmt.Sprintf("distribution: Add produced invalid result: %v", err))
-	}
-	return out
-}
-
-// MaxInd returns the distribution of max(X,Y) for independent X ~ d,
-// Y ~ o, via the CDF product: P(max <= v) = F_X(v) F_Y(v).
-func (d Discrete) MaxInd(o Discrete) Discrete {
-	// Merge supports.
-	merged := make([]float64, 0, len(d.values)+len(o.values))
-	i, j := 0, 0
-	for i < len(d.values) || j < len(o.values) {
-		var v float64
-		switch {
-		case i == len(d.values):
-			v = o.values[j]
-			j++
-		case j == len(o.values):
-			v = d.values[i]
-			i++
-		case d.values[i] < o.values[j]:
-			v = d.values[i]
-			i++
-		case d.values[i] > o.values[j]:
-			v = o.values[j]
-			j++
-		default:
-			v = d.values[i]
-			i++
-			j++
-		}
-		if n := len(merged); n == 0 || merged[n-1] != v {
-			merged = append(merged, v)
-		}
-	}
-	vals := make([]float64, 0, len(merged))
-	prbs := make([]float64, 0, len(merged))
-	prev := 0.0
-	cd, co := 0.0, 0.0
-	i, j = 0, 0
-	for _, v := range merged {
-		for i < len(d.values) && d.values[i] <= v {
-			cd += d.probs[i]
-			i++
-		}
-		for j < len(o.values) && o.values[j] <= v {
-			co += o.probs[j]
-			j++
-		}
-		f := cd * co
-		if p := f - prev; p > probEps {
-			vals = append(vals, v)
-			prbs = append(prbs, p)
-		}
-		prev = f
-	}
-	out, err := NewDiscrete(vals, prbs)
-	if err != nil {
-		panic(fmt.Sprintf("distribution: MaxInd produced invalid result: %v", err))
-	}
-	return out
-}
-
 // Shift returns the distribution of X + c.
 func (d Discrete) Shift(c float64) Discrete {
 	vals := make([]float64, len(d.values))
@@ -274,32 +197,7 @@ func (d Discrete) Rediscretize(maxAtoms int) Discrete {
 	if len(d.values) <= maxAtoms {
 		return d
 	}
-	target := 1.0 / float64(maxAtoms)
-	vals := make([]float64, 0, maxAtoms)
-	prbs := make([]float64, 0, maxAtoms)
-	binP, binM := 0.0, 0.0
-	binsLeft := maxAtoms
-	atomsLeft := len(d.values)
-	for i, v := range d.values {
-		binP += d.probs[i]
-		binM += v * d.probs[i]
-		atomsLeft--
-		// Close the bin when it has enough mass, but never leave more
-		// atoms than bins remaining.
-		if (binP >= target-probEps && binsLeft > 1) || atomsLeft < binsLeft || i == len(d.values)-1 {
-			if binP > 0 {
-				vals = append(vals, binM/binP)
-				prbs = append(prbs, binP)
-				binsLeft--
-			}
-			binP, binM = 0, 0
-		}
-	}
-	out, err := NewDiscrete(vals, prbs)
-	if err != nil {
-		panic(fmt.Sprintf("distribution: Rediscretize produced invalid result: %v", err))
-	}
-	return out
+	return rediscretizeSlices(d.values, d.probs, maxAtoms)
 }
 
 // Sample draws one value using the uniform variate u in [0,1).

@@ -1,0 +1,83 @@
+package distribution
+
+import "fmt"
+
+// This file preserves the pre-merge-kernel Add/MaxInd implementations
+// verbatim (build-all-atoms, sort inside NewDiscrete) as the oracle for
+// the parity, property and fuzz tests in convolve_test.go. The shipped
+// kernel in convolve.go must reproduce them bit for bit when uncapped.
+
+// addNaive is the original Discrete.Add: materialize all n·m atoms and
+// let NewDiscrete sort, merge and renormalize them.
+func addNaive(d, o Discrete) Discrete {
+	vals := make([]float64, 0, len(d.values)*len(o.values))
+	prbs := make([]float64, 0, len(d.values)*len(o.values))
+	for i, v := range d.values {
+		for j, w := range o.values {
+			vals = append(vals, v+w)
+			prbs = append(prbs, d.probs[i]*o.probs[j])
+		}
+	}
+	out, err := NewDiscrete(vals, prbs)
+	if err != nil {
+		panic(fmt.Sprintf("distribution: Add produced invalid result: %v", err))
+	}
+	return out
+}
+
+// maxIndNaive is the original Discrete.MaxInd: merge supports into a
+// scratch slice, then take CDF-product differences.
+func maxIndNaive(d, o Discrete) Discrete {
+	merged := make([]float64, 0, len(d.values)+len(o.values))
+	i, j := 0, 0
+	for i < len(d.values) || j < len(o.values) {
+		var v float64
+		switch {
+		case i == len(d.values):
+			v = o.values[j]
+			j++
+		case j == len(o.values):
+			v = d.values[i]
+			i++
+		case d.values[i] < o.values[j]:
+			v = d.values[i]
+			i++
+		case d.values[i] > o.values[j]:
+			v = o.values[j]
+			j++
+		default:
+			v = d.values[i]
+			i++
+			j++
+		}
+		if n := len(merged); n == 0 || merged[n-1] != v {
+			merged = append(merged, v)
+		}
+	}
+	vals := make([]float64, 0, len(merged))
+	prbs := make([]float64, 0, len(merged))
+	prev := 0.0
+	cd, co := 0.0, 0.0
+	i, j = 0, 0
+	for _, v := range merged {
+		for i < len(d.values) && d.values[i] <= v {
+			cd += d.probs[i]
+			i++
+		}
+		for j < len(o.values) && o.values[j] <= v {
+			co += o.probs[j]
+			j++
+		}
+		f := cd * co
+		if p := f - prev; p > probEps {
+			vals = append(vals, v)
+			prbs = append(prbs, p)
+		}
+		prev = f
+	}
+	out, err := NewDiscrete(vals, prbs)
+	if err != nil {
+		panic(fmt.Sprintf("distribution: MaxInd produced invalid result: %v", err))
+	}
+	return out
+}

@@ -56,12 +56,15 @@ func RunSweep(spec SweepSpec, opts Options) (SweepResult, error) {
 		return SweepResult{}, err
 	}
 	res := SweepResult{Spec: spec, Tasks: g.NumTasks(), Trials: opts.Trials}
-	for _, pf := range spec.PFails {
+	for i, pf := range spec.PFails {
 		model, err := failure.FromPfail(pf, g.MeanWeight())
 		if err != nil {
 			return SweepResult{}, err
 		}
-		mc, err := montecarlo.Estimate(g, model, montecarlo.Config{Trials: opts.Trials, Seed: opts.Seed})
+		// Each pfail point gets its own derived seed: reusing opts.Seed
+		// verbatim correlates the Monte Carlo noise across the sweep, so
+		// every point of the error-vs-λ plot would share one noise floor.
+		mc, err := montecarlo.Estimate(g, model, montecarlo.Config{Trials: opts.Trials, Seed: pointSeed(opts.Seed, i)})
 		if err != nil {
 			return SweepResult{}, err
 		}
@@ -86,6 +89,20 @@ func RunSweep(spec SweepSpec, opts Options) (SweepResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// pointSeed derives an independent per-point seed from the user's seed
+// and the sweep-point index via the SplitMix64 finalizer, so distinct
+// points draw decorrelated Monte Carlo streams while a fixed opts.Seed
+// still reproduces the whole sweep.
+func pointSeed(seed uint64, point int) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*uint64(point+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
 }
 
 // WriteSweep renders a sweep as an aligned text table.

@@ -1,0 +1,71 @@
+package montecarlo
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/linalg"
+)
+
+// Negative Trials/Workers used to be silently clamped to the defaults, so
+// Config{Trials: -5} ran 300,000 trials for seconds; they must be
+// configuration errors.
+func TestNegativeConfigRejected(t *testing.T) {
+	g, err := linalg.LU(4, linalg.KernelTimes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := failure.FromPfail(0.001, g.MeanWeight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEstimator(g, m, Config{Trials: -5}); err == nil || !strings.Contains(err.Error(), "Trials") {
+		t.Fatalf("Trials:-5 not rejected (err = %v)", err)
+	}
+	if _, err := Estimate(g, m, Config{Trials: -1}); err == nil {
+		t.Fatal("Estimate accepted negative Trials")
+	}
+	if _, err := NewEstimator(g, m, Config{Workers: -2}); err == nil || !strings.Contains(err.Error(), "Workers") {
+		t.Fatalf("Workers:-2 not rejected (err = %v)", err)
+	}
+	// Zero still selects the defaults.
+	e, err := NewEstimator(g, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.cfg.Trials != DefaultTrials {
+		t.Fatalf("zero Trials resolved to %d", e.cfg.Trials)
+	}
+}
+
+// The LegacySampler partitions one stream per worker, so its Result
+// depends on Workers at the same Seed — the caveat documented on the
+// field. The default sampler's chunked streams are worker-independent;
+// both properties are regression-pinned here so the distribution-kernel
+// rewrite (or any later change) cannot silently alter either.
+func TestLegacySamplerWorkerDependenceVsDefaultIndependence(t *testing.T) {
+	g, err := linalg.LU(6, linalg.KernelTimes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := failure.FromPfail(0.01, g.MeanWeight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int, legacy bool) Result {
+		r, err := Estimate(g, m, Config{Trials: 20000, Seed: 7, Workers: workers, LegacySampler: legacy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	l1, l4 := run(1, true), run(4, true)
+	if l1.Mean == l4.Mean {
+		t.Fatal("legacy sampler unexpectedly worker-independent; update the Config.LegacySampler docs")
+	}
+	d1, d4 := run(1, false), run(4, false)
+	if d1 != d4 {
+		t.Fatalf("default sampler depends on Workers: %+v vs %+v", d1, d4)
+	}
+}

@@ -42,11 +42,13 @@ func (m Mode) String() string {
 
 // Config parameterizes a Monte Carlo run.
 type Config struct {
-	// Trials is the number of samples; the paper uses 300,000.
+	// Trials is the number of samples; 0 selects the paper's 300,000.
+	// Negative values are a configuration error.
 	Trials int
-	// Workers is the number of goroutines (0 = GOMAXPROCS). With the
-	// default fused sampler the result is bit-identical for any Workers;
-	// with LegacySampler it is reproducible per (Seed, Workers) pair.
+	// Workers is the number of goroutines (0 = GOMAXPROCS; negative is a
+	// configuration error). With the default fused sampler the result is
+	// bit-identical for any Workers; with LegacySampler it is
+	// reproducible only per (Seed, Workers) pair.
 	Workers int
 	// Seed makes runs reproducible.
 	Seed uint64
@@ -57,6 +59,12 @@ type Config struct {
 	// for geometric attempt counts. The default fused sampler is
 	// statistically equivalent and much faster but draws a different
 	// stream; keep the old one available for cross-version parity tests.
+	//
+	// Caveat: because the legacy stream is partitioned per worker, its
+	// Result depends on Workers — the same Seed with Workers:1 and
+	// Workers:4 yields different means. The default sampler assigns
+	// fixed-size trial chunks to deterministic per-chunk streams and is
+	// therefore worker-count independent (see determinism_test.go).
 	LegacySampler bool
 }
 
@@ -121,10 +129,18 @@ func NewEstimatorRates(g *dag.Graph, rates []float64, cfg Config) (*Estimator, e
 	if len(rates) != g.NumTasks() {
 		return nil, fmt.Errorf("montecarlo: %d rates for %d tasks", len(rates), g.NumTasks())
 	}
-	if cfg.Trials <= 0 {
+	// Negative counts are configuration errors, not defaults: silently
+	// clamping Trials:-5 to 300,000 turns a typo into a seconds-long run.
+	if cfg.Trials < 0 {
+		return nil, fmt.Errorf("montecarlo: negative Trials %d (0 selects the default %d)", cfg.Trials, DefaultTrials)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("montecarlo: negative Workers %d (0 selects GOMAXPROCS)", cfg.Workers)
+	}
+	if cfg.Trials == 0 {
 		cfg.Trials = DefaultTrials
 	}
-	if cfg.Workers <= 0 {
+	if cfg.Workers == 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.Workers > cfg.Trials {

@@ -74,41 +74,87 @@ func (net *Network) Dodin() (Result, DodinStats, error) {
 	}
 }
 
+// candPush records a join candidate whenever a node's degrees change into
+// (or stay in) candidate shape. Entries are lazy: a stale one is
+// discarded when popped.
+func (net *Network) candPush(v int) {
+	if v == net.src || v == net.snk {
+		return
+	}
+	if net.inDeg[v] >= 2 && net.outDeg[v] >= 1 {
+		net.candHeapPush(int64(net.outDeg[v])<<32 | int64(v))
+	}
+}
+
+func (net *Network) candHeapPush(e int64) {
+	h := append(net.cand, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	net.cand = h
+}
+
+func (net *Network) candHeapPop() int64 {
+	h := net.cand
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && h[r] < h[l] {
+			l = r
+		}
+		if h[i] <= h[l] {
+			break
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
+	net.cand = h
+	return top
+}
+
 // duplicateOne performs one Dodin duplication. It selects the join node v
 // (in-degree ≥ 2) with the smallest out-degree — ties broken by smallest
 // node ID — so that the fresh copy v' collapses by a series reduction as
 // soon as possible, then moves v's first incoming arc onto a new node v'
 // carrying copies of all of v's outgoing arcs. Returns false if the
 // network has no join node.
+//
+// Selection pops the lazy candidate heap, whose (outDeg, node) ordering
+// matches the original ascending-ID min-out-degree scan; entries whose
+// degrees changed since they were pushed are discarded (the push hooks in
+// addArc/killArc guarantee a current entry exists for every candidate).
 func (net *Network) duplicateOne() bool {
-	bestV, bestOut := -1, -1
-	for v := range net.in {
-		if v == net.src || v == net.snk {
-			continue
-		}
-		if len(net.liveIn(v)) < 2 {
-			continue
-		}
-		od := len(net.liveOut(v))
-		if od == 0 {
-			continue
-		}
-		if bestV == -1 || od < bestOut {
-			bestV, bestOut = v, od
+	v := -1
+	for len(net.cand) > 0 {
+		e := net.candHeapPop()
+		od, node := int32(e>>32), int(e&0xffffffff)
+		if net.inDeg[node] >= 2 && net.outDeg[node] == od && od >= 1 {
+			v = node
+			break
 		}
 	}
-	if bestV == -1 {
+	if v == -1 {
 		return false
 	}
-	v := bestV
 	in := net.liveIn(v)
 	moved := in[0]
 	u := net.arcs[moved].from
 	d := net.arcs[moved].dist
 	// New node v'.
-	vp := len(net.in)
-	net.in = append(net.in, nil)
-	net.out = append(net.out, nil)
+	vp := net.addNode()
 	movedTree := net.arcs[moved].tree
 	net.killArc(moved)
 	net.addArc(u, vp, d, movedTree)
@@ -117,6 +163,11 @@ func (net *Network) duplicateOne() bool {
 		// treats the copies as independent, which is Dodin's approximation.
 		net.addArc(vp, net.arcs[id].to, net.arcs[id].dist, net.arcs[id].tree)
 	}
+	// Only v (one in-arc fewer) and v' (the fresh node) can have become
+	// reducible; seed them for the next pass. v' must pop first, as the
+	// highest index would in a full re-seed.
+	net.seedPending(v)
+	net.seedPending(vp)
 	return true
 }
 

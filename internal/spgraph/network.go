@@ -9,6 +9,7 @@ package spgraph
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/dag"
 	"repro/internal/distribution"
@@ -17,6 +18,14 @@ import (
 
 // Network is a directed multigraph with a distribution on every arc, a
 // single source and a single sink — a PERT activity-on-arc network.
+//
+// The reduction machinery keeps incremental state so that a full Dodin
+// run does O(1) work per reduction instead of rescanning the network:
+// live in/out degree counters, a worklist that survives across
+// duplications (lifo+pending, see reduce.go), an epoch-stamped scratch
+// table for parallel-arc detection, and a lazy min-heap of join-node
+// candidates for duplicateOne. Distribution ops go through a pooled
+// Scratch, so reductions allocate only their result.
 type Network struct {
 	arcs     []arc
 	aliveArc []bool
@@ -24,6 +33,32 @@ type Network struct {
 	src, snk int
 	nAlive   int
 	maxAtoms int // distribution support cap; 0 = unlimited (exact)
+
+	inDeg, outDeg []int32 // live arc counts per node
+
+	// Worklist state (reduce.go). lifo holds nodes re-pushed after the
+	// current pass already swept them; pending is a max-heap (by node
+	// index) of nodes the pass has not reached yet. sweepPos is the index
+	// of the pending node popped most recently in this pass.
+	lifo     []int32
+	pending  []int32
+	inQueue  []bool
+	sweepPos int
+	seeded   bool // first pass seeds every node
+
+	// Parallel-arc detection scratch: headFirst[h] is the first live arc
+	// into h seen during the scan stamped headMark[h] == headEpoch.
+	headFirst []int
+	headMark  []int64
+	headEpoch int64
+
+	// Lazy join-candidate heap for duplicateOne: entries pack
+	// (outDegree<<32 | node) and are validated against current degrees at
+	// pop time. Every node whose degrees change while it satisfies
+	// inDeg >= 2 && outDeg >= 1 has a current entry.
+	cand []int64
+
+	scratch distribution.Scratch
 }
 
 type arc struct {
@@ -52,11 +87,17 @@ func FromDAG(g *dag.Graph, model failure.Model, maxAtoms int) (*Network, error) 
 	// 2n = super-source, 2n+1 = super-sink.
 	nn := 2*n + 2
 	net := &Network{
-		in:       make([][]int, nn),
-		out:      make([][]int, nn),
-		src:      2 * n,
-		snk:      2*n + 1,
-		maxAtoms: maxAtoms,
+		in:        make([][]int, nn),
+		out:       make([][]int, nn),
+		src:       2 * n,
+		snk:       2*n + 1,
+		maxAtoms:  maxAtoms,
+		inDeg:     make([]int32, nn),
+		outDeg:    make([]int32, nn),
+		inQueue:   make([]bool, nn),
+		headFirst: make([]int, nn),
+		headMark:  make([]int64, nn),
+		sweepPos:  math.MaxInt,
 	}
 	zero := distribution.Point(0)
 	for i := 0; i < n; i++ {
@@ -81,13 +122,30 @@ func FromDAG(g *dag.Graph, model failure.Model, maxAtoms int) (*Network, error) 
 	return net, nil
 }
 
+// addNode appends a fresh node, growing every per-node table.
+func (net *Network) addNode() int {
+	id := len(net.in)
+	net.in = append(net.in, nil)
+	net.out = append(net.out, nil)
+	net.inDeg = append(net.inDeg, 0)
+	net.outDeg = append(net.outDeg, 0)
+	net.inQueue = append(net.inQueue, false)
+	net.headFirst = append(net.headFirst, 0)
+	net.headMark = append(net.headMark, 0)
+	return id
+}
+
 func (net *Network) addArc(u, v int, d distribution.Discrete, tree *SPNode) int {
 	id := len(net.arcs)
 	net.arcs = append(net.arcs, arc{from: u, to: v, dist: d, tree: tree})
 	net.aliveArc = append(net.aliveArc, true)
 	net.out[u] = append(net.out[u], id)
 	net.in[v] = append(net.in[v], id)
+	net.outDeg[u]++
+	net.inDeg[v]++
 	net.nAlive++
+	net.candPush(u)
+	net.candPush(v)
 	return id
 }
 
@@ -95,6 +153,11 @@ func (net *Network) killArc(id int) {
 	if net.aliveArc[id] {
 		net.aliveArc[id] = false
 		net.nAlive--
+		a := &net.arcs[id]
+		net.outDeg[a.from]--
+		net.inDeg[a.to]--
+		net.candPush(a.from)
+		net.candPush(a.to)
 	}
 }
 
@@ -102,7 +165,7 @@ func (net *Network) killArc(id int) {
 func (net *Network) liveIn(v int) []int {
 	live := net.in[v][:0]
 	for _, id := range net.in[v] {
-		if net.aliveArc[id] && net.arcs[id].to == v {
+		if net.aliveArc[id] {
 			live = append(live, id)
 		}
 	}
@@ -114,7 +177,7 @@ func (net *Network) liveIn(v int) []int {
 func (net *Network) liveOut(u int) []int {
 	live := net.out[u][:0]
 	for _, id := range net.out[u] {
-		if net.aliveArc[id] && net.arcs[id].from == u {
+		if net.aliveArc[id] {
 			live = append(live, id)
 		}
 	}
@@ -125,12 +188,16 @@ func (net *Network) liveOut(u int) []int {
 // NumArcs returns the number of live arcs.
 func (net *Network) NumArcs() int { return net.nAlive }
 
-// cap applies the support cap to a distribution.
-func (net *Network) cap(d distribution.Discrete) distribution.Discrete {
-	if net.maxAtoms > 0 {
-		return d.Rediscretize(net.maxAtoms)
-	}
-	return d
+// convMax merges two parallel arcs' distributions (independent max),
+// applying the support cap in the same fused pass.
+func (net *Network) convMax(a, b distribution.Discrete) distribution.Discrete {
+	return a.MaxIndCapped(b, net.maxAtoms, &net.scratch)
+}
+
+// convAdd merges two series arcs' distributions (convolution), applying
+// the support cap in the same fused pass.
+func (net *Network) convAdd(a, b distribution.Discrete) distribution.Discrete {
+	return a.AddCapped(b, net.maxAtoms, &net.scratch)
 }
 
 // errNotReduced reports a network that did not collapse to a single arc.

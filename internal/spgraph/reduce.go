@@ -2,6 +2,7 @@ package spgraph
 
 import (
 	"fmt"
+	"math"
 )
 
 // reducePass applies series and parallel reductions until none applies,
@@ -12,41 +13,69 @@ import (
 // an internal node with exactly one live incoming and one live outgoing
 // arc disappears; the arcs merge into their convolution. Both are exact
 // under the model's independence assumptions.
+//
+// The worklist replicates the original all-nodes LIFO stack — seed
+// [0..n-1], pop descending, re-pushes on top — without its O(nodes) cost
+// per pass. That stack's pop order is: nodes re-pushed after the pass
+// already swept them pop first in LIFO order (they sat above the
+// remaining seed), then the not-yet-swept nodes pop in descending index
+// order (their seed positions). So the worklist splits in two: `lifo` for
+// pushes at or above sweepPos (already swept this pass) and a max-heap
+// `pending` for pushes below it, giving the identical reduction sequence
+// — and therefore bit-identical distributions — at O(log n) per
+// operation. The first pass seeds every node; after a duplication only
+// the two nodes whose degrees changed in a reducibility-relevant way are
+// seeded (see duplicateOne), which is exactly the set the full re-seed
+// would have found reducible.
 func (net *Network) reducePass() int {
-	reductions := 0
-	// Worklist of nodes to examine; start with every node that has arcs.
-	queue := make([]int, 0, len(net.in))
-	inQueue := make([]bool, len(net.in))
-	push := func(v int) {
-		if v >= 0 && v < len(inQueue) && !inQueue[v] {
-			inQueue[v] = true
-			queue = append(queue, v)
+	if !net.seeded {
+		net.seeded = true
+		// Seed every node. Descending order is a valid max-heap layout.
+		nn := len(net.in)
+		net.pending = net.pending[:0]
+		for v := nn - 1; v >= 0; v-- {
+			net.pending = append(net.pending, int32(v))
+			net.inQueue[v] = true
 		}
 	}
-	for v := range net.in {
-		push(v)
-	}
-	for len(queue) > 0 {
-		v := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		inQueue[v] = false
+	net.sweepPos = math.MaxInt // fresh pass: nothing swept yet
+	reductions := 0
+	for {
+		var v int
+		switch {
+		case len(net.lifo) > 0:
+			v = int(net.lifo[len(net.lifo)-1])
+			net.lifo = net.lifo[:len(net.lifo)-1]
+		case len(net.pending) > 0:
+			v = int(net.pending[0])
+			n := len(net.pending) - 1
+			net.pending[0] = net.pending[n]
+			net.pending = net.pending[:n]
+			net.pendingSift()
+			net.sweepPos = v
+		default:
+			return reductions
+		}
+		net.inQueue[v] = false
 
 		// Parallel reductions among v's outgoing arcs.
-		out := net.liveOut(v)
-		if len(out) > 1 {
-			byHead := make(map[int]int, len(out)) // head -> first arc id
+		if net.outDeg[v] > 1 {
+			out := net.liveOut(v)
+			net.headEpoch++
 			for _, id := range out {
 				head := net.arcs[id].to
-				if first, ok := byHead[head]; ok {
-					merged := net.cap(net.arcs[first].dist.MaxInd(net.arcs[id].dist))
+				if net.headMark[head] == net.headEpoch {
+					first := net.headFirst[head]
+					merged := net.convMax(net.arcs[first].dist, net.arcs[id].dist)
 					net.arcs[first].dist = merged
 					net.arcs[first].tree = parallelNode(net.arcs[first].tree, net.arcs[id].tree)
 					net.killArc(id)
 					reductions++
-					push(v)
-					push(head)
+					net.push(v)
+					net.push(head)
 				} else {
-					byHead[head] = id
+					net.headMark[head] = net.headEpoch
+					net.headFirst[head] = id
 				}
 			}
 		}
@@ -55,19 +84,76 @@ func (net *Network) reducePass() int {
 		if v == net.src || v == net.snk {
 			continue
 		}
-		in, out := net.liveIn(v), net.liveOut(v)
-		if len(in) == 1 && len(out) == 1 {
+		if net.inDeg[v] == 1 && net.outDeg[v] == 1 {
+			in, out := net.liveIn(v), net.liveOut(v)
 			a, b := net.arcs[in[0]], net.arcs[out[0]]
-			merged := net.cap(a.dist.Add(b.dist))
+			merged := net.convAdd(a.dist, b.dist)
 			net.killArc(in[0])
 			net.killArc(out[0])
 			net.addArc(a.from, b.to, merged, seriesNode(a.tree, b.tree))
 			reductions++
-			push(a.from)
-			push(b.to)
+			net.push(a.from)
+			net.push(b.to)
 		}
 	}
-	return reductions
+}
+
+// push queues node v for (re-)examination within the current pass.
+func (net *Network) push(v int) {
+	if net.inQueue[v] {
+		return
+	}
+	net.inQueue[v] = true
+	if v >= net.sweepPos {
+		net.lifo = append(net.lifo, int32(v))
+	} else {
+		net.pendingPush(int32(v))
+	}
+}
+
+// seedPending queues v as a not-yet-swept node for the NEXT pass. Called
+// between passes (duplicateOne), where every node counts as unswept.
+func (net *Network) seedPending(v int) {
+	if net.inQueue[v] {
+		return
+	}
+	net.inQueue[v] = true
+	net.pendingPush(int32(v))
+}
+
+// pendingPush inserts into the max-heap.
+func (net *Network) pendingPush(v int32) {
+	h := append(net.pending, v)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] >= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	net.pending = h
+}
+
+// pendingSift restores the max-heap after the root was replaced.
+func (net *Network) pendingSift() {
+	h := net.pending
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		if r := l + 1; r < len(h) && h[r] > h[l] {
+			l = r
+		}
+		if h[i] >= h[l] {
+			return
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
 }
 
 // IsSeriesParallel reports whether the network is (two-terminal)

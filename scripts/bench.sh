@@ -1,25 +1,25 @@
 #!/usr/bin/env sh
-# bench.sh — run the Monte Carlo / frozen-kernel benchmarks and emit
-# BENCH_mc.json so successive PRs can track the perf trajectory.
+# bench.sh — run the Monte Carlo / frozen-kernel and Dodin benchmarks and
+# emit BENCH_mc.json + BENCH_dodin.json so successive PRs can track the
+# perf trajectory.
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [mc_output.json] [dodin_output.json]
 #   COUNT=5   repetitions per benchmark (go test -count)
 #
-# The JSON holds one entry per benchmark with every ns/op sample, the best
-# (minimum) ns/op, allocs/op, and — for the Monte Carlo benchmarks, which
-# run benchTrials=20000 trials per op — the best trials/sec.
+# Each JSON holds one entry per benchmark with every ns/op sample, the
+# best (minimum) ns/op, allocs/op, and — for the Monte Carlo benchmarks,
+# which run benchTrials=20000 trials per op — the best trials/sec.
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_mc.json}"
+mc_out="${1:-BENCH_mc.json}"
+dodin_out="${2:-BENCH_dodin.json}"
 count="${COUNT:-5}"
-benches='BenchmarkFrozenEvalLU20|BenchmarkMCFusedLU20|BenchmarkMCLegacyLU20|BenchmarkTable1MonteCarloLU20|BenchmarkPathEvaluatorLU20|BenchmarkGraphConstructionDense'
-tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+mc_benches='BenchmarkFrozenEvalLU20|BenchmarkMCFusedLU20|BenchmarkMCLegacyLU20|BenchmarkTable1MonteCarloLU20|BenchmarkPathEvaluatorLU20|BenchmarkGraphConstructionDense'
+dodin_benches='BenchmarkTable1DodinLU16|BenchmarkTable1DodinLU20|BenchmarkDistributionFusedOps|BenchmarkBoundsBracketLU20|BenchmarkAblationDodinAtoms64'
 
-go test -run '^$' -bench "$benches" -benchmem -count="$count" . | tee "$tmp"
-
-awk -v trials=20000 '
+summarize() {
+    awk -v trials=20000 '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -45,6 +45,18 @@ END {
         printf "}%s\n", (i < n ? "," : "")
     }
     printf "  ]\n}\n"
-}' "$tmp" > "$out"
+}'
+}
 
-echo "wrote $out"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+run_group() {
+    benches="$1"; out="$2"
+    go test -run '^$' -bench "$benches" -benchmem -count="$count" . | tee "$tmp"
+    summarize < "$tmp" > "$out"
+    echo "wrote $out"
+}
+
+run_group "$mc_benches" "$mc_out"
+run_group "$dodin_benches" "$dodin_out"

@@ -341,6 +341,95 @@ func benchMCSampler(b *testing.B, legacy bool) {
 func BenchmarkMCFusedLU20(b *testing.B)  { benchMCSampler(b, false) }
 func BenchmarkMCLegacyLU20(b *testing.B) { benchMCSampler(b, true) }
 
+// The PR-3 tentpole target: Monte Carlo at high pfail (LU k=20,
+// pfail = 0.1), where ~every trial is multi-failure and takes the full
+// longest-path evaluation — the regime the split-phase engine (bit-exact
+// table sampler + lane-blocked SoA kernel) accelerates. Tracked in
+// BENCH_sweep.json by scripts/bench.sh.
+func BenchmarkMCHighPfailLU20(b *testing.B) {
+	g, _ := linalg.LU(20, linalg.KernelTimes{})
+	m, _ := failure.FromPfail(0.1, g.MeanWeight())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := montecarlo.Estimate(g, m, montecarlo.Config{Trials: benchTrials, Seed: 42}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(benchTrials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+// Streaming quantile sketch vs materialize-and-sort on the same run:
+// RunQuantiles answers tail-quantile questions in O(cells) memory.
+func BenchmarkMCRunQuantilesLU12(b *testing.B) {
+	g, _ := linalg.LU(12, linalg.KernelTimes{})
+	m, _ := failure.FromPfail(0.01, g.MeanWeight())
+	e, err := montecarlo.NewEstimator(g, m, montecarlo.Config{Trials: benchTrials, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.RunQuantiles(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMCRunSamplesLU12(b *testing.B) {
+	g, _ := linalg.LU(12, linalg.KernelTimes{})
+	m, _ := failure.FromPfail(0.01, g.MeanWeight())
+	e, err := montecarlo.NewEstimator(g, m, montecarlo.Config{Trials: benchTrials, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.RunSamples(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// End-to-end experiment throughput: the extension sweep (5 pfail decades ×
+// 3 methods × Monte Carlo on LU k=10) through the cell scheduler with
+// graph/frozen/plan caching. Tracked in BENCH_sweep.json.
+func BenchmarkSweepLU10(b *testing.B) {
+	spec := experiments.DefaultSweep()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSweep(spec, experiments.Options{Trials: benchTrials, Seed: 42}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Dodin plan replay vs the full reduction on the same graph: the sweep
+// scheduler records once and replays per pfail point.
+func BenchmarkDodinPlanReplayLU16(b *testing.B) {
+	g, err := linalg.LU(16, linalg.KernelTimes{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := failure.FromPfail(0.0001, g.MeanWeight())
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, _, plan, err := spgraph.DodinPlan(g, m, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Run(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Dense-graph construction: AddEdge's duplicate detection must not turn
 // construction into O(E·deg). One hub layer feeding a wide layer gives
 // out-degrees far past dupMapThreshold.

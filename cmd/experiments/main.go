@@ -10,10 +10,18 @@
 //	experiments -table 1         # Table I only
 //	experiments -trials 30000    # reduced Monte Carlo for quick runs
 //	experiments -csv out.csv     # additionally dump CSV rows
+//	experiments -format json     # machine-readable output instead of text
+//	experiments -workers 8       # total CPU budget (cells + MC workers)
 //	experiments -all-methods     # add Sculli and Second Order columns
 //
-// At paper fidelity (300,000 trials) the full run takes tens of minutes,
-// dominated by Monte Carlo on the larger graphs.
+// Estimates and relative errors are independent of -workers: the cell
+// scheduler runs data points and estimators concurrently but reduces
+// deterministically (only the reported wall-clock timings reflect the
+// concurrency; use -workers 1 for isolated method timings). With
+// -format json the default full run emits one combined document
+// (figures + table1); single -fig/-table/-sweep runs emit one document
+// each. At paper fidelity (300,000 trials) the full run takes tens of
+// minutes, dominated by Monte Carlo on the larger graphs.
 package main
 
 import (
@@ -36,30 +44,39 @@ func main() {
 		maxK    = flag.Int("max-k", 0, "cap graph sizes at this k (0 = paper sizes)")
 		tableK  = flag.Int("table-k", 0, "override Table I tile count (0 = paper's 20)")
 		sweep   = flag.Bool("sweep", false, "run the extension pfail sweep instead")
+		workers = flag.Int("workers", 0, "total CPU budget for cells and Monte Carlo (0 = GOMAXPROCS)")
+		format  = flag.String("format", "text", "output format: text or json")
 	)
 	flag.Parse()
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "experiments: unknown -format %q (text or json)\n", *format)
+		os.Exit(2)
+	}
+	opts := experiments.Options{
+		Trials:  *trials,
+		Seed:    *seed,
+		Workers: *workers,
+	}
+	if *allM {
+		opts.Methods = experiments.AllMethods()
+	}
+	if *format == "text" {
+		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ", s) }
+	}
 	if *sweep {
-		if err := runSweep(*trials, *seed, *allM); err != nil {
+		if err := runSweep(opts, *format); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*fig, *table, *trials, *seed, *csvPath, *allM, *maxK, *tableK); err != nil {
+	if err := run(*fig, *table, opts, *csvPath, *maxK, *tableK, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig, table, trials int, seed uint64, csvPath string, allM bool, maxK, tableK int) error {
-	opts := experiments.Options{
-		Trials:   trials,
-		Seed:     seed,
-		Progress: func(s string) { fmt.Fprintln(os.Stderr, "  ", s) },
-	}
-	if allM {
-		opts.Methods = experiments.AllMethods()
-	}
+func run(fig, table int, opts experiments.Options, csvPath string, maxK, tableK int, format string) error {
 	var csvW io.Writer
 	if csvPath != "" {
 		f, err := os.Create(csvPath)
@@ -69,7 +86,7 @@ func run(fig, table, trials int, seed uint64, csvPath string, allM bool, maxK, t
 		defer f.Close()
 		csvW = f
 	}
-	runOne := func(spec experiments.FigureSpec) error {
+	runFig := func(spec experiments.FigureSpec) (experiments.FigureResult, error) {
 		if maxK > 0 {
 			var ks []int
 			for _, k := range spec.Ks {
@@ -81,17 +98,23 @@ func run(fig, table, trials int, seed uint64, csvPath string, allM bool, maxK, t
 		}
 		res, err := experiments.RunFigure(spec, opts)
 		if err != nil {
-			return err
+			return res, err
+		}
+		if csvW != nil {
+			if err := experiments.WriteFigureCSV(csvW, res, opts.Methods); err != nil {
+				return res, err
+			}
+		}
+		return res, nil
+	}
+	writeFig := func(res experiments.FigureResult) error {
+		if format == "json" {
+			return experiments.WriteFigureJSON(os.Stdout, res, opts.Methods)
 		}
 		if err := experiments.WriteFigure(os.Stdout, res, opts.Methods); err != nil {
 			return err
 		}
 		fmt.Println()
-		if csvW != nil {
-			if err := experiments.WriteFigureCSV(csvW, res, opts.Methods); err != nil {
-				return err
-			}
-		}
 		return nil
 	}
 
@@ -101,42 +124,68 @@ func run(fig, table, trials int, seed uint64, csvPath string, allM bool, maxK, t
 		if err != nil {
 			return err
 		}
-		return runOne(spec)
+		res, err := runFig(spec)
+		if err != nil {
+			return err
+		}
+		return writeFig(res)
 	case table != 0:
 		if table != 1 {
 			return fmt.Errorf("no table %d (have 1)", table)
 		}
-		return runTable1(opts, tableK)
+		return runTable1(opts, tableK, format)
 	default:
+		// The full run: text streams per figure; JSON collects everything
+		// into one parseable document.
+		var figures []experiments.FigureResult
 		for _, spec := range experiments.Figures() {
-			if err := runOne(spec); err != nil {
+			res, err := runFig(spec)
+			if err != nil {
+				return err
+			}
+			if format == "json" {
+				figures = append(figures, res)
+			} else if err := writeFig(res); err != nil {
 				return err
 			}
 		}
-		return runTable1(opts, tableK)
+		tres, err := runTable1Result(opts, tableK)
+		if err != nil {
+			return err
+		}
+		if format == "json" {
+			return experiments.WriteReportJSON(os.Stdout, figures, &tres, opts.Methods)
+		}
+		return experiments.WriteTable1(os.Stdout, tres, opts.Methods)
 	}
 }
 
-func runSweep(trials int, seed uint64, allM bool) error {
-	opts := experiments.Options{Trials: trials, Seed: seed}
-	if allM {
-		opts.Methods = experiments.AllMethods()
-	}
-	res, err := experiments.RunSweep(experiments.DefaultSweep(), opts)
-	if err != nil {
-		return err
-	}
-	return experiments.WriteSweep(os.Stdout, res, opts.Methods)
-}
-
-func runTable1(opts experiments.Options, tableK int) error {
+func runTable1Result(opts experiments.Options, tableK int) (experiments.Table1Result, error) {
 	spec := experiments.Table1()
 	if tableK > 0 {
 		spec.K = tableK
 	}
-	res, err := experiments.RunTable1(spec, opts)
+	return experiments.RunTable1(spec, opts)
+}
+
+func runSweep(opts experiments.Options, format string) error {
+	res, err := experiments.RunSweep(experiments.DefaultSweep(), opts)
 	if err != nil {
 		return err
+	}
+	if format == "json" {
+		return experiments.WriteSweepJSON(os.Stdout, res, opts.Methods)
+	}
+	return experiments.WriteSweep(os.Stdout, res, opts.Methods)
+}
+
+func runTable1(opts experiments.Options, tableK int, format string) error {
+	res, err := runTable1Result(opts, tableK)
+	if err != nil {
+		return err
+	}
+	if format == "json" {
+		return experiments.WriteTable1JSON(os.Stdout, res, opts.Methods)
 	}
 	return experiments.WriteTable1(os.Stdout, res, opts.Methods)
 }

@@ -20,6 +20,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/bounds"
 	"repro/internal/dag"
 	"repro/internal/experiments"
 	"repro/internal/failure"
@@ -38,15 +39,16 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "Monte Carlo seed")
 		atoms   = flag.Int("dodin-atoms", 0, "Dodin distribution support cap (0 = default 64, -1 = unlimited)")
 		methods = flag.String("methods", "all", "comma list of methods, 'paper' or 'all'")
+		bnds    = flag.Bool("bounds", false, "print the analytic [Jensen, Kleindorfer] bracket")
 	)
 	flag.Parse()
-	if err := run(*kind, *k, *path, *pfail, *lambda, *trials, *seed, *atoms, *methods); err != nil {
+	if err := run(*kind, *k, *path, *pfail, *lambda, *trials, *seed, *atoms, *methods, *bnds); err != nil {
 		fmt.Fprintln(os.Stderr, "makespan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind string, k int, path string, pfail, lambda float64, trials int, seed uint64, atoms int, methodSel string) error {
+func run(kind string, k int, path string, pfail, lambda float64, trials int, seed uint64, atoms int, methodSel string, bnds bool) error {
 	g, err := loadGraph(kind, k, path)
 	if err != nil {
 		return err
@@ -62,7 +64,15 @@ func run(kind string, k int, path string, pfail, lambda float64, trials int, see
 	fmt.Printf("graph: %d tasks, %d edges, mean weight %.4g s\n", g.NumTasks(), g.NumEdges(), g.MeanWeight())
 	fmt.Printf("model: λ = %.6g /s (pfail of mean task = %.3g, MTBF = %.4g s)\n",
 		model.Lambda, model.PFail(g.MeanWeight()), model.MTBF())
-	fmt.Printf("failure-free makespan d(G) = %.6g s\n\n", d)
+	fmt.Printf("failure-free makespan d(G) = %.6g s\n", d)
+	if bnds {
+		lo, hi, err := bounds.Bracket(g, model, atoms)
+		if err != nil {
+			return fmt.Errorf("bounds: %w", err)
+		}
+		fmt.Printf("analytic bracket (2-state model): [%.6g, %.6g] s\n", lo, hi)
+	}
+	fmt.Println()
 
 	var list []experiments.Method
 	switch methodSel {

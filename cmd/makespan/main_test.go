@@ -84,16 +84,16 @@ func TestBuildModel(t *testing.T) {
 
 func TestRunEndToEnd(t *testing.T) {
 	// Full CLI path with a tiny workload and no Monte Carlo.
-	if err := run("cholesky", 3, "", 0.01, 0, 0, 1, 0, "paper"); err != nil {
+	if err := run("cholesky", 3, "", 0.01, 0, 0, 1, 0, "paper", true); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("cholesky", 3, "", 0.01, 0, 500, 1, 0, "all"); err != nil {
+	if err := run("cholesky", 3, "", 0.01, 0, 500, 1, 0, "all", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("cholesky", 3, "", 0.01, 0, 0, 1, 0, "First Order,Sculli"); err != nil {
+	if err := run("cholesky", 3, "", 0.01, 0, 0, 1, 0, "First Order,Sculli", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("cholesky", 3, "", 0.01, 0, 0, 1, 0, "bogus"); err == nil {
+	if err := run("cholesky", 3, "", 0.01, 0, 0, 1, 0, "bogus", false); err == nil {
 		t.Fatal("bogus method accepted")
 	}
 }

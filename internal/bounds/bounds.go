@@ -64,13 +64,47 @@ func JensenLowerGeometric(g *dag.Graph, model failure.Model) (float64, error) {
 // in-trees and chains). maxAtoms caps the per-task support (0 = default,
 // negative = unlimited/exact arithmetic); capping re-discretizes
 // mean-preservingly and in practice moves the bound negligibly.
+//
+// For repeated evaluation on one graph (a pfail sweep), use a Sweeper,
+// which freezes once and pools the per-task distribution scratch.
 func SweepUpper(g *dag.Graph, model failure.Model, maxAtoms int) (float64, error) {
-	if maxAtoms == 0 {
-		maxAtoms = distDefaultAtoms
-	}
-	f, err := dag.Freeze(g)
+	sw, err := NewSweeper(g)
 	if err != nil {
 		return 0, err
+	}
+	return sw.Upper(model, maxAtoms)
+}
+
+// A Sweeper evaluates SweepUpper repeatedly on one graph, reusing the
+// frozen CSR form, the per-task completion-distribution array and the
+// fused-operator scratch across calls. Not safe for concurrent use; build
+// one Sweeper per goroutine against a shared Frozen.
+type Sweeper struct {
+	f    *dag.Frozen
+	comp []distribution.Discrete
+	s    distribution.Scratch
+}
+
+// NewSweeper freezes g and prepares a reusable upper-bound sweeper.
+func NewSweeper(g *dag.Graph) (*Sweeper, error) {
+	f, err := dag.Freeze(g)
+	if err != nil {
+		return nil, err
+	}
+	return NewSweeperFrozen(f), nil
+}
+
+// NewSweeperFrozen prepares a sweeper on an already-frozen graph (shared,
+// read-only).
+func NewSweeperFrozen(f *dag.Frozen) *Sweeper {
+	return &Sweeper{f: f, comp: make([]distribution.Discrete, f.NumTasks())}
+}
+
+// Upper computes the Kleindorfer-style upper bound under model; see
+// SweepUpper for semantics of maxAtoms.
+func (sw *Sweeper) Upper(model failure.Model, maxAtoms int) (float64, error) {
+	if maxAtoms == 0 {
+		maxAtoms = distDefaultAtoms
 	}
 	// The fused capped ops bin on the fly (bit-identical to op followed by
 	// Rediscretize) and share one scratch, so the sweep allocates only its
@@ -80,10 +114,10 @@ func SweepUpper(g *dag.Graph, model failure.Model, maxAtoms int) (float64, error
 	if atoms < 0 {
 		atoms = 0
 	}
-	var s distribution.Scratch
+	f := sw.f
 	n := f.NumTasks()
 	w := f.WeightsTopo()
-	comp := make([]distribution.Discrete, n)
+	comp := sw.comp
 	var final distribution.Discrete
 	for v := 0; v < n; v++ {
 		var start distribution.Discrete
@@ -91,7 +125,7 @@ func SweepUpper(g *dag.Graph, model failure.Model, maxAtoms int) (float64, error
 			if k == 0 {
 				start = comp[p]
 			} else {
-				start = start.MaxIndCapped(comp[p], atoms, &s)
+				start = start.MaxIndCapped(comp[p], atoms, &sw.s)
 			}
 		}
 		x, err := distribution.TwoState(w[v], model.PSuccess(w[v]))
@@ -101,13 +135,13 @@ func SweepUpper(g *dag.Graph, model failure.Model, maxAtoms int) (float64, error
 		if start.IsZero() {
 			comp[v] = x
 		} else {
-			comp[v] = start.AddCapped(x, atoms, &s)
+			comp[v] = start.AddCapped(x, atoms, &sw.s)
 		}
 		if f.OutDegreeTopo(v) == 0 {
 			if final.IsZero() {
 				final = comp[v]
 			} else {
-				final = final.MaxIndCapped(comp[v], atoms, &s)
+				final = final.MaxIndCapped(comp[v], atoms, &sw.s)
 			}
 		}
 	}

@@ -188,3 +188,33 @@ func TestSweepUpperCapStability(t *testing.T) {
 		t.Fatalf("cap sensitivity %v too high (%v vs %v)", rel, tight, loose)
 	}
 }
+
+// A Sweeper must reproduce SweepUpper bit for bit across repeated calls
+// with different models (the sweep scheduler reuses one per point).
+func TestSweeperMatchesSweepUpper(t *testing.T) {
+	g, err := linalg.LU(6, linalg.KernelTimes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewSweeper(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pfail := range []float64{0.1, 0.01, 0.001, 0.01} { // repeat 0.01: scratch reuse
+		m, err := failure.FromPfail(pfail, g.MeanWeight())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := SweepUpper(g, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sw.Upper(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("pfail=%g: Sweeper %v != SweepUpper %v", pfail, got, want)
+		}
+	}
+}

@@ -152,6 +152,13 @@ func (f *Frozen) Scatter(dst, src []float64) []float64 {
 	return dst
 }
 
+// PredCSR returns the raw predecessor adjacency in CSR form: the
+// predecessors of position k are adj[off[k]:off[k+1]], in Graph.Pred
+// order, as positions strictly smaller than k. Both slices are owned by
+// the Frozen and must not be mutated. Batch evaluators (the Monte Carlo
+// lane kernel) stream these arrays directly.
+func (f *Frozen) PredCSR() (off, adj []int32) { return f.predOff, f.predAdj }
+
 // MakespanTopo computes the makespan for the topo-order weight vector w,
 // writing per-position completion times into the caller's scratch comp.
 // Both slices must have length NumTasks. This is the Monte Carlo inner

@@ -93,17 +93,33 @@ type Options struct {
 	DodinMaxAtoms int
 	// Ks overrides the graph sizes (nil = the figure's own sizes).
 	Ks []int
-	// Progress, when non-nil, receives one line per completed data point.
+	// Workers is the total CPU budget of the run: the cell scheduler runs
+	// up to Workers (point × method) cells concurrently; Monte Carlo
+	// cells are serialized among themselves and each uses the full
+	// budget (the MC engine scales internally), so the run stays near
+	// Workers goroutines no matter how cells and trials are shaped.
+	// 0 selects GOMAXPROCS; negative is a configuration error. Results
+	// are byte-identical for every value; only wall clock changes. Note
+	// per-method Time values are wall-clock under that concurrency —
+	// cells contend for cores — so for isolated method timings run with
+	// Workers: 1.
+	Workers int
+	// Progress, when non-nil, receives one line per completed data point,
+	// always in point order regardless of Workers.
 	Progress func(string)
 }
 
-func (o *Options) normalize() {
+func (o *Options) normalize() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("experiments: negative Workers %d (0 selects GOMAXPROCS)", o.Workers)
+	}
 	if o.Trials <= 0 {
 		o.Trials = montecarlo.DefaultTrials
 	}
 	if len(o.Methods) == 0 {
 		o.Methods = PaperMethods()
 	}
+	return nil
 }
 
 // FigureSpec describes one of the paper's error figures.
@@ -181,61 +197,37 @@ type FigureResult struct {
 	Points []Point
 }
 
-// RunFigure evaluates one figure spec.
+// RunFigure evaluates one figure spec. Every (graph size × method) cell
+// and Monte Carlo run is scheduled on the cell pool (see scheduler.go);
+// the result is byte-identical for any Options.Workers.
 func RunFigure(spec FigureSpec, opts Options) (FigureResult, error) {
-	opts.normalize()
+	if err := opts.normalize(); err != nil {
+		return FigureResult{}, err
+	}
 	ks := spec.Ks
 	if len(opts.Ks) > 0 {
 		ks = opts.Ks
 	}
-	res := FigureResult{Spec: spec, Trials: opts.Trials}
-	for _, k := range ks {
-		p, err := runPoint(spec.Fact, k, spec.PFail, opts)
+	ctxs := make([]*pointCtx, len(ks))
+	for i, k := range ks {
+		ctx, err := newPointCtx(spec.Fact, k, spec.PFail, opts.Seed)
 		if err != nil {
 			return FigureResult{}, fmt.Errorf("figure %d k=%d: %w", spec.ID, k, err)
 		}
-		res.Points = append(res.Points, p)
-		if opts.Progress != nil {
+		ctxs[i] = ctx
+	}
+	var progress func(int, Point)
+	if opts.Progress != nil {
+		progress = func(i int, p Point) {
 			opts.Progress(fmt.Sprintf("fig %d: %s k=%d done (MC %.6g ± %.2g)",
-				spec.ID, spec.Fact, k, p.MCMean, p.MCCI95))
+				spec.ID, spec.Fact, p.K, p.MCMean, p.MCCI95))
 		}
 	}
-	return res, nil
-}
-
-func runPoint(fact linalg.Factorization, k int, pfail float64, opts Options) (Point, error) {
-	g, err := linalg.Generate(fact, k, linalg.KernelTimes{})
+	points, err := runPoints(ctxs, opts, progress)
 	if err != nil {
-		return Point{}, err
+		return FigureResult{}, fmt.Errorf("figure %d: %w", spec.ID, err)
 	}
-	model, err := failure.FromPfail(pfail, g.MeanWeight())
-	if err != nil {
-		return Point{}, err
-	}
-	p := Point{
-		K:        k,
-		Tasks:    g.NumTasks(),
-		RelErr:   make(map[Method]float64, len(opts.Methods)),
-		Estimate: make(map[Method]float64, len(opts.Methods)),
-		Time:     make(map[Method]time.Duration, len(opts.Methods)),
-	}
-	t0 := time.Now()
-	mc, err := montecarlo.Estimate(g, model, montecarlo.Config{Trials: opts.Trials, Seed: opts.Seed})
-	if err != nil {
-		return Point{}, err
-	}
-	p.MCTime = time.Since(t0)
-	p.MCMean, p.MCCI95 = mc.Mean, mc.CI95
-	for _, m := range opts.Methods {
-		est, dt, err := Estimate(m, g, model, opts.DodinMaxAtoms)
-		if err != nil {
-			return Point{}, fmt.Errorf("%s: %w", m, err)
-		}
-		p.Estimate[m] = est
-		p.Time[m] = dt
-		p.RelErr[m] = (est - mc.Mean) / mc.Mean
-	}
-	return p, nil
+	return FigureResult{Spec: spec, Trials: opts.Trials, Points: points}, nil
 }
 
 // Table1Spec mirrors the paper's Table I: LU with k=20 (2,870 tasks) and
@@ -260,12 +252,19 @@ type Table1Result struct {
 }
 
 // RunTable1 evaluates Table I (optionally with a smaller k or trial count
-// through opts for quick runs).
+// through opts for quick runs). The per-method cells run concurrently
+// under the cell scheduler.
 func RunTable1(spec Table1Spec, opts Options) (Table1Result, error) {
-	opts.normalize()
-	p, err := runPoint(spec.Fact, spec.K, spec.PFail, opts)
+	if err := opts.normalize(); err != nil {
+		return Table1Result{}, err
+	}
+	ctx, err := newPointCtx(spec.Fact, spec.K, spec.PFail, opts.Seed)
 	if err != nil {
 		return Table1Result{}, fmt.Errorf("table 1: %w", err)
 	}
-	return Table1Result{Spec: spec, Trials: opts.Trials, Point: p}, nil
+	points, err := runPoints([]*pointCtx{ctx}, opts, nil)
+	if err != nil {
+		return Table1Result{}, fmt.Errorf("table 1: %w", err)
+	}
+	return Table1Result{Spec: spec, Trials: opts.Trials, Point: points[0]}, nil
 }

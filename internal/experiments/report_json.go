@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSON renderers for figure/table/sweep results: machine-readable
+// companions to the aligned text tables, with one object per data point
+// and one entry per method. Method maps marshal with sorted keys, so the
+// output layout is deterministic (timing fields naturally vary run to
+// run).
+
+type methodJSON struct {
+	Estimate    float64 `json:"estimate"`
+	RelErr      float64 `json:"rel_err"`
+	TimeSeconds float64 `json:"time_seconds"`
+}
+
+type pointJSON struct {
+	K             int                   `json:"k"`
+	Tasks         int                   `json:"tasks"`
+	MCMean        float64               `json:"mc_mean"`
+	MCCI95        float64               `json:"mc_ci95"`
+	MCTimeSeconds float64               `json:"mc_time_seconds"`
+	Methods       map[string]methodJSON `json:"methods"`
+}
+
+type figureJSON struct {
+	Figure        int         `json:"figure"`
+	Factorization string      `json:"factorization"`
+	PFail         float64     `json:"pfail"`
+	Trials        int         `json:"trials"`
+	Points        []pointJSON `json:"points"`
+}
+
+type table1JSON struct {
+	Factorization string    `json:"factorization"`
+	K             int       `json:"k"`
+	PFail         float64   `json:"pfail"`
+	Trials        int       `json:"trials"`
+	Point         pointJSON `json:"point"`
+}
+
+// sweepMethodJSON omits the raw estimate: a sweep point records only the
+// normalized difference (matching the text table).
+type sweepMethodJSON struct {
+	RelErr      float64 `json:"rel_err"`
+	TimeSeconds float64 `json:"time_seconds"`
+}
+
+type sweepPointJSON struct {
+	PFail   float64                    `json:"pfail"`
+	MCMean  float64                    `json:"mc_mean"`
+	MCCI95  float64                    `json:"mc_ci95"`
+	Methods map[string]sweepMethodJSON `json:"methods"`
+}
+
+type sweepJSON struct {
+	Factorization string           `json:"factorization"`
+	K             int              `json:"k"`
+	Tasks         int              `json:"tasks"`
+	Trials        int              `json:"trials"`
+	Points        []sweepPointJSON `json:"points"`
+}
+
+func pointToJSON(p Point, methods []Method) pointJSON {
+	out := pointJSON{
+		K:             p.K,
+		Tasks:         p.Tasks,
+		MCMean:        p.MCMean,
+		MCCI95:        p.MCCI95,
+		MCTimeSeconds: p.MCTime.Seconds(),
+		Methods:       make(map[string]methodJSON, len(methods)),
+	}
+	for _, m := range methods {
+		out.Methods[string(m)] = methodJSON{
+			Estimate:    p.Estimate[m],
+			RelErr:      p.RelErr[m],
+			TimeSeconds: p.Time[m].Seconds(),
+		}
+	}
+	return out
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// WriteFigureJSON renders a figure result as indented JSON.
+func WriteFigureJSON(w io.Writer, r FigureResult, methods []Method) error {
+	if len(methods) == 0 {
+		methods = sortedMethods(r.Points)
+	}
+	out := figureJSON{
+		Figure:        r.Spec.ID,
+		Factorization: string(r.Spec.Fact),
+		PFail:         r.Spec.PFail,
+		Trials:        r.Trials,
+	}
+	for _, p := range r.Points {
+		out.Points = append(out.Points, pointToJSON(p, methods))
+	}
+	return writeJSON(w, out)
+}
+
+// WriteTable1JSON renders a Table I result as indented JSON.
+func WriteTable1JSON(w io.Writer, r Table1Result, methods []Method) error {
+	if len(methods) == 0 {
+		methods = sortedMethods([]Point{r.Point})
+	}
+	return writeJSON(w, table1JSON{
+		Factorization: string(r.Spec.Fact),
+		K:             r.Spec.K,
+		PFail:         r.Spec.PFail,
+		Trials:        r.Trials,
+		Point:         pointToJSON(r.Point, methods),
+	})
+}
+
+// WriteSweepJSON renders a sweep result as indented JSON.
+func WriteSweepJSON(w io.Writer, r SweepResult, methods []Method) error {
+	if len(methods) == 0 {
+		methods = sortedSweepMethods(r.Points)
+	}
+	out := sweepJSON{
+		Factorization: string(r.Spec.Fact),
+		K:             r.Spec.K,
+		Tasks:         r.Tasks,
+		Trials:        r.Trials,
+	}
+	for _, p := range r.Points {
+		sp := sweepPointJSON{
+			PFail:   p.PFail,
+			MCMean:  p.MCMean,
+			MCCI95:  p.MCCI95,
+			Methods: make(map[string]sweepMethodJSON, len(methods)),
+		}
+		for _, m := range methods {
+			sp.Methods[string(m)] = sweepMethodJSON{
+				RelErr:      p.RelErr[m],
+				TimeSeconds: p.Time[m].Seconds(),
+			}
+		}
+		out.Points = append(out.Points, sp)
+	}
+	return writeJSON(w, out)
+}
+
+// reportJSON is the combined document of a full default run: all figures
+// plus Table I in one parseable object.
+type reportJSON struct {
+	Figures []figureJSON `json:"figures"`
+	Table1  *table1JSON  `json:"table1,omitempty"`
+}
+
+// WriteReportJSON renders several figure results and an optional Table I
+// result as one JSON document (the default full run of cmd/experiments;
+// the per-result writers each emit a standalone document).
+func WriteReportJSON(w io.Writer, figures []FigureResult, table *Table1Result, methods []Method) error {
+	var out reportJSON
+	out.Figures = []figureJSON{}
+	for _, r := range figures {
+		ms := methods
+		if len(ms) == 0 {
+			ms = sortedMethods(r.Points)
+		}
+		fig := figureJSON{
+			Figure:        r.Spec.ID,
+			Factorization: string(r.Spec.Fact),
+			PFail:         r.Spec.PFail,
+			Trials:        r.Trials,
+		}
+		for _, p := range r.Points {
+			fig.Points = append(fig.Points, pointToJSON(p, ms))
+		}
+		out.Figures = append(out.Figures, fig)
+	}
+	if table != nil {
+		ms := methods
+		if len(ms) == 0 {
+			ms = sortedMethods([]Point{table.Point})
+		}
+		out.Table1 = &table1JSON{
+			Factorization: string(table.Spec.Fact),
+			K:             table.Spec.K,
+			PFail:         table.Spec.PFail,
+			Trials:        table.Trials,
+			Point:         pointToJSON(table.Point, ms),
+		}
+	}
+	return writeJSON(w, out)
+}

@@ -1,0 +1,240 @@
+// The experiment-cell scheduler: every (data point × estimator) pair —
+// including the Monte Carlo ground truth — is an independent cell run on
+// a bounded worker pool. Results land in index-addressed slots and
+// progress lines are gated into point order, so the output of every Run*
+// function is byte-identical for any worker count; only the wall clock
+// changes. Per-point state (generated graph, frozen CSR form, failure
+// model, recorded Dodin plan) is built once and shared read-only by the
+// point's cells.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/linalg"
+	"repro/internal/montecarlo"
+	"repro/internal/spgraph"
+)
+
+// pointCtx is the shared read-only state of one data point.
+type pointCtx struct {
+	g      *dag.Graph
+	frozen *dag.Frozen
+	model  failure.Model
+	k      int
+	pfail  float64
+	seed   uint64
+	// plan, when non-nil, replays the recorded Dodin reduction schedule
+	// instead of re-running the reduction (pfail sweeps on one graph).
+	plan *spgraph.Plan
+}
+
+// cellOut is one cell's result slot.
+type cellOut struct {
+	est float64
+	dt  time.Duration
+}
+
+// newPointCtx generates the point's graph, freezes it and derives the
+// failure model.
+func newPointCtx(fact linalg.Factorization, k int, pfail float64, seed uint64) (*pointCtx, error) {
+	g, err := linalg.Generate(fact, k, linalg.KernelTimes{})
+	if err != nil {
+		return nil, err
+	}
+	frozen, err := dag.Freeze(g)
+	if err != nil {
+		return nil, err
+	}
+	model, err := failure.FromPfail(pfail, g.MeanWeight())
+	if err != nil {
+		return nil, err
+	}
+	return &pointCtx{g: g, frozen: frozen, model: model, k: k, pfail: pfail, seed: seed}, nil
+}
+
+// budget resolves the total CPU budget of a run.
+func (o Options) budget() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runPoints evaluates every (point × method) cell plus one Monte Carlo
+// cell per point on a pool of cell workers, budgeting the Monte Carlo
+// worker count against the cell concurrency so the run uses ~budget
+// goroutines in total. progress, when non-nil, is called once per point
+// in point order as soon as the point and all its predecessors completed.
+func runPoints(ctxs []*pointCtx, opts Options, progress func(i int, p Point)) ([]Point, error) {
+	methods := opts.Methods
+	nm := len(methods)
+	cellsPerPoint := nm + 1 // cell 0: Monte Carlo; cell 1+m: methods[m]
+	nCells := len(ctxs) * cellsPerPoint
+	budget := opts.budget()
+	cellWorkers := budget
+	if cellWorkers > nCells {
+		cellWorkers = nCells
+	}
+	if cellWorkers < 1 {
+		cellWorkers = 1
+	}
+	// Monte Carlo dominates every run, and its chunked engine already
+	// scales to all cores — so MC cells are serialized by a token and run
+	// with the full budget, while the cheap single-threaded method cells
+	// are enumerated first and soak up the remaining pool slots. This
+	// keeps a lone MC cell (Table I, the tail of a figure) at full width
+	// instead of starving it on a static budget/cellWorkers split; the
+	// only oversubscription is the transient overlap of method cells with
+	// the first MC cell.
+	mcWorkers := budget
+
+	mcRes := make([]montecarlo.Result, len(ctxs))
+	mcTime := make([]time.Duration, len(ctxs))
+	ests := make([]cellOut, len(ctxs)*nm)
+	errs := make([]error, nCells)
+
+	points := make([]Point, len(ctxs))
+	assemble := func(i int) Point {
+		ctx := ctxs[i]
+		p := Point{
+			K:        ctx.k,
+			Tasks:    ctx.g.NumTasks(),
+			MCMean:   mcRes[i].Mean,
+			MCCI95:   mcRes[i].CI95,
+			MCTime:   mcTime[i],
+			RelErr:   make(map[Method]float64, nm),
+			Estimate: make(map[Method]float64, nm),
+			Time:     make(map[Method]time.Duration, nm),
+		}
+		for m, method := range methods {
+			out := ests[i*nm+m]
+			p.Estimate[method] = out.est
+			p.Time[method] = out.dt
+			p.RelErr[method] = (out.est - p.MCMean) / p.MCMean
+		}
+		return p
+	}
+
+	// In-order progress gate.
+	var gateMu sync.Mutex
+	gateNext := 0
+	gateDone := make([]bool, len(ctxs))
+	remaining := make([]atomic.Int32, len(ctxs))
+	for i := range remaining {
+		remaining[i].Store(int32(cellsPerPoint))
+	}
+	var failed atomic.Bool
+	cellDone := func(point int) {
+		if remaining[point].Add(-1) != 0 {
+			return
+		}
+		gateMu.Lock()
+		defer gateMu.Unlock()
+		gateDone[point] = true
+		for gateNext < len(ctxs) && gateDone[gateNext] {
+			i := gateNext
+			gateNext++
+			if failed.Load() {
+				continue // partial data; the run is returning an error
+			}
+			points[i] = assemble(i)
+			if progress != nil {
+				progress(i, points[i])
+			}
+		}
+	}
+
+	runCell := func(c int) {
+		point, cell := c/cellsPerPoint, c%cellsPerPoint
+		ctx := ctxs[point]
+		if cell == 0 {
+			t0 := time.Now()
+			e, err := montecarlo.NewEstimatorFrozen(ctx.frozen, ctx.model, montecarlo.Config{
+				Trials:  opts.Trials,
+				Seed:    ctx.seed,
+				Workers: mcWorkers,
+			})
+			if err == nil {
+				mcRes[point], err = e.Run()
+			}
+			mcTime[point] = time.Since(t0)
+			errs[c] = err
+			return
+		}
+		method := methods[cell-1]
+		switch {
+		case method == MethodDodin && ctx.plan != nil:
+			t0 := time.Now()
+			r, err := ctx.plan.Run(ctx.model)
+			ests[point*nm+cell-1] = cellOut{est: r.Estimate, dt: time.Since(t0)}
+			errs[c] = err
+		default:
+			est, dt, err := Estimate(method, ctx.g, ctx.model, opts.DodinMaxAtoms)
+			ests[point*nm+cell-1] = cellOut{est: est, dt: dt}
+			errs[c] = err
+		}
+	}
+
+	// Method cells first, Monte Carlo cells last (they hold the token and
+	// the full worker budget while they run).
+	order := make([]int, 0, nCells)
+	for c := 0; c < nCells; c++ {
+		if c%cellsPerPoint != 0 {
+			order = append(order, c)
+		}
+	}
+	for p := range ctxs {
+		order = append(order, p*cellsPerPoint)
+	}
+	mcToken := make(chan struct{}, 1)
+	mcToken <- struct{}{}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < cellWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= nCells {
+					return
+				}
+				c := order[i]
+				// After a failure, remaining cells only run the gate
+				// bookkeeping so the pool drains quickly.
+				if !failed.Load() {
+					if c%cellsPerPoint == 0 {
+						<-mcToken
+						runCell(c)
+						mcToken <- struct{}{}
+					} else {
+						runCell(c)
+					}
+					if errs[c] != nil {
+						failed.Store(true)
+					}
+				}
+				cellDone(c / cellsPerPoint)
+			}
+		}()
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			point, cell := c/cellsPerPoint, c%cellsPerPoint
+			what := "Monte Carlo"
+			if cell > 0 {
+				what = string(methods[cell-1])
+			}
+			return nil, fmt.Errorf("%s (k=%d, pfail=%g): %w", what, ctxs[point].k, ctxs[point].pfail, err)
+		}
+	}
+	return points, nil
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The scheduler's core contract: RunSweep output is byte-identical for
+// any cell-worker count, and Progress lines arrive in point order.
+func TestRunSweepWorkerInvariance(t *testing.T) {
+	spec := SweepSpec{Fact: "lu", K: 6, PFails: []float64{0.1, 0.01, 0.001}}
+	var ref string
+	var refProgress []string
+	for _, workers := range []int{1, 2, 7} {
+		var lines []string
+		opts := Options{
+			Trials:  4000,
+			Seed:    9,
+			Workers: workers,
+			Methods: AllMethods(),
+			Progress: func(s string) {
+				lines = append(lines, s)
+			},
+		}
+		res, err := RunSweep(spec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteSweep(&buf, res, opts.Methods); err != nil {
+			t.Fatal(err)
+		}
+		if ref == "" {
+			ref = buf.String()
+			refProgress = lines
+			if len(lines) != len(spec.PFails) {
+				t.Fatalf("progress lines: %d", len(lines))
+			}
+			continue
+		}
+		if buf.String() != ref {
+			t.Errorf("workers=%d: sweep output differs:\n%s\nvs\n%s", workers, buf.String(), ref)
+		}
+		if strings.Join(lines, "\n") != strings.Join(refProgress, "\n") {
+			t.Errorf("workers=%d: progress order differs: %q vs %q", workers, lines, refProgress)
+		}
+	}
+}
+
+// Figures too: identical tables and identical raw estimates/rel-errors for
+// every worker count.
+func TestRunFigureWorkerInvariance(t *testing.T) {
+	spec, err := Figure(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref FigureResult
+	for i, workers := range []int{1, 5} {
+		res, err := RunFigure(spec, Options{Trials: 3000, Seed: 4, Ks: []int{4, 6}, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if len(res.Points) != len(ref.Points) {
+			t.Fatal("point counts differ")
+		}
+		for j, p := range res.Points {
+			q := ref.Points[j]
+			if p.MCMean != q.MCMean || p.MCCI95 != q.MCCI95 {
+				t.Fatalf("workers=%d point %d: MC differs", workers, j)
+			}
+			for m, v := range p.Estimate {
+				if v != q.Estimate[m] || p.RelErr[m] != q.RelErr[m] {
+					t.Fatalf("workers=%d point %d %s: estimates differ", workers, j, m)
+				}
+			}
+		}
+	}
+}
+
+// Table I runs through the same scheduler; sanity-check one reduced run.
+func TestRunTable1Scheduled(t *testing.T) {
+	res, err := RunTable1(Table1Spec{Fact: "lu", K: 6, PFail: 0.001}, Options{Trials: 2000, Seed: 1, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Point.Tasks == 0 || res.Point.MCMean <= 0 {
+		t.Fatalf("degenerate point: %+v", res.Point)
+	}
+	for _, m := range PaperMethods() {
+		if _, ok := res.Point.Estimate[m]; !ok {
+			t.Fatalf("missing estimate for %s", m)
+		}
+		if res.Point.Time[m] < 0 {
+			t.Fatalf("negative time for %s", m)
+		}
+	}
+}
+
+func TestNegativeWorkersRejected(t *testing.T) {
+	if _, err := RunSweep(DefaultSweep(), Options{Trials: 10, Workers: -1}); err == nil {
+		t.Fatal("RunSweep accepted negative Workers")
+	}
+	if _, err := RunTable1(Table1(), Options{Trials: 10, Workers: -2}); err == nil {
+		t.Fatal("RunTable1 accepted negative Workers")
+	}
+	spec, _ := Figure(4)
+	if _, err := RunFigure(spec, Options{Trials: 10, Workers: -3}); err == nil {
+		t.Fatal("RunFigure accepted negative Workers")
+	}
+}
+
+// An estimator failure must surface as an error naming the cell, not hang
+// or panic the pool.
+func TestSchedulerPropagatesErrors(t *testing.T) {
+	// pfail = 0.9999… saturates per-task pfail to ~1 for heavy tasks at
+	// larger graphs? Use an invalid figure size instead: a bogus
+	// factorization through the spec.
+	spec := FigureSpec{ID: 99, Fact: "no-such-fact", PFail: 0.01, Ks: []int{4}}
+	if _, err := RunFigure(spec, Options{Trials: 100}); err == nil {
+		t.Fatal("expected error for unknown factorization")
+	}
+	// Unknown method: fails inside a cell.
+	sweep := SweepSpec{Fact: "lu", K: 4, PFails: []float64{0.01}}
+	_, err := RunSweep(sweep, Options{Trials: 100, Methods: []Method{Method("bogus")}})
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("want cell error naming method, got %v", err)
+	}
+}
+
+func ExampleOptions_workers() {
+	// Workers caps the total CPU budget; results do not depend on it.
+	res1, _ := RunSweep(SweepSpec{Fact: "lu", K: 4, PFails: []float64{0.01}}, Options{Trials: 1000, Seed: 2, Workers: 1})
+	res8, _ := RunSweep(SweepSpec{Fact: "lu", K: 4, PFails: []float64{0.01}}, Options{Trials: 1000, Seed: 2, Workers: 8})
+	fmt.Println(res1.Points[0].MCMean == res8.Points[0].MCMean)
+	// Output: true
+}

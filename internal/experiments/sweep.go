@@ -6,9 +6,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/dag"
 	"repro/internal/failure"
 	"repro/internal/linalg"
-	"repro/internal/montecarlo"
+	"repro/internal/spgraph"
 )
 
 // SweepSpec is an extension experiment not in the paper: fix one graph and
@@ -48,14 +49,25 @@ type SweepResult struct {
 	Points []SweepPoint
 }
 
-// RunSweep evaluates the sweep.
+// RunSweep evaluates the sweep. All (pfail × method) cells and Monte
+// Carlo runs share one generated graph and its frozen CSR form, and when
+// Dodin is among the methods its reduction schedule is recorded once and
+// replayed (bit-identically, see spgraph.Plan) at every other pfail —
+// the schedule depends only on topology. Output is byte-identical for
+// any Options.Workers.
 func RunSweep(spec SweepSpec, opts Options) (SweepResult, error) {
-	opts.normalize()
+	if err := opts.normalize(); err != nil {
+		return SweepResult{}, err
+	}
 	g, err := linalg.Generate(spec.Fact, spec.K, linalg.KernelTimes{})
 	if err != nil {
 		return SweepResult{}, err
 	}
-	res := SweepResult{Spec: spec, Tasks: g.NumTasks(), Trials: opts.Trials}
+	frozen, err := dag.Freeze(g)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	ctxs := make([]*pointCtx, len(spec.PFails))
 	for i, pf := range spec.PFails {
 		model, err := failure.FromPfail(pf, g.MeanWeight())
 		if err != nil {
@@ -64,29 +76,46 @@ func RunSweep(spec SweepSpec, opts Options) (SweepResult, error) {
 		// Each pfail point gets its own derived seed: reusing opts.Seed
 		// verbatim correlates the Monte Carlo noise across the sweep, so
 		// every point of the error-vs-λ plot would share one noise floor.
-		mc, err := montecarlo.Estimate(g, model, montecarlo.Config{Trials: opts.Trials, Seed: pointSeed(opts.Seed, i)})
+		ctxs[i] = &pointCtx{g: g, frozen: frozen, model: model, k: spec.K, pfail: pf, seed: pointSeed(opts.Seed, i)}
+	}
+	wantsDodin := false
+	for _, m := range opts.Methods {
+		if m == MethodDodin {
+			wantsDodin = true
+		}
+	}
+	if wantsDodin && len(ctxs) > 0 {
+		// Record the reduction schedule once, as untimed sweep setup;
+		// every point — including the first — then replays it, so the
+		// per-point Dodin timings all measure the same (replay) work and
+		// stay comparable across pfail.
+		_, _, plan, err := spgraph.DodinPlan(g, ctxs[0].model, opts.DodinMaxAtoms)
 		if err != nil {
-			return SweepResult{}, err
+			return SweepResult{}, fmt.Errorf("sweep %s pfail=%g: %w", MethodDodin, ctxs[0].pfail, err)
 		}
-		p := SweepPoint{
-			PFail:  pf,
-			MCMean: mc.Mean,
-			MCCI95: mc.CI95,
-			RelErr: make(map[Method]float64, len(opts.Methods)),
-			Time:   make(map[Method]time.Duration, len(opts.Methods)),
+		for _, ctx := range ctxs {
+			ctx.plan = plan
 		}
-		for _, m := range opts.Methods {
-			est, dt, err := Estimate(m, g, model, opts.DodinMaxAtoms)
-			if err != nil {
-				return SweepResult{}, fmt.Errorf("sweep %s pfail=%g: %w", m, pf, err)
-			}
-			p.RelErr[m] = (est - mc.Mean) / mc.Mean
-			p.Time[m] = dt
+	}
+	var progress func(int, Point)
+	if opts.Progress != nil {
+		progress = func(i int, p Point) {
+			opts.Progress(fmt.Sprintf("sweep: %s k=%d pfail=%g done", spec.Fact, spec.K, spec.PFails[i]))
 		}
-		res.Points = append(res.Points, p)
-		if opts.Progress != nil {
-			opts.Progress(fmt.Sprintf("sweep: %s k=%d pfail=%g done", spec.Fact, spec.K, pf))
-		}
+	}
+	points, err := runPoints(ctxs, opts, progress)
+	if err != nil {
+		return SweepResult{}, fmt.Errorf("sweep: %w", err)
+	}
+	res := SweepResult{Spec: spec, Tasks: g.NumTasks(), Trials: opts.Trials}
+	for i, p := range points {
+		res.Points = append(res.Points, SweepPoint{
+			PFail:  spec.PFails[i],
+			MCMean: p.MCMean,
+			MCCI95: p.MCCI95,
+			RelErr: p.RelErr,
+			Time:   p.Time,
+		})
 	}
 	return res, nil
 }

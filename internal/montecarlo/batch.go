@@ -1,0 +1,210 @@
+package montecarlo
+
+import "unsafe"
+
+// Phase 2 of the split trial pipeline: multi-failure trials deferred by
+// phase 1 are evaluated in lane blocks — a structure-of-arrays longest-path
+// sweep over the frozen CSR graph computing evalLanes trials per pass.
+// Node-major order loads each node's predecessor indices once per block
+// instead of once per trial, and turns the inner max/add recurrence into
+// flat sweeps over contiguous per-node lane rows.
+//
+// Bit-exactness with the scalar kernel: for every (node, lane) the value
+// written is start + weight with the same two operands the scalar path
+// uses — the max over predecessor rows equals the scalar max (same
+// comparison chain over the same values), failed lanes get start + failW
+// computed directly from the start value (never by adding a correction to
+// an already-summed base), and the running per-lane maximum performs the
+// same comparisons in the same node order.
+
+// evalLanes is the lane block width B: trials evaluated per CSR pass.
+// 32 lanes = one 256-byte row per node, large enough to amortize the
+// predecessor index loads and small enough that the whole comp matrix of a
+// few-thousand-task graph stays cache-resident.
+const evalLanes = 32
+
+// laneBlock gathers the failure sets of up to evalLanes deferred trials.
+type laneBlock struct {
+	n      int              // lanes filled
+	trial  [evalLanes]int32 // chunk-relative trial index per lane
+	counts [evalLanes]int32 // failures per lane
+	pos    []int32          // lane-grouped failure positions
+	w      []float64        // their inflated weights
+}
+
+func (b *laneBlock) reset() {
+	b.n = 0
+	b.pos = b.pos[:0]
+	b.w = b.w[:0]
+}
+
+func (b *laneBlock) full() bool { return b.n == evalLanes }
+
+// add appends one trial's failure set (wk.failPos/failW prefixes).
+func (b *laneBlock) add(trial int, pos []int32, w []float64) {
+	b.trial[b.n] = int32(trial)
+	b.counts[b.n] = int32(len(pos))
+	b.pos = append(b.pos, pos...)
+	b.w = append(b.w, w...)
+	b.n++
+}
+
+// batchScratch is the per-worker SoA scratch of the lane kernel, allocated
+// lazily on the first multi-failure block.
+type batchScratch struct {
+	comp  []float64 // n × evalLanes completion rows
+	best  []float64 // evalLanes running maxima
+	stash []float64 // start+failW staging, ≤ evalLanes per node
+	cnt   []int32   // per-node failure counts → CSR offsets (n+1)
+	fLane []int32   // node-major failure lanes
+	fW    []float64 // node-major inflated weights
+}
+
+func (wk *mcWorker) batch() *batchScratch {
+	if wk.bs == nil {
+		n := len(wk.e.base)
+		wk.bs = &batchScratch{
+			comp:  make([]float64, n*evalLanes),
+			best:  make([]float64, evalLanes),
+			stash: make([]float64, evalLanes),
+			cnt:   make([]int32, n+1),
+		}
+	}
+	return wk.bs
+}
+
+// evalBlock computes the makespan of every lane in blk and stores each
+// result at wk.res[blk.trial[lane]].
+func (wk *mcWorker) evalBlock(blk *laneBlock) {
+	e := wk.e
+	bs := wk.batch()
+	n := len(e.base)
+	B := blk.n
+
+	// Counting-sort the lane-grouped failures into node-major CSR order:
+	// fLane/fW list the (lane, weight) pairs per position, ascending.
+	cnt := bs.cnt[: n+1 : n+1]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, p := range blk.pos {
+		cnt[p+1]++
+	}
+	for k := 0; k < n; k++ {
+		cnt[k+1] += cnt[k]
+	}
+	nf := len(blk.pos)
+	if cap(bs.fLane) < nf {
+		bs.fLane = make([]int32, nf)
+		bs.fW = make([]float64, nf)
+	}
+	fLane := bs.fLane[:nf]
+	fW := bs.fW[:nf]
+	i := 0
+	for lane := 0; lane < B; lane++ {
+		for c := int32(0); c < blk.counts[lane]; c++ {
+			p := blk.pos[i]
+			slot := cnt[p]
+			cnt[p]++
+			fLane[slot] = int32(lane)
+			fW[slot] = blk.w[i]
+			i++
+		}
+	}
+	// cnt[k] now holds the end offset of position k's failures.
+
+	off, adj := e.frozen.PredCSR()
+	base := e.base
+	comp := bs.comp
+	// The max sweeps compare completion times through a uint64 view of the
+	// same memory: completions are non-negative and NaN-free, so IEEE
+	// ordering coincides with unsigned integer ordering of the bit
+	// patterns, and integer conditional assignment compiles branch-free
+	// (CMOV) where the float comparison would branch per lane.
+	compU := u64view(comp)
+	stash := bs.stash
+	o := 0
+	fo := 0
+	for k := 0; k < n; k++ {
+		kb := k * evalLanes
+		row := compU[kb : kb+B : kb+B]
+		end := int(off[k+1])
+		if o == end {
+			for i := range row {
+				row[i] = 0
+			}
+		} else {
+			p0 := int(adj[o]) * evalLanes
+			copy(row, compU[p0:p0+B])
+			for o++; o < end; o++ {
+				pb := int(adj[o]) * evalLanes
+				pr := compU[pb : pb+B : pb+B]
+				for i, v := range pr {
+					r := row[i]
+					if v > r {
+						r = v
+					}
+					row[i] = r
+				}
+			}
+		}
+		// Failed lanes: completion = start + inflated weight, computed from
+		// the start value so the sum is the scalar kernel's, bit for bit.
+		rowF := comp[kb : kb+B : kb+B]
+		fe := int(cnt[k])
+		for f := fo; f < fe; f++ {
+			stash[f-fo] = rowF[fLane[f]] + fW[f]
+		}
+		w := base[k]
+		for i := range rowF {
+			rowF[i] += w
+		}
+		for f := fo; f < fe; f++ {
+			rowF[fLane[f]] = stash[f-fo]
+		}
+		fo = fe
+	}
+	// The makespan is attained at a sink (weights are non-negative, so a
+	// successor's completion is never below its predecessor's): fold only
+	// the sink rows — identical to the scalar kernel's max over all nodes.
+	best := u64view(bs.best[:B])
+	for i := range best {
+		best[i] = 0
+	}
+	for _, s := range e.sinks {
+		sb := int(s) * evalLanes
+		sr := compU[sb : sb+B : sb+B]
+		for i, v := range sr {
+			r := best[i]
+			if v > r {
+				r = v
+			}
+			best[i] = r
+		}
+	}
+	for lane := 0; lane < B; lane++ {
+		wk.res[blk.trial[lane]] = bs.best[lane]
+	}
+}
+
+// u64view reinterprets a float64 slice as its IEEE bit patterns in place.
+func u64view(x []float64) []uint64 {
+	if len(x) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(unsafe.SliceData(x))), len(x))
+}
+
+// evalScalar is the per-trial reference evaluation: scatter the failure
+// set into the weight vector, run the scalar CSR kernel, restore.
+func (wk *mcWorker) evalScalar(nfail int) float64 {
+	e := wk.e
+	for i := 0; i < nfail; i++ {
+		wk.w[wk.failPos[i]] = wk.failW[i]
+	}
+	ms := e.frozen.MakespanTopo(wk.w, wk.comp)
+	for i := 0; i < nfail; i++ {
+		wk.w[wk.failPos[i]] = e.base[wk.failPos[i]]
+	}
+	return ms
+}

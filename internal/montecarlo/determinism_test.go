@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/failure"
+	"repro/internal/linalg"
 )
 
 // The fused sampler's contract: with a fixed Seed, the Result is
@@ -175,5 +176,104 @@ func TestZeroPfailFastPathMixed(t *testing.T) {
 	}
 	if math.Abs(mc.Mean-exact) > 5*mc.CI95 {
 		t.Fatalf("MC %v vs exact %v (CI %v)", mc.Mean, exact, mc.CI95)
+	}
+}
+
+// The split pipeline's contract: the table-driven sampler and the lane-
+// blocked batch evaluator must produce bit-identical Results and sample
+// vectors to the reference per-trial paths (the v2 fused engine's
+// arithmetic), across graphs, failure probabilities and modes. Tables are
+// force-built so the fast sampler is exercised even where the size
+// heuristic would skip it.
+func TestBatchedMatchesPerTrialPaths(t *testing.T) {
+	fft, err := dag.FFT(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := map[string]*dag.Graph{
+		"wavefront": dag.Wavefront(6, 1.5),
+		"fft":       fft,
+		"chain":     dag.Chain(5, 1, 2, 1, 3, 1),
+		"diamond":   dag.Diamond(1, 5, 3, 2),
+	}
+	for name, g := range graphs {
+		for _, pfail := range []float64{0.3, 0.05, 0.002} {
+			m, err := failure.FromPfail(pfail, g.MeanWeight())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []Mode{FullReexecution, SingleRetry} {
+				cfg := Config{Trials: chunkSize + 333, Seed: 77, Workers: 2, Mode: mode}
+				variant := func(ref, scalar bool) (Result, *Samples) {
+					e, err := NewEstimator(g, m, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					e.buildTables(true)
+					e.refSampler, e.scalarEval = ref, scalar
+					res, s, err := e.RunSamples()
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res, s
+				}
+				wantRes, wantS := variant(true, true) // reference sampler + per-trial eval
+				for _, v := range []struct {
+					name        string
+					ref, scalar bool
+				}{
+					{"fast+batched", false, false},
+					{"fast+scalar", false, true},
+					{"ref+batched", true, false},
+				} {
+					res, s := variant(v.ref, v.scalar)
+					if res != wantRes {
+						t.Fatalf("%s pfail=%g %v %s: Result %+v != per-trial %+v", name, pfail, mode, v.name, res, wantRes)
+					}
+					for i := 0; i < s.N(); i++ {
+						if s.sorted[i] != wantS.sorted[i] {
+							t.Fatalf("%s pfail=%g %v %s: sample %d differs", name, pfail, mode, v.name, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The sampler-table size heuristic must not change results: estimators
+// with and without tables agree bit for bit (the tables are exact by
+// construction — this guards the construction itself).
+func TestTableHeuristicInvariant(t *testing.T) {
+	g, err := linalg.LU(6, linalg.KernelTimes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pfail := range []float64{0.2, 0.01, 0.0001} {
+		m, err := failure.FromPfail(pfail, g.MeanWeight())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Trials: 6000, Seed: 5}
+		eAuto, err := NewEstimator(g, m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eForced, err := NewEstimator(g, m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eForced.buildTables(true)
+		a, err := eAuto.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := eForced.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("pfail=%g: auto %+v != forced tables %+v", pfail, a, b)
+		}
 	}
 }

@@ -90,9 +90,13 @@ type Result struct {
 
 // Estimator runs Monte Carlo estimation on one graph. It compiles the
 // graph into its frozen CSR form, precomputes per-task failure
-// probabilities (permuted into topological order), and fuses sampling and
-// evaluation into a single per-trial pass with no intermediate weight
-// buffer and no allocation.
+// probabilities (permuted into topological order), and processes each
+// trial chunk in two phases: a sequential sampling pass locating the
+// chunk's failures (the exact per-trial RNG draw order of the fused v2
+// engine, resolved through bit-level threshold tables, see sampler.go),
+// then a lane-blocked structure-of-arrays evaluation of the deferred
+// multi-failure trials (see batch.go). Zero- and single-failure trials
+// never touch the graph.
 // An Estimator is a snapshot: weights and failure probabilities are
 // captured at construction, and both samplers run on the snapshot.
 // Mutating the graph afterwards makes Run/RunSamples fail with
@@ -112,6 +116,14 @@ type Estimator struct {
 	d0      float64   // failure-free makespan
 	pfMax   float64   // max over tasks of pf, the thinning envelope
 	invLnQ  float64   // 1/ln(1−pfMax); 0 when pfMax == 0
+
+	tables *samplerTables // bit-threshold tables of the fast sampler (may be nil)
+	sinks  []int32        // positions with no successors, for the lane kernel
+
+	// Test toggles forcing the reference paths; results must be identical
+	// either way (see determinism_test.go).
+	refSampler bool // use the math.Log reference sampler
+	scalarEval bool // evaluate multi-failure trials one at a time
 }
 
 // NewEstimator prepares a Monte Carlo estimator. The graph must be acyclic.
@@ -123,9 +135,26 @@ func NewEstimator(g *dag.Graph, model failure.Model, cfg Config) (*Estimator, er
 	return NewEstimatorRates(g, rates, cfg)
 }
 
+// NewEstimatorFrozen prepares an estimator on an already-frozen graph,
+// sharing the compiled CSR form with other consumers instead of
+// re-freezing (the experiments cell scheduler holds one Frozen per sweep
+// and builds one estimator per pfail point from it). The frozen snapshot
+// must be up to date with its source graph.
+func NewEstimatorFrozen(f *dag.Frozen, model failure.Model, cfg Config) (*Estimator, error) {
+	rates := make([]float64, f.NumTasks())
+	for i := range rates {
+		rates[i] = model.Lambda
+	}
+	return newEstimatorRates(f.Graph(), f, rates, cfg)
+}
+
 // NewEstimatorRates prepares an estimator with a per-task error rate λ_i
 // (tasks at different DVFS speeds or on heterogeneous processors).
 func NewEstimatorRates(g *dag.Graph, rates []float64, cfg Config) (*Estimator, error) {
+	return newEstimatorRates(g, nil, rates, cfg)
+}
+
+func newEstimatorRates(g *dag.Graph, frozen *dag.Frozen, rates []float64, cfg Config) (*Estimator, error) {
 	if len(rates) != g.NumTasks() {
 		return nil, fmt.Errorf("montecarlo: %d rates for %d tasks", len(rates), g.NumTasks())
 	}
@@ -146,9 +175,15 @@ func NewEstimatorRates(g *dag.Graph, rates []float64, cfg Config) (*Estimator, e
 	if cfg.Workers > cfg.Trials {
 		cfg.Workers = cfg.Trials
 	}
-	frozen, err := dag.Freeze(g)
-	if err != nil {
-		return nil, err
+	if frozen == nil {
+		var err error
+		frozen, err = dag.Freeze(g)
+		if err != nil {
+			return nil, err
+		}
+	} else if !frozen.UpToDate() {
+		// A stale snapshot would mix old topology with current weights.
+		return nil, ErrStaleGraph
 	}
 	n := g.NumTasks()
 	pf := make([]float64, n)
@@ -202,17 +237,31 @@ func NewEstimatorRates(g *dag.Graph, rates []float64, cfg Config) (*Estimator, e
 	for k := 0; k < n; k++ {
 		e.hpt[k] = heads[k] + tails[k] - 2*e.base[k]
 	}
+	for k := 0; k < n; k++ {
+		if frozen.OutDegreeTopo(k) == 0 {
+			e.sinks = append(e.sinks, int32(k))
+		}
+	}
+	if !cfg.LegacySampler {
+		// The legacy sampler never reads the threshold tables; skip the
+		// construction-time bit searches.
+		e.buildTables(false)
+	}
 	return e, nil
 }
 
 // mcWorker is the per-goroutine trial state: scratch buffers sized once so
-// the per-trial loop never allocates.
+// the per-chunk loops never allocate (the SoA batch scratch is added
+// lazily on the first multi-failure block).
 type mcWorker struct {
 	e       *Estimator
 	w       []float64 // topo weights, == base between trials
-	comp    []float64 // kernel scratch
+	comp    []float64 // scalar kernel scratch
 	failPos []int32   // positions failed this trial
 	failW   []float64 // their inflated weights
+	res     []float64 // per-chunk results, chunk-relative trial order
+	blk     laneBlock // deferred multi-failure trials
+	bs      *batchScratch
 }
 
 func (e *Estimator) newWorker() *mcWorker {
@@ -223,70 +272,58 @@ func (e *Estimator) newWorker() *mcWorker {
 		comp:    make([]float64, n),
 		failPos: make([]int32, n),
 		failW:   make([]float64, n),
+		res:     make([]float64, chunkSize),
 	}
 	copy(wk.w, e.base)
 	return wk
 }
 
-// trial draws one makespan sample. Sampling and evaluation are fused:
-// failing tasks are located by inverted-geometric skips under the pfMax
-// envelope (thinning), so a trial touches only O(V·pfMax) tasks instead of
-// drawing per task; trials with zero failures return the precomputed d0
-// without touching the graph, single-failure trials use the longest-path-
-// through identity in O(1), and only multi-failure trials run the full CSR
-// kernel.
-func (wk *mcWorker) trial(rng *splitMix64) float64 {
+// runChunk processes trials [t0, t1) of one chunk in two phases: a
+// sequential sampling pass (exact per-trial draw order; zero- and
+// single-failure trials are resolved in O(1) on the spot) and a batched
+// evaluation of the deferred multi-failure trials. Results land in
+// wk.res[0:t1-t0] in trial order.
+func (wk *mcWorker) runChunk(rng splitMix64, t0, t1 int) {
 	e := wk.e
+	res := wk.res[:t1-t0]
 	if e.pfMax == 0 {
-		return e.d0 // zero-pfail fast path: every task is deterministic
-	}
-	n := len(wk.w)
-	single := e.cfg.Mode == SingleRetry
-	nfail := 0
-	for k := 0; ; k++ {
-		// Skip directly to the next candidate failure under the envelope:
-		// the gap is geometric with parameter pfMax.
-		g := math.Log(rng.unitOpen()) * e.invLnQ
-		if g >= float64(n-k) {
-			break
+		// Zero-pfail fast path: every task is deterministic, no draws.
+		for i := range res {
+			res[i] = e.d0
 		}
-		k += int(g)
-		pf := e.pfTopo[k]
-		// Thinning: the candidate is a real first-attempt failure w.p.
-		// pf/pfMax (zero-pfail tasks are never accepted).
-		if rng.Float64()*e.pfMax >= pf {
-			continue
+		return
+	}
+	wk.blk.reset()
+	scalar := e.scalarEval
+	for t := 0; t < t1-t0; t++ {
+		nfail := wk.sample(&rng)
+		switch nfail {
+		case 0:
+			res[t] = e.d0
+		case 1:
+			// Only one task changed: the new makespan is the longest path
+			// through it against the failure-free rest, exactly.
+			v := e.hpt[wk.failPos[0]] + wk.failW[0]
+			if v < e.d0 {
+				v = e.d0
+			}
+			res[t] = v
+		default:
+			if scalar {
+				res[t] = wk.evalScalar(nfail)
+				continue
+			}
+			if wk.blk.full() {
+				wk.evalBlock(&wk.blk)
+				wk.blk.reset()
+			}
+			wk.blk.add(t, wk.failPos[:nfail], wk.failW[:nfail])
 		}
-		mult := 2.0
-		if !single {
-			// Extra re-executions beyond the retry: inverted geometric,
-			// 1 + floor(ln U / ln pf) attempts total beyond the first.
-			mult += math.Floor(math.Log(rng.unitOpen()) * e.invLnPf[k])
-		}
-		wk.failPos[nfail] = int32(k)
-		wk.failW[nfail] = mult * e.base[k]
-		nfail++
 	}
-	switch nfail {
-	case 0:
-		return e.d0
-	case 1:
-		// Only one task changed: the new makespan is the longest path
-		// through it against the failure-free rest, exactly.
-		v := e.hpt[wk.failPos[0]] + wk.failW[0]
-		if v < e.d0 {
-			v = e.d0
-		}
-		return v
+	if wk.blk.n > 0 {
+		wk.evalBlock(&wk.blk)
+		wk.blk.reset()
 	}
-	for i := 0; i < nfail; i++ {
-		wk.w[wk.failPos[i]] = wk.failW[i]
-	}
-	ms := e.frozen.MakespanTopo(wk.w, wk.comp)
-	for i := 0; i < nfail; i++ {
-		wk.w[wk.failPos[i]] = e.base[wk.failPos[i]]
-	}
-	return ms
 }
 
 // numChunks is the fixed chunk count for this estimator's trial budget;
@@ -296,9 +333,9 @@ func (e *Estimator) numChunks() int {
 }
 
 // runChunks executes all trial chunks across cfg.Workers goroutines,
-// calling observe(chunk, trialIndex, makespan) for every trial. observe
-// must be safe for concurrent calls with distinct chunks; chunk indices
-// are in [0, numChunks()).
+// calling observe(chunk, trialIndex, makespan) for every trial of a chunk
+// in trial order. observe must be safe for concurrent calls with distinct
+// chunks; chunk indices are in [0, numChunks()).
 func (e *Estimator) runChunks(observe func(c int64, t int, x float64)) {
 	trials := e.cfg.Trials
 	nChunks := int64(e.numChunks())
@@ -318,14 +355,14 @@ func (e *Estimator) runChunks(observe func(c int64, t int, x float64)) {
 				if c >= nChunks {
 					return
 				}
-				rng := newChunkRNG(e.cfg.Seed, c)
 				t0 := int(c) * chunkSize
 				t1 := t0 + chunkSize
 				if t1 > trials {
 					t1 = trials
 				}
+				wk.runChunk(newChunkRNG(e.cfg.Seed, c), t0, t1)
 				for t := t0; t < t1; t++ {
-					observe(c, t, wk.trial(&rng))
+					observe(c, t, wk.res[t-t0])
 				}
 			}
 		}()

@@ -157,10 +157,16 @@ func (net *Network) duplicateOne() bool {
 	vp := net.addNode()
 	movedTree := net.arcs[moved].tree
 	net.killArc(moved)
+	if net.rec != nil {
+		net.rec.ops = append(net.rec.ops, planOp{kind: opCopy, a: int32(moved)})
+	}
 	net.addArc(u, vp, d, movedTree)
 	for _, id := range net.liveOut(v) {
 		// Duplicated subpaths share tree pointers; a later evaluation
 		// treats the copies as independent, which is Dodin's approximation.
+		if net.rec != nil {
+			net.rec.ops = append(net.rec.ops, planOp{kind: opCopy, a: int32(id)})
+		}
 		net.addArc(vp, net.arcs[id].to, net.arcs[id].dist, net.arcs[id].tree)
 	}
 	// Only v (one in-arc fewer) and v' (the fresh node) can have become

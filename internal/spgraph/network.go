@@ -59,6 +59,11 @@ type Network struct {
 	cand []int64
 
 	scratch distribution.Scratch
+
+	// rec, when non-nil, records the reduction schedule for Plan replay
+	// (see plan.go). Recording is append-only and does not alter any
+	// decision the reduction makes.
+	rec *planRec
 }
 
 type arc struct {

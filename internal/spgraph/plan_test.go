@@ -1,0 +1,148 @@
+package spgraph
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/failure"
+)
+
+func planGraphs(t *testing.T) map[string]*dag.Graph {
+	t.Helper()
+	fft, err := dag.FFT(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*dag.Graph{
+		"wavefront": dag.Wavefront(6, 1.25),
+		"fft":       fft,
+		"pipeline":  dag.Pipeline(4, 3, 2),
+		"diamond":   dag.Diamond(1, 5, 3, 2),
+	}
+}
+
+// A plan recorded under one model must replay bit-identically to a fresh
+// Dodin run under every other model: same estimate, same distribution
+// atoms, same stats.
+func TestPlanReplayMatchesDodin(t *testing.T) {
+	for name, g := range planGraphs(t) {
+		recModel, err := failure.FromPfail(0.001, g.MeanWeight())
+		if err != nil {
+			t.Fatal(err)
+		}
+		recRes, recStats, plan, err := DodinPlan(g, recModel, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		direct, directStats, err := Dodin(g, recModel, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if recRes.Estimate != direct.Estimate || recStats != directStats {
+			t.Fatalf("%s: recording run diverged from plain Dodin: %v vs %v", name, recRes.Estimate, direct.Estimate)
+		}
+		if plan.Stats() != directStats {
+			t.Fatalf("%s: plan stats %+v != %+v", name, plan.Stats(), directStats)
+		}
+		for _, pfail := range []float64{0.2, 0.05, 0.001, 0.00001} {
+			model, err := failure.FromPfail(pfail, g.MeanWeight())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := Dodin(g, model, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := plan.Run(model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Estimate != want.Estimate {
+				t.Fatalf("%s pfail=%g: replay estimate %v != direct %v", name, pfail, got.Estimate, want.Estimate)
+			}
+			if got.Distribution.Len() != want.Distribution.Len() {
+				t.Fatalf("%s pfail=%g: support sizes differ", name, pfail)
+			}
+			for i := 0; i < got.Distribution.Len(); i++ {
+				gv, gp := got.Distribution.Atom(i)
+				wv, wp := want.Distribution.Atom(i)
+				if gv != wv || gp != wp {
+					t.Fatalf("%s pfail=%g: atom %d differs: (%v,%v) vs (%v,%v)", name, pfail, i, gv, gp, wv, wp)
+				}
+			}
+		}
+	}
+}
+
+// Concurrent replays of one plan (the sweep scheduler's usage) must be
+// race-free and each bit-identical to the serial answer.
+func TestPlanConcurrentReplay(t *testing.T) {
+	g := dag.Wavefront(6, 1.25)
+	model, err := failure.FromPfail(0.01, g.MeanWeight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, plan, err := DodinPlan(g, model, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfails := []float64{0.1, 0.03, 0.01, 0.003, 0.001, 0.0003, 0.0001, 0.00003}
+	want := make([]float64, len(pfails))
+	for i, pf := range pfails {
+		m, _ := failure.FromPfail(pf, g.MeanWeight())
+		r, err := plan.Run(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r.Estimate
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(pfails))
+	got := make([]float64, len(pfails))
+	for rep := 0; rep < 4; rep++ {
+		for i, pf := range pfails {
+			wg.Add(1)
+			go func(i int, pf float64) {
+				defer wg.Done()
+				m, _ := failure.FromPfail(pf, g.MeanWeight())
+				r, err := plan.Run(m)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				got[i] = r.Estimate
+			}(i, pf)
+		}
+		wg.Wait()
+		for i := range pfails {
+			if errs[i] != nil {
+				t.Fatal(errs[i])
+			}
+			if got[i] != want[i] {
+				t.Fatalf("concurrent replay %d: %v != %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Recording must not perturb the run it observes: plain Dodin and
+// DodinPlan agree on a graph needing many duplications.
+func TestPlanRecordingDoesNotPerturb(t *testing.T) {
+	g := dag.Wavefront(8, 1)
+	model, err := failure.FromPfail(0.01, g.MeanWeight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, as, err := Dodin(g, model, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, bs, _, err := DodinPlan(g, model, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate != b.Estimate || as != bs {
+		t.Fatalf("recording perturbed the run: %v/%+v vs %v/%+v", a.Estimate, as, b.Estimate, bs)
+	}
+}

@@ -66,6 +66,9 @@ func (net *Network) reducePass() int {
 				head := net.arcs[id].to
 				if net.headMark[head] == net.headEpoch {
 					first := net.headFirst[head]
+					if net.rec != nil {
+						net.rec.ops = append(net.rec.ops, planOp{kind: opMax, a: int32(first), b: int32(id)})
+					}
 					merged := net.convMax(net.arcs[first].dist, net.arcs[id].dist)
 					net.arcs[first].dist = merged
 					net.arcs[first].tree = parallelNode(net.arcs[first].tree, net.arcs[id].tree)
@@ -86,6 +89,9 @@ func (net *Network) reducePass() int {
 		}
 		if net.inDeg[v] == 1 && net.outDeg[v] == 1 {
 			in, out := net.liveIn(v), net.liveOut(v)
+			if net.rec != nil {
+				net.rec.ops = append(net.rec.ops, planOp{kind: opAdd, a: int32(in[0]), b: int32(out[0])})
+			}
 			a, b := net.arcs[in[0]], net.arcs[out[0]]
 			merged := net.convAdd(a.dist, b.dist)
 			net.killArc(in[0])

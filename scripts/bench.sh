@@ -1,9 +1,9 @@
 #!/usr/bin/env sh
-# bench.sh — run the Monte Carlo / frozen-kernel and Dodin benchmarks and
-# emit BENCH_mc.json + BENCH_dodin.json so successive PRs can track the
-# perf trajectory.
+# bench.sh — run the Monte Carlo / frozen-kernel, Dodin and experiment-
+# layer benchmarks and emit BENCH_mc.json + BENCH_dodin.json +
+# BENCH_sweep.json so successive PRs can track the perf trajectory.
 #
-# Usage: scripts/bench.sh [mc_output.json] [dodin_output.json]
+# Usage: scripts/bench.sh [mc_output.json] [dodin_output.json] [sweep_output.json]
 #   COUNT=5   repetitions per benchmark (go test -count)
 #
 # Each JSON holds one entry per benchmark with every ns/op sample, the
@@ -14,9 +14,11 @@ set -eu
 cd "$(dirname "$0")/.."
 mc_out="${1:-BENCH_mc.json}"
 dodin_out="${2:-BENCH_dodin.json}"
+sweep_out="${3:-BENCH_sweep.json}"
 count="${COUNT:-5}"
 mc_benches='BenchmarkFrozenEvalLU20|BenchmarkMCFusedLU20|BenchmarkMCLegacyLU20|BenchmarkTable1MonteCarloLU20|BenchmarkPathEvaluatorLU20|BenchmarkGraphConstructionDense'
 dodin_benches='BenchmarkTable1DodinLU16|BenchmarkTable1DodinLU20|BenchmarkDistributionFusedOps|BenchmarkBoundsBracketLU20|BenchmarkAblationDodinAtoms64'
+sweep_benches='BenchmarkSweepLU10|BenchmarkMCHighPfailLU20|BenchmarkDodinPlanReplayLU16|BenchmarkMCRunQuantilesLU12|BenchmarkMCRunSamplesLU12'
 
 summarize() {
     awk -v trials=20000 '
@@ -60,3 +62,4 @@ run_group() {
 
 run_group "$mc_benches" "$mc_out"
 run_group "$dodin_benches" "$dodin_out"
+run_group "$sweep_benches" "$sweep_out"

@@ -13,6 +13,7 @@
 //	experiments -format json     # machine-readable output instead of text
 //	experiments -workers 8       # total CPU budget (cells + MC workers)
 //	experiments -all-methods     # add Sculli and Second Order columns
+//	experiments -sweep -sweep-kind qr -sweep-k 8 -sweep-pfails 0.1,0.01
 //
 // Estimates and relative errors are independent of -workers: the cell
 // scheduler runs data points and estimators concurrently but reduces
@@ -29,23 +30,30 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/linalg"
+	"repro/internal/report"
 )
 
 func main() {
 	var (
-		fig     = flag.Int("fig", 0, "run only this figure (4..12; 0 = all)")
-		table   = flag.Int("table", 0, "run only this table (1; 0 = per default run)")
-		trials  = flag.Int("trials", 0, "Monte Carlo trials (0 = paper's 300,000)")
-		seed    = flag.Uint64("seed", 42, "Monte Carlo seed")
-		csvPath = flag.String("csv", "", "append figure CSV rows to this file")
-		allM    = flag.Bool("all-methods", false, "include Sculli and Second Order")
-		maxK    = flag.Int("max-k", 0, "cap graph sizes at this k (0 = paper sizes)")
-		tableK  = flag.Int("table-k", 0, "override Table I tile count (0 = paper's 20)")
-		sweep   = flag.Bool("sweep", false, "run the extension pfail sweep instead")
-		workers = flag.Int("workers", 0, "total CPU budget for cells and Monte Carlo (0 = GOMAXPROCS)")
-		format  = flag.String("format", "text", "output format: text or json")
+		fig       = flag.Int("fig", 0, "run only this figure (4..12; 0 = all)")
+		table     = flag.Int("table", 0, "run only this table (1; 0 = per default run)")
+		trials    = flag.Int("trials", 0, "Monte Carlo trials (0 = paper's 300,000)")
+		seed      = flag.Uint64("seed", 42, "Monte Carlo seed")
+		csvPath   = flag.String("csv", "", "append figure CSV rows to this file")
+		allM      = flag.Bool("all-methods", false, "include Sculli and Second Order")
+		maxK      = flag.Int("max-k", 0, "cap graph sizes at this k (0 = paper sizes)")
+		tableK    = flag.Int("table-k", 0, "override Table I tile count (0 = paper's 20)")
+		sweep     = flag.Bool("sweep", false, "run the extension pfail sweep instead")
+		sweepKind = flag.String("sweep-kind", "", "sweep factorization: cholesky, lu or qr (default lu)")
+		sweepK    = flag.Int("sweep-k", 0, "sweep tile count (default 10)")
+		sweepPF   = flag.String("sweep-pfails", "", "comma list of sweep failure probabilities (default five decades)")
+		workers   = flag.Int("workers", 0, "total CPU budget for cells and Monte Carlo (0 = GOMAXPROCS)")
+		format    = flag.String("format", "text", "output format: text or json")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "json" {
@@ -64,7 +72,12 @@ func main() {
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ", s) }
 	}
 	if *sweep {
-		if err := runSweep(opts, *format); err != nil {
+		spec, err := sweepSpec(*sweepKind, *sweepK, *sweepPF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		if err := runSweep(spec, opts, *format); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -109,7 +122,7 @@ func run(fig, table int, opts experiments.Options, csvPath string, maxK, tableK 
 	}
 	writeFig := func(res experiments.FigureResult) error {
 		if format == "json" {
-			return experiments.WriteFigureJSON(os.Stdout, res, opts.Methods)
+			return report.WriteFigureJSON(os.Stdout, res, opts.Methods)
 		}
 		if err := experiments.WriteFigure(os.Stdout, res, opts.Methods); err != nil {
 			return err
@@ -154,7 +167,7 @@ func run(fig, table int, opts experiments.Options, csvPath string, maxK, tableK 
 			return err
 		}
 		if format == "json" {
-			return experiments.WriteReportJSON(os.Stdout, figures, &tres, opts.Methods)
+			return report.WriteReportJSON(os.Stdout, figures, &tres, opts.Methods)
 		}
 		return experiments.WriteTable1(os.Stdout, tres, opts.Methods)
 	}
@@ -168,13 +181,42 @@ func runTable1Result(opts experiments.Options, tableK int) (experiments.Table1Re
 	return experiments.RunTable1(spec, opts)
 }
 
-func runSweep(opts experiments.Options, format string) error {
-	res, err := experiments.RunSweep(experiments.DefaultSweep(), opts)
+// sweepSpec resolves the sweep flags against the default LU k=10 sweep.
+func sweepSpec(kind string, k int, pfails string) (experiments.SweepSpec, error) {
+	spec := experiments.DefaultSweep()
+	if kind != "" {
+		spec.Fact = linalg.Factorization(kind)
+	}
+	if k > 0 {
+		spec.K = k
+	}
+	if pfails != "" {
+		spec.PFails = nil
+		for _, s := range strings.Split(pfails, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			pf, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return spec, fmt.Errorf("bad -sweep-pfails entry %q: %v", s, err)
+			}
+			spec.PFails = append(spec.PFails, pf)
+		}
+		if len(spec.PFails) == 0 {
+			return spec, fmt.Errorf("-sweep-pfails %q holds no values", pfails)
+		}
+	}
+	return spec, nil
+}
+
+func runSweep(spec experiments.SweepSpec, opts experiments.Options, format string) error {
+	res, err := experiments.RunSweep(spec, opts)
 	if err != nil {
 		return err
 	}
 	if format == "json" {
-		return experiments.WriteSweepJSON(os.Stdout, res, opts.Methods)
+		return report.WriteSweepJSON(os.Stdout, res, opts.Methods)
 	}
 	return experiments.WriteSweep(os.Stdout, res, opts.Methods)
 }
@@ -185,7 +227,7 @@ func runTable1(opts experiments.Options, tableK int, format string) error {
 		return err
 	}
 	if format == "json" {
-		return experiments.WriteTable1JSON(os.Stdout, res, opts.Methods)
+		return report.WriteTable1JSON(os.Stdout, res, opts.Methods)
 	}
 	return experiments.WriteTable1(os.Stdout, res, opts.Methods)
 }

@@ -5,19 +5,27 @@
 //
 //	makespan -kind cholesky -k 8 -pfail 0.001
 //	makespan -graph graph.json -lambda 0.05 -trials 100000
+//	makespan -kind lu -k 10 -trials 20000 -quantiles 0.5,0.95,0.99
+//	makespan -kind lu -k 10 -format json
 //
 // The graph comes either from a generator (-kind cholesky|lu|qr with -k)
 // or from a JSON file produced by daggen (-graph). The failure model comes
 // from -lambda directly or from -pfail calibrated on the mean task weight,
 // as in the paper. The tool prints the failure-free makespan, each
 // estimator's value and runtime, and a Monte Carlo reference with its 95%
-// confidence interval.
+// confidence interval (plus distribution quantiles with -quantiles).
+//
+// With -format json the same content is emitted as one JSON document
+// through internal/report — the exact writer the makespand service uses,
+// so `makespan -format json` output is byte-identical to the service's
+// POST /v1/estimate response for the same inputs (timing fields aside).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"repro/internal/bounds"
@@ -26,85 +34,157 @@ import (
 	"repro/internal/failure"
 	"repro/internal/linalg"
 	"repro/internal/montecarlo"
+	"repro/internal/report"
 )
 
+// options collects the CLI flags; run is kept flag-free so tests drive it
+// directly.
+type options struct {
+	kind      string
+	k         int
+	path      string
+	pfail     float64
+	lambda    float64
+	trials    int
+	seed      uint64
+	atoms     int
+	methods   string
+	bounds    bool
+	quantiles string
+	format    string
+}
+
 func main() {
-	var (
-		kind    = flag.String("kind", "cholesky", "generator: cholesky, lu or qr (ignored with -graph)")
-		k       = flag.Int("k", 8, "tile count for the generator")
-		path    = flag.String("graph", "", "JSON graph file (overrides -kind/-k)")
-		pfail   = flag.Float64("pfail", 0.001, "failure probability of an average-weight task")
-		lambda  = flag.Float64("lambda", 0, "error rate λ (overrides -pfail when > 0)")
-		trials  = flag.Int("trials", montecarlo.DefaultTrials, "Monte Carlo trials (0 to skip MC)")
-		seed    = flag.Uint64("seed", 42, "Monte Carlo seed")
-		atoms   = flag.Int("dodin-atoms", 0, "Dodin distribution support cap (0 = default 64, -1 = unlimited)")
-		methods = flag.String("methods", "all", "comma list of methods, 'paper' or 'all'")
-		bnds    = flag.Bool("bounds", false, "print the analytic [Jensen, Kleindorfer] bracket")
-	)
+	var o options
+	flag.StringVar(&o.kind, "kind", "cholesky", "generator: cholesky, lu or qr (ignored with -graph)")
+	flag.IntVar(&o.k, "k", 8, "tile count for the generator")
+	flag.StringVar(&o.path, "graph", "", "JSON graph file (overrides -kind/-k)")
+	flag.Float64Var(&o.pfail, "pfail", 0.001, "failure probability of an average-weight task")
+	flag.Float64Var(&o.lambda, "lambda", 0, "error rate λ (overrides -pfail when > 0)")
+	flag.IntVar(&o.trials, "trials", montecarlo.DefaultTrials, "Monte Carlo trials (0 to skip MC)")
+	flag.Uint64Var(&o.seed, "seed", 42, "Monte Carlo seed")
+	flag.IntVar(&o.atoms, "dodin-atoms", 0, "Dodin distribution support cap (0 = default 64, -1 = unlimited)")
+	flag.StringVar(&o.methods, "methods", "all", "comma list of methods, 'paper' or 'all'")
+	flag.BoolVar(&o.bounds, "bounds", false, "print the analytic [Jensen, Kleindorfer] bracket")
+	flag.StringVar(&o.quantiles, "quantiles", "", "comma list of Monte Carlo quantiles in (0,1), e.g. 0.5,0.95")
+	flag.StringVar(&o.format, "format", "text", "output format: text or json")
 	flag.Parse()
-	if err := run(*kind, *k, *path, *pfail, *lambda, *trials, *seed, *atoms, *methods, *bnds); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "makespan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind string, k int, path string, pfail, lambda float64, trials int, seed uint64, atoms int, methodSel string, bnds bool) error {
-	g, err := loadGraph(kind, k, path)
+func run(o options) error {
+	if o.format != "text" && o.format != "json" {
+		return fmt.Errorf("unknown -format %q (text or json)", o.format)
+	}
+	g, err := loadGraph(o.kind, o.k, o.path)
 	if err != nil {
 		return err
 	}
-	model, err := buildModel(g, pfail, lambda)
+	model, err := buildModel(g, o.pfail, o.lambda)
 	if err != nil {
 		return err
 	}
+	est, err := buildEstimate(g, model, o)
+	if err != nil {
+		return err
+	}
+	if o.format == "json" {
+		return report.WriteEstimateJSON(os.Stdout, est)
+	}
+	return report.WriteEstimateText(os.Stdout, est)
+}
+
+// buildEstimate runs every selected estimator cold — the CLI pays the
+// full construction cost each invocation; the makespand service answers
+// the same request from its warm registry, byte-identically.
+func buildEstimate(g *dag.Graph, model failure.Model, o options) (report.Estimate, error) {
 	d, err := dag.Makespan(g)
 	if err != nil {
-		return err
+		return report.Estimate{}, err
 	}
-	fmt.Printf("graph: %d tasks, %d edges, mean weight %.4g s\n", g.NumTasks(), g.NumEdges(), g.MeanWeight())
-	fmt.Printf("model: λ = %.6g /s (pfail of mean task = %.3g, MTBF = %.4g s)\n",
-		model.Lambda, model.PFail(g.MeanWeight()), model.MTBF())
-	fmt.Printf("failure-free makespan d(G) = %.6g s\n", d)
-	if bnds {
-		lo, hi, err := bounds.Bracket(g, model, atoms)
+	qs, err := parseQuantiles(o.quantiles)
+	if err != nil {
+		return report.Estimate{}, err
+	}
+	if len(qs) > 0 && o.trials == 0 {
+		return report.Estimate{}, fmt.Errorf("-quantiles needs Monte Carlo trials (-trials > 0)")
+	}
+	est := report.Estimate{
+		Graph: report.GraphInfo{Tasks: g.NumTasks(), Edges: g.NumEdges(), MeanWeight: g.MeanWeight()},
+		Model: report.ModelInfo{
+			Lambda:        model.Lambda,
+			PFailMeanTask: model.PFail(g.MeanWeight()),
+			MTBF:          model.MTBF(),
+		},
+		FailureFree: d,
+	}
+	if o.bounds {
+		lo, hi, err := bounds.Bracket(g, model, o.atoms)
 		if err != nil {
-			return fmt.Errorf("bounds: %w", err)
+			return report.Estimate{}, fmt.Errorf("bounds: %w", err)
 		}
-		fmt.Printf("analytic bracket (2-state model): [%.6g, %.6g] s\n", lo, hi)
+		est.Bracket = &report.BracketInfo{Lower: lo, Upper: hi}
 	}
-	fmt.Println()
+	methods, err := experiments.ParseMethods(o.methods)
+	if err != nil {
+		return report.Estimate{}, err
+	}
+	for _, m := range methods {
+		v, dt, err := experiments.Estimate(m, g, model, o.atoms)
+		if err != nil {
+			return report.Estimate{}, fmt.Errorf("%s: %w", m, err)
+		}
+		est.Methods = append(est.Methods, report.MethodEstimate{Method: string(m), Estimate: v, Time: dt})
+	}
+	if o.trials == 0 {
+		return est, nil
+	}
+	// Negative trials flow through so the engine's config validation
+	// reports them instead of being silently treated as "skip MC".
+	cfg := montecarlo.Config{Trials: o.trials, Seed: o.seed}
+	t0 := time.Now()
+	mcEst, err := montecarlo.NewEstimator(g, model, cfg)
+	if err != nil {
+		return report.Estimate{}, err
+	}
+	var mc *report.MonteCarloInfo
+	if len(qs) > 0 {
+		res, sketch, err := mcEst.RunQuantiles()
+		if err != nil {
+			return report.Estimate{}, err
+		}
+		mc = report.MonteCarloInfoFrom(res, o.seed)
+		for _, q := range qs {
+			mc.Quantiles = append(mc.Quantiles, report.QuantileValue{Q: q, Value: sketch.Quantile(q)})
+		}
+	} else {
+		res, err := mcEst.Run()
+		if err != nil {
+			return report.Estimate{}, err
+		}
+		mc = report.MonteCarloInfoFrom(res, o.seed)
+	}
+	mc.Time = time.Since(t0)
+	est.MonteCarlo = mc
+	return est, nil
+}
 
-	var list []experiments.Method
-	switch methodSel {
-	case "paper":
-		list = experiments.PaperMethods()
-	case "all", "":
-		list = experiments.AllMethods()
-	default:
-		for _, name := range splitComma(methodSel) {
-			list = append(list, experiments.Method(name))
-		}
-	}
-	fmt.Printf("%-14s %-16s %-12s\n", "method", "estimate (s)", "time")
-	for _, m := range list {
-		est, dt, err := experiments.Estimate(m, g, model, atoms)
+func parseQuantiles(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range splitComma(s) {
+		q, err := strconv.ParseFloat(f, 64)
 		if err != nil {
-			return fmt.Errorf("%s: %w", m, err)
+			return nil, fmt.Errorf("bad -quantiles entry %q: %v", f, err)
 		}
-		fmt.Printf("%-14s %-16.8g %-12v\n", m, est, dt.Round(time.Microsecond))
-	}
-	if trials != 0 {
-		// Negative trials flow through so the engine's config validation
-		// reports them instead of being silently treated as "skip MC".
-		t0 := time.Now()
-		mc, err := montecarlo.Estimate(g, model, montecarlo.Config{Trials: trials, Seed: seed})
-		if err != nil {
-			return err
+		if q <= 0 || q >= 1 {
+			return nil, fmt.Errorf("quantile %g outside (0,1)", q)
 		}
-		fmt.Printf("%-14s %-16.8g %-12v ±%.3g (95%% CI, %d trials)\n",
-			"Monte Carlo", mc.Mean, time.Since(t0).Round(time.Millisecond), mc.CI95, mc.Trials)
+		out = append(out, q)
 	}
-	return nil
+	return out, nil
 }
 
 func loadGraph(kind string, k int, path string) (*dag.Graph, error) {

@@ -83,17 +83,59 @@ func TestBuildModel(t *testing.T) {
 }
 
 func TestRunEndToEnd(t *testing.T) {
+	base := options{kind: "cholesky", k: 3, pfail: 0.01, seed: 1, methods: "paper", format: "text"}
 	// Full CLI path with a tiny workload and no Monte Carlo.
-	if err := run("cholesky", 3, "", 0.01, 0, 0, 1, 0, "paper", true); err != nil {
+	o := base
+	o.bounds = true
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("cholesky", 3, "", 0.01, 0, 500, 1, 0, "all", false); err != nil {
+	o = base
+	o.trials, o.methods = 500, "all"
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("cholesky", 3, "", 0.01, 0, 0, 1, 0, "First Order,Sculli", false); err != nil {
+	o = base
+	o.methods = "First Order,Sculli"
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("cholesky", 3, "", 0.01, 0, 0, 1, 0, "bogus", false); err == nil {
+	o = base
+	o.methods = "bogus"
+	if err := run(o); err == nil {
 		t.Fatal("bogus method accepted")
+	}
+	o = base
+	o.format = "yaml"
+	if err := run(o); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	o = base
+	o.format, o.trials, o.quantiles = "json", 500, "0.5,0.95"
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	o = base
+	o.quantiles = "0.5"
+	if err := run(o); err == nil {
+		t.Fatal("quantiles without trials accepted")
+	}
+	o = base
+	o.trials, o.quantiles = 500, "1.5"
+	if err := run(o); err == nil {
+		t.Fatal("out-of-range quantile accepted")
+	}
+}
+
+func TestParseQuantiles(t *testing.T) {
+	qs, err := parseQuantiles("0.5,0.95")
+	if err != nil || len(qs) != 2 || qs[0] != 0.5 || qs[1] != 0.95 {
+		t.Fatalf("qs = %v err = %v", qs, err)
+	}
+	if qs, err := parseQuantiles(""); err != nil || qs != nil {
+		t.Fatalf("empty: %v %v", qs, err)
+	}
+	if _, err := parseQuantiles("abc"); err == nil {
+		t.Fatal("garbage accepted")
 	}
 }

@@ -1,0 +1,87 @@
+// Command makespand serves makespan estimation over HTTP: a long-running
+// daemon wrapping the paper's estimators behind a content-addressed graph
+// registry, so repeat estimates on the same DAG reuse the frozen graph,
+// Dodin reduction plan, Monte Carlo threshold tables and bounds scratch
+// instead of rebuilding them per request.
+//
+// Usage:
+//
+//	makespand -addr 127.0.0.1:8080 -workers 4 -cache-bytes 268435456
+//
+// Endpoints (see EXPERIMENTS.md for curl examples and docs/E2E.md for the
+// verified case table):
+//
+//	POST /v1/graphs       submit a DAG (inline JSON or generator spec)
+//	GET  /v1/graphs/{id}  look up a cached graph and its artifacts
+//	POST /v1/estimate     estimate one graph: methods × pfail × trials
+//	POST /v1/sweep        pfail sweep via the experiment-cell scheduler
+//	GET  /healthz         liveness + cache statistics
+//
+// Estimate and sweep responses are byte-identical to `makespan -format
+// json` and `experiments -sweep -format json` for the same inputs
+// (timing fields excepted) and deterministic under concurrent load.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		workers = flag.Int("workers", 0, "server-wide CPU budget for estimation work (0 = GOMAXPROCS)")
+		cacheB  = flag.Int64("cache-bytes", 256<<20, "graph registry byte budget (<= 0 = unlimited)")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *cacheB); err != nil {
+		fmt.Fprintln(os.Stderr, "makespand:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers int, cacheBytes int64) error {
+	srv := service.New(service.Config{Workers: workers, CacheBytes: cacheBytes})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address line doubles as the readiness signal: the e2e
+	// harness scrapes the port from it when started with :0.
+	log.SetFlags(0)
+	log.Printf("makespand: listening on %s (workers %d, cache budget %d bytes)",
+		ln.Addr(), workersOrMax(workers), cacheBytes)
+
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Printf("makespand: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(shutdownCtx)
+	}
+}
+
+func workersOrMax(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}

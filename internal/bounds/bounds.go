@@ -83,6 +83,8 @@ type Sweeper struct {
 	f    *dag.Frozen
 	comp []distribution.Discrete
 	s    distribution.Scratch
+	pe   *dag.PathEvaluator // longest-path scratch for Jensen
+	w    []float64          // task-ID-order weight scratch for Jensen
 }
 
 // NewSweeper freezes g and prepares a reusable upper-bound sweeper.
@@ -97,7 +99,35 @@ func NewSweeper(g *dag.Graph) (*Sweeper, error) {
 // NewSweeperFrozen prepares a sweeper on an already-frozen graph (shared,
 // read-only).
 func NewSweeperFrozen(f *dag.Frozen) *Sweeper {
-	return &Sweeper{f: f, comp: make([]distribution.Discrete, f.NumTasks())}
+	return &Sweeper{
+		f:    f,
+		comp: make([]distribution.Discrete, f.NumTasks()),
+		pe:   dag.NewPathEvaluatorFrozen(f),
+		w:    make([]float64, f.NumTasks()),
+	}
+}
+
+// Jensen computes the JensenLower bound under model, reusing the frozen
+// form and the sweeper's scratch: the same arithmetic as JensenLower, so
+// the results are bit-identical.
+func (sw *Sweeper) Jensen(model failure.Model) float64 {
+	g := sw.f.Graph()
+	for i := range sw.w {
+		a := g.Weight(i)
+		sw.w[i] = a * (2 - model.PSuccess(a))
+	}
+	return sw.pe.MakespanWith(sw.w)
+}
+
+// Bracket returns the [Jensen, SweepUpper] bracket under model, the warm
+// counterpart of the package-level Bracket for callers holding a Sweeper.
+func (sw *Sweeper) Bracket(model failure.Model, maxAtoms int) (lo, hi float64, err error) {
+	lo = sw.Jensen(model)
+	hi, err = sw.Upper(model, maxAtoms)
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
 }
 
 // Upper computes the Kleindorfer-style upper bound under model; see

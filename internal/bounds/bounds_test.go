@@ -218,3 +218,33 @@ func TestSweeperMatchesSweepUpper(t *testing.T) {
 		}
 	}
 }
+
+// The warm Sweeper.Bracket must agree bit for bit with the package-level
+// Bracket (which freezes fresh state per call).
+func TestSweeperBracketMatchesBracket(t *testing.T) {
+	g, err := linalg.LU(8, linalg.KernelTimes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := failure.FromPfail(0.01, g.MeanWeight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLo, wantHi, err := Bracket(g, model, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewSweeper(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // repeat: scratch reuse must not drift
+		lo, hi, err := sw.Bracket(model, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo != wantLo || hi != wantHi {
+			t.Fatalf("warm bracket [%v, %v] != cold [%v, %v]", lo, hi, wantLo, wantHi)
+		}
+	}
+}

@@ -95,6 +95,20 @@ func Freeze(g *Graph) (*Frozen, error) {
 // Graph returns the source graph.
 func (f *Frozen) Graph() *Graph { return f.g }
 
+// SizeBytes reports the approximate retained heap size of the frozen
+// representation itself — the permutation, CSR adjacency and weight
+// arrays — excluding the source graph. Cache layers (the makespand graph
+// registry) use it for byte budgeting.
+func (f *Frozen) SizeBytes() int64 {
+	const (
+		i32 = 4
+		f64 = 8
+	)
+	s := int64(len(f.order)+len(f.pos)+len(f.predOff)+len(f.predAdj)+len(f.succOff)+len(f.succAdj)) * i32
+	s += int64(len(f.wTopo)) * f64
+	return s + 64 // struct header
+}
+
 // NumTasks returns the number of tasks.
 func (f *Frozen) NumTasks() int { return f.n }
 

@@ -46,6 +46,43 @@ func AllMethods() []Method {
 	return []Method{MethodDodin, MethodNormal, MethodSculli, MethodFirstOrder, MethodSecondOrder}
 }
 
+// ParseMethods resolves a method selector shared by the makespan CLI's
+// -methods flag and the service's "methods" request field: "paper" is
+// PaperMethods, "all" or the empty string is AllMethods, anything else a
+// comma-separated list of method names. Unknown names are rejected so a
+// typo fails fast instead of surfacing later from Estimate.
+func ParseMethods(sel string) ([]Method, error) {
+	switch sel {
+	case "paper":
+		return PaperMethods(), nil
+	case "all", "":
+		return AllMethods(), nil
+	}
+	known := make(map[Method]bool, len(AllMethods()))
+	for _, m := range AllMethods() {
+		known[m] = true
+	}
+	var out []Method
+	start := 0
+	s := sel
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				m := Method(s[start:i])
+				if !known[m] {
+					return nil, fmt.Errorf("experiments: unknown method %q", m)
+				}
+				out = append(out, m)
+			}
+			start = i + 1
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: empty method list %q", sel)
+	}
+	return out, nil
+}
+
 // Estimate runs one estimator on g under model, returning the estimate and
 // its wall-clock time.
 func Estimate(m Method, g *dag.Graph, model failure.Model, dodinAtoms int) (float64, time.Duration, error) {
@@ -107,6 +144,14 @@ type Options struct {
 	// Progress, when non-nil, receives one line per completed data point,
 	// always in point order regardless of Workers.
 	Progress func(string)
+	// DodinPlan, when non-nil, is a pre-recorded reduction schedule for
+	// the swept graph that RunSweepFrozen replays instead of recording its
+	// own (the makespand registry caches one plan per (graph, atom cap)
+	// across requests). The plan must have been recorded on the same graph
+	// with the same DodinMaxAtoms; replay is bit-identical regardless of
+	// the failure model it was recorded under. Ignored by figure and
+	// table runs, whose graphs differ per point.
+	DodinPlan *spgraph.Plan
 }
 
 func (o *Options) normalize() error {
@@ -132,10 +177,12 @@ type FigureSpec struct {
 
 // Caption returns the paper's caption, e.g. "Cholesky, pfail = 0.001".
 func (s FigureSpec) Caption() string {
-	return fmt.Sprintf("%s, pfail = %g", factLabel(s.Fact), s.PFail)
+	return fmt.Sprintf("%s, pfail = %g", FactLabel(s.Fact), s.PFail)
 }
 
-func factLabel(f linalg.Factorization) string {
+// FactLabel returns the display name of a factorization ("Cholesky",
+// "LU", "QR"); unknown values render verbatim.
+func FactLabel(f linalg.Factorization) string {
 	switch f {
 	case linalg.FactCholesky:
 		return "Cholesky"

@@ -60,7 +60,7 @@ func WriteTable1(w io.Writer, r Table1Result, methods []Method) error {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table I: %s with k = %d (%d tasks) and pfail = %g (MC trials: %d, MC time: %v)\n",
-		factLabel(r.Spec.Fact), r.Spec.K, r.Point.Tasks, r.Spec.PFail, r.Trials, round(r.Point.MCTime))
+		FactLabel(r.Spec.Fact), r.Spec.K, r.Point.Tasks, r.Spec.PFail, r.Trials, round(r.Point.MCTime))
 	fmt.Fprintf(&b, "%-36s", "")
 	for _, m := range methods {
 		fmt.Fprintf(&b, " %14s", string(m))

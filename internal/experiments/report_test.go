@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"bytes"
-	"encoding/json"
 	"testing"
 	"time"
 )
@@ -60,80 +58,3 @@ func TestSortedMethodsFollowsCanonicalOrder(t *testing.T) {
 }
 
 func sortedMethodsSweepEmpty() []Method { return sortedSweepMethods(nil) }
-
-// JSON writers must produce valid, method-complete documents.
-func TestWriteJSONRoundTrip(t *testing.T) {
-	res, err := RunSweep(SweepSpec{Fact: "lu", K: 4, PFails: []float64{0.01, 0.001}}, Options{Trials: 500, Seed: 3})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var buf bytes.Buffer
-	if err := WriteSweepJSON(&buf, res, nil); err != nil {
-		t.Fatal(err)
-	}
-	var doc struct {
-		K      int `json:"k"`
-		Points []struct {
-			PFail   float64                    `json:"pfail"`
-			Methods map[string]json.RawMessage `json:"methods"`
-		} `json:"points"`
-	}
-	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
-		t.Fatalf("invalid sweep JSON: %v\n%s", err, buf.String())
-	}
-	if doc.K != 4 || len(doc.Points) != 2 || len(doc.Points[0].Methods) != len(PaperMethods()) {
-		t.Fatalf("sweep JSON shape wrong: %+v", doc)
-	}
-
-	fig, _ := Figure(4)
-	fres, err := RunFigure(fig, Options{Trials: 500, Seed: 3, Ks: []int{4}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	buf.Reset()
-	if err := WriteFigureJSON(&buf, fres, nil); err != nil {
-		t.Fatal(err)
-	}
-	var fdoc map[string]json.RawMessage
-	if err := json.Unmarshal(buf.Bytes(), &fdoc); err != nil {
-		t.Fatalf("invalid figure JSON: %v", err)
-	}
-
-	tres, err := RunTable1(Table1Spec{Fact: "lu", K: 4, PFail: 0.001}, Options{Trials: 500})
-	if err != nil {
-		t.Fatal(err)
-	}
-	buf.Reset()
-	if err := WriteTable1JSON(&buf, tres, nil); err != nil {
-		t.Fatal(err)
-	}
-	if err := json.Unmarshal(buf.Bytes(), &fdoc); err != nil {
-		t.Fatalf("invalid table JSON: %v", err)
-	}
-}
-
-func TestWriteReportJSONCombined(t *testing.T) {
-	fig, _ := Figure(4)
-	fres, err := RunFigure(fig, Options{Trials: 300, Seed: 3, Ks: []int{4}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	tres, err := RunTable1(Table1Spec{Fact: "lu", K: 4, PFail: 0.001}, Options{Trials: 300})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var buf bytes.Buffer
-	if err := WriteReportJSON(&buf, []FigureResult{fres, fres}, &tres, nil); err != nil {
-		t.Fatal(err)
-	}
-	var doc struct {
-		Figures []json.RawMessage `json:"figures"`
-		Table1  json.RawMessage   `json:"table1"`
-	}
-	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
-		t.Fatalf("combined report is not one JSON document: %v", err)
-	}
-	if len(doc.Figures) != 2 || doc.Table1 == nil {
-		t.Fatalf("combined report shape wrong: %d figures", len(doc.Figures))
-	}
-}

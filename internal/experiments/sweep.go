@@ -56,9 +56,6 @@ type SweepResult struct {
 // the schedule depends only on topology. Output is byte-identical for
 // any Options.Workers.
 func RunSweep(spec SweepSpec, opts Options) (SweepResult, error) {
-	if err := opts.normalize(); err != nil {
-		return SweepResult{}, err
-	}
 	g, err := linalg.Generate(spec.Fact, spec.K, linalg.KernelTimes{})
 	if err != nil {
 		return SweepResult{}, err
@@ -67,6 +64,24 @@ func RunSweep(spec SweepSpec, opts Options) (SweepResult, error) {
 	if err != nil {
 		return SweepResult{}, err
 	}
+	return RunSweepFrozen(frozen, spec, opts)
+}
+
+// RunSweepFrozen evaluates the sweep on an explicit, already-frozen graph
+// instead of generating one from spec.Fact/spec.K (which then only label
+// the result). This is the entry point of the makespand service: the
+// registry hands in its cached Frozen — and, via Options.DodinPlan, its
+// cached reduction schedule — so a warm sweep skips graph generation,
+// freezing and plan recording entirely. Results are bit-identical to
+// RunSweep on an identical graph for any Options.Workers.
+func RunSweepFrozen(frozen *dag.Frozen, spec SweepSpec, opts Options) (SweepResult, error) {
+	if err := opts.normalize(); err != nil {
+		return SweepResult{}, err
+	}
+	if !frozen.UpToDate() {
+		return SweepResult{}, fmt.Errorf("experiments: sweep graph mutated after freeze")
+	}
+	g := frozen.Graph()
 	ctxs := make([]*pointCtx, len(spec.PFails))
 	for i, pf := range spec.PFails {
 		model, err := failure.FromPfail(pf, g.MeanWeight())
@@ -85,13 +100,17 @@ func RunSweep(spec SweepSpec, opts Options) (SweepResult, error) {
 		}
 	}
 	if wantsDodin && len(ctxs) > 0 {
-		// Record the reduction schedule once, as untimed sweep setup;
-		// every point — including the first — then replays it, so the
-		// per-point Dodin timings all measure the same (replay) work and
-		// stay comparable across pfail.
-		_, _, plan, err := spgraph.DodinPlan(g, ctxs[0].model, opts.DodinMaxAtoms)
-		if err != nil {
-			return SweepResult{}, fmt.Errorf("sweep %s pfail=%g: %w", MethodDodin, ctxs[0].pfail, err)
+		// Record the reduction schedule once, as untimed sweep setup —
+		// or reuse a caller-provided recording — and replay it at every
+		// point, including the first, so the per-point Dodin timings all
+		// measure the same (replay) work and stay comparable across pfail.
+		plan := opts.DodinPlan
+		if plan == nil {
+			var err error
+			_, _, plan, err = spgraph.DodinPlan(g, ctxs[0].model, opts.DodinMaxAtoms)
+			if err != nil {
+				return SweepResult{}, fmt.Errorf("sweep %s pfail=%g: %w", MethodDodin, ctxs[0].pfail, err)
+			}
 		}
 		for _, ctx := range ctxs {
 			ctx.plan = plan
@@ -141,7 +160,7 @@ func WriteSweep(w io.Writer, r SweepResult, methods []Method) error {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Extension sweep: %s k=%d (%d tasks), relative error vs pfail (MC trials: %d)\n",
-		factLabel(r.Spec.Fact), r.Spec.K, r.Tasks, r.Trials)
+		FactLabel(r.Spec.Fact), r.Spec.K, r.Tasks, r.Trials)
 	fmt.Fprintf(&b, "%-10s %-14s %-10s", "pfail", "MC mean", "MC ±95%")
 	for _, m := range methods {
 		fmt.Fprintf(&b, " %14s", string(m))

@@ -1,0 +1,214 @@
+// Package report renders estimation results for human and machine
+// consumers. It is the single rendering layer shared by cmd/makespan,
+// cmd/experiments and the makespand HTTP service: both CLIs and the
+// service emit their JSON documents through the same writer functions, so
+// a service response is byte-identical to the corresponding CLI output
+// for the same inputs (timing fields excepted — they measure wall clock
+// and are normalized before diffing, see scripts/e2e_smoke.sh).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/montecarlo"
+)
+
+// GraphInfo summarizes the estimated graph.
+type GraphInfo struct {
+	Tasks      int
+	Edges      int
+	MeanWeight float64
+}
+
+// ModelInfo summarizes the failure model of an estimate.
+type ModelInfo struct {
+	Lambda        float64 // error rate λ per second
+	PFailMeanTask float64 // failure probability of an average-weight task
+	MTBF          float64 // mean time between failures, 1/λ
+}
+
+// BracketInfo is the analytic [Jensen, Kleindorfer] bracket under the
+// 2-state model.
+type BracketInfo struct {
+	Lower float64
+	Upper float64
+}
+
+// MethodEstimate is one estimator's result.
+type MethodEstimate struct {
+	Method   string
+	Estimate float64
+	Time     time.Duration
+}
+
+// QuantileValue is one (q, value) pair of the Monte Carlo makespan
+// distribution sketch.
+type QuantileValue struct {
+	Q     float64
+	Value float64
+}
+
+// MonteCarloInfo is the Monte Carlo reference of an estimate. All fields
+// except Time are worker-count invariant for a fixed (Seed, Trials).
+type MonteCarloInfo struct {
+	Mean      float64
+	CI95      float64
+	StdDev    float64
+	StdErr    float64
+	Min       float64
+	Max       float64
+	Trials    int
+	Seed      uint64
+	Time      time.Duration
+	Quantiles []QuantileValue
+}
+
+// MonteCarloInfoFrom maps an engine result into the report form — the
+// one place the field-by-field copy lives, so the CLI and the service
+// cannot drift apart. Time and Quantiles are filled by the caller.
+func MonteCarloInfoFrom(res montecarlo.Result, seed uint64) *MonteCarloInfo {
+	return &MonteCarloInfo{
+		Mean:   res.Mean,
+		CI95:   res.CI95,
+		StdDev: res.StdDev,
+		StdErr: res.StdErr,
+		Min:    res.Min,
+		Max:    res.Max,
+		Trials: res.Trials,
+		Seed:   seed,
+	}
+}
+
+// Estimate is the single-graph estimation report: everything cmd/makespan
+// prints and everything POST /v1/estimate returns.
+type Estimate struct {
+	Graph       GraphInfo
+	Model       ModelInfo
+	FailureFree float64 // failure-free makespan d(G)
+	Bracket     *BracketInfo
+	Methods     []MethodEstimate
+	MonteCarlo  *MonteCarloInfo
+}
+
+// WriteEstimateText renders the report in cmd/makespan's classic text
+// layout: the graph/model/d(G) header, the per-method table and the Monte
+// Carlo reference line with its confidence interval.
+func WriteEstimateText(w io.Writer, e Estimate) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph: %d tasks, %d edges, mean weight %.4g s\n",
+		e.Graph.Tasks, e.Graph.Edges, e.Graph.MeanWeight)
+	fmt.Fprintf(&b, "model: λ = %.6g /s (pfail of mean task = %.3g, MTBF = %.4g s)\n",
+		e.Model.Lambda, e.Model.PFailMeanTask, e.Model.MTBF)
+	fmt.Fprintf(&b, "failure-free makespan d(G) = %.6g s\n", e.FailureFree)
+	if e.Bracket != nil {
+		fmt.Fprintf(&b, "analytic bracket (2-state model): [%.6g, %.6g] s\n",
+			e.Bracket.Lower, e.Bracket.Upper)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-14s %-16s %-12s\n", "method", "estimate (s)", "time")
+	for _, m := range e.Methods {
+		fmt.Fprintf(&b, "%-14s %-16.8g %-12v\n", m.Method, m.Estimate, m.Time.Round(time.Microsecond))
+	}
+	if mc := e.MonteCarlo; mc != nil {
+		fmt.Fprintf(&b, "%-14s %-16.8g %-12v ±%.3g (95%% CI, %d trials)\n",
+			"Monte Carlo", mc.Mean, mc.Time.Round(time.Millisecond), mc.CI95, mc.Trials)
+		for _, q := range mc.Quantiles {
+			fmt.Fprintf(&b, "%-14s %-16.8g (q = %g)\n", "MC quantile", q.Value, q.Q)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+type estGraphJSON struct {
+	Tasks      int     `json:"tasks"`
+	Edges      int     `json:"edges"`
+	MeanWeight float64 `json:"mean_weight"`
+}
+
+type estModelJSON struct {
+	Lambda        float64 `json:"lambda"`
+	PFailMeanTask float64 `json:"pfail_mean_task"`
+	MTBF          float64 `json:"mtbf"`
+}
+
+type estBracketJSON struct {
+	Lower float64 `json:"lower"`
+	Upper float64 `json:"upper"`
+}
+
+type estMethodJSON struct {
+	Method      string  `json:"method"`
+	Estimate    float64 `json:"estimate"`
+	TimeSeconds float64 `json:"time_seconds"`
+}
+
+type estQuantileJSON struct {
+	Q     float64 `json:"q"`
+	Value float64 `json:"value"`
+}
+
+type estMonteCarloJSON struct {
+	Mean        float64           `json:"mean"`
+	CI95        float64           `json:"ci95"`
+	StdDev      float64           `json:"std_dev"`
+	StdErr      float64           `json:"std_err"`
+	Min         float64           `json:"min"`
+	Max         float64           `json:"max"`
+	Trials      int               `json:"trials"`
+	Seed        uint64            `json:"seed"`
+	TimeSeconds float64           `json:"time_seconds"`
+	Quantiles   []estQuantileJSON `json:"quantiles,omitempty"`
+}
+
+type estimateJSON struct {
+	Graph       estGraphJSON       `json:"graph"`
+	Model       estModelJSON       `json:"model"`
+	FailureFree float64            `json:"failure_free_makespan"`
+	Bracket     *estBracketJSON    `json:"bracket,omitempty"`
+	Methods     []estMethodJSON    `json:"methods"`
+	MonteCarlo  *estMonteCarloJSON `json:"monte_carlo,omitempty"`
+}
+
+// WriteEstimateJSON renders the report as indented JSON with a
+// deterministic field order (methods stay in slice order). This is the
+// document of `makespan -format json` and of POST /v1/estimate.
+func WriteEstimateJSON(w io.Writer, e Estimate) error {
+	out := estimateJSON{
+		Graph:       estGraphJSON{Tasks: e.Graph.Tasks, Edges: e.Graph.Edges, MeanWeight: e.Graph.MeanWeight},
+		Model:       estModelJSON{Lambda: e.Model.Lambda, PFailMeanTask: e.Model.PFailMeanTask, MTBF: e.Model.MTBF},
+		FailureFree: e.FailureFree,
+		Methods:     []estMethodJSON{},
+	}
+	if e.Bracket != nil {
+		out.Bracket = &estBracketJSON{Lower: e.Bracket.Lower, Upper: e.Bracket.Upper}
+	}
+	for _, m := range e.Methods {
+		out.Methods = append(out.Methods, estMethodJSON{
+			Method:      m.Method,
+			Estimate:    m.Estimate,
+			TimeSeconds: m.Time.Seconds(),
+		})
+	}
+	if mc := e.MonteCarlo; mc != nil {
+		j := &estMonteCarloJSON{
+			Mean:        mc.Mean,
+			CI95:        mc.CI95,
+			StdDev:      mc.StdDev,
+			StdErr:      mc.StdErr,
+			Min:         mc.Min,
+			Max:         mc.Max,
+			Trials:      mc.Trials,
+			Seed:        mc.Seed,
+			TimeSeconds: mc.Time.Seconds(),
+		}
+		for _, q := range mc.Quantiles {
+			j.Quantiles = append(j.Quantiles, estQuantileJSON{Q: q.Q, Value: q.Value})
+		}
+		out.MonteCarlo = j
+	}
+	return writeJSON(w, out)
+}

@@ -1,15 +1,18 @@
-package experiments
+package report
 
 import (
 	"encoding/json"
 	"io"
+
+	"repro/internal/experiments"
 )
 
 // JSON renderers for figure/table/sweep results: machine-readable
-// companions to the aligned text tables, with one object per data point
-// and one entry per method. Method maps marshal with sorted keys, so the
-// output layout is deterministic (timing fields naturally vary run to
-// run).
+// companions to the aligned text tables in internal/experiments, with one
+// object per data point and one entry per method. Method maps marshal
+// with sorted keys, so the output layout is deterministic (timing fields
+// naturally vary run to run; consumers diffing documents across runs
+// should normalize *_time_seconds first, as scripts/e2e_smoke.sh does).
 
 type methodJSON struct {
 	Estimate    float64 `json:"estimate"`
@@ -64,7 +67,7 @@ type sweepJSON struct {
 	Points        []sweepPointJSON `json:"points"`
 }
 
-func pointToJSON(p Point, methods []Method) pointJSON {
+func pointToJSON(p experiments.Point, methods []experiments.Method) pointJSON {
 	out := pointJSON{
 		K:             p.K,
 		Tasks:         p.Tasks,
@@ -89,11 +92,38 @@ func writeJSON(w io.Writer, v any) error {
 	return enc.Encode(v)
 }
 
-// WriteFigureJSON renders a figure result as indented JSON.
-func WriteFigureJSON(w io.Writer, r FigureResult, methods []Method) error {
-	if len(methods) == 0 {
-		methods = sortedMethods(r.Points)
+// figureMethods resolves the method column order of a figure document:
+// the explicit list when given, otherwise the methods present in the
+// first point, in canonical experiments.AllMethods order.
+func figureMethods(methods []experiments.Method, points []experiments.Point) []experiments.Method {
+	if len(methods) > 0 || len(points) == 0 {
+		return methods
 	}
+	var out []experiments.Method
+	for _, m := range experiments.AllMethods() {
+		if _, ok := points[0].RelErr[m]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func sweepMethods(methods []experiments.Method, points []experiments.SweepPoint) []experiments.Method {
+	if len(methods) > 0 || len(points) == 0 {
+		return methods
+	}
+	var out []experiments.Method
+	for _, m := range experiments.AllMethods() {
+		if _, ok := points[0].RelErr[m]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// WriteFigureJSON renders a figure result as indented JSON.
+func WriteFigureJSON(w io.Writer, r experiments.FigureResult, methods []experiments.Method) error {
+	methods = figureMethods(methods, r.Points)
 	out := figureJSON{
 		Figure:        r.Spec.ID,
 		Factorization: string(r.Spec.Fact),
@@ -107,10 +137,8 @@ func WriteFigureJSON(w io.Writer, r FigureResult, methods []Method) error {
 }
 
 // WriteTable1JSON renders a Table I result as indented JSON.
-func WriteTable1JSON(w io.Writer, r Table1Result, methods []Method) error {
-	if len(methods) == 0 {
-		methods = sortedMethods([]Point{r.Point})
-	}
+func WriteTable1JSON(w io.Writer, r experiments.Table1Result, methods []experiments.Method) error {
+	methods = figureMethods(methods, []experiments.Point{r.Point})
 	return writeJSON(w, table1JSON{
 		Factorization: string(r.Spec.Fact),
 		K:             r.Spec.K,
@@ -121,10 +149,8 @@ func WriteTable1JSON(w io.Writer, r Table1Result, methods []Method) error {
 }
 
 // WriteSweepJSON renders a sweep result as indented JSON.
-func WriteSweepJSON(w io.Writer, r SweepResult, methods []Method) error {
-	if len(methods) == 0 {
-		methods = sortedSweepMethods(r.Points)
-	}
+func WriteSweepJSON(w io.Writer, r experiments.SweepResult, methods []experiments.Method) error {
+	methods = sweepMethods(methods, r.Points)
 	out := sweepJSON{
 		Factorization: string(r.Spec.Fact),
 		K:             r.Spec.K,
@@ -159,14 +185,11 @@ type reportJSON struct {
 // WriteReportJSON renders several figure results and an optional Table I
 // result as one JSON document (the default full run of cmd/experiments;
 // the per-result writers each emit a standalone document).
-func WriteReportJSON(w io.Writer, figures []FigureResult, table *Table1Result, methods []Method) error {
+func WriteReportJSON(w io.Writer, figures []experiments.FigureResult, table *experiments.Table1Result, methods []experiments.Method) error {
 	var out reportJSON
 	out.Figures = []figureJSON{}
 	for _, r := range figures {
-		ms := methods
-		if len(ms) == 0 {
-			ms = sortedMethods(r.Points)
-		}
+		ms := figureMethods(methods, r.Points)
 		fig := figureJSON{
 			Figure:        r.Spec.ID,
 			Factorization: string(r.Spec.Fact),
@@ -179,10 +202,7 @@ func WriteReportJSON(w io.Writer, figures []FigureResult, table *Table1Result, m
 		out.Figures = append(out.Figures, fig)
 	}
 	if table != nil {
-		ms := methods
-		if len(ms) == 0 {
-			ms = sortedMethods([]Point{table.Point})
-		}
+		ms := figureMethods(methods, []experiments.Point{table.Point})
 		out.Table1 = &table1JSON{
 			Factorization: string(table.Spec.Fact),
 			K:             table.Spec.K,

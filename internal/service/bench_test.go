@@ -1,0 +1,87 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The cache-hit benchmarks pin the registry's reason to exist: a warm
+// estimate request skips graph generation, freezing, Monte Carlo
+// threshold-table construction and Dodin plan recording, so its
+// per-request overhead must sit far below a cold request's. The bench
+// canary (scripts/benchcheck) enforces warm ≥ 5× cheaper than cold on
+// the estimate pair.
+//
+// The request keeps the response-relevant compute small (64 trials,
+// First Order) on a graph big enough that construction dominates (LU
+// k=16, pfail 0.02 — above the sampler's table-construction gate), so
+// the measured request time is essentially the construction overhead
+// the cache exists to remove.
+
+const benchEstimateReq = `{"kind":"lu","k":16,"pfail":0.02,"methods":"First Order","trials":64,"seed":7}`
+
+// benchDodinReq exercises the Dodin plan cache: cold records the
+// reduction schedule, warm replays it.
+const benchDodinReq = `{"kind":"lu","k":16,"pfail":0.02,"methods":"Dodin"}`
+
+func doRequest(b *testing.B, h http.Handler, path, body string) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+func BenchmarkServiceEstimateCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := New(Config{Workers: 1}).Handler() // fresh registry: every request cold
+		doRequest(b, h, "/v1/estimate", benchEstimateReq)
+	}
+}
+
+func BenchmarkServiceEstimateWarm(b *testing.B) {
+	h := New(Config{Workers: 1}).Handler()
+	doRequest(b, h, "/v1/estimate", benchEstimateReq) // prime
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doRequest(b, h, "/v1/estimate", benchEstimateReq)
+	}
+}
+
+func BenchmarkServiceDodinCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := New(Config{Workers: 1}).Handler()
+		doRequest(b, h, "/v1/estimate", benchDodinReq)
+	}
+}
+
+func BenchmarkServiceDodinWarm(b *testing.B) {
+	h := New(Config{Workers: 1}).Handler()
+	doRequest(b, h, "/v1/estimate", benchDodinReq)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doRequest(b, h, "/v1/estimate", benchDodinReq)
+	}
+}
+
+// BenchmarkServiceSweepWarm measures a fully warm sweep (frozen graph +
+// recorded plan reused) — the service-side counterpart of
+// BenchmarkSweepLU10.
+func BenchmarkServiceSweepWarm(b *testing.B) {
+	h := New(Config{Workers: 1}).Handler()
+	body := `{"kind":"lu","k":10,"trials":2000,"seed":7}`
+	doRequest(b, h, "/v1/sweep", body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doRequest(b, h, "/v1/sweep", body)
+	}
+}

@@ -1,0 +1,213 @@
+package service
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/linalg"
+)
+
+// This file is the in-tree end-to-end parity suite: it builds the real
+// cmd/makespand, cmd/makespan and cmd/experiments binaries, drives the
+// daemon over HTTP and diffs its responses byte for byte against the CLI
+// output for the same inputs, after zeroing wall-clock fields. The CI
+// smoke job (scripts/e2e_smoke.sh) exercises the same case table with
+// curl; docs/E2E.md documents it.
+
+var (
+	e2eOnce sync.Once
+	e2eDir  string
+	e2eErr  error
+)
+
+// buildBinaries compiles the three binaries once per test process.
+func buildBinaries(t *testing.T) string {
+	t.Helper()
+	e2eOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "makespand-e2e-*")
+		if err != nil {
+			e2eErr = err
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator),
+			"./cmd/makespand", "./cmd/makespan", "./cmd/experiments")
+		cmd.Dir = "../.." // module root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			e2eErr = fmt.Errorf("go build: %v\n%s", err, out)
+			return
+		}
+		e2eDir = dir
+	})
+	if e2eErr != nil {
+		t.Skipf("cannot build binaries: %v", e2eErr)
+	}
+	return e2eDir
+}
+
+// startDaemon launches makespand on a free port and waits for the
+// listening line.
+func startDaemon(t *testing.T, bin string, extraArgs ...string) string {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, extraArgs...)
+	cmd := exec.Command(filepath.Join(bin, "makespand"), args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	lines := bufio.NewScanner(stderr)
+	deadline := time.After(30 * time.Second)
+	addrc := make(chan string, 1)
+	go func() {
+		for lines.Scan() {
+			if m := addrRe.FindStringSubmatch(lines.Text()); m != nil {
+				addrc <- m[1]
+				return
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return "http://" + addr
+	case <-deadline:
+		t.Fatal("makespand did not report a listening address")
+		return ""
+	}
+}
+
+func httpPost(t *testing.T, url, body string) string {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode >= 300 {
+		t.Fatalf("POST %s: %d %s", url, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+func runCLI(t *testing.T, bin, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(bin, name), args...)
+	var out strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = io.Discard
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v", name, args, err)
+	}
+	return out.String()
+}
+
+// The headline acceptance criterion: service responses byte-identical to
+// the CLIs for the same graph/method/seed (timing fields normalized).
+func TestE2EServiceMatchesCLIs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildBinaries(t)
+	base := startDaemon(t, bin)
+
+	t.Run("estimate", func(t *testing.T) {
+		svc := httpPost(t, base+"/v1/estimate",
+			`{"kind":"lu","k":8,"pfail":0.001,"methods":"paper","trials":2000,"seed":7,"bounds":true,"quantiles":[0.5,0.95]}`)
+		cli := runCLI(t, bin, "makespan", "-kind", "lu", "-k", "8", "-pfail", "0.001",
+			"-methods", "paper", "-trials", "2000", "-seed", "7", "-bounds",
+			"-quantiles", "0.5,0.95", "-format", "json")
+		if normalizeTimes(svc) != normalizeTimes(cli) {
+			t.Errorf("estimate differs from CLI:\nservice:\n%s\ncli:\n%s", svc, cli)
+		}
+		// Warm repeat stays identical.
+		warm := httpPost(t, base+"/v1/estimate",
+			`{"kind":"lu","k":8,"pfail":0.001,"methods":"paper","trials":2000,"seed":7,"bounds":true,"quantiles":[0.5,0.95]}`)
+		if normalizeTimes(warm) != normalizeTimes(svc) {
+			t.Error("warm estimate differs from cold")
+		}
+	})
+
+	t.Run("estimate-all-methods-lambda", func(t *testing.T) {
+		svc := httpPost(t, base+"/v1/estimate",
+			`{"kind":"qr","k":6,"lambda":0.002,"methods":"all","trials":1000,"seed":11}`)
+		cli := runCLI(t, bin, "makespan", "-kind", "qr", "-k", "6", "-lambda", "0.002",
+			"-methods", "all", "-trials", "1000", "-seed", "11", "-format", "json")
+		if normalizeTimes(svc) != normalizeTimes(cli) {
+			t.Errorf("lambda estimate differs:\nservice:\n%s\ncli:\n%s", svc, cli)
+		}
+	})
+
+	t.Run("sweep", func(t *testing.T) {
+		svc := httpPost(t, base+"/v1/sweep", `{"trials":2000,"seed":7}`)
+		cli := runCLI(t, bin, "experiments", "-sweep", "-format", "json", "-trials", "2000", "-seed", "7")
+		if normalizeTimes(svc) != normalizeTimes(cli) {
+			t.Errorf("sweep differs from CLI:\nservice:\n%s\ncli:\n%s", svc, cli)
+		}
+	})
+
+	t.Run("sweep-custom-spec", func(t *testing.T) {
+		svc := httpPost(t, base+"/v1/sweep",
+			`{"kind":"cholesky","k":6,"pfails":[0.1,0.01,0.001],"trials":1500,"seed":3,"methods":"all"}`)
+		cli := runCLI(t, bin, "experiments", "-sweep", "-sweep-kind", "cholesky", "-sweep-k", "6",
+			"-sweep-pfails", "0.1,0.01,0.001", "-format", "json", "-trials", "1500", "-seed", "3", "-all-methods")
+		if normalizeTimes(svc) != normalizeTimes(cli) {
+			t.Errorf("custom sweep differs:\nservice:\n%s\ncli:\n%s", svc, cli)
+		}
+	})
+
+	t.Run("submitted-graph-file", func(t *testing.T) {
+		// A DAG submitted as raw JSON must estimate exactly like
+		// `makespan -graph file.json`.
+		g, err := linalg.Generate(linalg.FactCholesky, 5, linalg.KernelTimes{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "g.json")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dag.WriteJSON(f, g); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := httpPost(t, base+"/v1/graphs", fmt.Sprintf(`{"graph":%s}`, raw))
+		idRe := regexp.MustCompile(`"id": "([^"]+)"`)
+		m := idRe.FindStringSubmatch(sub)
+		if m == nil {
+			t.Fatalf("no id in %s", sub)
+		}
+		svc := httpPost(t, base+"/v1/estimate",
+			fmt.Sprintf(`{"graph_id":%q,"pfail":0.01,"methods":"paper","trials":1000,"seed":5}`, m[1]))
+		cli := runCLI(t, bin, "makespan", "-graph", path, "-pfail", "0.01",
+			"-methods", "paper", "-trials", "1000", "-seed", "5", "-format", "json")
+		if normalizeTimes(svc) != normalizeTimes(cli) {
+			t.Errorf("file-graph estimate differs:\nservice:\n%s\ncli:\n%s", svc, cli)
+		}
+	})
+}

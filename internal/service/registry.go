@@ -1,0 +1,436 @@
+// Package service implements makespand, the long-running HTTP estimation
+// daemon: a content-addressed graph registry caches the expensive
+// per-graph artifacts (frozen CSR forms, Dodin reduction plans, Monte
+// Carlo estimator snapshots with their sampler threshold tables, bounds
+// sweeper scratch) across requests behind an LRU with a byte budget, so
+// repeat estimates hit warm state and skip construction entirely.
+// Responses are rendered through internal/report — the same writers the
+// CLIs use — and are byte-identical to the corresponding `makespan
+// -format json` / `experiments -format json` output for the same inputs
+// (timing fields excepted) and deterministic under concurrent load.
+// See DESIGN.md §"The makespand service" for the ownership model.
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+
+	"repro/internal/bounds"
+	"repro/internal/dag"
+	"repro/internal/failure"
+	"repro/internal/montecarlo"
+	"repro/internal/spgraph"
+)
+
+// GraphMeta labels how a registry entry was produced. Generated entries
+// remember their (kind, k) so sweep responses can carry the same
+// factorization label the experiments CLI prints; submitted graphs are
+// labeled "custom".
+type GraphMeta struct {
+	Kind string
+	K    int
+}
+
+// Entry is one cached graph with its per-graph artifacts. The graph, the
+// frozen form and every cached artifact are shared read-only across
+// requests; per-request scratch (Monte Carlo workers, Dodin replay
+// buffers, bounds sweepers) is pooled or private per goroutine, never
+// shared mid-flight.
+type Entry struct {
+	reg *Registry
+
+	// Immutable after construction.
+	ID        string
+	Canonical []byte // canonical dag JSON; its SHA-256 is the ID
+	G         *dag.Graph
+	Frozen    *dag.Frozen
+	D0        float64 // failure-free makespan d(G)
+
+	mu    sync.Mutex
+	meta  GraphMeta // guarded: upgradeable from "custom" to a generator label
+	plans map[int]*planSlot
+	ests  map[estKey]*estSlot
+
+	sweepers sync.Pool // *bounds.Sweeper, per-goroutine scratch
+	paths    sync.Pool // *dag.PathEvaluator, per-goroutine scratch
+
+	baseBytes     int64 // canonical JSON + frozen form + graph estimate
+	artifactBytes int64 // accumulated plan/estimator bytes
+}
+
+// planSlot builds one Dodin plan exactly once per (graph, atom cap);
+// concurrent requesters block on the winner's Do.
+type planSlot struct {
+	once sync.Once
+	plan *spgraph.Plan
+	err  error
+}
+
+// estKey identifies a Monte Carlo estimator snapshot: the compiled
+// per-task probabilities and threshold tables depend on the failure
+// model's rate and the sampling mode, while trials/seed/workers vary per
+// request via WithConfig.
+type estKey struct {
+	lambda float64
+	mode   montecarlo.Mode
+}
+
+type estSlot struct {
+	once sync.Once
+	est  *montecarlo.Estimator
+	err  error
+}
+
+// RegistryStats is a snapshot of cache occupancy and effectiveness,
+// served by /healthz.
+type RegistryStats struct {
+	Graphs    int
+	UsedBytes int64
+	Budget    int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Registry is the content-addressed graph store: canonical-JSON SHA-256
+// keys, most-recently-used entries kept warm, least-recently-used entries
+// evicted — artifacts and all — once the byte budget overflows.
+type Registry struct {
+	mu     sync.Mutex
+	budget int64 // <= 0: unlimited
+	used   int64
+	lru    *list.List // of *Entry; front = most recently used
+	byID   map[string]*list.Element
+	// genIDs short-circuits generator specs: the named workloads are
+	// deterministic, so (kind, k) -> id lets a warm request skip graph
+	// generation and content hashing entirely.
+	genIDs map[GraphMeta]string
+
+	hits, misses, evictions int64
+}
+
+// NewRegistry creates a registry with the given byte budget (<= 0 means
+// unlimited). The budget is enforced against the registry's own size
+// accounting — canonical JSON, frozen arrays and cached artifacts — and
+// the most recently touched entry is always retained even if it alone
+// exceeds the budget (evicting the entry a request is using would just
+// force an immediate rebuild).
+func NewRegistry(budget int64) *Registry {
+	return &Registry{
+		budget: budget,
+		lru:    list.New(),
+		byID:   make(map[string]*list.Element),
+		genIDs: make(map[GraphMeta]string),
+	}
+}
+
+// GraphID returns the content address of a graph: "sha256:" + the hex
+// digest of its canonical JSON. Two submissions of the same DAG — inline
+// JSON or generator spec — collapse onto one entry.
+func GraphID(canonical []byte) string {
+	sum := sha256.Sum256(canonical)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// Add registers g, returning its entry and whether it was newly created.
+// An existing entry is touched to the front of the LRU and returned.
+// Labels only upgrade: resubmitting a generated graph as raw JSON keeps
+// the generator label, while naming a previously raw-submitted graph by
+// its generator spec replaces "custom" with the spec (and indexes it),
+// so sweep responses always carry the most specific factorization known.
+func (r *Registry) Add(g *dag.Graph, meta GraphMeta) (*Entry, bool, error) {
+	canonical, err := json.Marshal(g)
+	if err != nil {
+		return nil, false, err
+	}
+	id := GraphID(canonical)
+	r.mu.Lock()
+	if el, ok := r.byID[id]; ok {
+		r.lru.MoveToFront(el)
+		r.hits++
+		e := el.Value.(*Entry)
+		r.upgradeMetaLocked(e, meta)
+		r.mu.Unlock()
+		return e, false, nil
+	}
+	r.mu.Unlock()
+
+	// Build outside the lock: freezing a large graph should not stall
+	// unrelated lookups. A concurrent identical Add may win the race;
+	// the loser's entry is discarded below.
+	frozen, err := dag.Freeze(g)
+	if err != nil {
+		return nil, false, err
+	}
+	e := &Entry{
+		ID:        id,
+		Canonical: canonical,
+		meta:      meta,
+		G:         g,
+		Frozen:    frozen,
+		D0:        frozen.Makespan(),
+		plans:     make(map[int]*planSlot),
+		ests:      make(map[estKey]*estSlot),
+		baseBytes: int64(len(canonical)) + frozen.SizeBytes() + graphSizeEstimate(g),
+	}
+	e.sweepers.New = func() any { return bounds.NewSweeperFrozen(frozen) }
+	e.paths.New = func() any { return dag.NewPathEvaluatorFrozen(frozen) }
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.byID[id]; ok { // lost the race
+		r.lru.MoveToFront(el)
+		r.hits++
+		won := el.Value.(*Entry)
+		r.upgradeMetaLocked(won, meta)
+		return won, false, nil
+	}
+	e.reg = r
+	r.byID[id] = r.lru.PushFront(e)
+	if meta.Kind != "" && meta.Kind != "custom" {
+		r.genIDs[meta] = id
+	}
+	r.used += e.baseBytes
+	r.misses++
+	r.evictLocked(e)
+	return e, true, nil
+}
+
+// upgradeMetaLocked relabels e when the caller knows a generator spec
+// for content previously submitted as "custom", and indexes it. Called
+// with r.mu held.
+func (r *Registry) upgradeMetaLocked(e *Entry, meta GraphMeta) {
+	if meta.Kind == "" || meta.Kind == "custom" {
+		return
+	}
+	e.mu.Lock()
+	if e.meta.Kind == "" || e.meta.Kind == "custom" {
+		e.meta = meta
+	}
+	e.mu.Unlock()
+	r.genIDs[meta] = e.ID
+}
+
+// Meta returns the entry's current label (generator spec or "custom").
+func (e *Entry) Meta() GraphMeta {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.meta
+}
+
+// LookupGenerated resolves a generator spec without generating: a warm
+// named workload costs one map probe instead of generate + marshal +
+// hash. Falls back to a miss when the entry was evicted.
+func (r *Registry) LookupGenerated(meta GraphMeta) (*Entry, bool) {
+	r.mu.Lock()
+	id, ok := r.genIDs[meta]
+	r.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return r.Get(id)
+}
+
+// Get returns the entry for id, touching it to the front of the LRU.
+func (r *Registry) Get(id string) (*Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.byID[id]
+	if !ok {
+		r.misses++
+		return nil, false
+	}
+	r.lru.MoveToFront(el)
+	r.hits++
+	return el.Value.(*Entry), true
+}
+
+// Stats snapshots cache occupancy and hit counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RegistryStats{
+		Graphs:    r.lru.Len(),
+		UsedBytes: r.used,
+		Budget:    r.budget,
+		Hits:      r.hits,
+		Misses:    r.misses,
+		Evictions: r.evictions,
+	}
+}
+
+// grow records delta bytes of freshly built artifacts on e and evicts
+// colder entries if the budget overflowed. The residency check and both
+// counters update under r.mu (then e.mu), the same order eviction uses:
+// whichever of grow and evict runs second sees the other's effect in
+// full, so r.used never drifts. Entries evicted while building stay
+// usable by requests already holding them (they are ordinary GC-managed
+// values); they simply stop being findable, so later requests rebuild.
+func (r *Registry) grow(e *Entry, delta int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, resident := r.byID[e.ID]
+	e.mu.Lock()
+	e.artifactBytes += delta
+	e.mu.Unlock()
+	if !resident {
+		return // evicted while building; not part of r.used anymore
+	}
+	r.used += delta
+	r.evictLocked(e)
+}
+
+// evictLocked drops LRU-tail entries until the budget holds, never
+// evicting keep (the entry the current request is touching).
+func (r *Registry) evictLocked(keep *Entry) {
+	if r.budget <= 0 {
+		return
+	}
+	for r.used > r.budget && r.lru.Len() > 1 {
+		el := r.lru.Back()
+		victim := el.Value.(*Entry)
+		if victim == keep {
+			return
+		}
+		r.lru.Remove(el)
+		delete(r.byID, victim.ID)
+		victim.mu.Lock()
+		if id, ok := r.genIDs[victim.meta]; ok && id == victim.ID {
+			delete(r.genIDs, victim.meta)
+		}
+		r.used -= victim.baseBytes + victim.artifactBytes
+		victim.mu.Unlock()
+		r.evictions++
+	}
+}
+
+// graphSizeEstimate approximates the retained size of the mutable graph:
+// adjacency slices, weights and names.
+func graphSizeEstimate(g *dag.Graph) int64 {
+	s := int64(g.NumTasks())*64 + int64(g.NumEdges())*16
+	for i := 0; i < g.NumTasks(); i++ {
+		s += int64(len(g.Name(i)))
+	}
+	return s
+}
+
+// normAtoms maps a request's Dodin atom cap onto the plan-cache key:
+// 0 means the spgraph default, negative means unlimited.
+func normAtoms(atoms int) int {
+	if atoms == 0 {
+		return spgraph.DefaultMaxAtoms
+	}
+	if atoms < 0 {
+		return -1
+	}
+	return atoms
+}
+
+// Plan returns the entry's recorded Dodin reduction schedule for the
+// given atom cap, recording it under model on first use. The recording
+// is keyed by the normalized cap only: a plan replays bit-identically
+// under every failure model (see spgraph.Plan), so one recording serves
+// estimates and sweeps at any pfail.
+func (e *Entry) Plan(atoms int, model failure.Model) (*spgraph.Plan, error) {
+	key := normAtoms(atoms)
+	e.mu.Lock()
+	slot := e.plans[key]
+	if slot == nil {
+		slot = &planSlot{}
+		e.plans[key] = slot
+	}
+	e.mu.Unlock()
+	slot.once.Do(func() {
+		_, _, slot.plan, slot.err = spgraph.DodinPlan(e.G, model, atoms)
+		if slot.err == nil {
+			e.addArtifactBytes(slot.plan.SizeBytes())
+		}
+	})
+	return slot.plan, slot.err
+}
+
+// Estimator returns the entry's compiled Monte Carlo estimator for the
+// failure model, building it (threshold tables included) on first use.
+// Callers derive per-request run configs via WithConfig; the snapshot
+// itself is shared read-only and safe for concurrent runs.
+func (e *Entry) Estimator(model failure.Model, mode montecarlo.Mode) (*montecarlo.Estimator, error) {
+	key := estKey{lambda: model.Lambda, mode: mode}
+	e.mu.Lock()
+	slot := e.ests[key]
+	if slot == nil {
+		slot = &estSlot{}
+		e.ests[key] = slot
+	}
+	e.mu.Unlock()
+	slot.once.Do(func() {
+		slot.est, slot.err = montecarlo.NewEstimatorFrozen(e.Frozen, model, montecarlo.Config{
+			Trials: 1, Workers: 1, Mode: mode,
+		})
+		if slot.err == nil {
+			e.addArtifactBytes(slot.est.SizeBytes())
+		}
+	})
+	return slot.est, slot.err
+}
+
+// Sweeper checks a bounds sweeper out of the entry's pool; return it with
+// PutSweeper. Sweepers are per-request scratch over the shared frozen
+// graph: they are cached for reuse (the pool), not counted against the
+// byte budget (the GC may reclaim them under pressure).
+func (e *Entry) Sweeper() *bounds.Sweeper {
+	return e.sweepers.Get().(*bounds.Sweeper)
+}
+
+// PutSweeper returns a sweeper to the pool.
+func (e *Entry) PutSweeper(sw *bounds.Sweeper) {
+	e.sweepers.Put(sw)
+}
+
+// PathEvaluator checks a longest-path evaluator out of the entry's pool
+// (warm First Order estimates); return it with PutPathEvaluator.
+func (e *Entry) PathEvaluator() *dag.PathEvaluator {
+	return e.paths.Get().(*dag.PathEvaluator)
+}
+
+// PutPathEvaluator returns an evaluator to the pool.
+func (e *Entry) PutPathEvaluator(pe *dag.PathEvaluator) {
+	e.paths.Put(pe)
+}
+
+// CacheInfo reports the entry's artifact population for GET /v1/graphs.
+type CacheInfo struct {
+	Bytes      int64
+	DodinPlans int
+	Estimators int
+}
+
+// Cache snapshots the entry's artifact counts and accounted bytes.
+func (e *Entry) Cache() CacheInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return CacheInfo{
+		Bytes:      e.baseBytes + e.artifactBytes,
+		DodinPlans: len(e.plans),
+		Estimators: len(e.ests),
+	}
+}
+
+func (e *Entry) addArtifactBytes(delta int64) {
+	if e.reg != nil {
+		e.reg.grow(e, delta)
+		return
+	}
+	e.mu.Lock()
+	e.artifactBytes += delta
+	e.mu.Unlock()
+}
+
+// SizeBytes reports the entry's total accounted size.
+func (e *Entry) SizeBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.baseBytes + e.artifactBytes
+}

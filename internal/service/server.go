@@ -1,0 +1,552 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/experiments"
+	"repro/internal/failure"
+	"repro/internal/linalg"
+	"repro/internal/montecarlo"
+	"repro/internal/report"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers is the server-wide CPU budget shared by every estimation
+	// request: Monte Carlo engines and the sweep cell scheduler run with
+	// this many workers, and heavy compute sections of concurrent
+	// requests serialize on a gate so the process never runs more than
+	// Workers estimation goroutines at once. 0 selects GOMAXPROCS.
+	// Results are identical for every value (the engines are worker-count
+	// invariant); only latency changes.
+	Workers int
+	// CacheBytes is the graph registry's byte budget (<= 0: unlimited).
+	CacheBytes int64
+}
+
+// Server is the makespand HTTP service. Create with New, mount via
+// Handler.
+type Server struct {
+	reg     *Registry
+	workers int
+	gate    chan struct{} // serializes heavy compute across requests
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New builds a server with a fresh registry.
+func New(cfg Config) *Server {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		reg:     NewRegistry(cfg.CacheBytes),
+		workers: workers,
+		gate:    make(chan struct{}, 1),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/graphs", s.handleSubmitGraph)
+	s.mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
+	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the server's graph registry (tests and stats).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// heavy runs fn while holding the compute gate: requests overlap at the
+// HTTP layer, but estimation work — which already spreads across the
+// worker budget internally — runs one request at a time, keeping the
+// process at ~Workers estimation goroutines under any client load.
+func (s *Server) heavy(fn func() error) error {
+	s.gate <- struct{}{}
+	defer func() { <-s.gate }()
+	return fn()
+}
+
+// httpError carries a status code with a request-level failure.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errBadRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func errNotFound(format string, args ...any) error {
+	return &httpError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		status = he.status
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return errBadRequest("bad request body: %v", err)
+	}
+	return nil
+}
+
+// graphRef selects a graph: a registry id, a generator spec, or an
+// inline DAG in the dag JSON schema. Exactly one of graph_id, kind and
+// graph must be set (k rides along with kind).
+type graphRef struct {
+	GraphID string          `json:"graph_id,omitempty"`
+	Kind    string          `json:"kind,omitempty"`
+	K       int             `json:"k,omitempty"`
+	Graph   json.RawMessage `json:"graph,omitempty"`
+}
+
+// resolve turns a graphRef into a registry entry, registering generated
+// or inline graphs on the fly (warm resubmissions dedup by content hash).
+func (s *Server) resolve(ref graphRef) (*Entry, bool, error) {
+	set := 0
+	if ref.GraphID != "" {
+		set++
+	}
+	if ref.Kind != "" {
+		set++
+	}
+	if len(ref.Graph) > 0 {
+		set++
+	}
+	if set != 1 {
+		return nil, false, errBadRequest("exactly one of graph_id, kind or graph must be given")
+	}
+	switch {
+	case ref.GraphID != "":
+		e, ok := s.reg.Get(ref.GraphID)
+		if !ok {
+			return nil, false, errNotFound("unknown graph %q (expired from the cache or never submitted)", ref.GraphID)
+		}
+		return e, false, nil
+	case ref.Kind != "":
+		k := ref.K
+		if k <= 0 {
+			return nil, false, errBadRequest("generator %q needs k >= 1, got %d", ref.Kind, ref.K)
+		}
+		meta := GraphMeta{Kind: ref.Kind, K: k}
+		if e, ok := s.reg.LookupGenerated(meta); ok {
+			return e, false, nil
+		}
+		g, err := linalg.Generate(linalg.Factorization(ref.Kind), k, linalg.KernelTimes{})
+		if err != nil {
+			return nil, false, errBadRequest("%v", err)
+		}
+		e, created, err := s.reg.Add(g, meta)
+		return e, created, err
+	default:
+		var g dag.Graph
+		if err := json.Unmarshal(ref.Graph, &g); err != nil {
+			return nil, false, errBadRequest("bad graph: %v", err)
+		}
+		e, created, err := s.reg.Add(&g, GraphMeta{Kind: "custom"})
+		if err != nil {
+			// Add fails only on the submitted content (a cyclic DAG is
+			// first caught by Freeze): the client's fault, not ours.
+			return nil, false, errBadRequest("bad graph: %v", err)
+		}
+		return e, created, nil
+	}
+}
+
+// graphSummary is the response body of POST /v1/graphs and the header of
+// GET /v1/graphs/{id}.
+type graphSummary struct {
+	ID                  string     `json:"id"`
+	Created             bool       `json:"created"`
+	Tasks               int        `json:"tasks"`
+	Edges               int        `json:"edges"`
+	MeanWeight          float64    `json:"mean_weight"`
+	FailureFreeMakespan float64    `json:"failure_free_makespan"`
+	Cache               *cacheJSON `json:"cache,omitempty"`
+}
+
+type cacheJSON struct {
+	Bytes      int64 `json:"bytes"`
+	DodinPlans int   `json:"dodin_plans"`
+	Estimators int   `json:"mc_estimators"`
+}
+
+func summarize(e *Entry, created bool, withCache bool) graphSummary {
+	out := graphSummary{
+		ID:                  e.ID,
+		Created:             created,
+		Tasks:               e.G.NumTasks(),
+		Edges:               e.G.NumEdges(),
+		MeanWeight:          e.G.MeanWeight(),
+		FailureFreeMakespan: e.D0,
+	}
+	if withCache {
+		ci := e.Cache()
+		out.Cache = &cacheJSON{Bytes: ci.Bytes, DodinPlans: ci.DodinPlans, Estimators: ci.Estimators}
+	}
+	return out
+}
+
+func (s *Server) handleSubmitGraph(w http.ResponseWriter, r *http.Request) {
+	var ref graphRef
+	if err := decodeJSON(r, &ref); err != nil {
+		writeError(w, err)
+		return
+	}
+	if ref.GraphID != "" {
+		writeError(w, errBadRequest("POST /v1/graphs submits a graph; use GET /v1/graphs/{id} to look one up"))
+		return
+	}
+	e, created, err := s.resolve(ref)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, summarize(e, created, false))
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, errNotFound("unknown graph %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, summarize(e, false, true))
+}
+
+// estimateRequest mirrors cmd/makespan's flags: the same defaults (pfail
+// 0.001, seed 42, Dodin cap 64, methods "all") except -trials, which
+// defaults to 0 (skip Monte Carlo) rather than the CLI's 300,000 — a
+// service should not run a six-figure simulation because a field was
+// omitted.
+type estimateRequest struct {
+	graphRef
+	PFail      float64   `json:"pfail,omitempty"`
+	Lambda     float64   `json:"lambda,omitempty"`
+	Methods    string    `json:"methods,omitempty"`
+	Trials     int       `json:"trials,omitempty"`
+	Seed       *uint64   `json:"seed,omitempty"`
+	DodinAtoms int       `json:"dodin_atoms,omitempty"`
+	Bounds     bool      `json:"bounds,omitempty"`
+	Quantiles  []float64 `json:"quantiles,omitempty"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req estimateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	e, _, err := s.resolve(req.graphRef)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	model, err := buildModel(e.G, req.PFail, req.Lambda)
+	if err != nil {
+		writeError(w, errBadRequest("%v", err))
+		return
+	}
+	var est report.Estimate
+	if err := s.heavy(func() error {
+		var err error
+		est, err = s.buildEstimate(e, model, req)
+		return err
+	}); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = report.WriteEstimateJSON(w, est)
+}
+
+// buildModel mirrors cmd/makespan: an explicit λ wins, otherwise pfail —
+// defaulting to the CLI's 0.001 — is calibrated on the mean task weight.
+func buildModel(g *dag.Graph, pfail, lambda float64) (failure.Model, error) {
+	if lambda > 0 {
+		return failure.New(lambda)
+	}
+	if pfail == 0 {
+		pfail = 0.001
+	}
+	return failure.FromPfail(pfail, g.MeanWeight())
+}
+
+// buildEstimate is the warm counterpart of cmd/makespan's buildEstimate:
+// identical document assembly, with construction skipped wherever the
+// registry already holds the artifact — the frozen graph (always), the
+// Dodin reduction plan (replayed instead of re-reduced), the Monte Carlo
+// estimator snapshot (reconfigured instead of rebuilt) and the bounds
+// sweeper scratch. Every substitution is bit-identical by construction,
+// which the e2e suite verifies against the CLI byte for byte.
+func (s *Server) buildEstimate(e *Entry, model failure.Model, req estimateRequest) (report.Estimate, error) {
+	est := report.Estimate{
+		Graph: report.GraphInfo{Tasks: e.G.NumTasks(), Edges: e.G.NumEdges(), MeanWeight: e.G.MeanWeight()},
+		Model: report.ModelInfo{
+			Lambda:        model.Lambda,
+			PFailMeanTask: model.PFail(e.G.MeanWeight()),
+			MTBF:          model.MTBF(),
+		},
+		FailureFree: e.D0,
+	}
+	if req.Bounds {
+		sw := e.Sweeper()
+		lo, hi, err := sw.Bracket(model, req.DodinAtoms)
+		e.PutSweeper(sw)
+		if err != nil {
+			return est, errBadRequest("bounds: %v", err)
+		}
+		est.Bracket = &report.BracketInfo{Lower: lo, Upper: hi}
+	}
+	methods, err := experiments.ParseMethods(req.Methods)
+	if err != nil {
+		return est, errBadRequest("%v", err)
+	}
+	for _, q := range req.Quantiles {
+		if q <= 0 || q >= 1 {
+			return est, errBadRequest("quantile %g outside (0,1)", q)
+		}
+	}
+	if len(req.Quantiles) > 0 && req.Trials == 0 {
+		return est, errBadRequest("quantiles need Monte Carlo trials (trials > 0)")
+	}
+	for _, m := range methods {
+		var v float64
+		var dt time.Duration
+		switch m {
+		case experiments.MethodDodin:
+			// Warm: replay the cached reduction schedule instead of
+			// re-running the series-parallel reduction.
+			plan, err := e.Plan(req.DodinAtoms, model)
+			if err != nil {
+				return est, errBadRequest("%s: %v", m, err)
+			}
+			t0 := time.Now()
+			res, err := plan.Run(model)
+			if err != nil {
+				return est, errBadRequest("%s: %v", m, err)
+			}
+			v, dt = res.Estimate, time.Since(t0)
+		case experiments.MethodFirstOrder:
+			// Warm: evaluate on a pooled PathEvaluator over the shared
+			// frozen graph instead of re-freezing per call.
+			pe := e.PathEvaluator()
+			t0 := time.Now()
+			res := core.FirstOrderWith(pe, model)
+			v, dt = res.Estimate, time.Since(t0)
+			e.PutPathEvaluator(pe)
+		default:
+			var err error
+			v, dt, err = experiments.Estimate(m, e.G, model, req.DodinAtoms)
+			if err != nil {
+				return est, errBadRequest("%s: %v", m, err)
+			}
+		}
+		est.Methods = append(est.Methods, report.MethodEstimate{Method: string(m), Estimate: v, Time: dt})
+	}
+	if req.Trials == 0 {
+		return est, nil
+	}
+	seed := uint64(42)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	t0 := time.Now()
+	warm, err := e.Estimator(model, montecarlo.FullReexecution)
+	if err != nil {
+		return est, errBadRequest("monte carlo: %v", err)
+	}
+	run, err := warm.WithConfig(montecarlo.Config{Trials: req.Trials, Seed: seed, Workers: s.workers})
+	if err != nil {
+		return est, errBadRequest("monte carlo: %v", err)
+	}
+	var mc *report.MonteCarloInfo
+	if len(req.Quantiles) > 0 {
+		res, sketch, err := run.RunQuantiles()
+		if err != nil {
+			return est, errBadRequest("monte carlo: %v", err)
+		}
+		mc = report.MonteCarloInfoFrom(res, seed)
+		for _, q := range req.Quantiles {
+			mc.Quantiles = append(mc.Quantiles, report.QuantileValue{Q: q, Value: sketch.Quantile(q)})
+		}
+	} else {
+		res, err := run.Run()
+		if err != nil {
+			return est, errBadRequest("monte carlo: %v", err)
+		}
+		mc = report.MonteCarloInfoFrom(res, seed)
+	}
+	mc.Time = time.Since(t0)
+	est.MonteCarlo = mc
+	return est, nil
+}
+
+// sweepRequest mirrors `experiments -sweep`: LU k=10 across five pfail
+// decades by default, methods defaulting to the paper's three, trials 0
+// selecting the paper's 300,000.
+type sweepRequest struct {
+	graphRef
+	PFails     []float64 `json:"pfails,omitempty"`
+	Methods    string    `json:"methods,omitempty"`
+	Trials     int       `json:"trials,omitempty"`
+	Seed       *uint64   `json:"seed,omitempty"`
+	DodinAtoms int       `json:"dodin_atoms,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	def := experiments.DefaultSweep()
+	if req.GraphID == "" && req.Kind == "" && len(req.Graph) == 0 {
+		// Zero-config parity with `experiments -sweep`.
+		req.Kind, req.K = string(def.Fact), def.K
+	}
+	e, _, err := s.resolve(req.graphRef)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	meta := e.Meta()
+	spec := experiments.SweepSpec{
+		Fact:   linalg.Factorization(meta.Kind),
+		K:      meta.K,
+		PFails: req.PFails,
+	}
+	if len(spec.PFails) == 0 {
+		spec.PFails = def.PFails
+	}
+	for _, pf := range spec.PFails {
+		if pf <= 0 || pf >= 1 {
+			writeError(w, errBadRequest("sweep pfail %g outside (0,1)", pf))
+			return
+		}
+	}
+	var methods []experiments.Method
+	if req.Methods != "" && req.Methods != "paper" {
+		methods, err = experiments.ParseMethods(req.Methods)
+		if err != nil {
+			writeError(w, errBadRequest("%v", err))
+			return
+		}
+	}
+	seed := uint64(42)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	opts := experiments.Options{
+		Trials:        req.Trials,
+		Seed:          seed,
+		Methods:       methods,
+		DodinMaxAtoms: req.DodinAtoms,
+		Workers:       s.workers,
+	}
+	var res experiments.SweepResult
+	if err := s.heavy(func() error {
+		wantsDodin := len(methods) == 0 // paper default includes Dodin
+		for _, m := range methods {
+			if m == experiments.MethodDodin {
+				wantsDodin = true
+			}
+		}
+		if wantsDodin {
+			// Warm (or record-and-cache) the reduction schedule so every
+			// sweep on this graph replays one recording.
+			model, err := failure.FromPfail(spec.PFails[0], e.G.MeanWeight())
+			if err != nil {
+				return errBadRequest("%v", err)
+			}
+			plan, err := e.Plan(req.DodinAtoms, model)
+			if err != nil {
+				return errBadRequest("Dodin: %v", err)
+			}
+			opts.DodinPlan = plan
+		}
+		var err error
+		res, err = experiments.RunSweepFrozen(e.Frozen, spec, opts)
+		if err != nil {
+			return errBadRequest("%v", err)
+		}
+		return nil
+	}); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = report.WriteSweepJSON(w, res, opts.Methods)
+}
+
+type healthzResponse struct {
+	Status          string `json:"status"`
+	Graphs          int    `json:"graphs"`
+	CacheUsedBytes  int64  `json:"cache_used_bytes"`
+	CacheBudget     int64  `json:"cache_budget_bytes"`
+	Workers         int    `json:"workers"`
+	CacheHits       int64  `json:"cache_hits"`
+	CacheMisses     int64  `json:"cache_misses"`
+	CacheEvictions  int64  `json:"cache_evictions"`
+	UptimeSeconds   int64  `json:"uptime_seconds"`
+	GoMaxProcs      int    `json:"gomaxprocs"`
+	ServiceRevision string `json:"service"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.reg.Stats()
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:          "ok",
+		Graphs:          st.Graphs,
+		CacheUsedBytes:  st.UsedBytes,
+		CacheBudget:     st.Budget,
+		Workers:         s.workers,
+		CacheHits:       st.Hits,
+		CacheMisses:     st.Misses,
+		CacheEvictions:  st.Evictions,
+		UptimeSeconds:   int64(time.Since(s.started).Seconds()),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		ServiceRevision: "makespand/v1",
+	})
+}

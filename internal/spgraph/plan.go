@@ -125,6 +125,21 @@ func DodinPlan(g *dag.Graph, model failure.Model, maxAtoms int) (Result, DodinSt
 // they are topology-only and hold for every replay.
 func (p *Plan) Stats() DodinStats { return p.stats }
 
+// MaxAtoms returns the distribution support cap the plan was recorded
+// under (0 = unlimited). Replays inherit it; a cache keyed by atom cap
+// must not hand a plan to requests recorded under a different cap.
+func (p *Plan) MaxAtoms() int { return p.maxAtoms }
+
+// SizeBytes reports the approximate retained heap size of the recorded
+// schedule (initial-arc table, weight snapshot and op list), excluding
+// pooled replay scratch. Used by the makespand registry's byte budget.
+func (p *Plan) SizeBytes() int64 {
+	s := int64(len(p.init)) * 4
+	s += int64(len(p.weights)) * 8
+	s += int64(len(p.ops)) * 12 // planOp: uint8 + 2×int32, aligned
+	return s + 96               // struct header + pool
+}
+
 // Run replays the plan under model, returning the same Result a fresh
 // Dodin run on the recorded graph would produce, bit for bit. Safe for
 // concurrent use; scratch buffers are pooled across calls.

@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
-# bench.sh — run the Monte Carlo / frozen-kernel, Dodin and experiment-
-# layer benchmarks and emit BENCH_mc.json + BENCH_dodin.json +
-# BENCH_sweep.json so successive PRs can track the perf trajectory.
+# bench.sh — run the Monte Carlo / frozen-kernel, Dodin, experiment-layer
+# and makespand service benchmarks and emit BENCH_mc.json +
+# BENCH_dodin.json + BENCH_sweep.json + BENCH_service.json so successive
+# PRs can track the perf trajectory (scripts/benchcheck gates regressions
+# against the committed copies in CI).
 #
-# Usage: scripts/bench.sh [mc_output.json] [dodin_output.json] [sweep_output.json]
+# Usage: scripts/bench.sh [mc.json] [dodin.json] [sweep.json] [service.json]
 #   COUNT=5   repetitions per benchmark (go test -count)
 #
 # Each JSON holds one entry per benchmark with every ns/op sample, the
@@ -15,10 +17,12 @@ cd "$(dirname "$0")/.."
 mc_out="${1:-BENCH_mc.json}"
 dodin_out="${2:-BENCH_dodin.json}"
 sweep_out="${3:-BENCH_sweep.json}"
+service_out="${4:-BENCH_service.json}"
 count="${COUNT:-5}"
 mc_benches='BenchmarkFrozenEvalLU20|BenchmarkMCFusedLU20|BenchmarkMCLegacyLU20|BenchmarkTable1MonteCarloLU20|BenchmarkPathEvaluatorLU20|BenchmarkGraphConstructionDense'
 dodin_benches='BenchmarkTable1DodinLU16|BenchmarkTable1DodinLU20|BenchmarkDistributionFusedOps|BenchmarkBoundsBracketLU20|BenchmarkAblationDodinAtoms64'
 sweep_benches='BenchmarkSweepLU10|BenchmarkMCHighPfailLU20|BenchmarkDodinPlanReplayLU16|BenchmarkMCRunQuantilesLU12|BenchmarkMCRunSamplesLU12'
+service_benches='BenchmarkServiceEstimateCold|BenchmarkServiceEstimateWarm|BenchmarkServiceDodinCold|BenchmarkServiceDodinWarm|BenchmarkServiceSweepWarm'
 
 summarize() {
     awk -v trials=20000 '
@@ -54,8 +58,8 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 run_group() {
-    benches="$1"; out="$2"
-    go test -run '^$' -bench "$benches" -benchmem -count="$count" . | tee "$tmp"
+    benches="$1"; out="$2"; pkg="${3:-.}"
+    go test -run '^$' -bench "$benches" -benchmem -count="$count" "$pkg" | tee "$tmp"
     summarize < "$tmp" > "$out"
     echo "wrote $out"
 }
@@ -63,3 +67,4 @@ run_group() {
 run_group "$mc_benches" "$mc_out"
 run_group "$dodin_benches" "$dodin_out"
 run_group "$sweep_benches" "$sweep_out"
+run_group "$service_benches" "$service_out" ./internal/service

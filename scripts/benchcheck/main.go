@@ -1,0 +1,152 @@
+// Command benchcheck is the bench-regression canary: it compares freshly
+// generated BENCH_*.json files (scripts/bench.sh) against the committed
+// baselines and fails when a headline metric regressed beyond the noise
+// tolerance, or when the service cache-hit benchmark no longer shows a
+// warm estimate being at least -min-warm-ratio times cheaper than a cold
+// one.
+//
+// Usage:
+//
+//	go run ./scripts/benchcheck -baseline . -fresh out [-tolerance 0.25]
+//
+// Comparison uses best_ns_op — the minimum across bench.sh's repeated
+// samples — which is the most noise-robust point estimate on shared CI
+// runners; the tolerance (default +25%) absorbs the rest of the runner
+// jitter. Only the headline benchmarks gate; everything else in the
+// files is informational.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+type benchFile struct {
+	Results []entry `json:"results"`
+}
+
+type entry struct {
+	Name     string  `json:"name"`
+	BestNsOp float64 `json:"best_ns_op"`
+}
+
+// headline lists the gating benchmarks per file. A baseline file may
+// predate a benchmark (first PR that adds it); gating starts once the
+// baseline holds it.
+var headline = map[string][]string{
+	"BENCH_mc.json": {
+		"BenchmarkMCFusedLU20",
+		"BenchmarkTable1MonteCarloLU20",
+		"BenchmarkFrozenEvalLU20",
+	},
+	"BENCH_dodin.json": {
+		"BenchmarkTable1DodinLU16",
+		"BenchmarkTable1DodinLU20",
+	},
+	"BENCH_sweep.json": {
+		"BenchmarkSweepLU10",
+		"BenchmarkMCHighPfailLU20",
+		"BenchmarkDodinPlanReplayLU16",
+	},
+	"BENCH_service.json": {
+		"BenchmarkServiceEstimateWarm",
+		"BenchmarkServiceEstimateCold",
+		"BenchmarkServiceSweepWarm",
+	},
+}
+
+func load(path string) (map[string]entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]entry, len(f.Results))
+	for _, e := range f.Results {
+		out[e.Name] = e
+	}
+	return out, nil
+}
+
+func main() {
+	baseDir := flag.String("baseline", ".", "directory holding the committed BENCH_*.json baselines")
+	freshDir := flag.String("fresh", "out", "directory holding freshly generated BENCH_*.json files")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed relative slowdown of best_ns_op before failing")
+	warmRatio := flag.Float64("min-warm-ratio", 5, "required cold/warm ratio of the service estimate pair (0 disables)")
+	flag.Parse()
+
+	failures := 0
+	for file, names := range headline {
+		base, err := load(filepath.Join(*baseDir, file))
+		if err != nil {
+			if os.IsNotExist(err) {
+				fmt.Printf("skip %-20s no committed baseline yet\n", file)
+				continue
+			}
+			fatal(err)
+		}
+		fresh, err := load(filepath.Join(*freshDir, file))
+		if err != nil {
+			fatal(fmt.Errorf("fresh results missing (did scripts/bench.sh run?): %w", err))
+		}
+		for _, name := range names {
+			b, ok := base[name]
+			if !ok {
+				fmt.Printf("skip %-40s not in baseline %s\n", name, file)
+				continue
+			}
+			f, ok := fresh[name]
+			if !ok {
+				fmt.Printf("FAIL %-40s missing from fresh %s\n", name, file)
+				failures++
+				continue
+			}
+			limit := b.BestNsOp * (1 + *tolerance)
+			ratio := f.BestNsOp / b.BestNsOp
+			status := "ok  "
+			if f.BestNsOp > limit {
+				status = "FAIL"
+				failures++
+			}
+			fmt.Printf("%s %-40s base %14.0f ns/op  fresh %14.0f ns/op  (%.2fx, limit %.2fx)\n",
+				status, name, b.BestNsOp, f.BestNsOp, ratio, 1+*tolerance)
+		}
+	}
+
+	if *warmRatio > 0 {
+		fresh, err := load(filepath.Join(*freshDir, "BENCH_service.json"))
+		if err != nil {
+			fatal(fmt.Errorf("BENCH_service.json needed for the warm-ratio gate: %w", err))
+		}
+		cold, okC := fresh["BenchmarkServiceEstimateCold"]
+		warm, okW := fresh["BenchmarkServiceEstimateWarm"]
+		if !okC || !okW {
+			fatal(fmt.Errorf("service estimate pair missing from fresh BENCH_service.json"))
+		}
+		ratio := cold.BestNsOp / warm.BestNsOp
+		status := "ok  "
+		if ratio < *warmRatio {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s %-40s cold/warm = %.1fx (minimum %.1fx)\n",
+			status, "service cache-hit speedup", ratio, *warmRatio)
+	}
+
+	if failures > 0 {
+		fmt.Printf("\nbenchcheck: %d failure(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchcheck: all headline metrics within tolerance")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+#!/usr/bin/env sh
+# e2e_smoke.sh — black-box smoke of the makespand service against the
+# CLIs: build the real binaries, start the daemon, drive submit →
+# estimate → sweep with curl and diff every response against `makespan
+# -format json` / `experiments -format json` output for the same inputs.
+# Timing fields (wall clock) are zeroed on both sides before diffing;
+# everything else must match byte for byte. The case table lives in
+# docs/E2E.md; internal/service/e2e_test.go runs the same checks as a Go
+# test.
+#
+# Usage: scripts/e2e_smoke.sh [port]   (default 17319)
+set -eu
+
+cd "$(dirname "$0")/.."
+port="${1:-17319}"
+base="http://127.0.0.1:$port"
+bin="$(mktemp -d)"
+work="$(mktemp -d)"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$bin" "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build"
+go build -o "$bin/" ./cmd/makespand ./cmd/makespan ./cmd/experiments
+
+echo "== start makespand on $base"
+"$bin/makespand" -addr "127.0.0.1:$port" -workers 2 2>"$work/makespand.log" &
+pid=$!
+
+# normalize: zero wall-clock fields so diffs see only deterministic bytes.
+normalize() {
+    sed -E 's/"(mc_time_seconds|time_seconds|uptime_seconds)": [-+0-9.eE]+/"\1": 0/'
+}
+
+i=0
+until curl -fsS "$base/healthz" >"$work/healthz.json" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "makespand did not come up; log:" >&2
+        cat "$work/makespand.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "== E1 healthz"
+test "$(jq -r .status "$work/healthz.json")" = "ok"
+
+echo "== E2 submit + get graph"
+curl -fsS -X POST "$base/v1/graphs" -d '{"kind":"lu","k":8}' >"$work/submit.json"
+gid="$(jq -r .id "$work/submit.json")"
+case "$gid" in sha256:*) ;; *)
+    echo "bad graph id $gid" >&2
+    exit 1
+    ;;
+esac
+curl -fsS "$base/v1/graphs/$gid" | jq -e '.cache' >/dev/null
+# Resubmission dedups onto the same id.
+test "$(curl -fsS -X POST "$base/v1/graphs" -d '{"kind":"lu","k":8}' | jq -r .id)" = "$gid"
+
+echo "== E3 estimate parity vs makespan CLI"
+req='{"kind":"lu","k":8,"pfail":0.001,"methods":"paper","trials":2000,"seed":7}'
+curl -fsS -X POST "$base/v1/estimate" -d "$req" | normalize >"$work/svc_est.json"
+"$bin/makespan" -kind lu -k 8 -pfail 0.001 -methods paper -trials 2000 -seed 7 -format json |
+    normalize >"$work/cli_est.json"
+diff -u "$work/cli_est.json" "$work/svc_est.json"
+
+echo "== E4 warm estimate identical to cold"
+curl -fsS -X POST "$base/v1/estimate" -d "$req" | normalize >"$work/svc_est2.json"
+diff -u "$work/svc_est.json" "$work/svc_est2.json"
+
+echo "== E5 quantiles + bounds parity"
+req5='{"graph_id":"'"$gid"'","pfail":0.01,"methods":"all","trials":3000,"seed":11,"bounds":true,"quantiles":[0.5,0.95,0.99]}'
+curl -fsS -X POST "$base/v1/estimate" -d "$req5" | normalize >"$work/svc_q.json"
+"$bin/makespan" -kind lu -k 8 -pfail 0.01 -methods all -trials 3000 -seed 11 -bounds \
+    -quantiles 0.5,0.95,0.99 -format json | normalize >"$work/cli_q.json"
+diff -u "$work/cli_q.json" "$work/svc_q.json"
+
+echo "== E6 default sweep parity vs experiments CLI"
+curl -fsS -X POST "$base/v1/sweep" -d '{"trials":2000,"seed":7}' | normalize >"$work/svc_sweep.json"
+"$bin/experiments" -sweep -format json -trials 2000 -seed 7 2>/dev/null | normalize >"$work/cli_sweep.json"
+diff -u "$work/cli_sweep.json" "$work/svc_sweep.json"
+
+echo "== E7 custom sweep parity"
+curl -fsS -X POST "$base/v1/sweep" \
+    -d '{"kind":"qr","k":6,"pfails":[0.1,0.01],"trials":1500,"seed":3,"methods":"all"}' |
+    normalize >"$work/svc_sweep2.json"
+"$bin/experiments" -sweep -sweep-kind qr -sweep-k 6 -sweep-pfails 0.1,0.01 \
+    -format json -trials 1500 -seed 3 -all-methods 2>/dev/null | normalize >"$work/cli_sweep2.json"
+diff -u "$work/cli_sweep2.json" "$work/svc_sweep2.json"
+
+echo "== E8 submitted graph file parity"
+go run ./cmd/daggen -kind cholesky -k 5 -json "$work/g.json"
+printf '{"graph":%s}' "$(cat "$work/g.json")" >"$work/submit_g.json"
+gid2="$(curl -fsS -X POST "$base/v1/graphs" -d @"$work/submit_g.json" | jq -r .id)"
+curl -fsS -X POST "$base/v1/estimate" \
+    -d '{"graph_id":"'"$gid2"'","pfail":0.01,"methods":"paper","trials":1000,"seed":5}' |
+    normalize >"$work/svc_file.json"
+"$bin/makespan" -graph "$work/g.json" -pfail 0.01 -methods paper -trials 1000 -seed 5 -format json |
+    normalize >"$work/cli_file.json"
+diff -u "$work/cli_file.json" "$work/svc_file.json"
+
+echo "== E9 error handling"
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/v1/estimate" -d '{"graph_id":"sha256:gone"}')"
+test "$code" = "404"
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/v1/estimate" -d '{"kind":"lu","k":8,"pfail":2}')"
+test "$code" = "400"
+
+echo "e2e smoke: all cases passed"

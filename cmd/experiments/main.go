@@ -14,6 +14,7 @@
 //	experiments -workers 8       # total CPU budget (cells + MC workers)
 //	experiments -all-methods     # add Sculli and Second Order columns
 //	experiments -sweep -sweep-kind qr -sweep-k 8 -sweep-pfails 0.1,0.01
+//	experiments -sched -sched-procs 2,4,8 -sweep-pfails 0.01,0.001
 //
 // Estimates and relative errors are independent of -workers: the cell
 // scheduler runs data points and estimators concurrently but reduces
@@ -36,6 +37,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/linalg"
 	"repro/internal/report"
+	"repro/internal/schedmc"
 )
 
 func main() {
@@ -52,6 +54,9 @@ func main() {
 		sweepKind = flag.String("sweep-kind", "", "sweep factorization: cholesky, lu or qr (default lu)")
 		sweepK    = flag.Int("sweep-k", 0, "sweep tile count (default 10)")
 		sweepPF   = flag.String("sweep-pfails", "", "comma list of sweep failure probabilities (default five decades)")
+		sched     = flag.Bool("sched", false, "run the processor-bounded schedule sweep instead (policy × procs × pfail)")
+		schedPr   = flag.String("sched-procs", "", "comma list of processor counts for -sched (default 2,4,8,16)")
+		schedPol  = flag.String("sched-policies", "", "schedule policies for -sched: cp, fo or both (default both)")
 		workers   = flag.Int("workers", 0, "total CPU budget for cells and Monte Carlo (0 = GOMAXPROCS)")
 		format    = flag.String("format", "text", "output format: text or json")
 	)
@@ -70,6 +75,18 @@ func main() {
 	}
 	if *format == "text" {
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ", s) }
+	}
+	if *sched {
+		spec, err := schedSpec(*sweepKind, *sweepK, *sweepPF, *schedPr, *schedPol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		if err := runSched(spec, opts, *format); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *sweep {
 		spec, err := sweepSpec(*sweepKind, *sweepK, *sweepPF)
@@ -181,6 +198,31 @@ func runTable1Result(opts experiments.Options, tableK int) (experiments.Table1Re
 	return experiments.RunTable1(spec, opts)
 }
 
+// parsePFails parses the -sweep-pfails comma list, shared by the pfail
+// sweep and the schedule sweep. An all-empty list is an error; nil is
+// returned for an empty flag (keep the spec default).
+func parsePFails(pfails string) ([]float64, error) {
+	if pfails == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, s := range strings.Split(pfails, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		pf, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -sweep-pfails entry %q: %v", s, err)
+		}
+		out = append(out, pf)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-sweep-pfails %q holds no values", pfails)
+	}
+	return out, nil
+}
+
 // sweepSpec resolves the sweep flags against the default LU k=10 sweep.
 func sweepSpec(kind string, k int, pfails string) (experiments.SweepSpec, error) {
 	spec := experiments.DefaultSweep()
@@ -190,24 +232,67 @@ func sweepSpec(kind string, k int, pfails string) (experiments.SweepSpec, error)
 	if k > 0 {
 		spec.K = k
 	}
-	if pfails != "" {
-		spec.PFails = nil
-		for _, s := range strings.Split(pfails, ",") {
+	pfs, err := parsePFails(pfails)
+	if err != nil {
+		return spec, err
+	}
+	if pfs != nil {
+		spec.PFails = pfs
+	}
+	return spec, nil
+}
+
+// schedSpec resolves the schedule-sweep flags against the default LU
+// k=10 sweep; the graph flags (-sweep-kind/-sweep-k/-sweep-pfails) are
+// shared with the pfail sweep.
+func schedSpec(kind string, k int, pfails, procs, policies string) (experiments.SchedSpec, error) {
+	spec := experiments.DefaultSchedSweep()
+	if kind != "" {
+		spec.Fact = linalg.Factorization(kind)
+	}
+	if k > 0 {
+		spec.K = k
+	}
+	pfs, err := parsePFails(pfails)
+	if err != nil {
+		return spec, err
+	}
+	if pfs != nil {
+		spec.PFails = pfs
+	}
+	if procs != "" {
+		spec.Procs = nil
+		for _, s := range strings.Split(procs, ",") {
 			s = strings.TrimSpace(s)
 			if s == "" {
 				continue
 			}
-			pf, err := strconv.ParseFloat(s, 64)
+			p, err := strconv.Atoi(s)
 			if err != nil {
-				return spec, fmt.Errorf("bad -sweep-pfails entry %q: %v", s, err)
+				return spec, fmt.Errorf("bad -sched-procs entry %q: %v", s, err)
 			}
-			spec.PFails = append(spec.PFails, pf)
-		}
-		if len(spec.PFails) == 0 {
-			return spec, fmt.Errorf("-sweep-pfails %q holds no values", pfails)
+			spec.Procs = append(spec.Procs, p)
 		}
 	}
+	if policies != "" {
+		ps, err := schedmc.ParsePolicies(policies)
+		if err != nil {
+			return spec, err
+		}
+		spec.Policies = ps
+	}
 	return spec, nil
+}
+
+func runSched(spec experiments.SchedSpec, opts experiments.Options, format string) error {
+	res, err := experiments.RunSchedSweep(spec, opts)
+	if err != nil {
+		return err
+	}
+	if format == "json" {
+		return report.WriteSchedSweepJSON(os.Stdout, res)
+	}
+	return experiments.WriteSchedSweep(os.Stdout, res)
 }
 
 func runSweep(spec experiments.SweepSpec, opts experiments.Options, format string) error {

@@ -25,7 +25,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"time"
 
 	"repro/internal/bounds"
@@ -105,7 +104,7 @@ func buildEstimate(g *dag.Graph, model failure.Model, o options) (report.Estimat
 	if err != nil {
 		return report.Estimate{}, err
 	}
-	qs, err := parseQuantiles(o.quantiles)
+	qs, err := report.ParseQuantiles(o.quantiles)
 	if err != nil {
 		return report.Estimate{}, err
 	}
@@ -172,21 +171,6 @@ func buildEstimate(g *dag.Graph, model failure.Model, o options) (report.Estimat
 	return est, nil
 }
 
-func parseQuantiles(s string) ([]float64, error) {
-	var out []float64
-	for _, f := range splitComma(s) {
-		q, err := strconv.ParseFloat(f, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad -quantiles entry %q: %v", f, err)
-		}
-		if q <= 0 || q >= 1 {
-			return nil, fmt.Errorf("quantile %g outside (0,1)", q)
-		}
-		out = append(out, q)
-	}
-	return out, nil
-}
-
 func loadGraph(kind string, k int, path string) (*dag.Graph, error) {
 	if path != "" {
 		f, err := os.Open(path)
@@ -204,18 +188,4 @@ func buildModel(g *dag.Graph, pfail, lambda float64) (failure.Model, error) {
 		return failure.New(lambda)
 	}
 	return failure.FromPfail(pfail, g.MeanWeight())
-}
-
-func splitComma(s string) []string {
-	var out []string
-	start := 0
-	for i := 0; i <= len(s); i++ {
-		if i == len(s) || s[i] == ',' {
-			if i > start {
-				out = append(out, s[start:i])
-			}
-			start = i + 1
-		}
-	}
-	return out
 }

@@ -3,30 +3,11 @@ package main
 import (
 	"os"
 	"path/filepath"
-	"reflect"
 	"testing"
 
 	"repro/internal/dag"
+	"repro/internal/report"
 )
-
-func TestSplitComma(t *testing.T) {
-	cases := []struct {
-		in   string
-		want []string
-	}{
-		{"a,b,c", []string{"a", "b", "c"}},
-		{"one", []string{"one"}},
-		{"", nil},
-		{"a,,b", []string{"a", "b"}},
-		{",lead", []string{"lead"}},
-		{"trail,", []string{"trail"}},
-	}
-	for _, c := range cases {
-		if got := splitComma(c.in); !reflect.DeepEqual(got, c.want) {
-			t.Errorf("splitComma(%q) = %v want %v", c.in, got, c.want)
-		}
-	}
-}
 
 func TestLoadGraphGeneratorAndFile(t *testing.T) {
 	g, err := loadGraph("cholesky", 4, "")
@@ -128,14 +109,19 @@ func TestRunEndToEnd(t *testing.T) {
 }
 
 func TestParseQuantiles(t *testing.T) {
-	qs, err := parseQuantiles("0.5,0.95")
+	// The shared parser lives in internal/report; this pins the CLI's
+	// contract through it.
+	qs, err := report.ParseQuantiles("0.5, 0.95")
 	if err != nil || len(qs) != 2 || qs[0] != 0.5 || qs[1] != 0.95 {
 		t.Fatalf("qs = %v err = %v", qs, err)
 	}
-	if qs, err := parseQuantiles(""); err != nil || qs != nil {
+	if qs, err := report.ParseQuantiles(""); err != nil || qs != nil {
 		t.Fatalf("empty: %v %v", qs, err)
 	}
-	if _, err := parseQuantiles("abc"); err == nil {
+	if _, err := report.ParseQuantiles("abc"); err == nil {
 		t.Fatal("garbage accepted")
+	}
+	if _, err := report.ParseQuantiles("1.5"); err == nil {
+		t.Fatal("out-of-range quantile accepted")
 	}
 }

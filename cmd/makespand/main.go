@@ -8,18 +8,20 @@
 //
 //	makespand -addr 127.0.0.1:8080 -workers 4 -cache-bytes 268435456
 //
-// Endpoints (see EXPERIMENTS.md for curl examples and docs/E2E.md for the
-// verified case table):
+// Endpoints (full reference with executable examples in docs/API.md;
+// docs/E2E.md holds the verified parity case table):
 //
 //	POST /v1/graphs       submit a DAG (inline JSON or generator spec)
 //	GET  /v1/graphs/{id}  look up a cached graph and its artifacts
 //	POST /v1/estimate     estimate one graph: methods × pfail × trials
 //	POST /v1/sweep        pfail sweep via the experiment-cell scheduler
+//	POST /v1/schedule     processor-bounded scheduled-makespan estimate
 //	GET  /healthz         liveness + cache statistics
 //
-// Estimate and sweep responses are byte-identical to `makespan -format
-// json` and `experiments -sweep -format json` for the same inputs
-// (timing fields excepted) and deterministic under concurrent load.
+// Estimate, sweep and schedule responses are byte-identical to
+// `makespan -format json`, `experiments -sweep -format json` and
+// `schedsim -format json` for the same inputs (timing fields excepted)
+// and deterministic under concurrent load.
 package main
 
 import (

@@ -1,90 +1,287 @@
-// Command schedsim compares deterministic and failure-aware list
-// scheduling under silent errors — the extension the paper's conclusion
-// proposes. It runs CP list scheduling on a bounded processor count with
-// (a) classic bottom-level priorities and (b) First Order expected
-// bottom-level priorities, simulating task failures and re-executions, and
-// reports the expected makespan of both policies.
+// Command schedsim estimates expected makespans of list schedules on a
+// bounded number of processors under silent errors — the extension the
+// paper's conclusion proposes. It freezes a CP or failure-aware list
+// schedule into its schedule-DAG form (internal/schedmc) and runs the
+// fused Monte Carlo engine over it: the same chunked, bit-reproducible
+// sampling the unbounded-processor estimators use, tens of times faster
+// than the per-trial re-scheduling loop it replaces (which remains
+// available behind -dynamic for A/B comparisons).
 //
 // Usage:
 //
 //	schedsim -kind lu -k 8 -procs 4 -pfail 0.01 -trials 2000
+//	schedsim -kind lu -k 16 -procs 8 -quantiles 0.5,0.99 -format json
+//	schedsim -kind qr -k 6 -procs 4 -replication serial -verify-frac 0.05
+//
+// With -format json the document is emitted through internal/report —
+// the exact writer the makespand service uses, so output is
+// byte-identical to POST /v1/schedule for the same inputs (timing fields
+// aside). All flags are validated up front: nonsensical processor
+// counts, negative trial counts, unknown kinds or policies are
+// configuration errors before any work starts, matching the
+// montecarlo.Config convention.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
+	"time"
 
 	"repro/internal/dag"
 	"repro/internal/failure"
 	"repro/internal/linalg"
+	"repro/internal/montecarlo"
+	"repro/internal/report"
 	"repro/internal/sched"
+	"repro/internal/schedmc"
 )
 
+// options collects the CLI flags; run is kept flag-free so tests drive
+// it directly.
+type options struct {
+	kind        string
+	k           int
+	procs       int
+	pfail       float64
+	lambda      float64
+	trials      int
+	seed        uint64
+	policies    string
+	quantiles   string
+	workers     int
+	format      string
+	gantt       bool
+	dynamic     bool
+	verifyFrac  float64
+	verifyFixed float64
+	replication string
+}
+
 func main() {
-	var (
-		kind   = flag.String("kind", "lu", "cholesky, lu or qr")
-		k      = flag.Int("k", 8, "tile count")
-		procs  = flag.Int("procs", 4, "processor count")
-		pfail  = flag.Float64("pfail", 0.01, "failure probability of an average task")
-		trials = flag.Int("trials", 2000, "simulation trials per policy")
-		seed   = flag.Uint64("seed", 42, "simulation seed")
-		gantt  = flag.Bool("gantt", false, "draw an ASCII Gantt chart of one failure-free schedule")
-	)
+	var o options
+	flag.StringVar(&o.kind, "kind", "lu", "generator: cholesky, lu or qr")
+	flag.IntVar(&o.k, "k", 8, "tile count")
+	flag.IntVar(&o.procs, "procs", 4, "processor count (>= 1)")
+	flag.Float64Var(&o.pfail, "pfail", 0.01, "failure probability of an average task")
+	flag.Float64Var(&o.lambda, "lambda", 0, "error rate λ (overrides -pfail when > 0)")
+	flag.IntVar(&o.trials, "trials", 2000, "simulation trials per policy (0 = engine default 300,000)")
+	flag.Uint64Var(&o.seed, "seed", 42, "simulation seed")
+	flag.StringVar(&o.policies, "policies", "both", "priority policies: cp, fo or both")
+	flag.StringVar(&o.quantiles, "quantiles", "", "comma list of makespan quantiles in (0,1), e.g. 0.5,0.99")
+	flag.IntVar(&o.workers, "workers", 0, "Monte Carlo workers (0 = GOMAXPROCS; results never depend on it)")
+	flag.StringVar(&o.format, "format", "text", "output format: text or json")
+	flag.BoolVar(&o.gantt, "gantt", false, "draw an ASCII Gantt chart of each failure-free schedule")
+	flag.BoolVar(&o.dynamic, "dynamic", false, "use the pre-PR5 per-trial re-scheduling loop (slow; for A/B comparison)")
+	flag.Float64Var(&o.verifyFrac, "verify-frac", 0, "verification cost as a fraction of each task's weight")
+	flag.Float64Var(&o.verifyFixed, "verify-fixed", 0, "fixed verification cost added to each non-zero task")
+	flag.StringVar(&o.replication, "replication", "", "task replication: parallel or serial (default none)")
 	flag.Parse()
-	if err := run(*kind, *k, *procs, *pfail, *trials, *seed, *gantt); err != nil {
+	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "schedsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind string, k, procs int, pfail float64, trials int, seed uint64, gantt bool) error {
-	g, err := linalg.Generate(linalg.Factorization(kind), k, linalg.KernelTimes{})
-	if err != nil {
-		return err
+// validate rejects nonsensical configurations before any graph work,
+// mirroring montecarlo.Config: zero means "default" where a default
+// exists, negatives and unknown enum values are errors.
+func validate(o options) (policies []schedmc.Policy, qs []float64, over schedmc.Overheads, err error) {
+	if o.format != "text" && o.format != "json" {
+		return nil, nil, over, fmt.Errorf("unknown -format %q (text or json)", o.format)
 	}
-	model, err := failure.FromPfail(pfail, g.MeanWeight())
-	if err != nil {
-		return err
-	}
-	d, _ := dag.Makespan(g)
-	fmt.Printf("graph: %s k=%d, %d tasks; %d procs; pfail=%g (λ=%.5g)\n",
-		kind, k, g.NumTasks(), procs, pfail, model.Lambda)
-
-	det, err := sched.Priorities(g)
-	if err != nil {
-		return err
-	}
-	fa, err := sched.FailureAwarePriorities(g, model)
-	if err != nil {
-		return err
-	}
-	base, err := sched.ListSchedule(g, det, procs)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("failure-free: critical path %.6g, %d-proc list schedule %.6g (efficiency %.1f%%)\n\n",
-		d, procs, base.Makespan, 100*g.TotalWeight()/(float64(procs)*base.Makespan))
-	if gantt {
-		if err := sched.WriteGantt(os.Stdout, g, base, 100); err != nil {
-			return err
+	known := false
+	for _, f := range linalg.All() {
+		if string(f) == o.kind {
+			known = true
 		}
-		fmt.Println()
 	}
+	if !known {
+		return nil, nil, over, fmt.Errorf("unknown -kind %q (cholesky, lu or qr)", o.kind)
+	}
+	if o.k < 1 {
+		return nil, nil, over, fmt.Errorf("-k must be >= 1, got %d", o.k)
+	}
+	if o.procs < 1 {
+		return nil, nil, over, fmt.Errorf("-procs must be >= 1, got %d", o.procs)
+	}
+	if o.trials < 0 {
+		return nil, nil, over, fmt.Errorf("negative -trials %d (0 selects the default %d)", o.trials, montecarlo.DefaultTrials)
+	}
+	if o.workers < 0 {
+		return nil, nil, over, fmt.Errorf("negative -workers %d (0 selects GOMAXPROCS)", o.workers)
+	}
+	if o.pfail < 0 || o.pfail >= 1 || math.IsNaN(o.pfail) {
+		return nil, nil, over, fmt.Errorf("-pfail %g outside [0,1)", o.pfail)
+	}
+	if o.lambda < 0 || math.IsNaN(o.lambda) || math.IsInf(o.lambda, 0) {
+		return nil, nil, over, fmt.Errorf("bad -lambda %g (must be a finite rate >= 0)", o.lambda)
+	}
+	policies, err = schedmc.ParsePolicies(o.policies)
+	if err != nil {
+		return nil, nil, over, err
+	}
+	qs, err = report.ParseQuantiles(o.quantiles)
+	if err != nil {
+		return nil, nil, over, err
+	}
+	if len(qs) > 0 && o.dynamic {
+		return nil, nil, over, fmt.Errorf("-quantiles needs the frozen-schedule engine (drop -dynamic)")
+	}
+	if o.gantt && o.format == "json" {
+		return nil, nil, over, fmt.Errorf("-gantt draws on the text output; drop it or use -format text")
+	}
+	over.Verification = failure.Verification{Fraction: o.verifyFrac, Fixed: o.verifyFixed}
+	if err := over.Verification.Validate(); err != nil {
+		return nil, nil, over, err
+	}
+	switch o.replication {
+	case "":
+	case "parallel":
+		over.Replication = &failure.Replication{}
+	case "serial":
+		over.Replication = &failure.Replication{Serial: true}
+	default:
+		return nil, nil, over, fmt.Errorf("unknown -replication %q (parallel or serial)", o.replication)
+	}
+	return policies, qs, over, nil
+}
 
-	fmt.Printf("%-28s %-14s %-12s\n", "policy", "E[makespan]", "±95% CI")
-	for _, p := range []struct {
-		name string
-		prio []float64
-	}{
-		{"CP (bottom level)", det},
-		{"failure-aware (First Order)", fa},
-	} {
-		res, err := sched.ExpectedMakespan(g, p.prio, procs, model, trials, seed)
+func run(o options, out io.Writer) error {
+	policies, qs, over, err := validate(o)
+	if err != nil {
+		return err
+	}
+	g, err := linalg.Generate(linalg.Factorization(o.kind), o.k, linalg.KernelTimes{})
+	if err != nil {
+		return err
+	}
+	model, err := buildModel(g, o.pfail, o.lambda)
+	if err != nil {
+		return err
+	}
+	tg, tm, err := over.Apply(g, model)
+	if err != nil {
+		return err
+	}
+	d, err := dag.Makespan(tg)
+	if err != nil {
+		return err
+	}
+	doc := report.Schedule{
+		Graph: report.GraphInfo{Tasks: tg.NumTasks(), Edges: tg.NumEdges(), MeanWeight: tg.MeanWeight()},
+		Model: report.ModelInfo{
+			Lambda:        tm.Lambda,
+			PFailMeanTask: tm.PFail(tg.MeanWeight()),
+			MTBF:          tm.MTBF(),
+		},
+		Procs:        o.procs,
+		CriticalPath: d,
+	}
+	var gantts []sched.Schedule
+	for _, pol := range policies {
+		p, base, err := runPolicy(tg, pol, tm, qs, o)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-28s %-14.6g %-12.3g\n", p.name, res.Mean, res.CI95)
+		doc.Policies = append(doc.Policies, p)
+		gantts = append(gantts, base)
+	}
+	if o.format == "json" {
+		return report.WriteScheduleJSON(out, doc)
+	}
+	if err := report.WriteScheduleText(out, doc); err != nil {
+		return err
+	}
+	if o.gantt {
+		for i, p := range doc.Policies {
+			fmt.Fprintf(out, "\n%s:\n", p.Label)
+			if err := sched.WriteGantt(out, tg, gantts[i], 100); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
+}
+
+// runPolicy evaluates one policy: freeze the schedule, estimate the
+// expected makespan (frozen engine by default, the dynamic re-scheduling
+// loop behind -dynamic) and assemble the report entry.
+func runPolicy(g *dag.Graph, pol schedmc.Policy, model failure.Model, qs []float64, o options) (report.SchedulePolicy, sched.Schedule, error) {
+	fs, err := schedmc.Freeze(g, pol, o.procs, model)
+	if err != nil {
+		return report.SchedulePolicy{}, sched.Schedule{}, err
+	}
+	p := report.SchedulePolicy{
+		Policy:      string(pol),
+		Label:       pol.Label(),
+		FailureFree: fs.Makespan,
+		Efficiency:  fs.Efficiency(),
+		ChainEdges:  fs.ChainEdges,
+	}
+	if o.dynamic {
+		prio, err := pol.Priorities(g, model)
+		if err != nil {
+			return p, fs.Base, err
+		}
+		trials := o.trials
+		if trials == 0 {
+			trials = montecarlo.DefaultTrials
+		}
+		t0 := time.Now()
+		res, err := sched.ExpectedMakespan(g, prio, o.procs, model, trials, o.seed)
+		if err != nil {
+			return p, fs.Base, err
+		}
+		p.MonteCarlo = &report.MonteCarloInfo{
+			Mean:   res.Mean,
+			CI95:   res.CI95,
+			StdDev: res.StdDev,
+			StdErr: res.StdErr,
+			Min:    res.Min,
+			Max:    res.Max,
+			Trials: res.Trials,
+			Seed:   o.seed,
+			Time:   time.Since(t0),
+		}
+		return p, fs.Base, nil
+	}
+	e, err := schedmc.NewEstimator(fs, model, schedmc.Config{
+		Trials:  o.trials,
+		Seed:    o.seed,
+		Workers: o.workers,
+	})
+	if err != nil {
+		return p, fs.Base, err
+	}
+	t0 := time.Now()
+	var mc *report.MonteCarloInfo
+	if len(qs) > 0 {
+		res, sketch, err := e.RunQuantiles()
+		if err != nil {
+			return p, fs.Base, err
+		}
+		mc = report.MonteCarloInfoFrom(res, o.seed)
+		for _, q := range qs {
+			mc.Quantiles = append(mc.Quantiles, report.QuantileValue{Q: q, Value: sketch.Quantile(q)})
+		}
+	} else {
+		res, err := e.Run()
+		if err != nil {
+			return p, fs.Base, err
+		}
+		mc = report.MonteCarloInfoFrom(res, o.seed)
+	}
+	mc.Time = time.Since(t0)
+	p.MonteCarlo = mc
+	return p, fs.Base, nil
+}
+
+func buildModel(g *dag.Graph, pfail, lambda float64) (failure.Model, error) {
+	if lambda > 0 {
+		return failure.New(lambda)
+	}
+	return failure.FromPfail(pfail, g.MeanWeight())
 }

@@ -1,21 +1,83 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"testing"
+)
+
+func baseOptions() options {
+	return options{
+		kind: "lu", k: 4, procs: 2, pfail: 0.01,
+		trials: 50, seed: 1, policies: "both", format: "text",
+	}
+}
 
 func TestRunEndToEnd(t *testing.T) {
-	if err := run("lu", 4, 2, 0.01, 50, 1, true); err != nil {
+	o := baseOptions()
+	o.gantt = true
+	if err := run(o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRunJSONAndQuantiles(t *testing.T) {
+	o := baseOptions()
+	o.format = "json"
+	o.quantiles = "0.5, 0.99" // spaces are tolerated, like every list flag
+	if err := run(o, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDynamicEngine(t *testing.T) {
+	o := baseOptions()
+	o.dynamic = true
+	if err := run(o, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOverheads(t *testing.T) {
+	o := baseOptions()
+	o.verifyFrac = 0.1
+	o.verifyFixed = 0.01
+	o.replication = "serial"
+	if err := run(o, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every nonsensical flag is a configuration error caught before any
+// graph work (the PR 5 bugfix: -procs 0, negative -trials and unknown
+// -kind used to fall through or be silently clamped).
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("bogus", 4, 2, 0.01, 10, 1, false); err == nil {
-		t.Fatal("bogus kind accepted")
+	cases := []struct {
+		name   string
+		mutate func(*options)
+	}{
+		{"unknown kind", func(o *options) { o.kind = "bogus" }},
+		{"zero k", func(o *options) { o.k = 0 }},
+		{"zero procs", func(o *options) { o.procs = 0 }},
+		{"negative procs", func(o *options) { o.procs = -3 }},
+		{"negative trials", func(o *options) { o.trials = -1 }},
+		{"negative workers", func(o *options) { o.workers = -2 }},
+		{"pfail one", func(o *options) { o.pfail = 1 }},
+		{"pfail oversized", func(o *options) { o.pfail = 1.5 }},
+		{"negative pfail", func(o *options) { o.pfail = -0.1 }},
+		{"unknown policy", func(o *options) { o.policies = "heft" }},
+		{"unknown format", func(o *options) { o.format = "xml" }},
+		{"bad quantile", func(o *options) { o.quantiles = "1.5" }},
+		{"negative lambda", func(o *options) { o.lambda = -0.05 }},
+		{"gantt with json", func(o *options) { o.gantt = true; o.format = "json" }},
+		{"quantiles with dynamic", func(o *options) { o.quantiles = "0.5"; o.dynamic = true }},
+		{"negative verify fraction", func(o *options) { o.verifyFrac = -0.5 }},
+		{"unknown replication", func(o *options) { o.replication = "triple" }},
 	}
-	if err := run("lu", 4, 2, 1.5, 10, 1, false); err == nil {
-		t.Fatal("pfail=1.5 accepted")
-	}
-	if err := run("lu", 4, 0, 0.01, 10, 1, false); err == nil {
-		t.Fatal("0 processors accepted")
+	for _, tc := range cases {
+		o := baseOptions()
+		tc.mutate(&o)
+		if err := run(o, io.Discard); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
 	}
 }

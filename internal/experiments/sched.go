@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/linalg"
+	"repro/internal/schedmc"
+)
+
+// SchedSpec is the processor-bounded extension experiment: fix one graph
+// and sweep (policy × processor count × failure probability), estimating
+// the expected scheduled makespan of each cell with the frozen-schedule
+// Monte Carlo engine. It quantifies the question the paper's conclusion
+// poses — how much does failure-awareness in the priorities buy once
+// processors are bounded, and how does the answer move with parallelism
+// and error rate.
+type SchedSpec struct {
+	Fact     linalg.Factorization
+	K        int
+	Procs    []int
+	PFails   []float64
+	Policies []schedmc.Policy
+}
+
+// DefaultSchedSweep sweeps LU k=10 across four processor counts and two
+// failure probabilities with both priority policies.
+func DefaultSchedSweep() SchedSpec {
+	return SchedSpec{
+		Fact:     linalg.FactLU,
+		K:        10,
+		Procs:    []int{2, 4, 8, 16},
+		PFails:   []float64{0.01, 0.001},
+		Policies: schedmc.AllPolicies(),
+	}
+}
+
+// SchedPoint is one (pfail × procs × policy) cell of a schedule sweep.
+type SchedPoint struct {
+	PFail  float64
+	Procs  int
+	Policy schedmc.Policy
+	// FailureFree is the committed schedule's makespan, Efficiency its
+	// failure-free parallel efficiency.
+	FailureFree float64
+	Efficiency  float64
+	// MCMean/MCCI95 estimate the expected scheduled makespan under
+	// failures; Overhead is MCMean/FailureFree − 1, the price of errors.
+	MCMean   float64
+	MCCI95   float64
+	Overhead float64
+	// FreezeTime and MCTime split the cell's wall clock between schedule
+	// compilation and the Monte Carlo run.
+	FreezeTime time.Duration
+	MCTime     time.Duration
+}
+
+// SchedResult is a fully evaluated schedule sweep. Points are ordered
+// pfail-major, then procs, then policy — byte-identical for any
+// Options.Workers.
+type SchedResult struct {
+	Spec   SchedSpec
+	Tasks  int
+	Trials int
+	Points []SchedPoint
+}
+
+// RunSchedSweep evaluates the sweep. Every cell is independent work on
+// the bounded pool: the graph is generated once and shared read-only;
+// each cell freezes its schedule (policies × procs × the pfail-dependent
+// First Order priorities) and runs the fused Monte Carlo engine over the
+// schedule DAG. Monte Carlo runs are serialized by a token and use the
+// full worker budget, like the figure/table cell scheduler; per-cell
+// seeds derive from Options.Seed and the cell index, so the result is
+// reproducible and independent of Workers.
+func RunSchedSweep(spec SchedSpec, opts Options) (SchedResult, error) {
+	if err := opts.normalize(); err != nil {
+		return SchedResult{}, err
+	}
+	if len(spec.Procs) == 0 || len(spec.PFails) == 0 {
+		return SchedResult{}, fmt.Errorf("experiments: schedule sweep needs procs and pfails")
+	}
+	for _, p := range spec.Procs {
+		if p < 1 {
+			return SchedResult{}, fmt.Errorf("experiments: schedule sweep procs %d must be >= 1", p)
+		}
+	}
+	for _, pf := range spec.PFails {
+		if pf <= 0 || pf >= 1 {
+			return SchedResult{}, fmt.Errorf("experiments: schedule sweep pfail %g outside (0,1)", pf)
+		}
+	}
+	policies := spec.Policies
+	if len(policies) == 0 {
+		policies = schedmc.AllPolicies()
+	}
+	g, err := linalg.Generate(spec.Fact, spec.K, linalg.KernelTimes{})
+	if err != nil {
+		return SchedResult{}, err
+	}
+	models := make([]failure.Model, len(spec.PFails))
+	for i, pf := range spec.PFails {
+		if models[i], err = failure.FromPfail(pf, g.MeanWeight()); err != nil {
+			return SchedResult{}, err
+		}
+	}
+
+	type cellIdx struct{ pf, proc, pol int }
+	var cells []cellIdx
+	for pf := range spec.PFails {
+		for proc := range spec.Procs {
+			for pol := range policies {
+				cells = append(cells, cellIdx{pf, proc, pol})
+			}
+		}
+	}
+	points := make([]SchedPoint, len(cells))
+	errs := make([]error, len(cells))
+	budget := opts.budget()
+	workers := budget
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	mcToken := make(chan struct{}, 1)
+	mcToken <- struct{}{}
+	runCell := func(i int) error {
+		c := cells[i]
+		t0 := time.Now()
+		fs, err := schedmc.Freeze(g, policies[c.pol], spec.Procs[c.proc], models[c.pf])
+		if err != nil {
+			return err
+		}
+		freeze := time.Since(t0)
+		e, err := schedmc.NewEstimator(fs, models[c.pf], schedmc.Config{
+			Trials:  opts.Trials,
+			Seed:    pointSeed(opts.Seed, i),
+			Workers: budget,
+		})
+		if err != nil {
+			return err
+		}
+		// The Monte Carlo run dominates the cell and already scales to the
+		// full budget internally, so MC phases serialize on a token while
+		// other workers freeze their schedules concurrently — the same
+		// budgeting the figure/table cell scheduler uses.
+		<-mcToken
+		defer func() { mcToken <- struct{}{} }()
+		t1 := time.Now()
+		res, err := e.Run()
+		if err != nil {
+			return err
+		}
+		points[i] = SchedPoint{
+			PFail:       spec.PFails[c.pf],
+			Procs:       spec.Procs[c.proc],
+			Policy:      policies[c.pol],
+			FailureFree: fs.Makespan,
+			Efficiency:  fs.Efficiency(),
+			MCMean:      res.Mean,
+			MCCI95:      res.CI95,
+			Overhead:    res.Mean/fs.Makespan - 1,
+			FreezeTime:  freeze,
+			MCTime:      time.Since(t1),
+		}
+		return nil
+	}
+
+	// In-order progress gate, as in the figure/table scheduler.
+	var gateMu sync.Mutex
+	gateNext := 0
+	gateDone := make([]bool, len(cells))
+	cellDone := func(i int) {
+		if opts.Progress == nil {
+			return
+		}
+		gateMu.Lock()
+		defer gateMu.Unlock()
+		gateDone[i] = true
+		for gateNext < len(cells) && gateDone[gateNext] {
+			p := points[gateNext]
+			if errs[gateNext] == nil {
+				opts.Progress(fmt.Sprintf("sched: pfail=%g procs=%d %s done (E[makespan] %.6g)",
+					p.PFail, p.Procs, p.Policy, p.MCMean))
+			}
+			gateNext++
+		}
+	}
+
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(cells) {
+					return
+				}
+				if !failed.Load() {
+					errs[i] = runCell(i)
+					if errs[i] != nil {
+						failed.Store(true)
+					}
+				}
+				cellDone(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			c := cells[i]
+			return SchedResult{}, fmt.Errorf("sched sweep (%s, pfail=%g, procs=%d): %w",
+				policies[c.pol], spec.PFails[c.pf], spec.Procs[c.proc], err)
+		}
+	}
+	return SchedResult{Spec: spec, Tasks: g.NumTasks(), Trials: opts.Trials, Points: points}, nil
+}
+
+// WriteSchedSweep renders a schedule sweep as an aligned text table,
+// one row per cell under a header naming the swept graph and trial
+// count.
+func WriteSchedSweep(w io.Writer, r SchedResult) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scheduled-makespan sweep: %s k=%d (%d tasks), MC trials %d\n",
+		FactLabel(r.Spec.Fact), r.Spec.K, r.Tasks, r.Trials)
+	fmt.Fprintf(&b, "%-10s %-6s %-28s %-13s %-7s %-14s %-10s %-9s\n",
+		"pfail", "procs", "policy", "schedule (s)", "eff%", "E[makespan]", "±95% CI", "overhead")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-10g %-6d %-28s %-13.6g %-7.1f %-14.6g %-10.3g %+8.2f%%\n",
+			p.PFail, p.Procs, p.Policy.Label(), p.FailureFree, 100*p.Efficiency,
+			p.MCMean, p.MCCI95, 100*p.Overhead)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/schedmc"
+)
+
+func schedTestSpec() SchedSpec {
+	return SchedSpec{
+		Fact:     linalg.FactLU,
+		K:        5,
+		Procs:    []int{2, 4},
+		PFails:   []float64{0.01, 0.001},
+		Policies: schedmc.AllPolicies(),
+	}
+}
+
+// Sweep estimates must not depend on the worker budget: cells carry
+// fixed derived seeds and the Monte Carlo engine is worker-invariant.
+func TestSchedSweepWorkerInvariance(t *testing.T) {
+	var ref *SchedResult
+	for _, workers := range []int{1, 3, 8} {
+		res, err := RunSchedSweep(schedTestSpec(), Options{Trials: 2000, Seed: 7, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Timings vary run to run; compare everything else.
+		for i := range res.Points {
+			res.Points[i].FreezeTime = 0
+			res.Points[i].MCTime = 0
+		}
+		if ref == nil {
+			ref = &res
+			continue
+		}
+		for i := range res.Points {
+			if res.Points[i] != ref.Points[i] {
+				t.Fatalf("workers=%d cell %d diverged:\n%+v\n%+v", workers, i, res.Points[i], ref.Points[i])
+			}
+		}
+	}
+	if len(ref.Points) != 2*2*2 {
+		t.Fatalf("want 8 cells, got %d", len(ref.Points))
+	}
+	// Cells are pfail-major, then procs, then policy.
+	p := ref.Points
+	if p[0].PFail != 0.01 || p[0].Procs != 2 || p[0].Policy != schedmc.PolicyCP {
+		t.Fatalf("unexpected first cell %+v", p[0])
+	}
+	if p[1].Policy != schedmc.PolicyFirstOrder || p[2].Procs != 4 || p[4].PFail != 0.001 {
+		t.Fatalf("unexpected cell order: %+v", p[:5])
+	}
+}
+
+func TestSchedSweepValidation(t *testing.T) {
+	spec := schedTestSpec()
+	spec.Procs = []int{0}
+	if _, err := RunSchedSweep(spec, Options{Trials: 10}); err == nil {
+		t.Error("procs=0 accepted")
+	}
+	spec = schedTestSpec()
+	spec.PFails = []float64{1.5}
+	if _, err := RunSchedSweep(spec, Options{Trials: 10}); err == nil {
+		t.Error("pfail=1.5 accepted")
+	}
+	spec = schedTestSpec()
+	spec.Procs = nil
+	if _, err := RunSchedSweep(spec, Options{Trials: 10}); err == nil {
+		t.Error("empty procs accepted")
+	}
+	if _, err := RunSchedSweep(schedTestSpec(), Options{Trials: 10, Workers: -1}); err == nil {
+		t.Error("negative workers accepted")
+	}
+}
+
+// Progress lines arrive in cell order regardless of concurrency, and the
+// text table renders one row per cell.
+func TestSchedSweepProgressAndTable(t *testing.T) {
+	var lines []string
+	opts := Options{Trials: 500, Seed: 3, Workers: 4, Progress: func(s string) { lines = append(lines, s) }}
+	res, err := RunSchedSweep(schedTestSpec(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(res.Points) {
+		t.Fatalf("%d progress lines for %d cells", len(lines), len(res.Points))
+	}
+	for i, p := range res.Points {
+		want := fmt.Sprintf("procs=%d %s done", p.Procs, p.Policy)
+		if !strings.Contains(lines[i], want) {
+			t.Fatalf("progress line %d %q does not contain %q", i, lines[i], want)
+		}
+	}
+	var b strings.Builder
+	if err := WriteSchedSweep(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "\n"); got != len(res.Points)+2 {
+		t.Fatalf("table has %d lines, want %d", got, len(res.Points)+2)
+	}
+	// Failure overhead is positive and the larger pfail dominates.
+	for _, p := range res.Points {
+		if p.Overhead <= 0 {
+			t.Fatalf("cell %+v: non-positive failure overhead", p)
+		}
+	}
+}

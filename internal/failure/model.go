@@ -14,6 +14,7 @@ import (
 // attempt with probability 1 − e^{−λa}; errors are detected by a
 // verification at task end and trigger a full re-execution.
 type Model struct {
+	// Lambda is the error rate λ per second of computed work.
 	Lambda float64
 }
 

@@ -138,8 +138,10 @@ func NewEstimator(g *dag.Graph, model failure.Model, cfg Config) (*Estimator, er
 // NewEstimatorFrozen prepares an estimator on an already-frozen graph,
 // sharing the compiled CSR form with other consumers instead of
 // re-freezing (the experiments cell scheduler holds one Frozen per sweep
-// and builds one estimator per pfail point from it). The frozen snapshot
-// must be up to date with its source graph.
+// and builds one estimator per pfail point from it; schedmc hands in a
+// frozen schedule DAG, whose longest path is a scheduled makespan — the
+// engine needs no notion of processors to evaluate it). The frozen
+// snapshot must be up to date with its source graph.
 func NewEstimatorFrozen(f *dag.Frozen, model failure.Model, cfg Config) (*Estimator, error) {
 	rates := make([]float64, f.NumTasks())
 	for i := range rates {
@@ -374,6 +376,12 @@ func (e *Estimator) runChunks(observe func(c int64, t int, x float64)) {
 // after NewEstimator; the estimator is a snapshot and will not observe
 // the mutation.
 var ErrStaleGraph = errors.New("montecarlo: graph mutated after NewEstimator; build a new estimator")
+
+// D0 returns the failure-free makespan of the snapshot weights — the
+// value every zero-failure trial evaluates to. Schedule consumers
+// (schedmc.NewEstimator) cross-check it against the committed
+// schedule's makespan at construction.
+func (e *Estimator) D0() float64 { return e.d0 }
 
 // fresh verifies the snapshot still matches the source graph.
 func (e *Estimator) fresh() error {

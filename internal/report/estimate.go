@@ -10,6 +10,7 @@ package report
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"time"
 
@@ -49,6 +50,37 @@ type MethodEstimate struct {
 type QuantileValue struct {
 	Q     float64
 	Value float64
+}
+
+// ParseQuantiles parses a comma-separated list of quantiles in (0,1) —
+// the shared -quantiles flag syntax of cmd/makespan and cmd/schedsim.
+// Entries tolerate surrounding spaces; empty entries are skipped.
+func ParseQuantiles(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		q, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -quantiles entry %q: %v", f, err)
+		}
+		out = append(out, q)
+	}
+	return out, ValidateQuantiles(out)
+}
+
+// ValidateQuantiles rejects quantiles outside (0,1) — the one
+// validation rule the CLIs and the service share (the service receives
+// its list as JSON and skips the string parsing).
+func ValidateQuantiles(qs []float64) error {
+	for _, q := range qs {
+		if q <= 0 || q >= 1 || q != q {
+			return fmt.Errorf("quantile %g outside (0,1)", q)
+		}
+	}
+	return nil
 }
 
 // MonteCarloInfo is the Monte Carlo reference of an estimate. All fields

@@ -175,6 +175,55 @@ func WriteSweepJSON(w io.Writer, r experiments.SweepResult, methods []experiment
 	return writeJSON(w, out)
 }
 
+// schedCellJSON is one (pfail × procs × policy) cell of a schedule sweep.
+type schedCellJSON struct {
+	PFail             float64 `json:"pfail"`
+	Procs             int     `json:"procs"`
+	Policy            string  `json:"policy"`
+	FailureFree       float64 `json:"failure_free_makespan"`
+	Efficiency        float64 `json:"efficiency"`
+	MCMean            float64 `json:"mc_mean"`
+	MCCI95            float64 `json:"mc_ci95"`
+	Overhead          float64 `json:"failure_overhead"`
+	FreezeTimeSeconds float64 `json:"freeze_time_seconds"`
+	MCTimeSeconds     float64 `json:"mc_time_seconds"`
+}
+
+type schedSweepJSON struct {
+	Factorization string          `json:"factorization"`
+	K             int             `json:"k"`
+	Tasks         int             `json:"tasks"`
+	Trials        int             `json:"trials"`
+	Cells         []schedCellJSON `json:"cells"`
+}
+
+// WriteSchedSweepJSON renders a schedule sweep (experiments -sched) as
+// indented JSON, one object per cell in sweep order.
+func WriteSchedSweepJSON(w io.Writer, r experiments.SchedResult) error {
+	out := schedSweepJSON{
+		Factorization: string(r.Spec.Fact),
+		K:             r.Spec.K,
+		Tasks:         r.Tasks,
+		Trials:        r.Trials,
+		Cells:         []schedCellJSON{},
+	}
+	for _, p := range r.Points {
+		out.Cells = append(out.Cells, schedCellJSON{
+			PFail:             p.PFail,
+			Procs:             p.Procs,
+			Policy:            string(p.Policy),
+			FailureFree:       p.FailureFree,
+			Efficiency:        p.Efficiency,
+			MCMean:            p.MCMean,
+			MCCI95:            p.MCCI95,
+			Overhead:          p.Overhead,
+			FreezeTimeSeconds: p.FreezeTime.Seconds(),
+			MCTimeSeconds:     p.MCTime.Seconds(),
+		})
+	}
+	return writeJSON(w, out)
+}
+
 // reportJSON is the combined document of a full default run: all figures
 // plus Table I in one parseable object.
 type reportJSON struct {

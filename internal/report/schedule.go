@@ -1,0 +1,137 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SchedulePolicy is one (priority policy × schedule) result of a
+// scheduled-makespan estimate: the committed failure-free schedule and
+// the Monte Carlo estimate of executing it under silent errors.
+type SchedulePolicy struct {
+	// Policy is the machine name ("cp", "fo"); Label the display name.
+	Policy string
+	Label  string
+	// FailureFree is the committed schedule's makespan without failures.
+	FailureFree float64
+	// Efficiency is total work / (procs × FailureFree).
+	Efficiency float64
+	// ChainEdges counts the processor chain edges of the schedule DAG.
+	ChainEdges int
+	// MonteCarlo is the fused-engine estimate of the scheduled makespan.
+	MonteCarlo *MonteCarloInfo
+}
+
+// Schedule is the scheduled-makespan report: everything the rebuilt
+// cmd/schedsim prints and everything POST /v1/schedule returns.
+type Schedule struct {
+	Graph GraphInfo
+	Model ModelInfo
+	// Procs is the processor count every policy was scheduled on.
+	Procs int
+	// CriticalPath is the unbounded-processor failure-free makespan d(G),
+	// the lower bound no schedule can beat.
+	CriticalPath float64
+	// Policies holds one entry per requested policy, in request order.
+	Policies []SchedulePolicy
+}
+
+// WriteScheduleText renders the report in schedsim's text layout: the
+// graph/model header, the failure-free bracket and one table row per
+// policy (plus quantile lines when present).
+func WriteScheduleText(w io.Writer, s Schedule) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph: %d tasks, %d edges, mean weight %.4g s\n",
+		s.Graph.Tasks, s.Graph.Edges, s.Graph.MeanWeight)
+	fmt.Fprintf(&b, "model: λ = %.6g /s (pfail of mean task = %.3g, MTBF = %.4g s)\n",
+		s.Model.Lambda, s.Model.PFailMeanTask, s.Model.MTBF)
+	fmt.Fprintf(&b, "critical path d(G) = %.6g s on unbounded processors; scheduling on %d\n\n",
+		s.CriticalPath, s.Procs)
+	fmt.Fprintf(&b, "%-28s %-14s %-8s %-14s %-12s\n",
+		"policy", "schedule (s)", "eff%", "E[makespan]", "±95% CI")
+	for _, p := range s.Policies {
+		fmt.Fprintf(&b, "%-28s %-14.6g %-8.1f ", p.Label, p.FailureFree, 100*p.Efficiency)
+		if mc := p.MonteCarlo; mc != nil {
+			fmt.Fprintf(&b, "%-14.6g %-12.3g", mc.Mean, mc.CI95)
+		} else {
+			fmt.Fprintf(&b, "%-14s %-12s", "-", "-")
+		}
+		b.WriteByte('\n')
+	}
+	for _, p := range s.Policies {
+		if p.MonteCarlo == nil {
+			continue
+		}
+		for _, q := range p.MonteCarlo.Quantiles {
+			fmt.Fprintf(&b, "%-28s %-14.8g (q = %g)\n", p.Label+" quantile", q.Value, q.Q)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+type schedPolicyJSON struct {
+	Policy      string             `json:"policy"`
+	Label       string             `json:"label"`
+	FailureFree float64            `json:"failure_free_makespan"`
+	Efficiency  float64            `json:"efficiency"`
+	ChainEdges  int                `json:"chain_edges"`
+	MonteCarlo  *estMonteCarloJSON `json:"monte_carlo,omitempty"`
+}
+
+type scheduleJSON struct {
+	Graph        estGraphJSON      `json:"graph"`
+	Model        estModelJSON      `json:"model"`
+	Procs        int               `json:"procs"`
+	CriticalPath float64           `json:"critical_path"`
+	Policies     []schedPolicyJSON `json:"policies"`
+}
+
+// mcToJSON maps a MonteCarloInfo into its JSON form (shared between the
+// estimate and schedule documents so the field layout cannot diverge).
+func mcToJSON(mc *MonteCarloInfo) *estMonteCarloJSON {
+	if mc == nil {
+		return nil
+	}
+	j := &estMonteCarloJSON{
+		Mean:        mc.Mean,
+		CI95:        mc.CI95,
+		StdDev:      mc.StdDev,
+		StdErr:      mc.StdErr,
+		Min:         mc.Min,
+		Max:         mc.Max,
+		Trials:      mc.Trials,
+		Seed:        mc.Seed,
+		TimeSeconds: mc.Time.Seconds(),
+	}
+	for _, q := range mc.Quantiles {
+		j.Quantiles = append(j.Quantiles, estQuantileJSON{Q: q.Q, Value: q.Value})
+	}
+	return j
+}
+
+// WriteScheduleJSON renders the report as indented JSON with a
+// deterministic field order. This is the document of `schedsim -format
+// json` and of POST /v1/schedule; the service and CLI responses are
+// byte-identical for the same inputs (timing fields excepted).
+func WriteScheduleJSON(w io.Writer, s Schedule) error {
+	out := scheduleJSON{
+		Graph:        estGraphJSON{Tasks: s.Graph.Tasks, Edges: s.Graph.Edges, MeanWeight: s.Graph.MeanWeight},
+		Model:        estModelJSON{Lambda: s.Model.Lambda, PFailMeanTask: s.Model.PFailMeanTask, MTBF: s.Model.MTBF},
+		Procs:        s.Procs,
+		CriticalPath: s.CriticalPath,
+		Policies:     []schedPolicyJSON{},
+	}
+	for _, p := range s.Policies {
+		out.Policies = append(out.Policies, schedPolicyJSON{
+			Policy:      p.Policy,
+			Label:       p.Label,
+			FailureFree: p.FailureFree,
+			Efficiency:  p.Efficiency,
+			ChainEdges:  p.ChainEdges,
+			MonteCarlo:  mcToJSON(p.MonteCarlo),
+		})
+	}
+	return writeJSON(w, out)
+}

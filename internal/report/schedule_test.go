@@ -1,0 +1,92 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleSchedule() Schedule {
+	return Schedule{
+		Graph:        GraphInfo{Tasks: 91, Edges: 195, MeanWeight: 0.167},
+		Model:        ModelInfo{Lambda: 0.06, PFailMeanTask: 0.01, MTBF: 16.6},
+		Procs:        4,
+		CriticalPath: 4.165,
+		Policies: []SchedulePolicy{
+			{
+				Policy:      "cp",
+				Label:       "CP (bottom level)",
+				FailureFree: 4.718,
+				Efficiency:  0.805,
+				ChainEdges:  65,
+				MonteCarlo: &MonteCarloInfo{
+					Mean: 4.86, CI95: 0.012, StdDev: 0.19, StdErr: 0.006,
+					Min: 4.718, Max: 6.37, Trials: 1000, Seed: 42,
+					Time:      125 * time.Millisecond,
+					Quantiles: []QuantileValue{{Q: 0.5, Value: 4.80}, {Q: 0.99, Value: 5.59}},
+				},
+			},
+			{Policy: "fo", Label: "failure-aware (First Order)", FailureFree: 4.718, Efficiency: 0.805, ChainEdges: 65},
+		},
+	}
+}
+
+func TestWriteScheduleJSONShape(t *testing.T) {
+	var b strings.Builder
+	if err := WriteScheduleJSON(&b, sampleSchedule()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Procs        int     `json:"procs"`
+		CriticalPath float64 `json:"critical_path"`
+		Policies     []struct {
+			Policy     string          `json:"policy"`
+			MonteCarlo json.RawMessage `json:"monte_carlo"`
+		} `json:"policies"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if doc.Procs != 4 || doc.CriticalPath != 4.165 || len(doc.Policies) != 2 {
+		t.Fatalf("unexpected document: %s", b.String())
+	}
+	if doc.Policies[0].MonteCarlo == nil {
+		t.Error("cp policy lost its monte_carlo block")
+	}
+	// A policy without Monte Carlo omits the block (trials=0 service
+	// responses depend on it).
+	if doc.Policies[1].MonteCarlo != nil {
+		t.Errorf("fo policy without MC must omit monte_carlo, got %s", doc.Policies[1].MonteCarlo)
+	}
+	if !strings.Contains(b.String(), `"quantiles"`) {
+		t.Error("quantiles missing from the JSON document")
+	}
+}
+
+func TestWriteScheduleTextShape(t *testing.T) {
+	var b strings.Builder
+	if err := WriteScheduleText(&b, sampleSchedule()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"critical path d(G) = 4.165", "scheduling on 4",
+		"CP (bottom level)", "failure-aware (First Order)",
+		"E[makespan]", "(q = 0.99)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// The policy without Monte Carlo renders dashes, not zeros.
+	foLine := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "failure-aware") {
+			foLine = line
+		}
+	}
+	if !strings.Contains(foLine, "-") {
+		t.Errorf("MC-less policy row should show dashes: %q", foLine)
+	}
+}

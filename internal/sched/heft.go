@@ -14,8 +14,10 @@ import (
 // processors costs Comm seconds (the classic uniform-communication HEFT
 // simplification).
 type Platform struct {
+	// Speeds holds one positive speed per processor.
 	Speeds []float64
-	Comm   float64
+	// Comm is the uniform cross-processor communication cost in seconds.
+	Comm float64
 }
 
 // Uniform returns a platform of n identical unit-speed processors with
@@ -200,6 +202,24 @@ func HEFT(g *dag.Graph, plat Platform, weights []float64) (Schedule, error) {
 			s.Makespan = bestFinish
 		}
 	}
+	// The insertion policy can start a later-placed task earlier in time,
+	// so the dispatch record is reconstructed from the final start times.
+	// Ties (zero-weight tasks sharing an instant) break by processor and
+	// then by topological position — never by raw ID — so Order always
+	// lists a task after its predecessors, keeping the documented
+	// Schedule.Order contract (chain edges compiled from it can never
+	// oppose a precedence edge).
+	s.Order = append(make([]int, 0, n), order...)
+	sort.Slice(s.Order, func(a, b int) bool {
+		u, v := s.Order[a], s.Order[b]
+		if s.Start[u] != s.Start[v] {
+			return s.Start[u] < s.Start[v]
+		}
+		if s.Proc[u] != s.Proc[v] {
+			return s.Proc[u] < s.Proc[v]
+		}
+		return f.Pos(u) < f.Pos(v)
+	})
 	return s, nil
 }
 

@@ -29,6 +29,12 @@ type Schedule struct {
 	Proc []int
 	// Attempts is the number of executions of each task (1 = no failure).
 	Attempts []int
+	// Order is the dispatch sequence: task IDs in the order they were
+	// started. Filtering Order by Proc yields each processor's exact
+	// execution chain, with no tie ambiguity between tasks sharing a start
+	// time (zero-weight structural tasks) — the record schedmc compiles
+	// into per-processor chain edges.
+	Order []int
 }
 
 // Priorities returns deterministic CP-scheduling priorities: the classic
@@ -123,6 +129,7 @@ func Run(g *dag.Graph, prio []float64, nprocs int, model failure.Model, rng *ran
 		Finish:   make([]float64, n),
 		Proc:     make([]int, n),
 		Attempts: make([]int, n),
+		Order:    make([]int, 0, n),
 	}
 	for i := range s.Proc {
 		s.Proc[i] = -1
@@ -162,6 +169,7 @@ func Run(g *dag.Graph, prio []float64, nprocs int, model failure.Model, rng *ran
 			p := freeProcs[len(freeProcs)-1]
 			freeProcs = freeProcs[:len(freeProcs)-1]
 			task := heap.Pop(ready).(int)
+			s.Order = append(s.Order, task)
 			s.Start[task] = now
 			s.Proc[task] = p
 			fin := now + execTime(task)
@@ -211,24 +219,44 @@ func ListSchedule(g *dag.Graph, prio []float64, nprocs int) (Schedule, error) {
 
 // ExpectedResult aggregates Monte Carlo executions of a schedule policy.
 type ExpectedResult struct {
-	Mean   float64
+	// Mean estimates the expected makespan.
+	Mean float64
+	// StdDev is the sample standard deviation of the makespan.
 	StdDev float64
-	CI95   float64
+	// StdErr is the standard error of Mean.
+	StdErr float64
+	// CI95 is the half-width of the 95% confidence interval around Mean.
+	CI95 float64
+	// Min and Max are the extreme sampled makespans.
+	Min, Max float64
+	// Trials is the number of simulated executions.
 	Trials int
 }
 
 // ExpectedMakespan estimates the expected makespan of list scheduling
-// under failures by Monte Carlo, sampling trials executions.
+// under failures by Monte Carlo, sampling trials executions (a
+// non-positive count selects 1000). Every trial re-runs the dynamic
+// dispatcher, so the cost is a full event-driven simulation per trial;
+// for the committed-schedule semantics at fused-kernel speed use
+// internal/schedmc (schedsim's default engine since PR 5 — this loop
+// remains its -dynamic reference).
 func ExpectedMakespan(g *dag.Graph, prio []float64, nprocs int, model failure.Model, trials int, seed uint64) (ExpectedResult, error) {
 	if trials <= 0 {
 		trials = 1000
 	}
 	var mean, m2 float64
+	lo, hi := math.Inf(1), math.Inf(-1)
 	rng := rand.New(rand.NewPCG(seed, 0x5eed))
 	for t := 0; t < trials; t++ {
 		s, err := Run(g, prio, nprocs, model, rng)
 		if err != nil {
 			return ExpectedResult{}, err
+		}
+		if s.Makespan < lo {
+			lo = s.Makespan
+		}
+		if s.Makespan > hi {
+			hi = s.Makespan
 		}
 		d := s.Makespan - mean
 		mean += d / float64(t+1)
@@ -239,10 +267,14 @@ func ExpectedMakespan(g *dag.Graph, prio []float64, nprocs int, model failure.Mo
 		variance = m2 / float64(trials-1)
 	}
 	sd := math.Sqrt(variance)
+	se := sd / math.Sqrt(float64(trials))
 	return ExpectedResult{
 		Mean:   mean,
 		StdDev: sd,
-		CI95:   1.959963984540054 * sd / math.Sqrt(float64(trials)),
+		StdErr: se,
+		CI95:   1.959963984540054 * se,
+		Min:    lo,
+		Max:    hi,
 		Trials: trials,
 	}, nil
 }

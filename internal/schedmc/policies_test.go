@@ -1,0 +1,132 @@
+package schedmc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/failure"
+)
+
+// Serial replication (two copies back to back on one processor) is by
+// construction equivalent to doubling every task weight under the
+// original error rate — Overheads must reduce to exactly that graph, so
+// the Monte Carlo results are bit-identical.
+func TestSerialReplicationEquivalence(t *testing.T) {
+	g := mustLU(t, 6)
+	model := mustModel(t, g, 0.01)
+	over := Overheads{Replication: &failure.Replication{Serial: true}}
+	cfg := Config{Trials: 8000, Seed: 5}
+
+	repl, _, err := Estimate(g, PolicyCP, 4, model, over, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled := g.Clone()
+	for i := 0; i < doubled.NumTasks(); i++ {
+		if err := doubled.SetWeight(i, 2*doubled.Weight(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	direct, _, err := Estimate(doubled, PolicyCP, 4, model, Overheads{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl != direct {
+		t.Fatalf("serial replication %+v != doubled-weight graph %+v", repl, direct)
+	}
+}
+
+// Parallel replication (copies side by side) is equivalent to the
+// original graph under a doubled error rate, bit for bit.
+func TestParallelReplicationEquivalence(t *testing.T) {
+	g := mustLU(t, 6)
+	model := mustModel(t, g, 0.01)
+	cfg := Config{Trials: 8000, Seed: 5}
+
+	repl, _, err := Estimate(g, PolicyFirstOrder, 4, model, Overheads{Replication: &failure.Replication{}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _, err := Estimate(g, PolicyFirstOrder, 4, failure.Model{Lambda: 2 * model.Lambda}, Overheads{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl != direct {
+		t.Fatalf("parallel replication %+v != doubled-λ model %+v", repl, direct)
+	}
+}
+
+// Verification overhead strictly inflates the schedule: with Fixed = 0
+// the failure-free scheduled makespan scales with the task weights, and
+// the expected makespan under failures rises both through the longer
+// tasks and their higher per-attempt failure probability.
+func TestVerificationOverheadInflates(t *testing.T) {
+	g := mustLU(t, 6)
+	model := mustModel(t, g, 0.01)
+	cfg := Config{Trials: 8000, Seed: 3}
+
+	base, fsBase, err := Estimate(g, PolicyCP, 4, model, Overheads{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := Overheads{Verification: failure.Verification{Fraction: 0.3}}
+	res, fs, err := Estimate(g, PolicyCP, 4, model, over, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Makespan <= fsBase.Makespan {
+		t.Errorf("verified failure-free makespan %v not above baseline %v", fs.Makespan, fsBase.Makespan)
+	}
+	// Scaling every weight by 1.3 scales the schedule ~1.3×; the last-bit
+	// perturbation of the bottom-level sums can flip near-ties in the
+	// ready heap and reshape the schedule slightly (a classic Graham
+	// sensitivity), so the match is approximate, not bit-exact.
+	want := 1.3 * fsBase.Makespan
+	if rel := math.Abs(fs.Makespan-want) / want; rel > 0.02 {
+		t.Errorf("verified makespan %v not within 2%% of scaled baseline %v", fs.Makespan, want)
+	}
+	// The expected inflation is at least close to the pure weight scaling
+	// (and typically beyond it: each attempt also fails more often).
+	if res.Mean <= 1.25*base.Mean {
+		t.Errorf("verified mean %v does not track scaled baseline %v", res.Mean, 1.3*base.Mean)
+	}
+}
+
+// A fixed verification cost must leave zero-weight structural tasks free
+// (failure.Verification.Apply's contract), so sources/sinks stay free.
+func TestVerificationFixedSkipsZeroWeight(t *testing.T) {
+	g := mustLU(t, 4)
+	over := Overheads{Verification: failure.Verification{Fixed: 0.5}}
+	tg, _, err := over.Apply(g, failure.Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		w, tw := g.Weight(i), tg.Weight(i)
+		switch {
+		case w == 0 && tw != 0:
+			t.Fatalf("task %d: zero weight gained verification cost %v", i, tw)
+		case w > 0 && tw != w+0.5:
+			t.Fatalf("task %d: weight %v, verified %v", i, w, tw)
+		}
+	}
+	if tg == g {
+		t.Fatal("Apply with overheads must not return the input graph")
+	}
+}
+
+// Invalid overheads are configuration errors, caught before any
+// scheduling work.
+func TestOverheadsValidation(t *testing.T) {
+	g := mustLU(t, 4)
+	bad := Overheads{Verification: failure.Verification{Fraction: -0.1}}
+	if _, _, err := bad.Apply(g, failure.Model{}); err == nil {
+		t.Error("negative verification fraction accepted")
+	}
+	if _, _, err := (Overheads{}).Apply(g, failure.Model{}); err != nil {
+		t.Errorf("zero overheads rejected: %v", err)
+	}
+	if tg, _, _ := (Overheads{}).Apply(g, failure.Model{}); tg != g {
+		t.Error("zero overheads must return the input graph unchanged")
+	}
+}

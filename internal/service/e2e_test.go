@@ -41,7 +41,7 @@ func buildBinaries(t *testing.T) string {
 			return
 		}
 		cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator),
-			"./cmd/makespand", "./cmd/makespan", "./cmd/experiments")
+			"./cmd/makespand", "./cmd/makespan", "./cmd/experiments", "./cmd/schedsim")
 		cmd.Dir = "../.." // module root
 		if out, err := cmd.CombinedOutput(); err != nil {
 			e2eErr = fmt.Errorf("go build: %v\n%s", err, out)
@@ -173,6 +173,31 @@ func TestE2EServiceMatchesCLIs(t *testing.T) {
 			"-sweep-pfails", "0.1,0.01,0.001", "-format", "json", "-trials", "1500", "-seed", "3", "-all-methods")
 		if normalizeTimes(svc) != normalizeTimes(cli) {
 			t.Errorf("custom sweep differs:\nservice:\n%s\ncli:\n%s", svc, cli)
+		}
+	})
+
+	t.Run("schedule", func(t *testing.T) {
+		req := `{"kind":"lu","k":8,"procs":4,"pfail":0.01,"trials":2000,"seed":7,"quantiles":[0.5,0.99]}`
+		svc := httpPost(t, base+"/v1/schedule", req)
+		cli := runCLI(t, bin, "schedsim", "-kind", "lu", "-k", "8", "-procs", "4", "-pfail", "0.01",
+			"-trials", "2000", "-seed", "7", "-quantiles", "0.5,0.99", "-format", "json")
+		if normalizeTimes(svc) != normalizeTimes(cli) {
+			t.Errorf("schedule differs from CLI:\nservice:\n%s\ncli:\n%s", svc, cli)
+		}
+		// Warm repeat (cached frozen schedule) stays identical.
+		warm := httpPost(t, base+"/v1/schedule", req)
+		if normalizeTimes(warm) != normalizeTimes(svc) {
+			t.Error("warm schedule differs from cold")
+		}
+	})
+
+	t.Run("schedule-single-policy-lambda", func(t *testing.T) {
+		svc := httpPost(t, base+"/v1/schedule",
+			`{"kind":"qr","k":6,"procs":8,"lambda":0.003,"policies":"fo","trials":1000,"seed":11}`)
+		cli := runCLI(t, bin, "schedsim", "-kind", "qr", "-k", "6", "-procs", "8", "-lambda", "0.003",
+			"-policies", "fo", "-trials", "1000", "-seed", "11", "-format", "json")
+		if normalizeTimes(svc) != normalizeTimes(cli) {
+			t.Errorf("schedule (fo, λ) differs from CLI:\nservice:\n%s\ncli:\n%s", svc, cli)
 		}
 	})
 

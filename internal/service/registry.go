@@ -1,14 +1,16 @@
 // Package service implements makespand, the long-running HTTP estimation
 // daemon: a content-addressed graph registry caches the expensive
 // per-graph artifacts (frozen CSR forms, Dodin reduction plans, Monte
-// Carlo estimator snapshots with their sampler threshold tables, bounds
-// sweeper scratch) across requests behind an LRU with a byte budget, so
-// repeat estimates hit warm state and skip construction entirely.
-// Responses are rendered through internal/report — the same writers the
-// CLIs use — and are byte-identical to the corresponding `makespan
-// -format json` / `experiments -format json` output for the same inputs
-// (timing fields excepted) and deterministic under concurrent load.
-// See DESIGN.md §"The makespand service" for the ownership model.
+// Carlo estimator snapshots with their sampler threshold tables, frozen
+// schedules per (policy, procs, λ), bounds sweeper scratch) across
+// requests behind an LRU with a byte budget, so repeat estimates hit
+// warm state and skip construction entirely. Responses are rendered
+// through internal/report — the same writers the CLIs use — and are
+// byte-identical to the corresponding `makespan -format json` /
+// `experiments -format json` / `schedsim -format json` output for the
+// same inputs (timing fields excepted) and deterministic under
+// concurrent load. See DESIGN.md §"The makespand service" for the
+// ownership model and docs/API.md for the HTTP reference.
 package service
 
 import (
@@ -22,6 +24,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/failure"
 	"repro/internal/montecarlo"
+	"repro/internal/schedmc"
 	"repro/internal/spgraph"
 )
 
@@ -49,10 +52,11 @@ type Entry struct {
 	Frozen    *dag.Frozen
 	D0        float64 // failure-free makespan d(G)
 
-	mu    sync.Mutex
-	meta  GraphMeta // guarded: upgradeable from "custom" to a generator label
-	plans map[int]*planSlot
-	ests  map[estKey]*estSlot
+	mu     sync.Mutex
+	meta   GraphMeta // guarded: upgradeable from "custom" to a generator label
+	plans  map[int]*planSlot
+	ests   map[estKey]*estSlot
+	scheds map[schedKey]*schedSlot
 
 	sweepers sync.Pool // *bounds.Sweeper, per-goroutine scratch
 	paths    sync.Pool // *dag.PathEvaluator, per-goroutine scratch
@@ -81,6 +85,22 @@ type estKey struct {
 type estSlot struct {
 	once sync.Once
 	est  *montecarlo.Estimator
+	err  error
+}
+
+// schedKey identifies a frozen-schedule estimator: the committed
+// schedule depends on the policy, the processor count and — through the
+// First Order priorities and the compiled failure probabilities — the
+// error rate. Trials/seed/workers vary per request via WithConfig.
+type schedKey struct {
+	policy schedmc.Policy
+	procs  int
+	lambda float64
+}
+
+type schedSlot struct {
+	once sync.Once
+	est  *schedmc.Estimator
 	err  error
 }
 
@@ -174,6 +194,7 @@ func (r *Registry) Add(g *dag.Graph, meta GraphMeta) (*Entry, bool, error) {
 		D0:        frozen.Makespan(),
 		plans:     make(map[int]*planSlot),
 		ests:      make(map[estKey]*estSlot),
+		scheds:    make(map[schedKey]*schedSlot),
 		baseBytes: int64(len(canonical)) + frozen.SizeBytes() + graphSizeEstimate(g),
 	}
 	e.sweepers.New = func() any { return bounds.NewSweeperFrozen(frozen) }
@@ -376,6 +397,36 @@ func (e *Entry) Estimator(model failure.Model, mode montecarlo.Mode) (*montecarl
 	return slot.est, slot.err
 }
 
+// ScheduleEstimator returns the entry's frozen-schedule Monte Carlo
+// estimator for (policy, procs, model), building it — priorities, list
+// schedule, schedule-DAG freeze, sampler threshold tables — exactly once
+// per key; concurrent requesters block on the winner. A warm request
+// therefore skips schedule freezing entirely and pays only the O(1)
+// WithConfig reconfiguration. The artifact is accounted against the
+// registry byte budget like plans and estimators.
+func (e *Entry) ScheduleEstimator(policy schedmc.Policy, procs int, model failure.Model) (*schedmc.Estimator, error) {
+	key := schedKey{policy: policy, procs: procs, lambda: model.Lambda}
+	e.mu.Lock()
+	slot := e.scheds[key]
+	if slot == nil {
+		slot = &schedSlot{}
+		e.scheds[key] = slot
+	}
+	e.mu.Unlock()
+	slot.once.Do(func() {
+		var fs *schedmc.FrozenSchedule
+		fs, slot.err = schedmc.Freeze(e.G, policy, procs, model)
+		if slot.err != nil {
+			return
+		}
+		slot.est, slot.err = schedmc.NewEstimator(fs, model, schedmc.Config{Trials: 1, Workers: 1})
+		if slot.err == nil {
+			e.addArtifactBytes(slot.est.SizeBytes())
+		}
+	})
+	return slot.est, slot.err
+}
+
 // Sweeper checks a bounds sweeper out of the entry's pool; return it with
 // PutSweeper. Sweepers are per-request scratch over the shared frozen
 // graph: they are cached for reuse (the pool), not counted against the
@@ -405,6 +456,7 @@ type CacheInfo struct {
 	Bytes      int64
 	DodinPlans int
 	Estimators int
+	Schedules  int
 }
 
 // Cache snapshots the entry's artifact counts and accounted bytes.
@@ -415,6 +467,7 @@ func (e *Entry) Cache() CacheInfo {
 		Bytes:      e.baseBytes + e.artifactBytes,
 		DodinPlans: len(e.plans),
 		Estimators: len(e.ests),
+		Schedules:  len(e.scheds),
 	}
 }
 

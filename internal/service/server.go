@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/montecarlo"
 	"repro/internal/report"
+	"repro/internal/schedmc"
 )
 
 // Config tunes a Server.
@@ -58,6 +60,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
 	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
@@ -203,6 +206,7 @@ type cacheJSON struct {
 	Bytes      int64 `json:"bytes"`
 	DodinPlans int   `json:"dodin_plans"`
 	Estimators int   `json:"mc_estimators"`
+	Schedules  int   `json:"schedules"`
 }
 
 func summarize(e *Entry, created bool, withCache bool) graphSummary {
@@ -216,7 +220,7 @@ func summarize(e *Entry, created bool, withCache bool) graphSummary {
 	}
 	if withCache {
 		ci := e.Cache()
-		out.Cache = &cacheJSON{Bytes: ci.Bytes, DodinPlans: ci.DodinPlans, Estimators: ci.Estimators}
+		out.Cache = &cacheJSON{Bytes: ci.Bytes, DodinPlans: ci.DodinPlans, Estimators: ci.Estimators, Schedules: ci.Schedules}
 	}
 	return out
 }
@@ -302,7 +306,12 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 // buildModel mirrors cmd/makespan: an explicit λ wins, otherwise pfail —
 // defaulting to the CLI's 0.001 — is calibrated on the mean task weight.
+// A negative or non-finite λ is rejected instead of silently falling
+// back to the pfail path.
 func buildModel(g *dag.Graph, pfail, lambda float64) (failure.Model, error) {
+	if lambda < 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return failure.Model{}, fmt.Errorf("bad lambda %g (must be a finite rate >= 0)", lambda)
+	}
 	if lambda > 0 {
 		return failure.New(lambda)
 	}
@@ -342,10 +351,8 @@ func (s *Server) buildEstimate(e *Entry, model failure.Model, req estimateReques
 	if err != nil {
 		return est, errBadRequest("%v", err)
 	}
-	for _, q := range req.Quantiles {
-		if q <= 0 || q >= 1 {
-			return est, errBadRequest("quantile %g outside (0,1)", q)
-		}
+	if err := report.ValidateQuantiles(req.Quantiles); err != nil {
+		return est, errBadRequest("%v", err)
 	}
 	if len(req.Quantiles) > 0 && req.Trials == 0 {
 		return est, errBadRequest("quantiles need Monte Carlo trials (trials > 0)")
@@ -420,6 +427,137 @@ func (s *Server) buildEstimate(e *Entry, model failure.Model, req estimateReques
 	mc.Time = time.Since(t0)
 	est.MonteCarlo = mc
 	return est, nil
+}
+
+// scheduleRequest mirrors cmd/schedsim's flags with the service's
+// defaults: policies "both", pfail 0.001, seed 42 — and trials 0 skips
+// Monte Carlo (the estimate-endpoint convention: a service should not
+// run a six-figure simulation because a field was omitted; schedsim's
+// -trials 0 selects the engine default instead).
+type scheduleRequest struct {
+	graphRef
+	Procs     int       `json:"procs"`
+	Policies  string    `json:"policies,omitempty"`
+	PFail     float64   `json:"pfail,omitempty"`
+	Lambda    float64   `json:"lambda,omitempty"`
+	Trials    int       `json:"trials,omitempty"`
+	Seed      *uint64   `json:"seed,omitempty"`
+	Quantiles []float64 `json:"quantiles,omitempty"`
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req scheduleRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Procs < 1 {
+		writeError(w, errBadRequest("procs must be >= 1, got %d", req.Procs))
+		return
+	}
+	if req.Trials < 0 {
+		writeError(w, errBadRequest("negative trials %d", req.Trials))
+		return
+	}
+	policies, err := schedmc.ParsePolicies(req.Policies)
+	if err != nil {
+		writeError(w, errBadRequest("%v", err))
+		return
+	}
+	if err := report.ValidateQuantiles(req.Quantiles); err != nil {
+		writeError(w, errBadRequest("%v", err))
+		return
+	}
+	if len(req.Quantiles) > 0 && req.Trials == 0 {
+		writeError(w, errBadRequest("quantiles need Monte Carlo trials (trials > 0)"))
+		return
+	}
+	e, _, err := s.resolve(req.graphRef)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	model, err := buildModel(e.G, req.PFail, req.Lambda)
+	if err != nil {
+		writeError(w, errBadRequest("%v", err))
+		return
+	}
+	var doc report.Schedule
+	if err := s.heavy(func() error {
+		var err error
+		doc, err = s.buildSchedule(e, model, policies, req)
+		return err
+	}); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = report.WriteScheduleJSON(w, doc)
+}
+
+// buildSchedule is the warm counterpart of schedsim's document assembly:
+// identical field for field, except the frozen schedule and compiled
+// estimator come from the registry when a previous request already built
+// them (ScheduleEstimator), so a warm request pays only the O(1)
+// reconfiguration plus the trials themselves.
+func (s *Server) buildSchedule(e *Entry, model failure.Model, policies []schedmc.Policy, req scheduleRequest) (report.Schedule, error) {
+	doc := report.Schedule{
+		Graph: report.GraphInfo{Tasks: e.G.NumTasks(), Edges: e.G.NumEdges(), MeanWeight: e.G.MeanWeight()},
+		Model: report.ModelInfo{
+			Lambda:        model.Lambda,
+			PFailMeanTask: model.PFail(e.G.MeanWeight()),
+			MTBF:          model.MTBF(),
+		},
+		Procs:        req.Procs,
+		CriticalPath: e.D0,
+	}
+	seed := uint64(42)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	for _, pol := range policies {
+		warm, err := e.ScheduleEstimator(pol, req.Procs, model)
+		if err != nil {
+			return doc, errBadRequest("%s: %v", pol, err)
+		}
+		fs := warm.Schedule()
+		p := report.SchedulePolicy{
+			Policy:      string(pol),
+			Label:       pol.Label(),
+			FailureFree: fs.Makespan,
+			Efficiency:  fs.Efficiency(),
+			ChainEdges:  fs.ChainEdges,
+		}
+		if req.Trials > 0 {
+			run, err := warm.WithConfig(schedmc.Config{Trials: req.Trials, Seed: seed, Workers: s.workers})
+			if err != nil {
+				return doc, errBadRequest("%s: %v", pol, err)
+			}
+			t0 := time.Now()
+			var mc *report.MonteCarloInfo
+			if len(req.Quantiles) > 0 {
+				res, sketch, err := run.RunQuantiles()
+				if err != nil {
+					return doc, errBadRequest("%s: %v", pol, err)
+				}
+				mc = report.MonteCarloInfoFrom(res, seed)
+				for _, q := range req.Quantiles {
+					mc.Quantiles = append(mc.Quantiles, report.QuantileValue{Q: q, Value: sketch.Quantile(q)})
+				}
+			} else {
+				res, err := run.Run()
+				if err != nil {
+					return doc, errBadRequest("%s: %v", pol, err)
+				}
+				mc = report.MonteCarloInfoFrom(res, seed)
+			}
+			mc.Time = time.Since(t0)
+			p.MonteCarlo = mc
+		}
+		doc.Policies = append(doc.Policies, p)
+	}
+	return doc, nil
 }
 
 // sweepRequest mirrors `experiments -sweep`: LU k=10 across five pfail

@@ -1,0 +1,75 @@
+#!/usr/bin/env sh
+# apidoc_check.sh — execute every `sh` code block of docs/API.md against
+# a live makespand and require (a) exit status 0 and (b) valid JSON on
+# stdout, so the documented examples cannot drift from the service. Runs
+# in CI right after scripts/e2e_smoke.sh (the e2e-smoke job).
+#
+# Usage: scripts/apidoc_check.sh [port]   (default 17421)
+set -eu
+
+cd "$(dirname "$0")/.."
+port="${1:-17421}"
+doc="docs/API.md"
+bin="$(mktemp -d)"
+work="$(mktemp -d)"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$bin" "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build"
+go build -o "$bin/" ./cmd/makespand
+
+echo "== start makespand on 127.0.0.1:$port"
+"$bin/makespand" -addr "127.0.0.1:$port" -workers 2 2>"$work/makespand.log" &
+pid=$!
+i=0
+until curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "makespand did not come up; log:" >&2
+        cat "$work/makespand.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Split the doc into one file per ```sh fenced block.
+awk -v dir="$work" '
+/^```sh$/ { inblock = 1; n++; file = dir "/block" sprintf("%03d", n) ".sh"; next }
+/^```$/   { inblock = 0; next }
+inblock   { print > file }
+' "$doc"
+
+count=0
+failures=0
+for block in "$work"/block*.sh; do
+    [ -e "$block" ] || continue
+    count=$((count + 1))
+    name="$(basename "$block")"
+    echo "== $doc $name"
+    sed -n 'p' "$block"
+    if ! BASE="http://127.0.0.1:$port" sh -eu "$block" >"$work/out.json" 2>"$work/err.txt"; then
+        echo "FAIL $name: example exited non-zero" >&2
+        cat "$work/err.txt" >&2
+        failures=$((failures + 1))
+        continue
+    fi
+    if ! jq -e . "$work/out.json" >/dev/null 2>&1; then
+        echo "FAIL $name: example did not print valid JSON:" >&2
+        cat "$work/out.json" >&2
+        failures=$((failures + 1))
+    fi
+done
+
+if [ "$count" -eq 0 ]; then
+    echo "apidoc check: no sh blocks found in $doc (doc restructured?)" >&2
+    exit 1
+fi
+if [ "$failures" -gt 0 ]; then
+    echo "apidoc check: $failures of $count documented examples failed" >&2
+    exit 1
+fi
+echo "apidoc check: all $count documented examples executed against the live service"

@@ -1,9 +1,10 @@
 // Command benchcheck is the bench-regression canary: it compares freshly
 // generated BENCH_*.json files (scripts/bench.sh) against the committed
 // baselines and fails when a headline metric regressed beyond the noise
-// tolerance, or when the service cache-hit benchmark no longer shows a
+// tolerance, when the service cache-hit benchmark no longer shows a
 // warm estimate being at least -min-warm-ratio times cheaper than a cold
-// one.
+// one, or when the frozen-schedule engine drops below -min-sched-ratio
+// times the speed of the legacy re-scheduling loop it replaced.
 //
 // Usage:
 //
@@ -56,6 +57,11 @@ var headline = map[string][]string{
 		"BenchmarkServiceEstimateCold",
 		"BenchmarkServiceSweepWarm",
 	},
+	"BENCH_sched.json": {
+		"BenchmarkSchedMCLU16",
+		"BenchmarkSchedMCWarmLU16",
+		"BenchmarkSchedFreezeLU16",
+	},
 }
 
 func load(path string) (map[string]entry, error) {
@@ -79,6 +85,7 @@ func main() {
 	freshDir := flag.String("fresh", "out", "directory holding freshly generated BENCH_*.json files")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed relative slowdown of best_ns_op before failing")
 	warmRatio := flag.Float64("min-warm-ratio", 5, "required cold/warm ratio of the service estimate pair (0 disables)")
+	schedRatio := flag.Float64("min-sched-ratio", 10, "required legacy/frozen ratio of the schedsim engine pair (0 disables)")
 	flag.Parse()
 
 	failures := 0
@@ -137,6 +144,29 @@ func main() {
 		}
 		fmt.Printf("%s %-40s cold/warm = %.1fx (minimum %.1fx)\n",
 			status, "service cache-hit speedup", ratio, *warmRatio)
+	}
+
+	if *schedRatio > 0 {
+		// The PR 5 acceptance criterion: the frozen-schedule engine must
+		// stay >= 10x faster than the dynamic re-scheduling loop it
+		// replaced (LU k=16, 8 procs, 2000 trials).
+		fresh, err := load(filepath.Join(*freshDir, "BENCH_sched.json"))
+		if err != nil {
+			fatal(fmt.Errorf("BENCH_sched.json needed for the sched-ratio gate: %w", err))
+		}
+		legacy, okL := fresh["BenchmarkSchedsimLegacyLU16"]
+		frozen, okF := fresh["BenchmarkSchedMCLU16"]
+		if !okL || !okF {
+			fatal(fmt.Errorf("schedsim engine pair missing from fresh BENCH_sched.json"))
+		}
+		ratio := legacy.BestNsOp / frozen.BestNsOp
+		status := "ok  "
+		if ratio < *schedRatio {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s %-40s legacy/frozen = %.1fx (minimum %.1fx)\n",
+			status, "schedsim engine speedup", ratio, *schedRatio)
 	}
 
 	if failures > 0 {

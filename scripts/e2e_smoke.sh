@@ -24,7 +24,7 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 echo "== build"
-go build -o "$bin/" ./cmd/makespand ./cmd/makespan ./cmd/experiments
+go build -o "$bin/" ./cmd/makespand ./cmd/makespan ./cmd/experiments ./cmd/schedsim
 
 echo "== start makespand on $base"
 "$bin/makespand" -addr "127.0.0.1:$port" -workers 2 2>"$work/makespand.log" &
@@ -108,5 +108,21 @@ code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/v1/estimate" -d '{
 test "$code" = "404"
 code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/v1/estimate" -d '{"kind":"lu","k":8,"pfail":2}')"
 test "$code" = "400"
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/v1/schedule" -d '{"kind":"lu","k":8,"procs":0}')"
+test "$code" = "400"
+
+echo "== E10 schedule parity vs schedsim CLI"
+req10='{"kind":"lu","k":8,"procs":4,"pfail":0.01,"trials":2000,"seed":7,"quantiles":[0.5,0.99]}'
+curl -fsS -X POST "$base/v1/schedule" -d "$req10" | normalize >"$work/svc_sched.json"
+"$bin/schedsim" -kind lu -k 8 -procs 4 -pfail 0.01 -trials 2000 -seed 7 \
+    -quantiles 0.5,0.99 -format json | normalize >"$work/cli_sched.json"
+diff -u "$work/cli_sched.json" "$work/svc_sched.json"
+
+echo "== E11 warm schedule identical + artifact cached"
+curl -fsS -X POST "$base/v1/schedule" -d "$req10" | normalize >"$work/svc_sched2.json"
+diff -u "$work/svc_sched.json" "$work/svc_sched2.json"
+gid_lu8="$(curl -fsS -X POST "$base/v1/graphs" -d '{"kind":"lu","k":8}' | jq -r .id)"
+scheds="$(curl -fsS "$base/v1/graphs/$gid_lu8" | jq -r .cache.schedules)"
+test "$scheds" -ge 2
 
 echo "e2e smoke: all cases passed"

@@ -1,0 +1,149 @@
+// Command exportdoc is the exported-comment gate: it fails when an
+// exported identifier in the given packages lacks a doc comment, or when
+// a multi-file package lacks a package comment. It complements the
+// pinned staticcheck job (whose ST1020-ST1022 checks enforce the *style*
+// of doc comments but not their existence) so the documented packages —
+// internal/schedmc, internal/sched, internal/failure — cannot silently
+// grow undocumented API.
+//
+// Usage:
+//
+//	go run ./scripts/exportdoc ./internal/schedmc ./internal/sched ./internal/failure
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: exportdoc <package dir> ...")
+		os.Exit(2)
+	}
+	failures := 0
+	for _, dir := range os.Args[1:] {
+		n, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "exportdoc:", err)
+			os.Exit(2)
+		}
+		failures += n
+	}
+	if failures > 0 {
+		fmt.Printf("\nexportdoc: %d undocumented exported identifier(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("exportdoc: every exported identifier is documented")
+}
+
+// checkDir parses one package directory (tests excluded) and reports
+// undocumented exported declarations.
+func checkDir(dir string) (failures int, err error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: %s %s has no doc comment\n", filepath.ToSlash(p.Filename), p.Line, what, name)
+		failures++
+	}
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			fmt.Printf("%s: package %s has no package comment\n", dir, pkg.Name)
+			failures++
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && exportedRecv(d) && d.Doc == nil {
+						report(d.Pos(), "function", funcName(d))
+					}
+				case *ast.GenDecl:
+					checkGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return failures, nil
+}
+
+// exportedRecv reports whether a method's receiver type is exported
+// (methods on unexported types are internal API).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// funcName renders "Recv.Name" for methods, "Name" for functions.
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	return fmt.Sprintf("(method) %s", d.Name.Name)
+}
+
+// checkGenDecl walks const/var/type declarations. A doc comment on the
+// grouped declaration covers its members, matching godoc's rendering.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	if d.Tok != token.CONST && d.Tok != token.VAR && d.Tok != token.TYPE {
+		return
+	}
+	groupDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && s.Doc == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+			if st, ok := s.Type.(*ast.StructType); ok && s.Name.IsExported() {
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						if name.IsExported() && field.Doc == nil && field.Comment == nil {
+							report(name.Pos(), "field", s.Name.Name+"."+name.Name)
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if groupDoc || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(name.Pos(), d.Tok.String(), name.Name)
+				}
+			}
+		}
+	}
+}

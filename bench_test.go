@@ -532,3 +532,148 @@ func BenchmarkGenerators(b *testing.B) {
 		})
 	}
 }
+
+// --- Adaptive stopping (PR 6 tentpole). Tracked in BENCH_adaptive.json.
+//
+// The pair FixedBudget/AdaptiveStop measures the trials-saved claim: both
+// end with the same achieved CI on the q=0.9 makespan quantile (the
+// adaptive run's tolerance IS the fixed run's achieved CI), but the
+// adaptive run stops as soon as the binomial order-statistic interval
+// tightens to it instead of spending the full default budget.
+// The pair ColdRestart/WarmExtend measures resumable snapshots: both end
+// at the tight tolerance, but the warm run extends a retained loose-
+// tolerance snapshot instead of re-running its prefix.
+
+// adaptiveBenchTolerance runs the fixed default budget once and returns
+// the achieved 95% CI half-width of the q=0.9 quantile — the equal-CI
+// tolerance for BenchmarkAdaptiveStopLU10.
+func adaptiveBenchTolerance(b *testing.B, e *montecarlo.Estimator) float64 {
+	b.Helper()
+	_, sketch, err := e.RunQuantiles()
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi, err := sketch.QuantileCI(0.9, 0.95)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return (hi - lo) / 2
+}
+
+func adaptiveBenchEstimator(b *testing.B, cfg montecarlo.Config) *montecarlo.Estimator {
+	b.Helper()
+	g, err := linalg.LU(10, linalg.KernelTimes{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := failure.FromPfail(0.05, g.MeanWeight())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := montecarlo.NewEstimator(g, m, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func BenchmarkAdaptiveFixedBudgetLU10(b *testing.B) {
+	e := adaptiveBenchEstimator(b, montecarlo.Config{Seed: 42}) // default 300,000 trials
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.RunQuantiles(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(montecarlo.DefaultTrials), "trials")
+}
+
+func BenchmarkAdaptiveStopLU10(b *testing.B) {
+	fixed := adaptiveBenchEstimator(b, montecarlo.Config{Seed: 42})
+	tol := adaptiveBenchTolerance(b, fixed)
+	e, err := fixed.WithConfig(montecarlo.Config{Seed: 42, Tolerance: tol, TargetQuantile: 0.9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last montecarlo.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := e.ResumeAdaptive(nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	if !last.Converged || last.TrialsRun*2 > montecarlo.DefaultTrials {
+		b.Fatalf("adaptive run did not save >= 2x trials: %+v", last)
+	}
+	b.ReportMetric(float64(last.TrialsRun), "trials")
+	b.ReportMetric(last.AchievedCI, "achieved_ci")
+}
+
+// adaptiveBenchTolerances derives a (loose, tight) mean-CI tolerance pair
+// from a one-chunk probe: CI_n decays ~ CI_1/sqrt(n), so /8 and /9 land
+// near 64 and 81 chunks — a warm extension of ~17 chunks vs a cold 81.
+func adaptiveBenchTolerances(b *testing.B, fixed *montecarlo.Estimator) (loose, tight float64) {
+	b.Helper()
+	probe, err := fixed.WithConfig(montecarlo.Config{Trials: montecarlo.ChunkTrials, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := probe.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.CI95 / 8, res.CI95 / 9
+}
+
+func BenchmarkAdaptiveColdRestartLU10(b *testing.B) {
+	fixed := adaptiveBenchEstimator(b, montecarlo.Config{Seed: 42})
+	_, tightTol := adaptiveBenchTolerances(b, fixed)
+	tight, err := fixed.WithConfig(montecarlo.Config{Seed: 42, Tolerance: tightTol})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last montecarlo.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := tight.ResumeAdaptive(nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(last.TrialsRun), "trials")
+}
+
+func BenchmarkAdaptiveWarmExtendLU10(b *testing.B) {
+	fixed := adaptiveBenchEstimator(b, montecarlo.Config{Seed: 42})
+	looseTol, tightTol := adaptiveBenchTolerances(b, fixed)
+	loose, err := fixed.WithConfig(montecarlo.Config{Seed: 42, Tolerance: looseTol})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, snap, err := loose.ResumeAdaptive(nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tight, err := fixed.WithConfig(montecarlo.Config{Seed: 42, Tolerance: tightTol})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last montecarlo.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := tight.ResumeAdaptive(snap, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(last.TrialsRun), "trials")
+	b.ReportMetric(float64(last.TrialsRun-snap.Trials()), "extend_trials")
+}

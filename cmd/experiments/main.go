@@ -59,6 +59,10 @@ func main() {
 		schedPol  = flag.String("sched-policies", "", "schedule policies for -sched: cp, fo or both (default both)")
 		workers   = flag.Int("workers", 0, "total CPU budget for cells and Monte Carlo (0 = GOMAXPROCS)")
 		format    = flag.String("format", "text", "output format: text or json")
+		tolerance = flag.Float64("tolerance", 0, "adaptive MC: stop each point when its CI half-width is within this (excludes -trials)")
+		targetQ   = flag.Float64("target-quantile", 0, "adaptive MC: watch this quantile's CI instead of the mean's")
+		confid    = flag.Float64("confidence", 0, "adaptive MC: stopping confidence level (default 0.95)")
+		maxTrials = flag.Int("max-trials", 0, "adaptive MC: per-point trial cap (default 300000, rounded up to whole chunks)")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "json" {
@@ -66,9 +70,13 @@ func main() {
 		os.Exit(2)
 	}
 	opts := experiments.Options{
-		Trials:  *trials,
-		Seed:    *seed,
-		Workers: *workers,
+		Trials:         *trials,
+		Seed:           *seed,
+		Workers:        *workers,
+		Tolerance:      *tolerance,
+		TargetQuantile: *targetQ,
+		Confidence:     *confid,
+		MaxTrials:      *maxTrials,
 	}
 	if *allM {
 		opts.Methods = experiments.AllMethods()

@@ -6,6 +6,8 @@
 //	makespan -kind cholesky -k 8 -pfail 0.001
 //	makespan -graph graph.json -lambda 0.05 -trials 100000
 //	makespan -kind lu -k 10 -trials 20000 -quantiles 0.5,0.95,0.99
+//	makespan -kind lu -k 10 -tolerance 0.01
+//	makespan -kind lu -k 10 -tolerance 0.05 -target-quantile 0.95 -max-trials 1000000
 //	makespan -kind lu -k 10 -format json
 //
 // The graph comes either from a generator (-kind cholesky|lu|qr with -k)
@@ -14,6 +16,13 @@
 // as in the paper. The tool prints the failure-free makespan, each
 // estimator's value and runtime, and a Monte Carlo reference with its 95%
 // confidence interval (plus distribution quantiles with -quantiles).
+//
+// -tolerance selects adaptive Monte Carlo instead of a fixed budget: the
+// engine runs whole 4096-trial chunks until the 95% (or -confidence)
+// interval of the mean — or of -target-quantile — has half-width within
+// the tolerance, capped by -max-trials. The stopping point is a
+// deterministic prefix of the fixed-budget trial stream, so an adaptive
+// run that stops after N trials is bit-identical to -trials N.
 //
 // With -format json the same content is emitted as one JSON document
 // through internal/report — the exact writer the makespand service uses,
@@ -51,6 +60,11 @@ type options struct {
 	bounds    bool
 	quantiles string
 	format    string
+
+	tolerance      float64
+	targetQuantile float64
+	confidence     float64
+	maxTrials      int
 }
 
 func main() {
@@ -67,7 +81,24 @@ func main() {
 	flag.BoolVar(&o.bounds, "bounds", false, "print the analytic [Jensen, Kleindorfer] bracket")
 	flag.StringVar(&o.quantiles, "quantiles", "", "comma list of Monte Carlo quantiles in (0,1), e.g. 0.5,0.95")
 	flag.StringVar(&o.format, "format", "text", "output format: text or json")
+	flag.Float64Var(&o.tolerance, "tolerance", 0, "adaptive MC: stop when the CI half-width is within this (excludes -trials)")
+	flag.Float64Var(&o.targetQuantile, "target-quantile", 0, "adaptive MC: watch this quantile's CI instead of the mean's")
+	flag.Float64Var(&o.confidence, "confidence", 0, "adaptive MC: stopping confidence level (default 0.95)")
+	flag.IntVar(&o.maxTrials, "max-trials", 0, "adaptive MC: trial cap (default 300000, rounded up to whole chunks)")
 	flag.Parse()
+	if o.tolerance != 0 {
+		// -trials has a nonzero default; only an explicit -trials should
+		// conflict with -tolerance (the engine rejects the combination).
+		explicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "trials" {
+				explicit = true
+			}
+		})
+		if !explicit {
+			o.trials = 0
+		}
+	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "makespan:", err)
 		os.Exit(1)
@@ -108,8 +139,13 @@ func buildEstimate(g *dag.Graph, model failure.Model, o options) (report.Estimat
 	if err != nil {
 		return report.Estimate{}, err
 	}
-	if len(qs) > 0 && o.trials == 0 {
-		return report.Estimate{}, fmt.Errorf("-quantiles needs Monte Carlo trials (-trials > 0)")
+	if o.trials == 0 && o.tolerance == 0 {
+		if len(qs) > 0 {
+			return report.Estimate{}, fmt.Errorf("-quantiles needs Monte Carlo trials (-trials or -tolerance)")
+		}
+		if o.maxTrials != 0 || o.targetQuantile != 0 || o.confidence != 0 {
+			return report.Estimate{}, fmt.Errorf("-max-trials, -target-quantile and -confidence need -tolerance > 0")
+		}
 	}
 	est := report.Estimate{
 		Graph: report.GraphInfo{Tasks: g.NumTasks(), Edges: g.NumEdges(), MeanWeight: g.MeanWeight()},
@@ -138,19 +174,40 @@ func buildEstimate(g *dag.Graph, model failure.Model, o options) (report.Estimat
 		}
 		est.Methods = append(est.Methods, report.MethodEstimate{Method: string(m), Estimate: v, Time: dt})
 	}
-	if o.trials == 0 {
+	if o.trials == 0 && o.tolerance == 0 {
 		return est, nil
 	}
-	// Negative trials flow through so the engine's config validation
-	// reports them instead of being silently treated as "skip MC".
-	cfg := montecarlo.Config{Trials: o.trials, Seed: o.seed}
+	// Negative trials and malformed adaptive knobs flow through so the
+	// engine's config validation reports them instead of being silently
+	// treated as "skip MC".
+	cfg := montecarlo.Config{
+		Trials:         o.trials,
+		Seed:           o.seed,
+		Tolerance:      o.tolerance,
+		TargetQuantile: o.targetQuantile,
+		Confidence:     o.confidence,
+		MaxTrials:      o.maxTrials,
+	}
 	t0 := time.Now()
 	mcEst, err := montecarlo.NewEstimator(g, model, cfg)
 	if err != nil {
 		return report.Estimate{}, err
 	}
 	var mc *report.MonteCarloInfo
-	if len(qs) > 0 {
+	if o.tolerance != 0 {
+		res, snap, err := mcEst.ResumeAdaptive(nil, nil)
+		if err != nil {
+			return report.Estimate{}, err
+		}
+		mc = report.MonteCarloInfoFrom(res, o.seed)
+		mc.Adaptive = report.AdaptiveInfoFrom(res, o.tolerance, o.targetQuantile, o.confidence)
+		if len(qs) > 0 {
+			sketch := snap.Sketch()
+			for _, q := range qs {
+				mc.Quantiles = append(mc.Quantiles, report.QuantileValue{Q: q, Value: sketch.Quantile(q)})
+			}
+		}
+	} else if len(qs) > 0 {
 		res, sketch, err := mcEst.RunQuantiles()
 		if err != nil {
 			return report.Estimate{}, err

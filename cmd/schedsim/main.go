@@ -10,6 +10,7 @@
 // Usage:
 //
 //	schedsim -kind lu -k 8 -procs 4 -pfail 0.01 -trials 2000
+//	schedsim -kind lu -k 8 -procs 4 -tolerance 0.05
 //	schedsim -kind lu -k 16 -procs 8 -quantiles 0.5,0.99 -format json
 //	schedsim -kind qr -k 6 -procs 4 -replication serial -verify-frac 0.05
 //
@@ -58,6 +59,11 @@ type options struct {
 	verifyFrac  float64
 	verifyFixed float64
 	replication string
+
+	tolerance      float64
+	targetQuantile float64
+	confidence     float64
+	maxTrials      int
 }
 
 func main() {
@@ -78,7 +84,24 @@ func main() {
 	flag.Float64Var(&o.verifyFrac, "verify-frac", 0, "verification cost as a fraction of each task's weight")
 	flag.Float64Var(&o.verifyFixed, "verify-fixed", 0, "fixed verification cost added to each non-zero task")
 	flag.StringVar(&o.replication, "replication", "", "task replication: parallel or serial (default none)")
+	flag.Float64Var(&o.tolerance, "tolerance", 0, "adaptive MC: stop when the CI half-width is within this (excludes -trials)")
+	flag.Float64Var(&o.targetQuantile, "target-quantile", 0, "adaptive MC: watch this quantile's CI instead of the mean's")
+	flag.Float64Var(&o.confidence, "confidence", 0, "adaptive MC: stopping confidence level (default 0.95)")
+	flag.IntVar(&o.maxTrials, "max-trials", 0, "adaptive MC: trial cap (default 300000, rounded up to whole chunks)")
 	flag.Parse()
+	if o.tolerance != 0 {
+		// -trials has a nonzero default; only an explicit -trials should
+		// conflict with -tolerance (the engine rejects the combination).
+		explicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "trials" {
+				explicit = true
+			}
+		})
+		if !explicit {
+			o.trials = 0
+		}
+	}
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "schedsim:", err)
 		os.Exit(1)
@@ -129,6 +152,9 @@ func validate(o options) (policies []schedmc.Policy, qs []float64, over schedmc.
 	}
 	if len(qs) > 0 && o.dynamic {
 		return nil, nil, over, fmt.Errorf("-quantiles needs the frozen-schedule engine (drop -dynamic)")
+	}
+	if o.tolerance != 0 && o.dynamic {
+		return nil, nil, over, fmt.Errorf("-tolerance needs the frozen-schedule engine (drop -dynamic)")
 	}
 	if o.gantt && o.format == "json" {
 		return nil, nil, over, fmt.Errorf("-gantt draws on the text output; drop it or use -format text")
@@ -249,16 +275,33 @@ func runPolicy(g *dag.Graph, pol schedmc.Policy, model failure.Model, qs []float
 		return p, fs.Base, nil
 	}
 	e, err := schedmc.NewEstimator(fs, model, schedmc.Config{
-		Trials:  o.trials,
-		Seed:    o.seed,
-		Workers: o.workers,
+		Trials:         o.trials,
+		Seed:           o.seed,
+		Workers:        o.workers,
+		Tolerance:      o.tolerance,
+		TargetQuantile: o.targetQuantile,
+		Confidence:     o.confidence,
+		MaxTrials:      o.maxTrials,
 	})
 	if err != nil {
 		return p, fs.Base, err
 	}
 	t0 := time.Now()
 	var mc *report.MonteCarloInfo
-	if len(qs) > 0 {
+	if o.tolerance != 0 {
+		res, snap, err := e.ResumeAdaptive(nil, nil)
+		if err != nil {
+			return p, fs.Base, err
+		}
+		mc = report.MonteCarloInfoFrom(res, o.seed)
+		mc.Adaptive = report.AdaptiveInfoFrom(res, o.tolerance, o.targetQuantile, o.confidence)
+		if len(qs) > 0 {
+			sketch := snap.Sketch()
+			for _, q := range qs {
+				mc.Quantiles = append(mc.Quantiles, report.QuantileValue{Q: q, Value: sketch.Quantile(q)})
+			}
+		}
+	} else if len(qs) > 0 {
 		res, sketch, err := e.RunQuantiles()
 		if err != nil {
 			return p, fs.Base, err

@@ -119,8 +119,18 @@ func Estimate(m Method, g *dag.Graph, model failure.Model, dodinAtoms int) (floa
 // Options tunes an experiment run; the zero value reproduces the paper's
 // setup at full fidelity (300,000 Monte Carlo trials).
 type Options struct {
-	// Trials overrides the Monte Carlo trial count (0 = paper's 300,000).
+	// Trials overrides the Monte Carlo trial count (0 = paper's 300,000,
+	// unless Tolerance selects adaptive stopping).
 	Trials int
+	// Tolerance, TargetQuantile, Confidence and MaxTrials select adaptive
+	// sequential stopping for the Monte Carlo cells, with exactly
+	// montecarlo.Config's semantics: Tolerance > 0 runs each point's
+	// chunk stream until the target statistic's CI half-width is within
+	// tolerance (Trials must then be 0; MaxTrials caps each point).
+	Tolerance      float64
+	TargetQuantile float64
+	Confidence     float64
+	MaxTrials      int
 	// Seed seeds the Monte Carlo streams.
 	Seed uint64
 	// Methods selects estimators (nil = the paper's three).
@@ -158,7 +168,7 @@ func (o *Options) normalize() error {
 	if o.Workers < 0 {
 		return fmt.Errorf("experiments: negative Workers %d (0 selects GOMAXPROCS)", o.Workers)
 	}
-	if o.Trials <= 0 {
+	if o.Trials <= 0 && o.Tolerance == 0 {
 		o.Trials = montecarlo.DefaultTrials
 	}
 	if len(o.Methods) == 0 {
@@ -229,6 +239,9 @@ type Point struct {
 	Tasks  int
 	MCMean float64 // Monte Carlo ground truth
 	MCCI95 float64
+	// MCTrials is the trial count the point actually spent — the
+	// configured budget for fixed runs, the stopping point for adaptive.
+	MCTrials int
 	// RelErr[m] = (estimate_m − MC)/MC, the paper's normalized difference.
 	RelErr map[Method]float64
 	// Estimate and Time record the raw value and wall-clock per method.

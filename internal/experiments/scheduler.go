@@ -108,6 +108,7 @@ func runPoints(ctxs []*pointCtx, opts Options, progress func(i int, p Point)) ([
 			Tasks:    ctx.g.NumTasks(),
 			MCMean:   mcRes[i].Mean,
 			MCCI95:   mcRes[i].CI95,
+			MCTrials: mcRes[i].Trials,
 			MCTime:   mcTime[i],
 			RelErr:   make(map[Method]float64, nm),
 			Estimate: make(map[Method]float64, nm),
@@ -157,9 +158,13 @@ func runPoints(ctxs []*pointCtx, opts Options, progress func(i int, p Point)) ([
 		if cell == 0 {
 			t0 := time.Now()
 			e, err := montecarlo.NewEstimatorFrozen(ctx.frozen, ctx.model, montecarlo.Config{
-				Trials:  opts.Trials,
-				Seed:    ctx.seed,
-				Workers: mcWorkers,
+				Trials:         opts.Trials,
+				Seed:           ctx.seed,
+				Workers:        mcWorkers,
+				Tolerance:      opts.Tolerance,
+				TargetQuantile: opts.TargetQuantile,
+				Confidence:     opts.Confidence,
+				MaxTrials:      opts.MaxTrials,
 			})
 			if err == nil {
 				mcRes[point], err = e.Run()

@@ -37,8 +37,11 @@ type SweepPoint struct {
 	PFail  float64
 	MCMean float64
 	MCCI95 float64
-	RelErr map[Method]float64
-	Time   map[Method]time.Duration
+	// MCTrials is the Monte Carlo budget the point actually spent (the
+	// stopping point under Options.Tolerance, the fixed count otherwise).
+	MCTrials int
+	RelErr   map[Method]float64
+	Time     map[Method]time.Duration
 }
 
 // SweepResult is a fully evaluated sweep.
@@ -129,11 +132,12 @@ func RunSweepFrozen(frozen *dag.Frozen, spec SweepSpec, opts Options) (SweepResu
 	res := SweepResult{Spec: spec, Tasks: g.NumTasks(), Trials: opts.Trials}
 	for i, p := range points {
 		res.Points = append(res.Points, SweepPoint{
-			PFail:  spec.PFails[i],
-			MCMean: p.MCMean,
-			MCCI95: p.MCCI95,
-			RelErr: p.RelErr,
-			Time:   p.Time,
+			PFail:    spec.PFails[i],
+			MCMean:   p.MCMean,
+			MCCI95:   p.MCCI95,
+			MCTrials: p.MCTrials,
+			RelErr:   p.RelErr,
+			Time:     p.Time,
 		})
 	}
 	return res, nil
@@ -158,16 +162,28 @@ func WriteSweep(w io.Writer, r SweepResult, methods []Method) error {
 	if len(methods) == 0 {
 		methods = sortedSweepMethods(r.Points)
 	}
+	adaptive := r.Trials == 0 // per-point counts differ; show a column
 	var b strings.Builder
-	fmt.Fprintf(&b, "Extension sweep: %s k=%d (%d tasks), relative error vs pfail (MC trials: %d)\n",
-		FactLabel(r.Spec.Fact), r.Spec.K, r.Tasks, r.Trials)
+	if adaptive {
+		fmt.Fprintf(&b, "Extension sweep: %s k=%d (%d tasks), relative error vs pfail (MC trials: adaptive)\n",
+			FactLabel(r.Spec.Fact), r.Spec.K, r.Tasks)
+	} else {
+		fmt.Fprintf(&b, "Extension sweep: %s k=%d (%d tasks), relative error vs pfail (MC trials: %d)\n",
+			FactLabel(r.Spec.Fact), r.Spec.K, r.Tasks, r.Trials)
+	}
 	fmt.Fprintf(&b, "%-10s %-14s %-10s", "pfail", "MC mean", "MC ±95%")
+	if adaptive {
+		fmt.Fprintf(&b, " %-9s", "trials")
+	}
 	for _, m := range methods {
 		fmt.Fprintf(&b, " %14s", string(m))
 	}
 	b.WriteByte('\n')
 	for _, p := range r.Points {
 		fmt.Fprintf(&b, "%-10g %-14.6g %-10.3g", p.PFail, p.MCMean, p.MCCI95)
+		if adaptive {
+			fmt.Fprintf(&b, " %-9d", p.MCTrials)
+		}
 		for _, m := range methods {
 			fmt.Fprintf(&b, " %14s", formatRelErr(p.RelErr[m]))
 		}

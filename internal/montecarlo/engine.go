@@ -66,10 +66,49 @@ type Config struct {
 	// fixed-size trial chunks to deterministic per-chunk streams and is
 	// therefore worker-count independent (see determinism_test.go).
 	LegacySampler bool
+
+	// Tolerance > 0 makes the run adaptive: instead of a fixed trial
+	// budget, whole 4096-trial chunks run until the confidence interval
+	// of the requested statistic (the TargetQuantile's order-statistic
+	// interval, or the mean's normal interval when TargetQuantile is 0)
+	// has half-width <= Tolerance, capped by MaxTrials. Trials must be 0
+	// (the two budgets are mutually exclusive). Because chunk streams are
+	// indexed by chunk number and folded in chunk order, the stopping
+	// point is a prefix of the same trial stream: an adaptive run that
+	// stops after k chunks is bit-identical to a fixed-budget run of
+	// k*4096 trials, for any Workers (see adaptive_test.go).
+	// Incompatible with LegacySampler (whose stream is per-worker, not
+	// per-chunk). Negative or non-finite values are configuration errors.
+	Tolerance float64
+	// TargetQuantile selects which statistic the stopping rule watches:
+	// a quantile in (0,1) (its CI comes from the run's QuantileSketch via
+	// binomial order-statistic bounds, see QuantileSketch.QuantileCI) or
+	// 0 for the mean (normal CI at the same Confidence). Only meaningful
+	// with Tolerance > 0; any other use is a configuration error.
+	TargetQuantile float64
+	// Confidence is the stopping rule's confidence level in (0,1);
+	// 0 selects DefaultConfidence. Only meaningful with Tolerance > 0.
+	Confidence float64
+	// MaxTrials caps an adaptive run (0 = DefaultTrials). The cap is
+	// rounded up to a whole chunk so adaptive runs and snapshots stay
+	// chunk-aligned. Only meaningful with Tolerance > 0; negative values
+	// are configuration errors.
+	MaxTrials int
 }
+
+// Adaptive reports whether the configuration selects sequential stopping.
+func (c Config) Adaptive() bool { return c.Tolerance > 0 }
 
 // DefaultTrials is the paper's trial count.
 const DefaultTrials = 300000
+
+// DefaultConfidence is the adaptive stopping rule's confidence level when
+// Config.Confidence is 0.
+const DefaultConfidence = 0.95
+
+// ChunkTrials is the number of trials per RNG chunk — the granularity of
+// adaptive stopping and of resumable snapshots (see chunkSize).
+const ChunkTrials = chunkSize
 
 // chunkSize is the number of consecutive trials sharing one RNG stream.
 // Chunking is what makes results independent of the worker count: chunk c
@@ -85,7 +124,21 @@ type Result struct {
 	StdErr   float64 // standard error of Mean
 	CI95     float64 // half-width of the 95% CI around Mean
 	Min, Max float64 // extreme sampled makespans
-	Trials   int
+	Trials   int     // trials folded into this result (== TrialsRun)
+
+	// TrialsRun is the number of trials actually executed. For
+	// fixed-budget runs it equals Config.Trials; adaptive runs stop at
+	// the first chunk whose target CI is within tolerance, so it is
+	// usually far smaller than MaxTrials.
+	TrialsRun int
+	// Converged reports whether an adaptive run met its tolerance before
+	// the MaxTrials cap. Always false for fixed-budget runs.
+	Converged bool
+	// AchievedCI is the half-width of the stopping rule's confidence
+	// interval at the final trial count (quantile order-statistic CI for
+	// a TargetQuantile run, mean CI otherwise). Zero for fixed-budget
+	// runs and when too few samples exist to form the interval.
+	AchievedCI float64
 }
 
 // Estimator runs Monte Carlo estimation on one graph. It compiles the
@@ -160,22 +213,9 @@ func newEstimatorRates(g *dag.Graph, frozen *dag.Frozen, rates []float64, cfg Co
 	if len(rates) != g.NumTasks() {
 		return nil, fmt.Errorf("montecarlo: %d rates for %d tasks", len(rates), g.NumTasks())
 	}
-	// Negative counts are configuration errors, not defaults: silently
-	// clamping Trials:-5 to 300,000 turns a typo into a seconds-long run.
-	if cfg.Trials < 0 {
-		return nil, fmt.Errorf("montecarlo: negative Trials %d (0 selects the default %d)", cfg.Trials, DefaultTrials)
-	}
-	if cfg.Workers < 0 {
-		return nil, fmt.Errorf("montecarlo: negative Workers %d (0 selects GOMAXPROCS)", cfg.Workers)
-	}
-	if cfg.Trials == 0 {
-		cfg.Trials = DefaultTrials
-	}
-	if cfg.Workers == 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
-	if cfg.Workers > cfg.Trials {
-		cfg.Workers = cfg.Trials
+	cfg, err := normalizeConfig(cfg)
+	if err != nil {
+		return nil, err
 	}
 	if frozen == nil {
 		var err error
@@ -250,6 +290,75 @@ func newEstimatorRates(g *dag.Graph, frozen *dag.Frozen, rates []float64, cfg Co
 		e.buildTables(false)
 	}
 	return e, nil
+}
+
+// normalizeConfig validates a run configuration and fills in defaults.
+// It is shared by NewEstimator* and WithConfig so the two construction
+// paths cannot drift. Negative counts are configuration errors, not
+// defaults: silently clamping Trials:-5 to 300,000 turns a typo into a
+// seconds-long run. In adaptive mode (Tolerance > 0) the trial budget is
+// the chunk-aligned MaxTrials cap; Trials must be 0.
+func normalizeConfig(cfg Config) (Config, error) {
+	if cfg.Trials < 0 {
+		return cfg, fmt.Errorf("montecarlo: negative Trials %d (0 selects the default %d)", cfg.Trials, DefaultTrials)
+	}
+	if cfg.Workers < 0 {
+		return cfg, fmt.Errorf("montecarlo: negative Workers %d (0 selects GOMAXPROCS)", cfg.Workers)
+	}
+	if cfg.Tolerance < 0 || math.IsNaN(cfg.Tolerance) || math.IsInf(cfg.Tolerance, 0) {
+		return cfg, fmt.Errorf("montecarlo: bad Tolerance %v (must be a finite value >= 0; 0 disables adaptive stopping)", cfg.Tolerance)
+	}
+	if !cfg.Adaptive() {
+		// The adaptive knobs are meaningless without a tolerance; reject
+		// them instead of silently ignoring a half-configured request.
+		if cfg.MaxTrials != 0 {
+			return cfg, fmt.Errorf("montecarlo: MaxTrials %d needs Tolerance > 0 (use Trials for a fixed budget)", cfg.MaxTrials)
+		}
+		if cfg.TargetQuantile != 0 {
+			return cfg, fmt.Errorf("montecarlo: TargetQuantile %v needs Tolerance > 0", cfg.TargetQuantile)
+		}
+		if cfg.Confidence != 0 {
+			return cfg, fmt.Errorf("montecarlo: Confidence %v needs Tolerance > 0", cfg.Confidence)
+		}
+		if cfg.Trials == 0 {
+			cfg.Trials = DefaultTrials
+		}
+	} else {
+		if cfg.LegacySampler {
+			return cfg, fmt.Errorf("montecarlo: Tolerance requires the chunked default sampler (LegacySampler streams are per-worker and cannot stop at a worker-invariant prefix)")
+		}
+		if cfg.Trials != 0 {
+			return cfg, fmt.Errorf("montecarlo: Trials %d and Tolerance %v are mutually exclusive (cap adaptive runs with MaxTrials)", cfg.Trials, cfg.Tolerance)
+		}
+		if cfg.MaxTrials < 0 {
+			return cfg, fmt.Errorf("montecarlo: negative MaxTrials %d (0 selects the default %d)", cfg.MaxTrials, DefaultTrials)
+		}
+		if cfg.MaxTrials == 0 {
+			cfg.MaxTrials = DefaultTrials
+		}
+		if q := cfg.TargetQuantile; q != 0 && !(q > 0 && q < 1) {
+			return cfg, fmt.Errorf("montecarlo: TargetQuantile %v outside (0,1) (0 selects the mean)", q)
+		}
+		if cfg.Confidence == 0 {
+			cfg.Confidence = DefaultConfidence
+		}
+		if !(cfg.Confidence > 0 && cfg.Confidence < 1) {
+			return cfg, fmt.Errorf("montecarlo: Confidence %v outside (0,1)", cfg.Confidence)
+		}
+		// Chunk-align the cap (rounding up) so every adaptive stopping
+		// point — including the capped one — is a whole-chunk prefix that
+		// a snapshot can extend bit-identically.
+		chunks := (cfg.MaxTrials + chunkSize - 1) / chunkSize
+		cfg.MaxTrials = chunks * chunkSize
+		cfg.Trials = cfg.MaxTrials
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers > cfg.Trials {
+		cfg.Workers = cfg.Trials
+	}
+	return cfg, nil
 }
 
 // mcWorker is the per-goroutine trial state: scratch buffers sized once so
@@ -391,12 +500,19 @@ func (e *Estimator) fresh() error {
 	return nil
 }
 
-// Run executes the configured number of trials and returns the estimate.
-// With the default sampler the result depends only on (Seed, Trials, Mode),
-// not on Workers.
+// Run executes the configured trials and returns the estimate. With the
+// default sampler the result depends only on (Seed, Trials, Mode), not on
+// Workers. With Tolerance > 0 the run is adaptive: chunks run until the
+// target CI is within tolerance (or MaxTrials is hit) and Result reports
+// the trials actually spent — still worker-count invariant, because the
+// stopping point is a deterministic function of the chunk-ordered prefix.
 func (e *Estimator) Run() (Result, error) {
 	if err := e.fresh(); err != nil {
 		return Result{}, err
+	}
+	if e.cfg.Adaptive() {
+		res, _, err := e.ResumeAdaptive(nil, nil)
+		return res, err
 	}
 	if e.cfg.LegacySampler {
 		return e.legacyRun()
@@ -425,13 +541,14 @@ func (e *Estimator) runReduce(sink func(t int, x float64)) Result {
 
 func resultFrom(w Welford) Result {
 	return Result{
-		Mean:   w.Mean(),
-		StdDev: w.StdDev(),
-		StdErr: w.StdErr(),
-		CI95:   w.CI95(),
-		Min:    w.Min(),
-		Max:    w.Max(),
-		Trials: int(w.N()),
+		Mean:      w.Mean(),
+		StdDev:    w.StdDev(),
+		StdErr:    w.StdErr(),
+		CI95:      w.CI95(),
+		Min:       w.Min(),
+		Max:       w.Max(),
+		Trials:    int(w.N()),
+		TrialsRun: int(w.N()),
 	}
 }
 

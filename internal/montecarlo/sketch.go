@@ -1,6 +1,9 @@
 package montecarlo
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // QuantileSketch is a mergeable streaming histogram for quantile and CDF
 // questions over a Monte Carlo run without O(trials) storage: a fixed
@@ -320,6 +323,68 @@ func (s *QuantileSketch) Quantile(q float64) float64 {
 	return s.max // unreachable: counts sum to n
 }
 
+// Clone returns an independent deep copy of the sketch.
+func (s *QuantileSketch) Clone() *QuantileSketch {
+	c := *s
+	c.cells = append([]uint64(nil), s.cells...)
+	return &c
+}
+
+// rankCell returns the global index of the cell holding the rank-th
+// smallest sample (1-based rank in [1, n]).
+func (s *QuantileSketch) rankCell(rank int64) int64 {
+	var cum int64
+	for i, c := range s.cells {
+		cum += int64(c)
+		if cum >= rank {
+			return s.baseIdx + int64(i)
+		}
+	}
+	return s.baseIdx + int64(len(s.cells)) - 1 // unreachable: counts sum to n
+}
+
+// QuantileCI returns a confidence interval [lo, hi] for the distribution's
+// q-quantile from binomial order statistics: with n samples the number
+// below the true quantile is Binomial(n, q), so the sample ranks
+// l = ⌊nq − z·√(nq(1−q))⌋ and u = ⌈nq + z·√(nq(1−q))⌉ + 1 bracket it with
+// probability ≈ confidence (normal approximation to the binomial). The
+// bounds are widened to the outer edges of the cells holding ranks l and u
+// (clamped to the observed [Min, Max]), so the sketch's resolution makes
+// the interval conservative, never optimistic: hi−lo floors at one cell
+// width even as n grows. An error is returned when q or confidence is
+// outside (0,1), when the sketch is empty, or when n is too small for the
+// requested ranks to exist (l < 1 or u > n) — callers driving a stopping
+// rule treat that as "not converged yet".
+func (s *QuantileSketch) QuantileCI(q, confidence float64) (lo, hi float64, err error) {
+	if !(q > 0 && q < 1) {
+		return 0, 0, fmt.Errorf("montecarlo: quantile %v outside (0,1)", q)
+	}
+	if !(confidence > 0 && confidence < 1) {
+		return 0, 0, fmt.Errorf("montecarlo: confidence %v outside (0,1)", confidence)
+	}
+	if s.n == 0 {
+		return 0, 0, fmt.Errorf("montecarlo: QuantileCI on an empty sketch")
+	}
+	n := float64(s.n)
+	z := normalQuantile(0.5 + confidence/2)
+	half := z * math.Sqrt(n*q*(1-q))
+	lRank := int64(math.Floor(n*q - half))
+	uRank := int64(math.Ceil(n*q+half)) + 1
+	if lRank < 1 || uRank > s.n {
+		return 0, 0, fmt.Errorf("montecarlo: %d samples are too few for a %v-confidence CI of the %v-quantile", s.n, confidence, q)
+	}
+	w := math.Ldexp(1, s.wLog)
+	lo = float64(s.rankCell(lRank)) * w   // left edge of the rank-l cell
+	hi = float64(s.rankCell(uRank)+1) * w // right edge of the rank-u cell
+	if lo < s.min {
+		lo = s.min
+	}
+	if hi > s.max {
+		hi = s.max
+	}
+	return lo, hi, nil
+}
+
 // CDF returns the fraction of samples in cells at or below the cell of x —
 // within one cell's mass of the exact empirical CDF. NaN for an empty
 // sketch.
@@ -350,6 +415,16 @@ func (s *QuantileSketch) CDF(x float64) float64 {
 func (e *Estimator) RunQuantiles() (Result, *QuantileSketch, error) {
 	if err := e.fresh(); err != nil {
 		return Result{}, nil, err
+	}
+	if e.cfg.Adaptive() {
+		// The adaptive runner always maintains the merged sketch (it may be
+		// the stopping statistic, and snapshots must be able to answer
+		// later quantile queries), so this is just Run plus the sketch.
+		res, snap, err := e.ResumeAdaptive(nil, nil)
+		if err != nil {
+			return Result{}, nil, err
+		}
+		return res, snap.Sketch(), nil
 	}
 	if e.cfg.LegacySampler {
 		// The legacy stream is per-worker; build the sketch from the

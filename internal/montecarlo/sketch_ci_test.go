@@ -1,0 +1,129 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+)
+
+// QuantileCI coverage property: over many independent uniform samples the
+// interval must contain the true quantile at least ~confidence of the
+// time. The cell-edge widening makes the interval conservative, so the
+// empirical coverage should sit at or above the nominal level; the
+// assertion leaves slack for the binomial normal approximation.
+func TestQuantileCICoverageUniform(t *testing.T) {
+	const (
+		reps       = 200
+		n          = 2000
+		confidence = 0.95
+	)
+	for _, q := range []float64{0.25, 0.5, 0.9} {
+		covered := 0
+		for rep := 0; rep < reps; rep++ {
+			rng := newChunkRNG(99, int64(rep))
+			sk := NewQuantileSketch(DefaultSketchCells)
+			for i := 0; i < n; i++ {
+				sk.Add(rng.Float64())
+			}
+			lo, hi, err := sk.QuantileCI(q, confidence)
+			if err != nil {
+				t.Fatalf("q=%v rep=%d: %v", q, rep, err)
+			}
+			if lo > hi {
+				t.Fatalf("q=%v: inverted interval [%v, %v]", q, lo, hi)
+			}
+			if lo <= q && q <= hi { // true q-quantile of U(0,1) is q
+				covered++
+			}
+		}
+		if frac := float64(covered) / reps; frac < confidence-0.05 {
+			t.Fatalf("q=%v: coverage %.3f below nominal %.2f", q, frac, confidence)
+		}
+	}
+}
+
+// QuantileCI width shrinks (or at worst hits the cell-width floor) as n
+// grows, and a higher confidence can only widen it.
+func TestQuantileCIMonotone(t *testing.T) {
+	width := func(n int, confidence float64) float64 {
+		rng := newChunkRNG(7, 0)
+		sk := NewQuantileSketch(DefaultSketchCells)
+		for i := 0; i < n; i++ {
+			sk.Add(rng.Float64())
+		}
+		lo, hi, err := sk.QuantileCI(0.5, confidence)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		return hi - lo
+	}
+	prev := math.Inf(1)
+	for _, n := range []int{500, 5000, 50000} {
+		w := width(n, 0.95)
+		if w > prev {
+			t.Fatalf("CI width grew with n: %v at smaller n, %v at n=%d", prev, w, n)
+		}
+		prev = w
+	}
+	if width(5000, 0.99) < width(5000, 0.9) {
+		t.Fatal("higher confidence produced a narrower interval")
+	}
+}
+
+// QuantileCI input validation and the small-n refusal: the requested order
+// statistics must exist.
+func TestQuantileCIValidation(t *testing.T) {
+	sk := NewQuantileSketch(64)
+	if _, _, err := sk.QuantileCI(0.5, 0.95); err == nil {
+		t.Fatal("empty sketch accepted")
+	}
+	for i := 0; i < 10; i++ {
+		sk.Add(float64(i))
+	}
+	for _, q := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, _, err := sk.QuantileCI(q, 0.95); err == nil {
+			t.Fatalf("q=%v accepted", q)
+		}
+	}
+	for _, c := range []float64{0, 1, -1, 2, math.NaN()} {
+		if _, _, err := sk.QuantileCI(0.5, c); err == nil {
+			t.Fatalf("confidence=%v accepted", c)
+		}
+	}
+	// 10 samples cannot bracket the median at 99% confidence.
+	if _, _, err := sk.QuantileCI(0.5, 0.99); err == nil {
+		t.Fatal("10 samples accepted for a 99% median CI")
+	}
+	// But enough samples can.
+	for i := 10; i < 1000; i++ {
+		sk.Add(float64(i % 37))
+	}
+	if _, _, err := sk.QuantileCI(0.5, 0.99); err != nil {
+		t.Fatalf("1000 samples rejected: %v", err)
+	}
+}
+
+// Empty-sketch behavior is pinned: quantile and CDF questions on no data
+// answer NaN (documented), never a silent zero, and Clone preserves
+// independence.
+func TestSketchEmptyPinnedAndClone(t *testing.T) {
+	sk := NewQuantileSketch(64)
+	if !math.IsNaN(sk.Quantile(0.5)) || !math.IsNaN(sk.CDF(1.0)) {
+		t.Fatalf("empty sketch: Quantile=%v CDF=%v, want NaN/NaN", sk.Quantile(0.5), sk.CDF(1.0))
+	}
+	if !math.IsNaN(sk.Min()) || !math.IsNaN(sk.Max()) {
+		t.Fatal("empty sketch Min/Max must be NaN")
+	}
+	for i := 0; i < 100; i++ {
+		sk.Add(float64(i))
+	}
+	cl := sk.Clone()
+	if cl.N() != sk.N() || cl.Quantile(0.5) != sk.Quantile(0.5) {
+		t.Fatal("clone differs from original")
+	}
+	for i := 0; i < 1000; i++ {
+		cl.Add(1e9)
+	}
+	if sk.N() != 100 || sk.Max() != 99 {
+		t.Fatal("mutating the clone changed the original")
+	}
+}

@@ -1,9 +1,6 @@
 package montecarlo
 
-import (
-	"fmt"
-	"runtime"
-)
+import "fmt"
 
 // WithConfig returns an estimator that shares the receiver's compiled
 // snapshot — the frozen CSR form, per-task failure probabilities, single-
@@ -12,10 +9,11 @@ import (
 // the shared state is rebuilt, which is what lets the makespand registry
 // answer a warm estimate request without paying freeze/table costs again.
 //
-// Only Trials, Seed and Workers may change: Mode and LegacySampler select
-// which snapshot arrays exist and how they are interpreted, so switching
-// them requires a fresh estimator. The shared state is read-only during
-// runs; the receiver and every derived estimator may Run concurrently.
+// Trials, Seed, Workers and the adaptive knobs (Tolerance, TargetQuantile,
+// Confidence, MaxTrials) may change: Mode and LegacySampler select which
+// snapshot arrays exist and how they are interpreted, so switching them
+// requires a fresh estimator. The shared state is read-only during runs;
+// the receiver and every derived estimator may Run concurrently.
 func (e *Estimator) WithConfig(cfg Config) (*Estimator, error) {
 	if cfg.Mode != e.cfg.Mode {
 		return nil, fmt.Errorf("montecarlo: WithConfig cannot change Mode (%v to %v); build a new estimator", e.cfg.Mode, cfg.Mode)
@@ -23,20 +21,9 @@ func (e *Estimator) WithConfig(cfg Config) (*Estimator, error) {
 	if cfg.LegacySampler != e.cfg.LegacySampler {
 		return nil, fmt.Errorf("montecarlo: WithConfig cannot toggle LegacySampler; build a new estimator")
 	}
-	if cfg.Trials < 0 {
-		return nil, fmt.Errorf("montecarlo: negative Trials %d (0 selects the default %d)", cfg.Trials, DefaultTrials)
-	}
-	if cfg.Workers < 0 {
-		return nil, fmt.Errorf("montecarlo: negative Workers %d (0 selects GOMAXPROCS)", cfg.Workers)
-	}
-	if cfg.Trials == 0 {
-		cfg.Trials = DefaultTrials
-	}
-	if cfg.Workers == 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
-	if cfg.Workers > cfg.Trials {
-		cfg.Workers = cfg.Trials
+	cfg, err := normalizeConfig(cfg)
+	if err != nil {
+		return nil, err
 	}
 	ne := *e
 	ne.cfg = cfg

@@ -84,7 +84,9 @@ func ValidateQuantiles(qs []float64) error {
 }
 
 // MonteCarloInfo is the Monte Carlo reference of an estimate. All fields
-// except Time are worker-count invariant for a fixed (Seed, Trials).
+// except Time are worker-count invariant for a fixed (Seed, Trials) — and,
+// for adaptive runs, for a fixed (Seed, stopping rule), since the stopping
+// point is a deterministic prefix of the chunk stream.
 type MonteCarloInfo struct {
 	Mean      float64
 	CI95      float64
@@ -96,6 +98,36 @@ type MonteCarloInfo struct {
 	Seed      uint64
 	Time      time.Duration
 	Quantiles []QuantileValue
+	Adaptive  *AdaptiveInfo // nil for fixed-budget runs
+}
+
+// AdaptiveInfo carries the sequential-stopping diagnostics of an adaptive
+// Monte Carlo run: the rule it ran under and where it actually stopped.
+type AdaptiveInfo struct {
+	Tolerance      float64 // requested CI half-width
+	TargetQuantile float64 // watched quantile; 0 = the mean
+	Confidence     float64 // stopping rule's confidence level
+	TrialsRun      int     // trials actually spent (== Trials)
+	Converged      bool    // tolerance met before the MaxTrials cap
+	AchievedCI     float64 // CI half-width at the stopping point
+}
+
+// AdaptiveInfoFrom maps an adaptive run's diagnostics into the report
+// form — like MonteCarloInfoFrom, the one copy point shared by the CLIs
+// and the service. The tolerance/target/confidence echo the request
+// (confidence 0 echoes the engine default).
+func AdaptiveInfoFrom(res montecarlo.Result, tolerance, targetQuantile, confidence float64) *AdaptiveInfo {
+	if confidence == 0 {
+		confidence = montecarlo.DefaultConfidence
+	}
+	return &AdaptiveInfo{
+		Tolerance:      tolerance,
+		TargetQuantile: targetQuantile,
+		Confidence:     confidence,
+		TrialsRun:      res.TrialsRun,
+		Converged:      res.Converged,
+		AchievedCI:     res.AchievedCI,
+	}
 }
 
 // MonteCarloInfoFrom maps an engine result into the report form — the
@@ -147,6 +179,7 @@ func WriteEstimateText(w io.Writer, e Estimate) error {
 	if mc := e.MonteCarlo; mc != nil {
 		fmt.Fprintf(&b, "%-14s %-16.8g %-12v ±%.3g (95%% CI, %d trials)\n",
 			"Monte Carlo", mc.Mean, mc.Time.Round(time.Millisecond), mc.CI95, mc.Trials)
+		writeAdaptiveText(&b, mc.Adaptive)
 		for _, q := range mc.Quantiles {
 			fmt.Fprintf(&b, "%-14s %-16.8g (q = %g)\n", "MC quantile", q.Value, q.Q)
 		}
@@ -193,7 +226,49 @@ type estMonteCarloJSON struct {
 	Trials      int               `json:"trials"`
 	Seed        uint64            `json:"seed"`
 	TimeSeconds float64           `json:"time_seconds"`
+	Adaptive    *estAdaptiveJSON  `json:"adaptive,omitempty"`
 	Quantiles   []estQuantileJSON `json:"quantiles,omitempty"`
+}
+
+type estAdaptiveJSON struct {
+	Tolerance      float64 `json:"tolerance"`
+	TargetQuantile float64 `json:"target_quantile,omitempty"`
+	Confidence     float64 `json:"confidence"`
+	TrialsRun      int     `json:"trials_run"`
+	Converged      bool    `json:"converged"`
+	AchievedCI     float64 `json:"achieved_ci"`
+}
+
+// adaptiveJSONFrom and writeAdaptiveText render the stopping diagnostics
+// for the JSON and text writers (both estimates and schedules).
+func adaptiveJSONFrom(a *AdaptiveInfo) *estAdaptiveJSON {
+	if a == nil {
+		return nil
+	}
+	return &estAdaptiveJSON{
+		Tolerance:      a.Tolerance,
+		TargetQuantile: a.TargetQuantile,
+		Confidence:     a.Confidence,
+		TrialsRun:      a.TrialsRun,
+		Converged:      a.Converged,
+		AchievedCI:     a.AchievedCI,
+	}
+}
+
+func writeAdaptiveText(b *strings.Builder, a *AdaptiveInfo) {
+	if a == nil {
+		return
+	}
+	target := "mean"
+	if a.TargetQuantile > 0 {
+		target = fmt.Sprintf("q=%g", a.TargetQuantile)
+	}
+	status := "converged"
+	if !a.Converged {
+		status = "hit max_trials"
+	}
+	fmt.Fprintf(b, "%-14s %s after %d trials (±%.3g on %s at %g%% confidence, tolerance %.3g)\n",
+		"MC adaptive", status, a.TrialsRun, a.AchievedCI, target, 100*a.Confidence, a.Tolerance)
 }
 
 type estimateJSON struct {
@@ -236,6 +311,7 @@ func WriteEstimateJSON(w io.Writer, e Estimate) error {
 			Trials:      mc.Trials,
 			Seed:        mc.Seed,
 			TimeSeconds: mc.Time.Seconds(),
+			Adaptive:    adaptiveJSONFrom(mc.Adaptive),
 		}
 		for _, q := range mc.Quantiles {
 			j.Quantiles = append(j.Quantiles, estQuantileJSON{Q: q.Q, Value: q.Value})

@@ -53,10 +53,11 @@ type sweepMethodJSON struct {
 }
 
 type sweepPointJSON struct {
-	PFail   float64                    `json:"pfail"`
-	MCMean  float64                    `json:"mc_mean"`
-	MCCI95  float64                    `json:"mc_ci95"`
-	Methods map[string]sweepMethodJSON `json:"methods"`
+	PFail    float64                    `json:"pfail"`
+	MCMean   float64                    `json:"mc_mean"`
+	MCCI95   float64                    `json:"mc_ci95"`
+	MCTrials int                        `json:"mc_trials"`
+	Methods  map[string]sweepMethodJSON `json:"methods"`
 }
 
 type sweepJSON struct {
@@ -159,10 +160,11 @@ func WriteSweepJSON(w io.Writer, r experiments.SweepResult, methods []experiment
 	}
 	for _, p := range r.Points {
 		sp := sweepPointJSON{
-			PFail:   p.PFail,
-			MCMean:  p.MCMean,
-			MCCI95:  p.MCCI95,
-			Methods: make(map[string]sweepMethodJSON, len(methods)),
+			PFail:    p.PFail,
+			MCMean:   p.MCMean,
+			MCCI95:   p.MCCI95,
+			MCTrials: p.MCTrials,
+			Methods:  make(map[string]sweepMethodJSON, len(methods)),
 		}
 		for _, m := range methods {
 			sp.Methods[string(m)] = sweepMethodJSON{

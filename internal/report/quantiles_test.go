@@ -1,0 +1,76 @@
+package report
+
+import (
+	"math"
+	"testing"
+)
+
+// Every entry point that accepts quantiles — the CLIs' -quantiles and
+// -target-quantile flags, the service's "quantiles"/"target_quantile"
+// fields, the engine's TargetQuantile — funnels through ValidateQuantiles
+// or montecarlo's config validation with the same rule: q must lie
+// strictly inside (0,1). This table pins the shared rule.
+func TestValidateQuantilesTable(t *testing.T) {
+	cases := []struct {
+		name string
+		qs   []float64
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"empty", []float64{}, true},
+		{"single interior", []float64{0.5}, true},
+		{"near edges", []float64{1e-9, 1 - 1e-9}, true},
+		{"typical list", []float64{0.5, 0.95, 0.99}, true},
+		{"zero", []float64{0}, false},
+		{"one", []float64{1}, false},
+		{"negative", []float64{-0.1}, false},
+		{"above one", []float64{1.5}, false},
+		{"NaN", []float64{math.NaN()}, false},
+		{"+Inf", []float64{math.Inf(1)}, false},
+		{"-Inf", []float64{math.Inf(-1)}, false},
+		{"bad among good", []float64{0.5, 0, 0.9}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateQuantiles(tc.qs)
+			if tc.ok && err != nil {
+				t.Fatalf("ValidateQuantiles(%v) = %v, want nil", tc.qs, err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("ValidateQuantiles(%v) accepted", tc.qs)
+			}
+		})
+	}
+}
+
+// ParseQuantiles applies the same rule after parsing the flag syntax.
+func TestParseQuantilesTable(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int // parsed count; -1 = error
+	}{
+		{"", 0},
+		{" , , ", 0},
+		{"0.5", 1},
+		{"0.5,0.95, 0.99", 3},
+		{"abc", -1},
+		{"0", -1},
+		{"1", -1},
+		{"1.5", -1},
+		{"-0.5", -1},
+		{"NaN", -1},
+		{"0.5,2", -1},
+	}
+	for _, tc := range cases {
+		qs, err := ParseQuantiles(tc.in)
+		if tc.want < 0 {
+			if err == nil {
+				t.Errorf("ParseQuantiles(%q) accepted: %v", tc.in, qs)
+			}
+			continue
+		}
+		if err != nil || len(qs) != tc.want {
+			t.Errorf("ParseQuantiles(%q) = %v, %v; want %d values", tc.in, qs, err, tc.want)
+		}
+	}
+}

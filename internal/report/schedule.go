@@ -63,6 +63,14 @@ func WriteScheduleText(w io.Writer, s Schedule) error {
 		if p.MonteCarlo == nil {
 			continue
 		}
+		if a := p.MonteCarlo.Adaptive; a != nil {
+			status := "converged"
+			if !a.Converged {
+				status = "hit max_trials"
+			}
+			fmt.Fprintf(&b, "%-28s %s after %d trials (±%.3g, tolerance %.3g)\n",
+				p.Label+" adaptive", status, a.TrialsRun, a.AchievedCI, a.Tolerance)
+		}
 		for _, q := range p.MonteCarlo.Quantiles {
 			fmt.Fprintf(&b, "%-28s %-14.8g (q = %g)\n", p.Label+" quantile", q.Value, q.Q)
 		}
@@ -104,6 +112,7 @@ func mcToJSON(mc *MonteCarloInfo) *estMonteCarloJSON {
 		Trials:      mc.Trials,
 		Seed:        mc.Seed,
 		TimeSeconds: mc.Time.Seconds(),
+		Adaptive:    adaptiveJSONFrom(mc.Adaptive),
 	}
 	for _, q := range mc.Quantiles {
 		j.Quantiles = append(j.Quantiles, estQuantileJSON{Q: q.Q, Value: q.Value})

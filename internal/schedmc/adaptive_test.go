@@ -1,0 +1,108 @@
+package schedmc
+
+import (
+	"testing"
+
+	"repro/internal/montecarlo"
+)
+
+// Adaptive stopping over a schedule DAG inherits the engine's guarantees:
+// a converged run is a whole-chunk prefix bit-identical to the same-length
+// fixed run, and warm extension to a tighter tolerance matches a cold run.
+func TestScheduleAdaptiveMatchesFixedAndWarmExtend(t *testing.T) {
+	g := mustLU(t, 8)
+	model := mustModel(t, g, 0.05)
+	fs, err := Freeze(g, PolicyCP, 4, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeE, err := NewEstimator(fs, model, Config{Trials: montecarlo.ChunkTrials, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := probeE.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := probe.CI95 / 2
+
+	ad, err := probeE.WithConfig(Config{Seed: 11, Tolerance: tol, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, snap, err := ad.ResumeAdaptive(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.TrialsRun%montecarlo.ChunkTrials != 0 {
+		t.Fatalf("adaptive schedule run: %+v", res)
+	}
+	fixedE, err := probeE.WithConfig(Config{Seed: 11, Trials: res.TrialsRun})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := fixedE.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean != fixed.Mean || res.StdDev != fixed.StdDev || res.Min != fixed.Min || res.Max != fixed.Max {
+		t.Fatalf("adaptive prefix != fixed run:\n%+v\n%+v", res, fixed)
+	}
+
+	tight, err := probeE.WithConfig(Config{Seed: 11, Tolerance: tol / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRes, warmSnap, err := tight.ResumeAdaptive(snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, coldSnap, err := tight.ResumeAdaptive(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRes != coldRes || warmSnap.Chunks() != coldSnap.Chunks() {
+		t.Fatalf("warm extend != cold run:\n%+v (%d chunks)\n%+v (%d chunks)",
+			warmRes, warmSnap.Chunks(), coldRes, coldSnap.Chunks())
+	}
+	if !tight.SnapshotConverged(warmSnap) {
+		t.Fatal("SnapshotConverged false for the snapshot the config produced")
+	}
+	sr, err := tight.SnapshotResult(warmSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr != warmRes {
+		t.Fatalf("SnapshotResult %+v != run result %+v", sr, warmRes)
+	}
+}
+
+// Config validation flows through to the engine: the schedule layer adds
+// no silent reinterpretation of the adaptive knobs.
+func TestScheduleAdaptiveConfigValidation(t *testing.T) {
+	g := mustLU(t, 4)
+	model := mustModel(t, g, 0.01)
+	fs, err := Freeze(g, PolicyCP, 2, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Tolerance: -1},
+		{Tolerance: 0.1, Trials: 100},
+		{Tolerance: 0.1, TargetQuantile: 2},
+		{MaxTrials: 100},
+		{TargetQuantile: 0.5},
+	}
+	for _, cfg := range bad {
+		if _, err := NewEstimator(fs, model, cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	e, err := NewEstimator(fs, model, Config{Tolerance: 0.1, TargetQuantile: 0.9, MaxTrials: 10000})
+	if err != nil {
+		t.Fatalf("valid adaptive config rejected: %v", err)
+	}
+	if _, err := e.WithConfig(Config{Tolerance: 0.1, Trials: 5}); err == nil {
+		t.Fatal("WithConfig accepted Trials+Tolerance")
+	}
+}

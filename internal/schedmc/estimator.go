@@ -23,6 +23,35 @@ type Config struct {
 	Seed uint64
 	// Mode selects the re-execution model (default FullReexecution).
 	Mode montecarlo.Mode
+
+	// Tolerance > 0 selects adaptive sequential stopping, with exactly
+	// montecarlo.Config's semantics: run whole chunks until the target
+	// statistic's CI half-width is within tolerance (Trials must then
+	// be 0).
+	Tolerance float64
+	// TargetQuantile, when nonzero, watches that quantile's CI instead of
+	// the mean's (adaptive mode only; must lie in (0,1)).
+	TargetQuantile float64
+	// Confidence is the stopping rule's confidence level
+	// (0 = montecarlo.DefaultConfidence; adaptive mode only).
+	Confidence float64
+	// MaxTrials caps an adaptive run, rounded up to whole chunks
+	// (0 = montecarlo.DefaultTrials; adaptive mode only).
+	MaxTrials int
+}
+
+// mcConfig translates the schedule-level config to the engine's.
+func (c Config) mcConfig() montecarlo.Config {
+	return montecarlo.Config{
+		Trials:         c.Trials,
+		Workers:        c.Workers,
+		Seed:           c.Seed,
+		Mode:           c.Mode,
+		Tolerance:      c.Tolerance,
+		TargetQuantile: c.TargetQuantile,
+		Confidence:     c.Confidence,
+		MaxTrials:      c.MaxTrials,
+	}
 }
 
 // Estimator runs fused Monte Carlo trials over a frozen schedule: per
@@ -42,12 +71,7 @@ type Estimator struct {
 // model. The heavy artifacts are shared with nothing and cached by the
 // makespand registry per (graph, policy, procs, λ).
 func NewEstimator(fs *FrozenSchedule, model failure.Model, cfg Config) (*Estimator, error) {
-	mc, err := montecarlo.NewEstimatorFrozen(fs.Frozen, model, montecarlo.Config{
-		Trials:  cfg.Trials,
-		Workers: cfg.Workers,
-		Seed:    cfg.Seed,
-		Mode:    cfg.Mode,
-	})
+	mc, err := montecarlo.NewEstimatorFrozen(fs.Frozen, model, cfg.mcConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -90,16 +114,32 @@ func (e *Estimator) RunQuantiles() (montecarlo.Result, *montecarlo.QuantileSketc
 // change (montecarlo.Estimator.WithConfig enforces it). This is what
 // lets a warm POST /v1/schedule skip schedule freezing and table builds.
 func (e *Estimator) WithConfig(cfg Config) (*Estimator, error) {
-	mc, err := e.mc.WithConfig(montecarlo.Config{
-		Trials:  cfg.Trials,
-		Workers: cfg.Workers,
-		Seed:    cfg.Seed,
-		Mode:    cfg.Mode,
-	})
+	mc, err := e.mc.WithConfig(cfg.mcConfig())
 	if err != nil {
 		return nil, err
 	}
 	return &Estimator{fs: e.fs, mc: mc}, nil
+}
+
+// ResumeAdaptive runs the adaptive stopping loop over the schedule DAG,
+// optionally extending a previous snapshot — montecarlo.Estimator's
+// ResumeAdaptive semantics verbatim (prefix-deterministic, chunk-aligned,
+// cap always binds). The snapshot can later answer quantile queries and be
+// extended to a tighter tolerance bit-identically to a cold run.
+func (e *Estimator) ResumeAdaptive(prev *montecarlo.Snapshot, progress func(*montecarlo.Snapshot) bool) (montecarlo.Result, *montecarlo.Snapshot, error) {
+	return e.mc.ResumeAdaptive(prev, progress)
+}
+
+// SnapshotConverged reports whether snap already satisfies this
+// estimator's adaptive stopping rule (no trials run).
+func (e *Estimator) SnapshotConverged(snap *montecarlo.Snapshot) bool {
+	return e.mc.SnapshotConverged(snap)
+}
+
+// SnapshotResult derives the Result this estimator's adaptive config would
+// report at snap's state, without running trials.
+func (e *Estimator) SnapshotResult(snap *montecarlo.Snapshot) (montecarlo.Result, error) {
+	return e.mc.SnapshotResult(snap)
 }
 
 // SizeBytes reports the approximate retained size of the estimator: the

@@ -1,0 +1,251 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/montecarlo"
+	"repro/internal/schedmc"
+)
+
+// This file implements cross-request Monte Carlo coalescing: concurrent
+// requests that would run the same trial stream share one kernel run.
+//
+// Adaptive requests coalesce on (graph entry, schedule?, policy, procs,
+// λ, mode, seed) — deliberately NOT on (tolerance, target, confidence):
+// the trial stream is chunk-deterministic and target-agnostic, so one
+// in-flight run can serve every stopping rule, releasing each waiter as
+// soon as the shared prefix satisfies *its* rule. Because the stopping
+// point is a prefix of the same stream a solo run would consume, a
+// waiter's response is byte-identical to the run it would have done
+// alone. The converged snapshot is stored on the entry so later
+// requests (same or looser tolerance) are answered without any trials,
+// and tighter ones extend it instead of restarting.
+//
+// Fixed-budget requests use a conventional singleflight keyed by the
+// full run identity (including trials and whether a sketch is needed):
+// followers arriving while the leader computes share its result.
+//
+// Lock order: Entry.mu → adaptiveSlot.mu → inflightRun.mu. Artifact
+// byte accounting (which takes Registry.mu → Entry.mu) runs outside all
+// three.
+
+// adaptiveRunner abstracts the two adaptive kernels the service
+// coalesces over: the unbounded-processor estimator and the
+// frozen-schedule estimator (which delegates to it). Each request binds
+// its own runner (its tolerance/target/confidence); the shared run only
+// needs the leader's.
+type adaptiveRunner interface {
+	ResumeAdaptive(prev *montecarlo.Snapshot, progress func(*montecarlo.Snapshot) bool) (montecarlo.Result, *montecarlo.Snapshot, error)
+	SnapshotConverged(snap *montecarlo.Snapshot) bool
+	SnapshotResult(snap *montecarlo.Snapshot) (montecarlo.Result, error)
+}
+
+// adaptiveKey identifies one shareable adaptive trial stream of an
+// entry. sched=false keys the unbounded-processor engine (policy/procs
+// zero); sched=true keys a frozen schedule.
+type adaptiveKey struct {
+	sched  bool
+	policy schedmc.Policy
+	procs  int
+	lambda float64
+	mode   montecarlo.Mode
+	seed   uint64
+}
+
+// adaptiveSlot is the per-key coalescing state: the best stored prefix
+// snapshot (immutable once stored) and the in-flight run, if any.
+type adaptiveSlot struct {
+	mu   sync.Mutex
+	snap *montecarlo.Snapshot
+	run  *inflightRun
+}
+
+// inflightRun collects the waiters joined to a leader's kernel run.
+type inflightRun struct {
+	mu      sync.Mutex
+	waiters []*adaptiveWaiter
+}
+
+type adaptiveWaiter struct {
+	satisfied func(*montecarlo.Snapshot) bool
+	ch        chan waiterResult // buffered(1): deliver never blocks
+}
+
+type waiterResult struct {
+	snap *montecarlo.Snapshot
+	err  error
+}
+
+// deliver hands the current prefix to every waiter it satisfies (all of
+// them when final) and reports whether none remain. Each released
+// waiter gets its own clone — the run keeps mutating cur.
+func (r *inflightRun) deliver(cur *montecarlo.Snapshot, final bool, err error) (empty bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kept := r.waiters[:0]
+	for _, w := range r.waiters {
+		if final || w.satisfied(cur) {
+			wr := waiterResult{err: err}
+			if err == nil && cur != nil {
+				wr.snap = cur.Clone()
+			}
+			w.ch <- wr
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	// Zero the tail so dropped waiter pointers don't pin their channels.
+	for i := len(kept); i < len(r.waiters); i++ {
+		r.waiters[i] = nil
+	}
+	r.waiters = kept
+	return len(kept) == 0
+}
+
+// adaptiveSlotFor returns (creating if needed) the entry's coalescing
+// slot for key.
+func (e *Entry) adaptiveSlotFor(key adaptiveKey) *adaptiveSlot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	slot := e.adapts[key]
+	if slot == nil {
+		slot = &adaptiveSlot{}
+		e.adapts[key] = slot
+	}
+	return slot
+}
+
+// coalesceAdaptive answers one adaptive request through the entry's
+// shared trial stream for key. Three outcomes per loop iteration: the
+// stored snapshot already satisfies this request's rule (serve it, zero
+// trials); a run is in flight (join it, wake when the shared prefix
+// satisfies us); or lead a run ourselves, extending the stored
+// snapshot. A joiner released by a run that ended (its leader's cap)
+// before this request's rule was met loops back — its own MaxTrials
+// bounds the retry, so the loop terminates.
+func (s *Server) coalesceAdaptive(e *Entry, key adaptiveKey, runner adaptiveRunner) (montecarlo.Result, *montecarlo.Snapshot, error) {
+	slot := e.adaptiveSlotFor(key)
+	for {
+		slot.mu.Lock()
+		if snap := slot.snap; snap != nil && runner.SnapshotConverged(snap) {
+			slot.mu.Unlock()
+			res, err := runner.SnapshotResult(snap)
+			return res, snap, err
+		}
+		if run := slot.run; run != nil {
+			w := &adaptiveWaiter{satisfied: runner.SnapshotConverged, ch: make(chan waiterResult, 1)}
+			run.mu.Lock()
+			run.waiters = append(run.waiters, w)
+			run.mu.Unlock()
+			slot.mu.Unlock()
+			wr := <-w.ch
+			if wr.err != nil {
+				return montecarlo.Result{}, nil, wr.err
+			}
+			if runner.SnapshotConverged(wr.snap) {
+				res, err := runner.SnapshotResult(wr.snap)
+				return res, wr.snap, err
+			}
+			continue
+		}
+		run := &inflightRun{}
+		slot.run = run
+		prev := slot.snap
+		slot.mu.Unlock()
+
+		e.kernelRuns.Add(1)
+		var res montecarlo.Result
+		var snap *montecarlo.Snapshot
+		err := s.heavy(func() error {
+			var rerr error
+			res, snap, rerr = runner.ResumeAdaptive(prev, func(cur *montecarlo.Snapshot) bool {
+				// Release every waiter the prefix satisfies first, then
+				// apply the leader's own rule; stop only when both the
+				// leader and all joined waiters are done.
+				return run.deliver(cur, false, nil) && runner.SnapshotConverged(cur)
+			})
+			return rerr
+		})
+
+		slot.mu.Lock()
+		slot.run = nil
+		var delta int64
+		if err == nil && (slot.snap == nil || snap.Chunks() > slot.snap.Chunks()) {
+			if slot.snap != nil {
+				delta -= slot.snap.SizeBytes()
+			}
+			slot.snap = snap
+			delta += snap.SizeBytes()
+		}
+		// Sweep waiters that joined after the run's last progress call;
+		// they re-evaluate against the final snapshot and retry if it
+		// still falls short of their rule.
+		run.deliver(snap, true, err)
+		slot.mu.Unlock()
+		if delta != 0 {
+			e.addArtifactBytes(delta)
+		}
+		return res, snap, err
+	}
+}
+
+// fixedKey identifies one shareable fixed-budget run. sketch is part of
+// the identity so a mean-only request never pays for (or waits on) a
+// quantile sketch it didn't ask for.
+type fixedKey struct {
+	sched  bool
+	policy schedmc.Policy
+	procs  int
+	lambda float64
+	mode   montecarlo.Mode
+	seed   uint64
+	trials int
+	sketch bool
+}
+
+// fixedFlight is one in-flight fixed-budget run; followers block on
+// done and then read the leader's fields (written before close).
+type fixedFlight struct {
+	done    chan struct{}
+	joiners atomic.Int64 // followers waiting; test-hook observability
+	res     montecarlo.Result
+	sk      *montecarlo.QuantileSketch
+	err     error
+}
+
+// testHookFixedLeader, when set, runs on the leader after its flight is
+// registered and before the kernel runs. The under-load test uses it to
+// hold the leader until all followers have joined.
+var testHookFixedLeader func(f *fixedFlight)
+
+// coalesceFixed deduplicates concurrent identical fixed-budget runs:
+// the first request becomes the leader and runs kernel (which takes the
+// compute gate itself); requests arriving while it is in flight share
+// its result. The flight is removed before done closes, so a request
+// arriving after completion runs fresh — fixed runs are cheap to rerun
+// and, unlike adaptive snapshots, not worth retaining.
+func (s *Server) coalesceFixed(e *Entry, key fixedKey, kernel func() (montecarlo.Result, *montecarlo.QuantileSketch, error)) (montecarlo.Result, *montecarlo.QuantileSketch, error) {
+	e.mu.Lock()
+	if f := e.fixed[key]; f != nil {
+		f.joiners.Add(1)
+		e.mu.Unlock()
+		<-f.done
+		return f.res, f.sk, f.err
+	}
+	f := &fixedFlight{done: make(chan struct{})}
+	e.fixed[key] = f
+	e.mu.Unlock()
+
+	if h := testHookFixedLeader; h != nil {
+		h(f)
+	}
+	e.kernelRuns.Add(1)
+	f.res, f.sk, f.err = kernel()
+
+	e.mu.Lock()
+	delete(e.fixed, key)
+	e.mu.Unlock()
+	close(f.done)
+	return f.res, f.sk, f.err
+}

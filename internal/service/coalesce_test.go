@@ -1,0 +1,313 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/linalg"
+	"repro/internal/montecarlo"
+	"repro/internal/schedmc"
+)
+
+// coalesceFixture builds a server plus a registered LU graph and returns
+// everything the coalescing tests need: the server (for KernelRuns), the
+// test client, the graph id and a tolerance calibrated so the adaptive
+// run converges after a handful of chunks.
+func coalesceFixture(t *testing.T) (*Server, *httptest.Server, string, float64) {
+	t.Helper()
+	s := New(Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	code, body := post(t, ts, "/v1/graphs", `{"kind":"lu","k":6}`)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(body), &sub); err != nil {
+		t.Fatal(err)
+	}
+	g, err := linalg.LU(6, linalg.KernelTimes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := failure.FromPfail(0.05, g.MeanWeight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := montecarlo.Estimate(g, model, montecarlo.Config{Trials: montecarlo.ChunkTrials, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ts, sub.ID, probe.CI95 / 2
+}
+
+func entryFor(t *testing.T, s *Server, id string) *Entry {
+	t.Helper()
+	e, ok := s.Registry().Get(id)
+	if !ok {
+		t.Fatalf("graph %s not in registry", id)
+	}
+	return e
+}
+
+// N simultaneous identical adaptive requests must coalesce into exactly
+// one kernel run and return byte-identical documents (timing excepted):
+// one leader consumes the shared chunk stream, joiners are released at
+// their (identical) stopping rule, and late arrivals are answered from
+// the stored snapshot.
+func TestAdaptiveCoalescingUnderLoad(t *testing.T) {
+	s, ts, id, tol := coalesceFixture(t)
+	req := fmt.Sprintf(`{"graph_id":%q,"pfail":0.05,"methods":"First Order","tolerance":%g}`, id, tol)
+
+	const n = 8
+	bodies := make([]string, n)
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], bodies[i] = post(t, ts, "/v1/estimate", req)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: %d %s", i, codes[i], bodies[i])
+		}
+		if got, want := normalizeTimes(bodies[i]), normalizeTimes(bodies[0]); got != want {
+			t.Fatalf("request %d body differs:\n%s\n%s", i, got, want)
+		}
+	}
+	var doc struct {
+		MonteCarlo struct {
+			Trials   int `json:"trials"`
+			Adaptive struct {
+				TrialsRun  int     `json:"trials_run"`
+				Converged  bool    `json:"converged"`
+				AchievedCI float64 `json:"achieved_ci"`
+				Tolerance  float64 `json:"tolerance"`
+			} `json:"adaptive"`
+		} `json:"monte_carlo"`
+	}
+	if err := json.Unmarshal([]byte(bodies[0]), &doc); err != nil {
+		t.Fatal(err)
+	}
+	a := doc.MonteCarlo.Adaptive
+	if !a.Converged || a.TrialsRun%montecarlo.ChunkTrials != 0 || a.TrialsRun == 0 ||
+		a.AchievedCI > tol || a.Tolerance != tol || doc.MonteCarlo.Trials != a.TrialsRun {
+		t.Fatalf("adaptive block: %+v", doc.MonteCarlo)
+	}
+	if runs := entryFor(t, s, id).KernelRuns(); runs != 1 {
+		t.Fatalf("%d concurrent identical adaptive requests ran %d kernels, want 1", n, runs)
+	}
+
+	// A later identical request is answered from the stored snapshot:
+	// zero additional kernel runs, same document.
+	code, again := post(t, ts, "/v1/estimate", req)
+	if code != http.StatusOK || normalizeTimes(again) != normalizeTimes(bodies[0]) {
+		t.Fatalf("snapshot-served request differs: %d\n%s", code, again)
+	}
+	if runs := entryFor(t, s, id).KernelRuns(); runs != 1 {
+		t.Fatalf("snapshot-served request ran a kernel (%d runs)", runs)
+	}
+
+	// A tighter tolerance extends the snapshot: exactly one more run,
+	// strictly more trials, and the snapshot count stays at one.
+	tight := fmt.Sprintf(`{"graph_id":%q,"pfail":0.05,"methods":"First Order","tolerance":%g}`, id, tol/4)
+	code, body := post(t, ts, "/v1/estimate", tight)
+	if code != http.StatusOK {
+		t.Fatalf("tighten: %d %s", code, body)
+	}
+	var tightDoc struct {
+		MonteCarlo struct {
+			Adaptive struct {
+				TrialsRun int  `json:"trials_run"`
+				Converged bool `json:"converged"`
+			} `json:"adaptive"`
+		} `json:"monte_carlo"`
+	}
+	if err := json.Unmarshal([]byte(body), &tightDoc); err != nil {
+		t.Fatal(err)
+	}
+	if !tightDoc.MonteCarlo.Adaptive.Converged || tightDoc.MonteCarlo.Adaptive.TrialsRun <= a.TrialsRun {
+		t.Fatalf("tighten did not extend: %+v (was %d trials)", tightDoc.MonteCarlo.Adaptive, a.TrialsRun)
+	}
+	if runs := entryFor(t, s, id).KernelRuns(); runs != 2 {
+		t.Fatalf("tighten ran %d kernels total, want 2", runs)
+	}
+	code, body = get(t, ts, "/v1/graphs/"+id)
+	if code != http.StatusOK {
+		t.Fatalf("get graph: %d %s", code, body)
+	}
+	var gs struct {
+		Cache struct {
+			AdaptiveSnaps int `json:"adaptive_snapshots"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal([]byte(body), &gs); err != nil {
+		t.Fatal(err)
+	}
+	if gs.Cache.AdaptiveSnaps != 1 {
+		t.Fatalf("adaptive_snapshots = %d, want 1", gs.Cache.AdaptiveSnaps)
+	}
+}
+
+// Fixed-budget requests singleflight: followers that arrive while the
+// leader computes share its result. The test hook holds the leader
+// until every follower has joined, so the assertion is timing-free.
+func TestFixedCoalescingUnderLoad(t *testing.T) {
+	s, ts, id, _ := coalesceFixture(t)
+	const n = 6
+	testHookFixedLeader = func(f *fixedFlight) {
+		deadline := time.Now().Add(10 * time.Second)
+		for f.joiners.Load() < n-1 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	defer func() { testHookFixedLeader = nil }()
+
+	req := fmt.Sprintf(`{"graph_id":%q,"pfail":0.05,"methods":"First Order","trials":20000,"quantiles":[0.5,0.9]}`, id)
+	bodies := make([]string, n)
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], bodies[i] = post(t, ts, "/v1/estimate", req)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: %d %s", i, codes[i], bodies[i])
+		}
+		if got, want := normalizeTimes(bodies[i]), normalizeTimes(bodies[0]); got != want {
+			t.Fatalf("request %d body differs:\n%s\n%s", i, got, want)
+		}
+	}
+	if runs := entryFor(t, s, id).KernelRuns(); runs != 1 {
+		t.Fatalf("%d concurrent identical fixed requests ran %d kernels, want 1", n, runs)
+	}
+}
+
+// Schedule-endpoint adaptive requests coalesce per (policy, procs, λ,
+// seed) stream, exactly like the estimate endpoint.
+func TestScheduleAdaptiveCoalescing(t *testing.T) {
+	s, ts, id, _ := coalesceFixture(t)
+	g, err := linalg.LU(6, linalg.KernelTimes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := failure.FromPfail(0.05, g.MeanWeight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, _, err := schedmc.Estimate(g, schedmc.PolicyCP, 4, model, schedmc.Overheads{},
+		schedmc.Config{Trials: montecarlo.ChunkTrials, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := probe.CI95 / 2
+	req := fmt.Sprintf(`{"graph_id":%q,"procs":4,"policies":"cp","pfail":0.05,"tolerance":%g}`, id, tol)
+
+	const n = 6
+	bodies := make([]string, n)
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], bodies[i] = post(t, ts, "/v1/schedule", req)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: %d %s", i, codes[i], bodies[i])
+		}
+		if got, want := normalizeTimes(bodies[i]), normalizeTimes(bodies[0]); got != want {
+			t.Fatalf("request %d body differs:\n%s\n%s", i, got, want)
+		}
+	}
+	var doc struct {
+		Policies []struct {
+			MonteCarlo struct {
+				Adaptive struct {
+					TrialsRun int  `json:"trials_run"`
+					Converged bool `json:"converged"`
+				} `json:"adaptive"`
+			} `json:"monte_carlo"`
+		} `json:"policies"`
+	}
+	if err := json.Unmarshal([]byte(bodies[0]), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Policies) != 1 || !doc.Policies[0].MonteCarlo.Adaptive.Converged ||
+		doc.Policies[0].MonteCarlo.Adaptive.TrialsRun%montecarlo.ChunkTrials != 0 {
+		t.Fatalf("schedule adaptive block: %s", bodies[0])
+	}
+	if runs := entryFor(t, s, id).KernelRuns(); runs != 1 {
+		t.Fatalf("%d concurrent identical schedule requests ran %d kernels, want 1", n, runs)
+	}
+}
+
+// The adaptive request knobs validate exactly like the engine config;
+// errors surface as 400s, never as silent reinterpretation.
+func TestAdaptiveRequestValidation(t *testing.T) {
+	_, ts, id, tol := coalesceFixture(t)
+	bad := []struct {
+		name, path, body string
+	}{
+		{"trials+tolerance", "/v1/estimate", fmt.Sprintf(`{"graph_id":%q,"trials":1000,"tolerance":0.5}`, id)},
+		{"negative tolerance", "/v1/estimate", fmt.Sprintf(`{"graph_id":%q,"tolerance":-1}`, id)},
+		{"max_trials alone", "/v1/estimate", fmt.Sprintf(`{"graph_id":%q,"max_trials":1000}`, id)},
+		{"target_quantile alone", "/v1/estimate", fmt.Sprintf(`{"graph_id":%q,"target_quantile":0.9}`, id)},
+		{"confidence alone", "/v1/estimate", fmt.Sprintf(`{"graph_id":%q,"confidence":0.99}`, id)},
+		{"bad target quantile", "/v1/estimate", fmt.Sprintf(`{"graph_id":%q,"tolerance":0.5,"target_quantile":1.5}`, id)},
+		{"bad confidence", "/v1/estimate", fmt.Sprintf(`{"graph_id":%q,"tolerance":0.5,"confidence":2}`, id)},
+		{"negative max_trials", "/v1/estimate", fmt.Sprintf(`{"graph_id":%q,"tolerance":0.5,"max_trials":-5}`, id)},
+		{"bad response quantile", "/v1/estimate", fmt.Sprintf(`{"graph_id":%q,"tolerance":0.5,"quantiles":[1.5]}`, id)},
+		{"sched trials+tolerance", "/v1/schedule", fmt.Sprintf(`{"graph_id":%q,"procs":2,"trials":1000,"tolerance":0.5}`, id)},
+		{"sched max_trials alone", "/v1/schedule", fmt.Sprintf(`{"graph_id":%q,"procs":2,"max_trials":1000}`, id)},
+		{"sched bad quantile", "/v1/schedule", fmt.Sprintf(`{"graph_id":%q,"procs":2,"tolerance":0.5,"quantiles":[0]}`, id)},
+	}
+	for _, tc := range bad {
+		if code, body := post(t, ts, tc.path, tc.body); code != http.StatusBadRequest {
+			t.Errorf("%s: got %d %s", tc.name, code, body)
+		}
+	}
+
+	// Quantiles ride along with tolerance (no trials needed), answered
+	// from the run's sketch.
+	code, body := post(t, ts, "/v1/estimate",
+		fmt.Sprintf(`{"graph_id":%q,"methods":"First Order","tolerance":%g,"quantiles":[0.5,0.9]}`, id, tol))
+	if code != http.StatusOK {
+		t.Fatalf("adaptive quantiles: %d %s", code, body)
+	}
+	var doc struct {
+		MonteCarlo struct {
+			Quantiles []struct {
+				Q     float64 `json:"q"`
+				Value float64 `json:"value"`
+			} `json:"quantiles"`
+		} `json:"monte_carlo"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.MonteCarlo.Quantiles) != 2 || doc.MonteCarlo.Quantiles[0].Value <= 0 ||
+		doc.MonteCarlo.Quantiles[1].Value < doc.MonteCarlo.Quantiles[0].Value {
+		t.Fatalf("adaptive quantiles: %s", body)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bounds"
 	"repro/internal/dag"
@@ -57,6 +58,12 @@ type Entry struct {
 	plans  map[int]*planSlot
 	ests   map[estKey]*estSlot
 	scheds map[schedKey]*schedSlot
+	adapts map[adaptiveKey]*adaptiveSlot
+	fixed  map[fixedKey]*fixedFlight
+
+	// kernelRuns counts Monte Carlo kernel executions this entry paid
+	// for; coalesced requests share one (see coalesce.go).
+	kernelRuns atomic.Int64
 
 	sweepers sync.Pool // *bounds.Sweeper, per-goroutine scratch
 	paths    sync.Pool // *dag.PathEvaluator, per-goroutine scratch
@@ -195,6 +202,8 @@ func (r *Registry) Add(g *dag.Graph, meta GraphMeta) (*Entry, bool, error) {
 		plans:     make(map[int]*planSlot),
 		ests:      make(map[estKey]*estSlot),
 		scheds:    make(map[schedKey]*schedSlot),
+		adapts:    make(map[adaptiveKey]*adaptiveSlot),
+		fixed:     make(map[fixedKey]*fixedFlight),
 		baseBytes: int64(len(canonical)) + frozen.SizeBytes() + graphSizeEstimate(g),
 	}
 	e.sweepers.New = func() any { return bounds.NewSweeperFrozen(frozen) }
@@ -453,23 +462,39 @@ func (e *Entry) PutPathEvaluator(pe *dag.PathEvaluator) {
 
 // CacheInfo reports the entry's artifact population for GET /v1/graphs.
 type CacheInfo struct {
-	Bytes      int64
-	DodinPlans int
-	Estimators int
-	Schedules  int
+	Bytes         int64
+	DodinPlans    int
+	Estimators    int
+	Schedules     int
+	AdaptiveSnaps int
 }
 
 // Cache snapshots the entry's artifact counts and accounted bytes.
 func (e *Entry) Cache() CacheInfo {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	snaps := 0
+	for _, slot := range e.adapts {
+		slot.mu.Lock()
+		if slot.snap != nil {
+			snaps++
+		}
+		slot.mu.Unlock()
+	}
 	return CacheInfo{
-		Bytes:      e.baseBytes + e.artifactBytes,
-		DodinPlans: len(e.plans),
-		Estimators: len(e.ests),
-		Schedules:  len(e.scheds),
+		Bytes:         e.baseBytes + e.artifactBytes,
+		DodinPlans:    len(e.plans),
+		Estimators:    len(e.ests),
+		Schedules:     len(e.scheds),
+		AdaptiveSnaps: snaps,
 	}
 }
+
+// KernelRuns reports how many Monte Carlo kernel executions this entry
+// has actually paid for; coalesced concurrent requests and snapshot
+// cache hits share or skip runs, so this can be far below the request
+// count. The coalescing tests assert on it.
+func (e *Entry) KernelRuns() int64 { return e.kernelRuns.Load() }
 
 func (e *Entry) addArtifactBytes(delta int64) {
 	if e.reg != nil {

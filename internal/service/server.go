@@ -203,10 +203,11 @@ type graphSummary struct {
 }
 
 type cacheJSON struct {
-	Bytes      int64 `json:"bytes"`
-	DodinPlans int   `json:"dodin_plans"`
-	Estimators int   `json:"mc_estimators"`
-	Schedules  int   `json:"schedules"`
+	Bytes         int64 `json:"bytes"`
+	DodinPlans    int   `json:"dodin_plans"`
+	Estimators    int   `json:"mc_estimators"`
+	Schedules     int   `json:"schedules"`
+	AdaptiveSnaps int   `json:"adaptive_snapshots"`
 }
 
 func summarize(e *Entry, created bool, withCache bool) graphSummary {
@@ -220,7 +221,13 @@ func summarize(e *Entry, created bool, withCache bool) graphSummary {
 	}
 	if withCache {
 		ci := e.Cache()
-		out.Cache = &cacheJSON{Bytes: ci.Bytes, DodinPlans: ci.DodinPlans, Estimators: ci.Estimators, Schedules: ci.Schedules}
+		out.Cache = &cacheJSON{
+			Bytes:         ci.Bytes,
+			DodinPlans:    ci.DodinPlans,
+			Estimators:    ci.Estimators,
+			Schedules:     ci.Schedules,
+			AdaptiveSnaps: ci.AdaptiveSnaps,
+		}
 	}
 	return out
 }
@@ -272,6 +279,16 @@ type estimateRequest struct {
 	DodinAtoms int       `json:"dodin_atoms,omitempty"`
 	Bounds     bool      `json:"bounds,omitempty"`
 	Quantiles  []float64 `json:"quantiles,omitempty"`
+
+	// Tolerance > 0 selects adaptive Monte Carlo (trials must then be
+	// omitted): run until the target statistic's CI half-width is within
+	// tolerance, capped by max_trials. Exactly montecarlo.Config's
+	// semantics; concurrent adaptive requests for the same stream
+	// coalesce into one kernel run (see coalesce.go).
+	Tolerance      float64 `json:"tolerance,omitempty"`
+	TargetQuantile float64 `json:"target_quantile,omitempty"`
+	Confidence     float64 `json:"confidence,omitempty"`
+	MaxTrials      int     `json:"max_trials,omitempty"`
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -290,12 +307,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBadRequest("%v", err))
 		return
 	}
-	var est report.Estimate
-	if err := s.heavy(func() error {
-		var err error
-		est, err = s.buildEstimate(e, model, req)
-		return err
-	}); err != nil {
+	// No outer gate here: buildEstimate takes the compute gate around its
+	// heavy phases itself, so the Monte Carlo phase can go through the
+	// coalescers (whose leaders acquire the gate) without deadlocking.
+	est, err := s.buildEstimate(e, model, req)
+	if err != nil {
 		writeError(w, err)
 		return
 	}
@@ -338,15 +354,6 @@ func (s *Server) buildEstimate(e *Entry, model failure.Model, req estimateReques
 		},
 		FailureFree: e.D0,
 	}
-	if req.Bounds {
-		sw := e.Sweeper()
-		lo, hi, err := sw.Bracket(model, req.DodinAtoms)
-		e.PutSweeper(sw)
-		if err != nil {
-			return est, errBadRequest("bounds: %v", err)
-		}
-		est.Bracket = &report.BracketInfo{Lower: lo, Upper: hi}
-	}
 	methods, err := experiments.ParseMethods(req.Methods)
 	if err != nil {
 		return est, errBadRequest("%v", err)
@@ -354,44 +361,66 @@ func (s *Server) buildEstimate(e *Entry, model failure.Model, req estimateReques
 	if err := report.ValidateQuantiles(req.Quantiles); err != nil {
 		return est, errBadRequest("%v", err)
 	}
-	if len(req.Quantiles) > 0 && req.Trials == 0 {
-		return est, errBadRequest("quantiles need Monte Carlo trials (trials > 0)")
-	}
-	for _, m := range methods {
-		var v float64
-		var dt time.Duration
-		switch m {
-		case experiments.MethodDodin:
-			// Warm: replay the cached reduction schedule instead of
-			// re-running the series-parallel reduction.
-			plan, err := e.Plan(req.DodinAtoms, model)
-			if err != nil {
-				return est, errBadRequest("%s: %v", m, err)
-			}
-			t0 := time.Now()
-			res, err := plan.Run(model)
-			if err != nil {
-				return est, errBadRequest("%s: %v", m, err)
-			}
-			v, dt = res.Estimate, time.Since(t0)
-		case experiments.MethodFirstOrder:
-			// Warm: evaluate on a pooled PathEvaluator over the shared
-			// frozen graph instead of re-freezing per call.
-			pe := e.PathEvaluator()
-			t0 := time.Now()
-			res := core.FirstOrderWith(pe, model)
-			v, dt = res.Estimate, time.Since(t0)
-			e.PutPathEvaluator(pe)
-		default:
-			var err error
-			v, dt, err = experiments.Estimate(m, e.G, model, req.DodinAtoms)
-			if err != nil {
-				return est, errBadRequest("%s: %v", m, err)
-			}
+	if req.Trials == 0 && req.Tolerance == 0 {
+		if len(req.Quantiles) > 0 {
+			return est, errBadRequest("quantiles need Monte Carlo trials (trials > 0 or tolerance > 0)")
 		}
-		est.Methods = append(est.Methods, report.MethodEstimate{Method: string(m), Estimate: v, Time: dt})
+		if req.MaxTrials != 0 || req.TargetQuantile != 0 || req.Confidence != 0 {
+			return est, errBadRequest("monte carlo: max_trials, target_quantile and confidence need tolerance > 0")
+		}
 	}
-	if req.Trials == 0 {
+	// Bounds and analytic methods run under the compute gate; the Monte
+	// Carlo phase below takes it through the coalescers instead, so
+	// requests sharing a trial stream don't each occupy a gate slot.
+	if err := s.heavy(func() error {
+		if req.Bounds {
+			sw := e.Sweeper()
+			lo, hi, err := sw.Bracket(model, req.DodinAtoms)
+			e.PutSweeper(sw)
+			if err != nil {
+				return errBadRequest("bounds: %v", err)
+			}
+			est.Bracket = &report.BracketInfo{Lower: lo, Upper: hi}
+		}
+		for _, m := range methods {
+			var v float64
+			var dt time.Duration
+			switch m {
+			case experiments.MethodDodin:
+				// Warm: replay the cached reduction schedule instead of
+				// re-running the series-parallel reduction.
+				plan, err := e.Plan(req.DodinAtoms, model)
+				if err != nil {
+					return errBadRequest("%s: %v", m, err)
+				}
+				t0 := time.Now()
+				res, err := plan.Run(model)
+				if err != nil {
+					return errBadRequest("%s: %v", m, err)
+				}
+				v, dt = res.Estimate, time.Since(t0)
+			case experiments.MethodFirstOrder:
+				// Warm: evaluate on a pooled PathEvaluator over the shared
+				// frozen graph instead of re-freezing per call.
+				pe := e.PathEvaluator()
+				t0 := time.Now()
+				res := core.FirstOrderWith(pe, model)
+				v, dt = res.Estimate, time.Since(t0)
+				e.PutPathEvaluator(pe)
+			default:
+				var err error
+				v, dt, err = experiments.Estimate(m, e.G, model, req.DodinAtoms)
+				if err != nil {
+					return errBadRequest("%s: %v", m, err)
+				}
+			}
+			est.Methods = append(est.Methods, report.MethodEstimate{Method: string(m), Estimate: v, Time: dt})
+		}
+		return nil
+	}); err != nil {
+		return est, err
+	}
+	if req.Trials == 0 && req.Tolerance == 0 {
 		return est, nil
 	}
 	seed := uint64(42)
@@ -403,13 +432,63 @@ func (s *Server) buildEstimate(e *Entry, model failure.Model, req estimateReques
 	if err != nil {
 		return est, errBadRequest("monte carlo: %v", err)
 	}
-	run, err := warm.WithConfig(montecarlo.Config{Trials: req.Trials, Seed: seed, Workers: s.workers})
-	if err != nil {
-		return est, errBadRequest("monte carlo: %v", err)
-	}
 	var mc *report.MonteCarloInfo
-	if len(req.Quantiles) > 0 {
-		res, sketch, err := run.RunQuantiles()
+	if req.Tolerance != 0 {
+		run, err := warm.WithConfig(montecarlo.Config{
+			Trials:         req.Trials, // nonzero: rejected by the engine
+			Seed:           seed,
+			Workers:        s.workers,
+			Tolerance:      req.Tolerance,
+			TargetQuantile: req.TargetQuantile,
+			Confidence:     req.Confidence,
+			MaxTrials:      req.MaxTrials,
+		})
+		if err != nil {
+			return est, errBadRequest("monte carlo: %v", err)
+		}
+		key := adaptiveKey{lambda: model.Lambda, mode: montecarlo.FullReexecution, seed: seed}
+		res, snap, err := s.coalesceAdaptive(e, key, run)
+		if err != nil {
+			return est, errBadRequest("monte carlo: %v", err)
+		}
+		mc = report.MonteCarloInfoFrom(res, seed)
+		mc.Adaptive = report.AdaptiveInfoFrom(res, req.Tolerance, req.TargetQuantile, req.Confidence)
+		if len(req.Quantiles) > 0 {
+			sketch := snap.Sketch()
+			for _, q := range req.Quantiles {
+				mc.Quantiles = append(mc.Quantiles, report.QuantileValue{Q: q, Value: sketch.Quantile(q)})
+			}
+		}
+	} else {
+		run, err := warm.WithConfig(montecarlo.Config{
+			Trials:         req.Trials,
+			Seed:           seed,
+			Workers:        s.workers,
+			TargetQuantile: req.TargetQuantile,
+			Confidence:     req.Confidence,
+			MaxTrials:      req.MaxTrials,
+		})
+		if err != nil {
+			return est, errBadRequest("monte carlo: %v", err)
+		}
+		key := fixedKey{
+			lambda: model.Lambda, mode: montecarlo.FullReexecution,
+			seed: seed, trials: req.Trials, sketch: len(req.Quantiles) > 0,
+		}
+		res, sketch, err := s.coalesceFixed(e, key, func() (montecarlo.Result, *montecarlo.QuantileSketch, error) {
+			var res montecarlo.Result
+			var sk *montecarlo.QuantileSketch
+			err := s.heavy(func() error {
+				var err error
+				if key.sketch {
+					res, sk, err = run.RunQuantiles()
+				} else {
+					res, err = run.Run()
+				}
+				return err
+			})
+			return res, sk, err
+		})
 		if err != nil {
 			return est, errBadRequest("monte carlo: %v", err)
 		}
@@ -417,12 +496,6 @@ func (s *Server) buildEstimate(e *Entry, model failure.Model, req estimateReques
 		for _, q := range req.Quantiles {
 			mc.Quantiles = append(mc.Quantiles, report.QuantileValue{Q: q, Value: sketch.Quantile(q)})
 		}
-	} else {
-		res, err := run.Run()
-		if err != nil {
-			return est, errBadRequest("monte carlo: %v", err)
-		}
-		mc = report.MonteCarloInfoFrom(res, seed)
 	}
 	mc.Time = time.Since(t0)
 	est.MonteCarlo = mc
@@ -443,6 +516,14 @@ type scheduleRequest struct {
 	Trials    int       `json:"trials,omitempty"`
 	Seed      *uint64   `json:"seed,omitempty"`
 	Quantiles []float64 `json:"quantiles,omitempty"`
+
+	// Adaptive stopping, per policy, with the estimate endpoint's
+	// semantics: tolerance > 0 runs each policy's trial stream until its
+	// CI is within tolerance (trials must then be omitted).
+	Tolerance      float64 `json:"tolerance,omitempty"`
+	TargetQuantile float64 `json:"target_quantile,omitempty"`
+	Confidence     float64 `json:"confidence,omitempty"`
+	MaxTrials      int     `json:"max_trials,omitempty"`
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
@@ -468,9 +549,15 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBadRequest("%v", err))
 		return
 	}
-	if len(req.Quantiles) > 0 && req.Trials == 0 {
-		writeError(w, errBadRequest("quantiles need Monte Carlo trials (trials > 0)"))
-		return
+	if req.Trials == 0 && req.Tolerance == 0 {
+		if len(req.Quantiles) > 0 {
+			writeError(w, errBadRequest("quantiles need Monte Carlo trials (trials > 0 or tolerance > 0)"))
+			return
+		}
+		if req.MaxTrials != 0 || req.TargetQuantile != 0 || req.Confidence != 0 {
+			writeError(w, errBadRequest("max_trials, target_quantile and confidence need tolerance > 0"))
+			return
+		}
 	}
 	e, _, err := s.resolve(req.graphRef)
 	if err != nil {
@@ -482,12 +569,10 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBadRequest("%v", err))
 		return
 	}
-	var doc report.Schedule
-	if err := s.heavy(func() error {
-		var err error
-		doc, err = s.buildSchedule(e, model, policies, req)
-		return err
-	}); err != nil {
+	// Like handleEstimate: buildSchedule gates its own heavy phases so
+	// the Monte Carlo runs can coalesce across requests.
+	doc, err := s.buildSchedule(e, model, policies, req)
+	if err != nil {
 		writeError(w, err)
 		return
 	}
@@ -517,9 +602,18 @@ func (s *Server) buildSchedule(e *Entry, model failure.Model, policies []schedmc
 		seed = *req.Seed
 	}
 	for _, pol := range policies {
-		warm, err := e.ScheduleEstimator(pol, req.Procs, model)
-		if err != nil {
-			return doc, errBadRequest("%s: %v", pol, err)
+		// Schedule freezing and estimator compilation are heavy; gate
+		// them. The Monte Carlo phase goes through the coalescers.
+		var warm *schedmc.Estimator
+		if err := s.heavy(func() error {
+			var err error
+			warm, err = e.ScheduleEstimator(pol, req.Procs, model)
+			if err != nil {
+				return errBadRequest("%s: %v", pol, err)
+			}
+			return nil
+		}); err != nil {
+			return doc, err
 		}
 		fs := warm.Schedule()
 		p := report.SchedulePolicy{
@@ -529,15 +623,69 @@ func (s *Server) buildSchedule(e *Entry, model failure.Model, policies []schedmc
 			Efficiency:  fs.Efficiency(),
 			ChainEdges:  fs.ChainEdges,
 		}
-		if req.Trials > 0 {
-			run, err := warm.WithConfig(schedmc.Config{Trials: req.Trials, Seed: seed, Workers: s.workers})
-			if err != nil {
-				return doc, errBadRequest("%s: %v", pol, err)
-			}
+		if req.Trials > 0 || req.Tolerance != 0 {
 			t0 := time.Now()
 			var mc *report.MonteCarloInfo
-			if len(req.Quantiles) > 0 {
-				res, sketch, err := run.RunQuantiles()
+			if req.Tolerance != 0 {
+				run, err := warm.WithConfig(schedmc.Config{
+					Trials:         req.Trials, // nonzero: rejected by the engine
+					Seed:           seed,
+					Workers:        s.workers,
+					Tolerance:      req.Tolerance,
+					TargetQuantile: req.TargetQuantile,
+					Confidence:     req.Confidence,
+					MaxTrials:      req.MaxTrials,
+				})
+				if err != nil {
+					return doc, errBadRequest("%s: %v", pol, err)
+				}
+				key := adaptiveKey{
+					sched: true, policy: pol, procs: req.Procs,
+					lambda: model.Lambda, mode: montecarlo.FullReexecution, seed: seed,
+				}
+				res, snap, err := s.coalesceAdaptive(e, key, run)
+				if err != nil {
+					return doc, errBadRequest("%s: %v", pol, err)
+				}
+				mc = report.MonteCarloInfoFrom(res, seed)
+				mc.Adaptive = report.AdaptiveInfoFrom(res, req.Tolerance, req.TargetQuantile, req.Confidence)
+				if len(req.Quantiles) > 0 {
+					sketch := snap.Sketch()
+					for _, q := range req.Quantiles {
+						mc.Quantiles = append(mc.Quantiles, report.QuantileValue{Q: q, Value: sketch.Quantile(q)})
+					}
+				}
+			} else {
+				run, err := warm.WithConfig(schedmc.Config{
+					Trials:         req.Trials,
+					Seed:           seed,
+					Workers:        s.workers,
+					TargetQuantile: req.TargetQuantile,
+					Confidence:     req.Confidence,
+					MaxTrials:      req.MaxTrials,
+				})
+				if err != nil {
+					return doc, errBadRequest("%s: %v", pol, err)
+				}
+				key := fixedKey{
+					sched: true, policy: pol, procs: req.Procs,
+					lambda: model.Lambda, mode: montecarlo.FullReexecution,
+					seed: seed, trials: req.Trials, sketch: len(req.Quantiles) > 0,
+				}
+				res, sketch, err := s.coalesceFixed(e, key, func() (montecarlo.Result, *montecarlo.QuantileSketch, error) {
+					var res montecarlo.Result
+					var sk *montecarlo.QuantileSketch
+					err := s.heavy(func() error {
+						var err error
+						if key.sketch {
+							res, sk, err = run.RunQuantiles()
+						} else {
+							res, err = run.Run()
+						}
+						return err
+					})
+					return res, sk, err
+				})
 				if err != nil {
 					return doc, errBadRequest("%s: %v", pol, err)
 				}
@@ -545,12 +693,6 @@ func (s *Server) buildSchedule(e *Entry, model failure.Model, policies []schedmc
 				for _, q := range req.Quantiles {
 					mc.Quantiles = append(mc.Quantiles, report.QuantileValue{Q: q, Value: sketch.Quantile(q)})
 				}
-			} else {
-				res, err := run.Run()
-				if err != nil {
-					return doc, errBadRequest("%s: %v", pol, err)
-				}
-				mc = report.MonteCarloInfoFrom(res, seed)
 			}
 			mc.Time = time.Since(t0)
 			p.MonteCarlo = mc

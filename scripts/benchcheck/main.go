@@ -3,8 +3,12 @@
 // baselines and fails when a headline metric regressed beyond the noise
 // tolerance, when the service cache-hit benchmark no longer shows a
 // warm estimate being at least -min-warm-ratio times cheaper than a cold
-// one, or when the frozen-schedule engine drops below -min-sched-ratio
-// times the speed of the legacy re-scheduling loop it replaced.
+// one, when the frozen-schedule engine drops below -min-sched-ratio
+// times the speed of the legacy re-scheduling loop it replaced, when
+// adaptive stopping no longer beats the fixed default budget by at least
+// -min-adaptive-ratio at equal achieved quantile CI, or when extending a
+// warm snapshot drops below -min-extend-ratio times the speed of the
+// equivalent cold adaptive run.
 //
 // Usage:
 //
@@ -62,6 +66,34 @@ var headline = map[string][]string{
 		"BenchmarkSchedMCWarmLU16",
 		"BenchmarkSchedFreezeLU16",
 	},
+	"BENCH_adaptive.json": {
+		"BenchmarkAdaptiveStopLU10",
+		"BenchmarkAdaptiveWarmExtendLU10",
+	},
+}
+
+// ratioGate checks that two benchmarks in one fresh file keep a minimum
+// best_ns_op ratio (slow/fast >= min). Returns 1 on failure for the
+// caller's failure count.
+func ratioGate(freshDir, file, label, slowName, fastName string, min float64) int {
+	fresh, err := load(filepath.Join(freshDir, file))
+	if err != nil {
+		fatal(fmt.Errorf("%s needed for the %s gate: %w", file, label, err))
+	}
+	slow, okS := fresh[slowName]
+	fast, okF := fresh[fastName]
+	if !okS || !okF {
+		fatal(fmt.Errorf("%s pair missing from fresh %s", label, file))
+	}
+	ratio := slow.BestNsOp / fast.BestNsOp
+	status := "ok  "
+	fails := 0
+	if ratio < min {
+		status = "FAIL"
+		fails = 1
+	}
+	fmt.Printf("%s %-40s %.1fx (minimum %.1fx)\n", status, label, ratio, min)
+	return fails
 }
 
 func load(path string) (map[string]entry, error) {
@@ -86,6 +118,8 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.25, "allowed relative slowdown of best_ns_op before failing")
 	warmRatio := flag.Float64("min-warm-ratio", 5, "required cold/warm ratio of the service estimate pair (0 disables)")
 	schedRatio := flag.Float64("min-sched-ratio", 10, "required legacy/frozen ratio of the schedsim engine pair (0 disables)")
+	adaptiveRatio := flag.Float64("min-adaptive-ratio", 2, "required fixed/adaptive ratio at equal quantile CI (0 disables)")
+	extendRatio := flag.Float64("min-extend-ratio", 3, "required cold/warm ratio of the snapshot-extension pair (0 disables)")
 	flag.Parse()
 
 	failures := 0
@@ -167,6 +201,24 @@ func main() {
 		}
 		fmt.Printf("%s %-40s legacy/frozen = %.1fx (minimum %.1fx)\n",
 			status, "schedsim engine speedup", ratio, *schedRatio)
+	}
+
+	if *adaptiveRatio > 0 {
+		// The PR 6 acceptance criterion, part 1: at equal achieved quantile
+		// CI (the adaptive run's tolerance is the fixed run's measured q=0.9
+		// CI half-width), sequential stopping must spend >= 2x fewer trials —
+		// measured here as wall clock, which is proportional to trials on one
+		// graph (LU k=10, 1,155 tasks).
+		failures += ratioGate(*freshDir, "BENCH_adaptive.json", "adaptive trials saving",
+			"BenchmarkAdaptiveFixedBudgetLU10", "BenchmarkAdaptiveStopLU10", *adaptiveRatio)
+	}
+	if *extendRatio > 0 {
+		// Part 2: a tighten-tolerance request that resumes the retained
+		// snapshot must be >= 3x faster than re-running the whole prefix
+		// cold (both land on the identical result, pinned by the engine's
+		// warm-extension tests).
+		failures += ratioGate(*freshDir, "BENCH_adaptive.json", "adaptive warm-extend speedup",
+			"BenchmarkAdaptiveColdRestartLU10", "BenchmarkAdaptiveWarmExtendLU10", *extendRatio)
 	}
 
 	if failures > 0 {

@@ -34,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/experiments"
 	"repro/internal/linalg"
 	"repro/internal/report"
@@ -77,6 +78,11 @@ func main() {
 		TargetQuantile: *targetQ,
 		Confidence:     *confid,
 		MaxTrials:      *maxTrials,
+		// One process-local store for the whole invocation: the full run
+		// revisits each (fact, k) graph at three pfails, and a sweep
+		// following the figures reuses their frozen graphs — shared by
+		// construction, exactly like the makespand registry's store.
+		Artifacts: artifact.NewStore(0),
 	}
 	if *allM {
 		opts.Methods = experiments.AllMethods()

@@ -36,7 +36,8 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/bounds"
+	"repro/internal/artifact"
+	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/experiments"
 	"repro/internal/failure"
@@ -127,14 +128,21 @@ func run(o options) error {
 	return report.WriteEstimateText(os.Stdout, est)
 }
 
-// buildEstimate runs every selected estimator cold — the CLI pays the
-// full construction cost each invocation; the makespand service answers
-// the same request from its warm registry, byte-identically.
+// buildEstimate assembles the estimate document through a process-local
+// artifact store — the same resolver the makespand service runs on, so
+// the CLI and the service share one assembly path: the frozen graph, the
+// Dodin reduction plan (recorded once, replayed per evaluation) and the
+// compiled Monte Carlo estimator are all store rules here and there.
+// Within one invocation everything is a cold build; the value is that
+// there is exactly one construction path to keep byte-identical, which
+// the e2e suite pins CLI-vs-service.
 func buildEstimate(g *dag.Graph, model failure.Model, o options) (report.Estimate, error) {
-	d, err := dag.Makespan(g)
+	st := artifact.NewStore(0)
+	ga, _, err := st.Graph(g)
 	if err != nil {
 		return report.Estimate{}, err
 	}
+	g, d := ga.G, ga.D0
 	qs, err := report.ParseQuantiles(o.quantiles)
 	if err != nil {
 		return report.Estimate{}, err
@@ -157,7 +165,9 @@ func buildEstimate(g *dag.Graph, model failure.Model, o options) (report.Estimat
 		FailureFree: d,
 	}
 	if o.bounds {
-		lo, hi, err := bounds.Bracket(g, model, o.atoms)
+		sw := ga.Sweeper()
+		lo, hi, err := sw.Bracket(model, o.atoms)
+		ga.PutSweeper(sw)
 		if err != nil {
 			return report.Estimate{}, fmt.Errorf("bounds: %w", err)
 		}
@@ -168,9 +178,31 @@ func buildEstimate(g *dag.Graph, model failure.Model, o options) (report.Estimat
 		return report.Estimate{}, err
 	}
 	for _, m := range methods {
-		v, dt, err := experiments.Estimate(m, g, model, o.atoms)
-		if err != nil {
-			return report.Estimate{}, fmt.Errorf("%s: %w", m, err)
+		var v float64
+		var dt time.Duration
+		switch m {
+		case experiments.MethodDodin:
+			plan, err := st.Plan(ga, o.atoms, model)
+			if err != nil {
+				return report.Estimate{}, fmt.Errorf("%s: %w", m, err)
+			}
+			t0 := time.Now()
+			res, err := plan.Run(model)
+			if err != nil {
+				return report.Estimate{}, fmt.Errorf("%s: %w", m, err)
+			}
+			v, dt = res.Estimate, time.Since(t0)
+		case experiments.MethodFirstOrder:
+			pe := ga.PathEvaluator()
+			t0 := time.Now()
+			res := core.FirstOrderWith(pe, model)
+			v, dt = res.Estimate, time.Since(t0)
+			ga.PutPathEvaluator(pe)
+		default:
+			v, dt, err = experiments.Estimate(m, g, model, o.atoms)
+			if err != nil {
+				return report.Estimate{}, fmt.Errorf("%s: %w", m, err)
+			}
 		}
 		est.Methods = append(est.Methods, report.MethodEstimate{Method: string(m), Estimate: v, Time: dt})
 	}
@@ -189,7 +221,11 @@ func buildEstimate(g *dag.Graph, model failure.Model, o options) (report.Estimat
 		MaxTrials:      o.maxTrials,
 	}
 	t0 := time.Now()
-	mcEst, err := montecarlo.NewEstimator(g, model, cfg)
+	warm, err := st.Estimator(ga, model, montecarlo.FullReexecution)
+	if err != nil {
+		return report.Estimate{}, err
+	}
+	mcEst, err := warm.WithConfig(cfg)
 	if err != nil {
 		return report.Estimate{}, err
 	}

@@ -31,6 +31,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/dag"
 	"repro/internal/failure"
 	"repro/internal/linalg"
@@ -192,10 +193,16 @@ func run(o options, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	d, err := dag.Makespan(tg)
+	// One process-local artifact store: the frozen schedule-DAG estimator
+	// per (policy, procs, λ) is the same store rule the makespand service
+	// resolves, so both front ends share one construction path (the e2e
+	// suite pins their outputs byte-identical).
+	st := artifact.NewStore(0)
+	ga, _, err := st.Graph(tg)
 	if err != nil {
 		return err
 	}
+	tg, d := ga.G, ga.D0
 	doc := report.Schedule{
 		Graph: report.GraphInfo{Tasks: tg.NumTasks(), Edges: tg.NumEdges(), MeanWeight: tg.MeanWeight()},
 		Model: report.ModelInfo{
@@ -208,7 +215,7 @@ func run(o options, out io.Writer) error {
 	}
 	var gantts []sched.Schedule
 	for _, pol := range policies {
-		p, base, err := runPolicy(tg, pol, tm, qs, o)
+		p, base, err := runPolicy(st, ga, pol, tm, qs, o)
 		if err != nil {
 			return err
 		}
@@ -232,14 +239,16 @@ func run(o options, out io.Writer) error {
 	return nil
 }
 
-// runPolicy evaluates one policy: freeze the schedule, estimate the
-// expected makespan (frozen engine by default, the dynamic re-scheduling
-// loop behind -dynamic) and assemble the report entry.
-func runPolicy(g *dag.Graph, pol schedmc.Policy, model failure.Model, qs []float64, o options) (report.SchedulePolicy, sched.Schedule, error) {
-	fs, err := schedmc.Freeze(g, pol, o.procs, model)
+// runPolicy evaluates one policy: resolve the frozen schedule and its
+// compiled estimator through the artifact store, estimate the expected
+// makespan (frozen engine by default, the dynamic re-scheduling loop
+// behind -dynamic) and assemble the report entry.
+func runPolicy(st *artifact.Store, ga *artifact.Graph, pol schedmc.Policy, model failure.Model, qs []float64, o options) (report.SchedulePolicy, sched.Schedule, error) {
+	warm, err := st.ScheduleEstimator(ga, pol, o.procs, model)
 	if err != nil {
 		return report.SchedulePolicy{}, sched.Schedule{}, err
 	}
+	fs := warm.Schedule()
 	p := report.SchedulePolicy{
 		Policy:      string(pol),
 		Label:       pol.Label(),
@@ -248,7 +257,7 @@ func runPolicy(g *dag.Graph, pol schedmc.Policy, model failure.Model, qs []float
 		ChainEdges:  fs.ChainEdges,
 	}
 	if o.dynamic {
-		prio, err := pol.Priorities(g, model)
+		prio, err := pol.Priorities(ga.G, model)
 		if err != nil {
 			return p, fs.Base, err
 		}
@@ -257,7 +266,7 @@ func runPolicy(g *dag.Graph, pol schedmc.Policy, model failure.Model, qs []float
 			trials = montecarlo.DefaultTrials
 		}
 		t0 := time.Now()
-		res, err := sched.ExpectedMakespan(g, prio, o.procs, model, trials, o.seed)
+		res, err := sched.ExpectedMakespan(ga.G, prio, o.procs, model, trials, o.seed)
 		if err != nil {
 			return p, fs.Base, err
 		}
@@ -274,7 +283,7 @@ func runPolicy(g *dag.Graph, pol schedmc.Policy, model failure.Model, qs []float
 		}
 		return p, fs.Base, nil
 	}
-	e, err := schedmc.NewEstimator(fs, model, schedmc.Config{
+	e, err := warm.WithConfig(schedmc.Config{
 		Trials:         o.trials,
 		Seed:           o.seed,
 		Workers:        o.workers,

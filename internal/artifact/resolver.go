@@ -1,0 +1,454 @@
+// Package artifact is the typed artifact pipeline shared by the
+// makespand service, the experiments runner and the CLIs: every
+// expensive derived object of the paper's workflow — frozen CSR graph,
+// Dodin reduction plan, compiled Monte Carlo estimator, frozen-schedule
+// estimator, resumable adaptive snapshot — is declared once as a build
+// rule (canonical key → dependency keys → build func → size) and
+// resolved through one generic Resolver that provides, for every kind
+// at once: content-addressed keying, dependency-aware resolution
+// (resolving an estimator transparently resolves and reuses its frozen
+// graph), per-key singleflight (concurrent requests for the same
+// artifact trigger exactly one build), LRU byte-budget eviction with
+// pinning of in-flight entries, and per-kind hit/miss/eviction
+// statistics. The rules themselves live in store.go; see
+// docs/ARCHITECTURE.md §"Ownership and caching" for the rule table.
+package artifact
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key is an artifact's canonical cache key. Keys are flat strings of
+// the form "<kind>/<content-id>[/<params...>]" built by the rule
+// constructors in store.go; two requests build the same artifact iff
+// their keys are equal.
+type Key string
+
+// Request declares one artifact to resolve: its kind (a stats bucket),
+// its canonical key, the requests of the artifacts it is derived from,
+// and the build function. Build receives the resolved dependency
+// values in Deps order and returns the artifact value plus its
+// approximate retained size in bytes (the resolver's accounting unit).
+// Rules must form a DAG: a dependency chain that reaches its own key
+// again would deadlock on itself.
+type Request struct {
+	// Kind is the artifact's stats bucket ("graph", "plan", ...).
+	Kind string
+	// Key is the canonical cache key; equal keys mean equal artifacts.
+	Key Key
+	// Deps declares the artifacts this one is derived from; they are
+	// resolved (and pinned) before Build runs.
+	Deps []Request
+	// Build constructs the artifact from the resolved dependency values
+	// (in Deps order), returning it with its approximate retained size.
+	Build func(deps []any) (value any, size int64, err error)
+}
+
+// KindStats counts one artifact kind's cache traffic. Hits include
+// requests coalesced onto an in-flight build (they shared the one
+// build another request paid for); Misses count builds started, plus
+// externally built values installed with Put.
+type KindStats struct {
+	// Hits counts requests served without a build here: ready entries,
+	// coalesced waits and successful Lookups.
+	Hits int64
+	// Misses counts builds started plus Put installations.
+	Misses int64
+	// Evictions counts entries removed under budget pressure, cascaded
+	// dependents included.
+	Evictions int64
+	// Resident counts the currently cached entries of the kind.
+	Resident int64
+	// ResidentBytes is their total accounted size.
+	ResidentBytes int64
+}
+
+// entry is one resolver slot. Lifecycle: created building (done open,
+// not in the LRU, self-pinned), then either ready (value/size set, done
+// closed, linked into the LRU) or failed (err set, done closed, removed
+// from the map so the next request retries). value, size, err and deps
+// are written once before done closes and read-only after.
+type entry struct {
+	kind string
+	key  Key
+
+	value any
+	size  int64
+	err   error
+	done  chan struct{} // closed when the build finished either way
+	ready bool
+
+	// pins counts active uses that forbid eviction: the entry's own
+	// in-flight build, and every build or Put currently holding it as a
+	// dependency. Guarded by Resolver.mu.
+	pins int
+
+	elem *list.Element // LRU position; nil while building
+
+	// deps/dependents are the artifact graph's edges, maintained while
+	// both sides are resident; eviction cascades down dependents (a
+	// plan must not outlive the graph it indexes into).
+	deps       []*entry
+	dependents map[Key]*entry
+}
+
+// Resolver is the generic artifact cache. The zero value is not usable;
+// create with NewResolver.
+type Resolver struct {
+	mu      sync.Mutex
+	budget  int64 // <= 0: unlimited
+	used    int64
+	lru     *list.List // of *entry; front = most recently used
+	entries map[Key]*entry
+	stats   map[string]*KindStats
+
+	// onEvict, when set (before first use), observes every eviction —
+	// cascaded dependents included. It runs with mu held: it must not
+	// call back into the resolver, but may take locks ordered after it.
+	onEvict func(kind string, key Key, value any)
+}
+
+// NewResolver creates a resolver with the given byte budget (<= 0
+// means unlimited). onEvict may be nil.
+func NewResolver(budget int64, onEvict func(kind string, key Key, value any)) *Resolver {
+	return &Resolver{
+		budget:  budget,
+		lru:     list.New(),
+		entries: make(map[Key]*entry),
+		stats:   make(map[string]*KindStats),
+		onEvict: onEvict,
+	}
+}
+
+func (r *Resolver) kindStats(kind string) *KindStats {
+	ks := r.stats[kind]
+	if ks == nil {
+		ks = &KindStats{}
+		r.stats[kind] = ks
+	}
+	return ks
+}
+
+// Resolve returns the artifact for req, building it (and any missing
+// dependencies, transitively) exactly once per key: concurrent calls
+// with the same key coalesce onto one build and all receive the same
+// value. A failed build is not cached — the error goes to the waiters
+// that joined it and the next request retries. The returned value
+// stays valid even if the entry is evicted later (entries are ordinary
+// GC-managed values; eviction only stops them being findable).
+func (r *Resolver) Resolve(req Request) (any, error) {
+	e, _, err := r.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	v := e.value
+	r.unpin(e)
+	return v, nil
+}
+
+// ResolveBuilt is Resolve plus a flag reporting whether this call ran
+// the build itself (false on cache hits and coalesced waits) — the
+// service's "created" field for graph submissions.
+func (r *Resolver) ResolveBuilt(req Request) (any, bool, error) {
+	e, built, err := r.resolve(req)
+	if err != nil {
+		return nil, false, err
+	}
+	v := e.value
+	r.unpin(e)
+	return v, built, nil
+}
+
+// resolve returns the entry for req with one pin held by the caller
+// (release with unpin). built reports whether this call ran the build.
+func (r *Resolver) resolve(req Request) (*entry, bool, error) {
+	r.mu.Lock()
+	if e, ok := r.entries[req.Key]; ok {
+		e.pins++
+		r.kindStats(e.kind).Hits++
+		if e.ready {
+			r.lru.MoveToFront(e.elem)
+			r.mu.Unlock()
+			return e, false, nil
+		}
+		// In flight: coalesce onto the running build.
+		r.mu.Unlock()
+		<-e.done
+		if e.err != nil {
+			r.unpin(e)
+			return nil, false, e.err
+		}
+		return e, false, nil
+	}
+	// Become the builder. The entry is findable (so later requests
+	// coalesce) but self-pinned and outside the LRU until the build
+	// completes, so budget pressure from concurrent inserts can never
+	// evict it mid-build.
+	e := &entry{
+		kind:       req.Kind,
+		key:        req.Key,
+		done:       make(chan struct{}),
+		pins:       1,
+		dependents: make(map[Key]*entry),
+	}
+	r.entries[req.Key] = e
+	r.kindStats(req.Kind).Misses++
+	r.mu.Unlock()
+
+	deps, vals, err := r.resolveDeps(req.Deps)
+	var value any
+	var size int64
+	if err == nil {
+		value, size, err = req.Build(vals)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		if r.entries[req.Key] == e {
+			delete(r.entries, req.Key)
+		}
+		e.err = err
+		e.pins-- // the self-pin; the entry is dead either way
+		r.unpinDepsLocked(deps)
+		close(e.done)
+		return nil, false, err
+	}
+	e.value, e.size, e.ready = value, size, true
+	e.deps = deps
+	for _, de := range deps {
+		de.dependents[e.key] = e
+		de.pins--
+	}
+	e.elem = r.lru.PushFront(e)
+	r.used += size
+	ks := r.kindStats(e.kind)
+	ks.Resident++
+	ks.ResidentBytes += size
+	close(e.done)
+	r.evictLocked(e)
+	return e, true, nil
+}
+
+// resolveDeps resolves every dependency request, returning the entries
+// with one pin each (held for the duration of the parent build) plus
+// their values in order. On error the pins already taken are released.
+func (r *Resolver) resolveDeps(reqs []Request) ([]*entry, []any, error) {
+	if len(reqs) == 0 {
+		return nil, nil, nil
+	}
+	deps := make([]*entry, 0, len(reqs))
+	vals := make([]any, 0, len(reqs))
+	for _, d := range reqs {
+		de, _, err := r.resolve(d)
+		if err != nil {
+			r.mu.Lock()
+			r.unpinDepsLocked(deps)
+			r.mu.Unlock()
+			return nil, nil, err
+		}
+		deps = append(deps, de)
+		vals = append(vals, de.value)
+	}
+	return deps, vals, nil
+}
+
+func (r *Resolver) unpinDepsLocked(deps []*entry) {
+	for _, de := range deps {
+		de.pins--
+	}
+}
+
+func (r *Resolver) unpin(e *entry) {
+	r.mu.Lock()
+	e.pins--
+	r.mu.Unlock()
+}
+
+// Put installs an externally built value under req's key — the
+// adaptive-snapshot path, where the coalescing leader runs the kernel
+// itself and only retention goes through the resolver. An existing
+// ready entry is replaced in place with delta accounting; budget
+// pressure from the growth may evict colder entries but never the
+// entry being grown. If a Resolve build for the same key is in flight
+// the Put is dropped (the build's result wins). Counts as a miss for
+// the kind (a build happened, just not here).
+func (r *Resolver) Put(req Request, value any, size int64) {
+	deps, _, err := r.resolveDeps(req.Deps)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entries[req.Key]
+	if e != nil && !e.ready {
+		r.unpinDepsLocked(deps)
+		return
+	}
+	ks := r.kindStats(req.Kind)
+	if e == nil {
+		e = &entry{kind: req.Kind, key: req.Key, ready: true, dependents: make(map[Key]*entry)}
+		r.entries[req.Key] = e
+		e.elem = r.lru.PushFront(e)
+		ks.Resident++
+	} else {
+		r.used -= e.size
+		ks.ResidentBytes -= e.size
+		r.lru.MoveToFront(e.elem)
+		for _, de := range e.deps {
+			delete(de.dependents, e.key)
+		}
+	}
+	e.value, e.size = value, size
+	e.deps = deps
+	for _, de := range deps {
+		de.dependents[e.key] = e
+		de.pins--
+	}
+	r.used += size
+	ks.Misses++
+	ks.ResidentBytes += size
+	r.evictLocked(e)
+}
+
+// Lookup returns the ready value for key, touching it to the LRU front
+// and counting a hit when found; a missing key counts nothing (use it
+// for optional artifacts like retained snapshots, where absence is the
+// normal first-request state, not a failed build).
+func (r *Resolver) Lookup(key Key) (any, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[key]
+	if !ok || !e.ready {
+		return nil, false
+	}
+	r.lru.MoveToFront(e.elem)
+	r.kindStats(e.kind).Hits++
+	return e.value, true
+}
+
+// Peek returns the ready value for key without touching LRU order or
+// statistics — residency checks and introspection.
+func (r *Resolver) Peek(key Key) (any, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[key]
+	if !ok || !e.ready {
+		return nil, false
+	}
+	return e.value, true
+}
+
+// EntryInfo describes one resident entry (introspection: the per-graph
+// artifact census behind GET /v1/graphs/{id}).
+type EntryInfo struct {
+	// Kind is the entry's stats bucket.
+	Kind string
+	// Key is its canonical cache key.
+	Key Key
+	// Size is its accounted bytes.
+	Size int64
+}
+
+// DependentsOf lists the resident artifacts built directly on top of
+// key, in unspecified order.
+func (r *Resolver) DependentsOf(key Key) []EntryInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[key]
+	if !ok || !e.ready {
+		return nil
+	}
+	out := make([]EntryInfo, 0, len(e.dependents))
+	for _, d := range e.dependents {
+		out = append(out, EntryInfo{Kind: d.kind, Key: d.key, Size: d.size})
+	}
+	return out
+}
+
+// Stats snapshots the per-kind counters.
+func (r *Resolver) Stats() map[string]KindStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]KindStats, len(r.stats))
+	for k, v := range r.stats {
+		out[k] = *v
+	}
+	return out
+}
+
+// UsedBytes reports the total accounted size of resident entries.
+func (r *Resolver) UsedBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.used
+}
+
+// Budget reports the configured byte budget (<= 0: unlimited).
+func (r *Resolver) Budget() int64 { return r.budget }
+
+// evictLocked enforces the byte budget: walk the LRU from the cold
+// end, evicting entries (cascading through their dependents) until the
+// budget holds. Never evicted: keep (the entry the current operation
+// is inserting or growing), pinned entries (in-flight builds hold pins
+// on themselves and their dependencies), any entry whose transitive
+// dependents include one of those, and the sole remaining entry
+// (evicting what the current request is about to use would just force
+// an immediate rebuild).
+func (r *Resolver) evictLocked(keep *entry) {
+	if r.budget <= 0 {
+		return
+	}
+	for r.used > r.budget && r.lru.Len() > 1 {
+		evicted := false
+		for el := r.lru.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*entry)
+			if !r.evictableLocked(e, keep) {
+				continue
+			}
+			r.evictEntryLocked(e)
+			evicted = true
+			break // cascades invalidated our iterator; rescan
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// evictableLocked reports whether evicting e (which cascades through
+// its dependents) would touch keep or any pinned entry.
+func (r *Resolver) evictableLocked(e, keep *entry) bool {
+	if e == keep || e.pins > 0 {
+		return false
+	}
+	for _, d := range e.dependents {
+		if !r.evictableLocked(d, keep) {
+			return false
+		}
+	}
+	return true
+}
+
+// evictEntryLocked removes e and, recursively, every artifact built on
+// top of it — dependents first, so onEvict observes a plan before the
+// graph it indexes into.
+func (r *Resolver) evictEntryLocked(e *entry) {
+	for _, d := range e.dependents {
+		r.evictEntryLocked(d)
+	}
+	for _, de := range e.deps {
+		delete(de.dependents, e.key)
+	}
+	r.lru.Remove(e.elem)
+	delete(r.entries, e.key)
+	r.used -= e.size
+	ks := r.kindStats(e.kind)
+	ks.Evictions++
+	ks.Resident--
+	ks.ResidentBytes -= e.size
+	if r.onEvict != nil {
+		r.onEvict(e.kind, e.key, e.value)
+	}
+}

@@ -1,0 +1,403 @@
+package artifact
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// testReq builds a Request whose value is "v:"+key and whose build
+// count, when counter is non-nil, is observable.
+func testReq(kind, key string, size int64, counter *atomic.Int64, deps ...Request) Request {
+	return Request{
+		Kind: kind,
+		Key:  Key(key),
+		Deps: deps,
+		Build: func(vals []any) (any, int64, error) {
+			if counter != nil {
+				counter.Add(1)
+			}
+			return "v:" + key, size, nil
+		},
+	}
+}
+
+// TestResolveSingleflight drives many goroutines at a small overlapping
+// key set and checks each key was built exactly once, with every caller
+// receiving the identical value (run under -race in CI).
+func TestResolveSingleflight(t *testing.T) {
+	r := NewResolver(0, nil)
+	const keys = 4
+	const goroutines = 32
+	const rounds = 25
+	counters := make([]atomic.Int64, keys)
+	var wg sync.WaitGroup
+	values := make([][]any, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := (g + i) % keys
+				v, err := r.Resolve(testReq("t", fmt.Sprintf("t/%d", k), 10, &counters[k]))
+				if err != nil {
+					t.Errorf("resolve t/%d: %v", k, err)
+					return
+				}
+				values[g] = append(values[g], v)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		if n := counters[k].Load(); n != 1 {
+			t.Errorf("key t/%d built %d times, want exactly 1", k, n)
+		}
+	}
+	for g := range values {
+		for i, v := range values[g] {
+			k := (g + i) % keys
+			if want := fmt.Sprintf("v:t/%d", k); v != want {
+				t.Fatalf("goroutine %d round %d: got %v, want %q", g, i, v, want)
+			}
+		}
+	}
+	st := r.Stats()["t"]
+	if st.Misses != keys {
+		t.Errorf("misses = %d, want %d", st.Misses, keys)
+	}
+	if st.Hits != goroutines*rounds-keys {
+		t.Errorf("hits = %d, want %d", st.Hits, goroutines*rounds-keys)
+	}
+	if st.Resident != keys || st.ResidentBytes != keys*10 {
+		t.Errorf("resident = %d/%dB, want %d/%dB", st.Resident, st.ResidentBytes, keys, keys*10)
+	}
+}
+
+// TestResolveDepsShared checks dependency-aware resolution: two
+// dependents of one base artifact share a single base build, and the
+// base's stats see one miss plus one hit.
+func TestResolveDepsShared(t *testing.T) {
+	r := NewResolver(0, nil)
+	var baseBuilds atomic.Int64
+	base := testReq("graph", "graph/x", 100, &baseBuilds)
+	for i := 0; i < 2; i++ {
+		key := fmt.Sprintf("plan/x/%d", i)
+		v, err := r.Resolve(Request{
+			Kind: "plan",
+			Key:  Key(key),
+			Deps: []Request{base},
+			Build: func(vals []any) (any, int64, error) {
+				if vals[0] != "v:graph/x" {
+					return nil, 0, fmt.Errorf("dep value %v", vals[0])
+				}
+				return "p" + key, 10, nil
+			},
+		})
+		if err != nil {
+			t.Fatalf("resolve %s: %v", key, err)
+		}
+		if v != "p"+key {
+			t.Fatalf("got %v", v)
+		}
+	}
+	if n := baseBuilds.Load(); n != 1 {
+		t.Fatalf("base built %d times, want 1", n)
+	}
+	gs := r.Stats()["graph"]
+	if gs.Misses != 1 || gs.Hits != 1 {
+		t.Errorf("graph stats hits=%d misses=%d, want 1/1", gs.Hits, gs.Misses)
+	}
+	deps := r.DependentsOf("graph/x")
+	if len(deps) != 2 {
+		t.Errorf("DependentsOf = %v, want 2 plans", deps)
+	}
+}
+
+// TestBuildErrorNotCached checks a failed build is retried: the error
+// reaches the caller (and any coalesced waiters) but the next request
+// runs the build again.
+func TestBuildErrorNotCached(t *testing.T) {
+	r := NewResolver(0, nil)
+	boom := errors.New("boom")
+	var builds atomic.Int64
+	req := Request{
+		Kind: "t",
+		Key:  "t/flaky",
+		Build: func(vals []any) (any, int64, error) {
+			if builds.Add(1) == 1 {
+				return nil, 0, boom
+			}
+			return "ok", 5, nil
+		},
+	}
+	if _, err := r.Resolve(req); !errors.Is(err, boom) {
+		t.Fatalf("first resolve: %v, want boom", err)
+	}
+	v, err := r.Resolve(req)
+	if err != nil || v != "ok" {
+		t.Fatalf("second resolve: %v, %v", v, err)
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("builds = %d, want 2", builds.Load())
+	}
+	if used := r.UsedBytes(); used != 5 {
+		t.Fatalf("used = %d, want 5 (failed build must not be accounted)", used)
+	}
+}
+
+// TestMidBuildEvictionImpossible holds a build in flight while budget
+// pressure from concurrent inserts forces evictions, and checks neither
+// the building entry nor its pinned dependency can be evicted: the
+// build completes, lands resident, and its dependency was never rebuilt.
+func TestMidBuildEvictionImpossible(t *testing.T) {
+	r := NewResolver(100, nil)
+	var baseBuilds atomic.Int64
+	base := testReq("graph", "graph/base", 40, &baseBuilds)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	slow := Request{
+		Kind: "mc",
+		Key:  "mc/slow",
+		Deps: []Request{base},
+		Build: func(vals []any) (any, int64, error) {
+			close(started)
+			<-release
+			return "slow-value", 30, nil
+		},
+	}
+	done := make(chan error, 1)
+	go func() {
+		v, err := r.Resolve(slow)
+		if err == nil && v != "slow-value" {
+			err = fmt.Errorf("got %v", v)
+		}
+		done <- err
+	}()
+	<-started
+
+	// Budget is 100; base (40) is resident and pinned by the in-flight
+	// build. Churn 20 fillers of 50 bytes through the cache: every
+	// insert overflows the budget and must evict — always a cold
+	// filler, never the pinned base.
+	for i := 0; i < 20; i++ {
+		if _, err := r.Resolve(testReq("fill", fmt.Sprintf("fill/%d", i), 50, nil)); err != nil {
+			t.Fatalf("filler %d: %v", i, err)
+		}
+	}
+	if _, ok := r.Peek("graph/base"); !ok {
+		t.Fatal("pinned dependency graph/base was evicted mid-build")
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("slow build: %v", err)
+	}
+	if baseBuilds.Load() != 1 {
+		t.Fatalf("base built %d times, want 1", baseBuilds.Load())
+	}
+	if _, ok := r.Peek("mc/slow"); !ok {
+		t.Fatal("completed build not resident")
+	}
+	fills := r.Stats()["fill"]
+	if fills.Evictions == 0 {
+		t.Fatal("expected filler evictions under budget pressure (the test exercised nothing)")
+	}
+}
+
+// TestPutNeverEvictsOwnEntry grows an entry past the budget via Put and
+// checks neither the grown entry nor the dependency it is built on is
+// evicted to make room — the transitive keep-protection rule.
+func TestPutNeverEvictsOwnEntry(t *testing.T) {
+	r := NewResolver(100, nil)
+	base := testReq("graph", "graph/g", 60, nil)
+	if _, err := r.Resolve(base); err != nil {
+		t.Fatal(err)
+	}
+	snap := Request{Kind: "snap", Key: "snap/g", Deps: []Request{base}}
+	r.Put(snap, "small", 10) // used: 70
+	r.Put(snap, "grown", 80) // used: 140 > 100, but nothing is evictable
+	if v, ok := r.Peek("snap/g"); !ok || v != "grown" {
+		t.Fatalf("snapshot after growth: %v, %v", v, ok)
+	}
+	if _, ok := r.Peek("graph/g"); !ok {
+		t.Fatal("Put evicted the graph its own snapshot depends on")
+	}
+	if used := r.UsedBytes(); used != 140 {
+		t.Fatalf("used = %d, want 140 (replacement delta accounting)", used)
+	}
+	ss := r.Stats()["snap"]
+	if ss.Resident != 1 || ss.ResidentBytes != 80 || ss.Misses != 2 {
+		t.Errorf("snap stats = %+v, want resident 1, 80B, 2 misses", ss)
+	}
+}
+
+// TestPutDroppedWhileBuildInFlight checks a Put racing an in-flight
+// Resolve build of the same key loses: the build's result wins.
+func TestPutDroppedWhileBuildInFlight(t *testing.T) {
+	r := NewResolver(0, nil)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	req := Request{
+		Kind: "t",
+		Key:  "t/k",
+		Build: func(vals []any) (any, int64, error) {
+			close(started)
+			<-release
+			return "built", 10, nil
+		},
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := r.Resolve(req); err != nil {
+			t.Errorf("resolve: %v", err)
+		}
+	}()
+	<-started
+	r.Put(Request{Kind: "t", Key: "t/k"}, "put", 99)
+	close(release)
+	<-done
+	if v, _ := r.Peek("t/k"); v != "built" {
+		t.Fatalf("value = %v, want the build's result", v)
+	}
+	if used := r.UsedBytes(); used != 10 {
+		t.Fatalf("used = %d, want 10", used)
+	}
+}
+
+// TestCascadeEviction checks evicting a base artifact evicts everything
+// built on top of it, dependents before dependencies, and that the
+// accounting and per-kind eviction counters follow.
+func TestCascadeEviction(t *testing.T) {
+	var order []string
+	r := NewResolver(100, func(kind string, key Key, value any) {
+		order = append(order, string(key))
+	})
+	a := testReq("graph", "graph/a", 40, nil)
+	if _, err := r.Resolve(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resolve(testReq("plan", "plan/a", 10, nil, a)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resolve(testReq("graph", "graph/b", 40, nil)); err != nil {
+		t.Fatal(err)
+	}
+	// used: 90. Inserting 40 more overflows; the LRU cold end is
+	// graph/a, which must take plan/a down with it.
+	if _, err := r.Resolve(testReq("graph", "graph/c", 40, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Peek("graph/a"); ok {
+		t.Fatal("graph/a should be evicted")
+	}
+	if _, ok := r.Peek("plan/a"); ok {
+		t.Fatal("plan/a should be cascade-evicted with its graph")
+	}
+	for _, k := range []Key{"graph/b", "graph/c"} {
+		if _, ok := r.Peek(k); !ok {
+			t.Fatalf("%s should be resident", k)
+		}
+	}
+	if len(order) != 2 || order[0] != "plan/a" || order[1] != "graph/a" {
+		t.Fatalf("eviction order = %v, want [plan/a graph/a]", order)
+	}
+	if used := r.UsedBytes(); used != 80 {
+		t.Fatalf("used = %d, want 80", used)
+	}
+	if ev := r.Stats()["plan"].Evictions; ev != 1 {
+		t.Fatalf("plan evictions = %d, want 1", ev)
+	}
+}
+
+// TestSoleEntryNeverEvicted checks the guard that keeps the last
+// resident entry even when it alone overflows the budget.
+func TestSoleEntryNeverEvicted(t *testing.T) {
+	r := NewResolver(10, nil)
+	if _, err := r.Resolve(testReq("graph", "graph/big", 50, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Peek("graph/big"); !ok {
+		t.Fatal("sole entry was evicted; the next request would just rebuild it")
+	}
+}
+
+// TestLookupPeekStats pins the stats semantics: Lookup counts a hit and
+// touches, absence counts nothing, Peek is always silent.
+func TestLookupPeekStats(t *testing.T) {
+	r := NewResolver(0, nil)
+	if _, ok := r.Lookup("snap/none"); ok {
+		t.Fatal("lookup of absent key succeeded")
+	}
+	if len(r.Stats()) != 0 {
+		t.Fatalf("absent lookup minted stats: %v", r.Stats())
+	}
+	r.Put(Request{Kind: "snap", Key: "snap/s"}, "v", 7)
+	if _, ok := r.Peek("snap/s"); !ok {
+		t.Fatal("peek missed")
+	}
+	if v, ok := r.Lookup("snap/s"); !ok || v != "v" {
+		t.Fatal("lookup missed")
+	}
+	ss := r.Stats()["snap"]
+	if ss.Hits != 1 || ss.Misses != 1 {
+		t.Fatalf("snap stats hits=%d misses=%d, want 1/1 (Peek must stay silent)", ss.Hits, ss.Misses)
+	}
+}
+
+// TestConcurrentChurn hammers a budgeted resolver with overlapping keys
+// and dependency chains so builds, coalesced waits, evictions and
+// cascades interleave; correctness here is "every caller gets the right
+// value" and the race detector staying quiet.
+func TestConcurrentChurn(t *testing.T) {
+	r := NewResolver(300, nil)
+	const goroutines = 16
+	const rounds = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := (g*rounds + i*7) % 10
+				base := testReq("graph", fmt.Sprintf("graph/%d", k), 40, nil)
+				want := fmt.Sprintf("v:graph/%d", k)
+				if i%3 == 0 {
+					v, err := r.Resolve(base)
+					if err != nil || v != want {
+						t.Errorf("graph/%d: %v, %v", k, v, err)
+						return
+					}
+					continue
+				}
+				key := fmt.Sprintf("plan/%d", k)
+				v, err := r.Resolve(Request{
+					Kind: "plan",
+					Key:  Key(key),
+					Deps: []Request{base},
+					Build: func(vals []any) (any, int64, error) {
+						return fmt.Sprint("p:", vals[0]), 10, nil
+					},
+				})
+				if err != nil || v != "p:"+want {
+					t.Errorf("%s: %v, %v", key, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Evictions run at insert time, and inserts racing pinned builds can
+	// leave a transient overshoot; one insert after quiescence must
+	// settle the cache back under budget.
+	if _, err := r.Resolve(testReq("graph", "graph/drain", 10, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if used, budget := r.UsedBytes(), r.Budget(); used > budget {
+		t.Fatalf("used %d above budget %d after quiescence", used, budget)
+	}
+}

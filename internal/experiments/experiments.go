@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/failure"
@@ -154,14 +155,19 @@ type Options struct {
 	// Progress, when non-nil, receives one line per completed data point,
 	// always in point order regardless of Workers.
 	Progress func(string)
-	// DodinPlan, when non-nil, is a pre-recorded reduction schedule for
-	// the swept graph that RunSweepFrozen replays instead of recording its
-	// own (the makespand registry caches one plan per (graph, atom cap)
-	// across requests). The plan must have been recorded on the same graph
-	// with the same DodinMaxAtoms; replay is bit-identical regardless of
-	// the failure model it was recorded under. Ignored by figure and
-	// table runs, whose graphs differ per point.
-	DodinPlan *spgraph.Plan
+	// Artifacts, when non-nil, is the artifact store sweeps resolve
+	// their shared per-graph artifacts through: the frozen graph, the
+	// recorded Dodin reduction schedule (one per (graph, atom cap),
+	// replayed bit-identically at every pfail) and the compiled Monte
+	// Carlo estimator per (graph, λ). The makespand service passes its
+	// registry's store so sweeps stay warm across requests; the
+	// experiments CLI passes one process-local store so repeated stages
+	// share artifacts by construction. Nil runs sweeps on a private
+	// throwaway store. Figure and table runs use the store only to
+	// dedupe graph freezing — their per-method cells stay cold so the
+	// reported timings keep measuring full reductions (Table I compares
+	// method execution times).
+	Artifacts *artifact.Store
 }
 
 func (o *Options) normalize() error {
@@ -270,7 +276,7 @@ func RunFigure(spec FigureSpec, opts Options) (FigureResult, error) {
 	}
 	ctxs := make([]*pointCtx, len(ks))
 	for i, k := range ks {
-		ctx, err := newPointCtx(spec.Fact, k, spec.PFail, opts.Seed)
+		ctx, err := newPointCtx(opts.Artifacts, spec.Fact, k, spec.PFail, opts.Seed)
 		if err != nil {
 			return FigureResult{}, fmt.Errorf("figure %d k=%d: %w", spec.ID, k, err)
 		}
@@ -318,7 +324,7 @@ func RunTable1(spec Table1Spec, opts Options) (Table1Result, error) {
 	if err := opts.normalize(); err != nil {
 		return Table1Result{}, err
 	}
-	ctx, err := newPointCtx(spec.Fact, spec.K, spec.PFail, opts.Seed)
+	ctx, err := newPointCtx(opts.Artifacts, spec.Fact, spec.K, spec.PFail, opts.Seed)
 	if err != nil {
 		return Table1Result{}, fmt.Errorf("table 1: %w", err)
 	}

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/dag"
 	"repro/internal/failure"
 	"repro/internal/linalg"
@@ -33,6 +34,13 @@ type pointCtx struct {
 	// plan, when non-nil, replays the recorded Dodin reduction schedule
 	// instead of re-running the reduction (pfail sweeps on one graph).
 	plan *spgraph.Plan
+	// st/ga, when non-nil, resolve the point's Monte Carlo estimator
+	// through the artifact store (warm per (graph, λ) across sweep
+	// requests) instead of compiling it cold; the run config still
+	// comes from this point via WithConfig, which is O(1) and
+	// bit-identical to cold construction.
+	st *artifact.Store
+	ga *artifact.Graph
 }
 
 // cellOut is one cell's result slot.
@@ -42,15 +50,27 @@ type cellOut struct {
 }
 
 // newPointCtx generates the point's graph, freezes it and derives the
-// failure model.
-func newPointCtx(fact linalg.Factorization, k int, pfail float64, seed uint64) (*pointCtx, error) {
+// failure model. A non-nil store dedupes the freeze by content address
+// (the paper's figure suite revisits each (fact, k) graph at three
+// pfails); the point's cells otherwise stay cold — figure and table
+// timings must measure full method runs.
+func newPointCtx(st *artifact.Store, fact linalg.Factorization, k int, pfail float64, seed uint64) (*pointCtx, error) {
 	g, err := linalg.Generate(fact, k, linalg.KernelTimes{})
 	if err != nil {
 		return nil, err
 	}
-	frozen, err := dag.Freeze(g)
-	if err != nil {
-		return nil, err
+	var frozen *dag.Frozen
+	if st != nil {
+		ga, _, err := st.Graph(g)
+		if err != nil {
+			return nil, err
+		}
+		g, frozen = ga.G, ga.Frozen
+	} else {
+		frozen, err = dag.Freeze(g)
+		if err != nil {
+			return nil, err
+		}
 	}
 	model, err := failure.FromPfail(pfail, g.MeanWeight())
 	if err != nil {
@@ -157,7 +177,7 @@ func runPoints(ctxs []*pointCtx, opts Options, progress func(i int, p Point)) ([
 		ctx := ctxs[point]
 		if cell == 0 {
 			t0 := time.Now()
-			e, err := montecarlo.NewEstimatorFrozen(ctx.frozen, ctx.model, montecarlo.Config{
+			cfg := montecarlo.Config{
 				Trials:         opts.Trials,
 				Seed:           ctx.seed,
 				Workers:        mcWorkers,
@@ -165,7 +185,20 @@ func runPoints(ctxs []*pointCtx, opts Options, progress func(i int, p Point)) ([
 				TargetQuantile: opts.TargetQuantile,
 				Confidence:     opts.Confidence,
 				MaxTrials:      opts.MaxTrials,
-			})
+			}
+			var e *montecarlo.Estimator
+			var err error
+			if ctx.ga != nil {
+				// Warm: resolve the compiled estimator (per-task
+				// probabilities, sampler tables) through the store and
+				// rebind the run config — bit-identical to cold.
+				e, err = ctx.st.Estimator(ctx.ga, ctx.model, montecarlo.FullReexecution)
+				if err == nil {
+					e, err = e.WithConfig(cfg)
+				}
+			} else {
+				e, err = montecarlo.NewEstimatorFrozen(ctx.frozen, ctx.model, cfg)
+			}
 			if err == nil {
 				mcRes[point], err = e.Run()
 			}

@@ -6,10 +6,9 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/dag"
+	"repro/internal/artifact"
 	"repro/internal/failure"
 	"repro/internal/linalg"
-	"repro/internal/spgraph"
 )
 
 // SweepSpec is an extension experiment not in the paper: fix one graph and
@@ -57,34 +56,44 @@ type SweepResult struct {
 // Dodin is among the methods its reduction schedule is recorded once and
 // replayed (bit-identically, see spgraph.Plan) at every other pfail —
 // the schedule depends only on topology. Output is byte-identical for
-// any Options.Workers.
+// any Options.Workers. Shared state resolves through Options.Artifacts
+// (a private throwaway store when nil).
 func RunSweep(spec SweepSpec, opts Options) (SweepResult, error) {
+	if opts.Artifacts == nil {
+		opts.Artifacts = artifact.NewStore(0)
+	}
 	g, err := linalg.Generate(spec.Fact, spec.K, linalg.KernelTimes{})
 	if err != nil {
 		return SweepResult{}, err
 	}
-	frozen, err := dag.Freeze(g)
+	ga, _, err := opts.Artifacts.Graph(g)
 	if err != nil {
 		return SweepResult{}, err
 	}
-	return RunSweepFrozen(frozen, spec, opts)
+	return RunSweepGraph(ga, spec, opts)
 }
 
-// RunSweepFrozen evaluates the sweep on an explicit, already-frozen graph
-// instead of generating one from spec.Fact/spec.K (which then only label
-// the result). This is the entry point of the makespand service: the
-// registry hands in its cached Frozen — and, via Options.DodinPlan, its
-// cached reduction schedule — so a warm sweep skips graph generation,
-// freezing and plan recording entirely. Results are bit-identical to
-// RunSweep on an identical graph for any Options.Workers.
-func RunSweepFrozen(frozen *dag.Frozen, spec SweepSpec, opts Options) (SweepResult, error) {
+// RunSweepGraph evaluates the sweep on an explicit graph artifact
+// instead of generating one from spec.Fact/spec.K (which then only
+// label the result). This is the entry point of the makespand service:
+// the registry hands in its store plus the request's graph artifact,
+// and every shared object — the frozen CSR form, the Dodin reduction
+// plan (one recording per (graph, atom cap), replayed bit-identically
+// at every pfail) and the per-λ Monte Carlo estimators — is a resolver
+// lookup, warm whenever any earlier request (sweep or not) built it.
+// Results are bit-identical to RunSweep on an identical graph for any
+// Options.Workers.
+func RunSweepGraph(ga *artifact.Graph, spec SweepSpec, opts Options) (SweepResult, error) {
 	if err := opts.normalize(); err != nil {
 		return SweepResult{}, err
 	}
-	if !frozen.UpToDate() {
+	if opts.Artifacts == nil {
+		return SweepResult{}, fmt.Errorf("experiments: RunSweepGraph needs Options.Artifacts (the store ga resolves through)")
+	}
+	if !ga.Frozen.UpToDate() {
 		return SweepResult{}, fmt.Errorf("experiments: sweep graph mutated after freeze")
 	}
-	g := frozen.Graph()
+	g := ga.G
 	ctxs := make([]*pointCtx, len(spec.PFails))
 	for i, pf := range spec.PFails {
 		model, err := failure.FromPfail(pf, g.MeanWeight())
@@ -94,7 +103,7 @@ func RunSweepFrozen(frozen *dag.Frozen, spec SweepSpec, opts Options) (SweepResu
 		// Each pfail point gets its own derived seed: reusing opts.Seed
 		// verbatim correlates the Monte Carlo noise across the sweep, so
 		// every point of the error-vs-λ plot would share one noise floor.
-		ctxs[i] = &pointCtx{g: g, frozen: frozen, model: model, k: spec.K, pfail: pf, seed: pointSeed(opts.Seed, i)}
+		ctxs[i] = &pointCtx{g: g, frozen: ga.Frozen, st: opts.Artifacts, ga: ga, model: model, k: spec.K, pfail: pf, seed: pointSeed(opts.Seed, i)}
 	}
 	wantsDodin := false
 	for _, m := range opts.Methods {
@@ -103,17 +112,14 @@ func RunSweepFrozen(frozen *dag.Frozen, spec SweepSpec, opts Options) (SweepResu
 		}
 	}
 	if wantsDodin && len(ctxs) > 0 {
-		// Record the reduction schedule once, as untimed sweep setup —
-		// or reuse a caller-provided recording — and replay it at every
-		// point, including the first, so the per-point Dodin timings all
-		// measure the same (replay) work and stay comparable across pfail.
-		plan := opts.DodinPlan
-		if plan == nil {
-			var err error
-			_, _, plan, err = spgraph.DodinPlan(g, ctxs[0].model, opts.DodinMaxAtoms)
-			if err != nil {
-				return SweepResult{}, fmt.Errorf("sweep %s pfail=%g: %w", MethodDodin, ctxs[0].pfail, err)
-			}
+		// Resolve the reduction schedule once, as untimed sweep setup —
+		// warm when any earlier sweep or estimate recorded it — and
+		// replay it at every point, including the first, so the
+		// per-point Dodin timings all measure the same (replay) work and
+		// stay comparable across pfail.
+		plan, err := opts.Artifacts.Plan(ga, opts.DodinMaxAtoms, ctxs[0].model)
+		if err != nil {
+			return SweepResult{}, fmt.Errorf("sweep %s pfail=%g: %w", MethodDodin, ctxs[0].pfail, err)
 		}
 		for _, ctx := range ctxs {
 			ctx.plan = plan

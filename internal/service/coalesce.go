@@ -18,17 +18,20 @@ import (
 // soon as the shared prefix satisfies *its* rule. Because the stopping
 // point is a prefix of the same stream a solo run would consume, a
 // waiter's response is byte-identical to the run it would have done
-// alone. The converged snapshot is stored on the entry so later
-// requests (same or looser tolerance) are answered without any trials,
-// and tighter ones extend it instead of restarting.
+// alone. The converged snapshot is retained as a "snap" artifact in
+// the store (keyed by the entry's graph plus this file's adaptiveKey)
+// so later requests (same or looser tolerance) are answered without
+// any trials, and tighter ones extend it instead of restarting; the
+// store's Put gives replacement delta accounting and eviction under
+// the shared byte budget for free.
 //
 // Fixed-budget requests use a conventional singleflight keyed by the
 // full run identity (including trials and whether a sketch is needed):
 // followers arriving while the leader computes share its result.
 //
-// Lock order: Entry.mu → adaptiveSlot.mu → inflightRun.mu. Artifact
-// byte accounting (which takes Registry.mu → Entry.mu) runs outside all
-// three.
+// Lock order: Entry.mu → adaptiveSlot.mu → inflightRun.mu. Snapshot
+// store access (which takes the resolver lock, possibly then
+// Registry.mu via graph eviction) nests under adaptiveSlot.mu.
 
 // adaptiveRunner abstracts the two adaptive kernels the service
 // coalesces over: the unbounded-processor estimator and the
@@ -53,12 +56,13 @@ type adaptiveKey struct {
 	seed   uint64
 }
 
-// adaptiveSlot is the per-key coalescing state: the best stored prefix
-// snapshot (immutable once stored) and the in-flight run, if any.
+// adaptiveSlot is the per-key coalescing state: the in-flight run, if
+// any. The retained prefix snapshot itself lives in the artifact store
+// (Entry.snapshot / Entry.putSnapshot); the slot lock serializes the
+// lookup-decide-replace sequence around it.
 type adaptiveSlot struct {
-	mu   sync.Mutex
-	snap *montecarlo.Snapshot
-	run  *inflightRun
+	mu  sync.Mutex
+	run *inflightRun
 }
 
 // inflightRun collects the waiters joined to a leader's kernel run.
@@ -128,7 +132,7 @@ func (s *Server) coalesceAdaptive(e *Entry, key adaptiveKey, runner adaptiveRunn
 	slot := e.adaptiveSlotFor(key)
 	for {
 		slot.mu.Lock()
-		if snap := slot.snap; snap != nil && runner.SnapshotConverged(snap) {
+		if snap, ok := e.snapshot(key, true); ok && runner.SnapshotConverged(snap) {
 			slot.mu.Unlock()
 			res, err := runner.SnapshotResult(snap)
 			return res, snap, err
@@ -151,7 +155,7 @@ func (s *Server) coalesceAdaptive(e *Entry, key adaptiveKey, runner adaptiveRunn
 		}
 		run := &inflightRun{}
 		slot.run = run
-		prev := slot.snap
+		prev, _ := e.snapshot(key, false)
 		slot.mu.Unlock()
 
 		e.kernelRuns.Add(1)
@@ -170,22 +174,16 @@ func (s *Server) coalesceAdaptive(e *Entry, key adaptiveKey, runner adaptiveRunn
 
 		slot.mu.Lock()
 		slot.run = nil
-		var delta int64
-		if err == nil && (slot.snap == nil || snap.Chunks() > slot.snap.Chunks()) {
-			if slot.snap != nil {
-				delta -= slot.snap.SizeBytes()
+		if err == nil {
+			if old, ok := e.snapshot(key, false); !ok || snap.Chunks() > old.Chunks() {
+				e.putSnapshot(key, snap)
 			}
-			slot.snap = snap
-			delta += snap.SizeBytes()
 		}
 		// Sweep waiters that joined after the run's last progress call;
 		// they re-evaluate against the final snapshot and retry if it
 		// still falls short of their rule.
 		run.deliver(snap, true, err)
 		slot.mu.Unlock()
-		if delta != 0 {
-			e.addArtifactBytes(delta)
-		}
 		return res, snap, err
 	}
 }

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// This file pins the registry rewrite: the goldens under
+// testdata/parity were generated from the pre-refactor registry
+// (UPDATE_PARITY=1 go test -run TestE2EParityPinned ./internal/service),
+// and the test replays the same requests — cold and warm — against the
+// current daemon, requiring byte identity after time normalization.
+// Any change to the artifact pipeline that alters a single response
+// byte (estimate, sweep or schedule) fails here, not in production.
+
+// parityCases: one fixed request per endpoint, heavy enough to touch
+// every cached artifact kind (frozen graph, Dodin plan, MC estimator
+// tables, quantile sketches, frozen schedule) yet quick to run.
+var parityCases = []struct {
+	name   string
+	path   string
+	body   string
+	golden string
+}{
+	{
+		name:   "estimate",
+		path:   "/v1/estimate",
+		body:   `{"kind":"lu","k":8,"pfail":0.001,"methods":"all","trials":2000,"seed":7,"bounds":true,"quantiles":[0.5,0.95]}`,
+		golden: "estimate.json",
+	},
+	{
+		name:   "sweep",
+		path:   "/v1/sweep",
+		body:   `{"kind":"cholesky","k":6,"pfails":[0.1,0.01],"trials":1500,"seed":3}`,
+		golden: "sweep.json",
+	},
+	{
+		name:   "schedule",
+		path:   "/v1/schedule",
+		body:   `{"kind":"lu","k":8,"procs":4,"pfail":0.01,"trials":2000,"seed":7,"quantiles":[0.5,0.99]}`,
+		golden: "schedule.json",
+	},
+}
+
+// TestE2EParityPinned drives the built makespand binary with the pinned
+// requests and diffs cold and warm responses against the committed
+// goldens. UPDATE_PARITY=1 regenerates the goldens instead.
+func TestE2EParityPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildBinaries(t)
+	base := startDaemon(t, bin)
+	update := os.Getenv("UPDATE_PARITY") != ""
+	for _, c := range parityCases {
+		t.Run(c.name, func(t *testing.T) {
+			cold := normalizeTimes(httpPost(t, base+c.path, c.body))
+			warm := normalizeTimes(httpPost(t, base+c.path, c.body))
+			if warm != cold {
+				t.Fatalf("warm %s response differs from cold:\ncold:\n%s\nwarm:\n%s", c.name, cold, warm)
+			}
+			path := filepath.Join("testdata", "parity", c.golden)
+			if update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(cold), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run UPDATE_PARITY=1 go test -run TestE2EParityPinned): %v", err)
+			}
+			if cold != string(want) {
+				t.Errorf("%s response drifted from the pinned pre-refactor bytes:\ngolden:\n%s\ngot:\n%s", c.name, want, cold)
+			}
+		})
+	}
+}

@@ -1,26 +1,26 @@
 // Package service implements makespand, the long-running HTTP estimation
-// daemon: a content-addressed graph registry caches the expensive
-// per-graph artifacts (frozen CSR forms, Dodin reduction plans, Monte
-// Carlo estimator snapshots with their sampler threshold tables, frozen
-// schedules per (policy, procs, λ), bounds sweeper scratch) across
-// requests behind an LRU with a byte budget, so repeat estimates hit
-// warm state and skip construction entirely. Responses are rendered
-// through internal/report — the same writers the CLIs use — and are
-// byte-identical to the corresponding `makespan -format json` /
+// daemon. All expensive per-graph artifacts — frozen CSR forms, Dodin
+// reduction plans, Monte Carlo estimator snapshots with their sampler
+// threshold tables, frozen schedules per (policy, procs, λ), retained
+// adaptive snapshots — live in one internal/artifact store: declared
+// build rules resolved through a generic content-addressed,
+// singleflighted, LRU byte-budgeted resolver. The Registry in this file
+// is a thin façade over that store, adding only the service-level
+// concerns: graph metadata labels, the generator-spec shortcut index,
+// per-entry coalescing slots and the kernel-run counter. Responses are
+// rendered through internal/report — the same writers the CLIs use —
+// and are byte-identical to the corresponding `makespan -format json` /
 // `experiments -format json` / `schedsim -format json` output for the
 // same inputs (timing fields excepted) and deterministic under
-// concurrent load. See DESIGN.md §"The makespand service" for the
-// ownership model and docs/API.md for the HTTP reference.
+// concurrent load. See docs/ARCHITECTURE.md §"Ownership and caching"
+// for the artifact rule table and docs/API.md for the HTTP reference.
 package service
 
 import (
-	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/artifact"
 	"repro/internal/bounds"
 	"repro/internal/dag"
 	"repro/internal/failure"
@@ -38,15 +38,15 @@ type GraphMeta struct {
 	K    int
 }
 
-// Entry is one cached graph with its per-graph artifacts. The graph, the
-// frozen form and every cached artifact are shared read-only across
-// requests; per-request scratch (Monte Carlo workers, Dodin replay
-// buffers, bounds sweepers) is pooled or private per goroutine, never
-// shared mid-flight.
+// Entry is one registered graph. The artifact store owns every derived
+// object (and the graph itself); the entry adds the service-level state
+// that is not an artifact: the metadata label, the coalescing slots of
+// coalesce.go and the kernel-run counter the coalescing tests assert on.
 type Entry struct {
 	reg *Registry
+	ga  *artifact.Graph
 
-	// Immutable after construction.
+	// Immutable after construction (views into the graph artifact).
 	ID        string
 	Canonical []byte // canonical dag JSON; its SHA-256 is the ID
 	G         *dag.Graph
@@ -55,64 +55,19 @@ type Entry struct {
 
 	mu     sync.Mutex
 	meta   GraphMeta // guarded: upgradeable from "custom" to a generator label
-	plans  map[int]*planSlot
-	ests   map[estKey]*estSlot
-	scheds map[schedKey]*schedSlot
 	adapts map[adaptiveKey]*adaptiveSlot
 	fixed  map[fixedKey]*fixedFlight
 
 	// kernelRuns counts Monte Carlo kernel executions this entry paid
 	// for; coalesced requests share one (see coalesce.go).
 	kernelRuns atomic.Int64
-
-	sweepers sync.Pool // *bounds.Sweeper, per-goroutine scratch
-	paths    sync.Pool // *dag.PathEvaluator, per-goroutine scratch
-
-	baseBytes     int64 // canonical JSON + frozen form + graph estimate
-	artifactBytes int64 // accumulated plan/estimator bytes
-}
-
-// planSlot builds one Dodin plan exactly once per (graph, atom cap);
-// concurrent requesters block on the winner's Do.
-type planSlot struct {
-	once sync.Once
-	plan *spgraph.Plan
-	err  error
-}
-
-// estKey identifies a Monte Carlo estimator snapshot: the compiled
-// per-task probabilities and threshold tables depend on the failure
-// model's rate and the sampling mode, while trials/seed/workers vary per
-// request via WithConfig.
-type estKey struct {
-	lambda float64
-	mode   montecarlo.Mode
-}
-
-type estSlot struct {
-	once sync.Once
-	est  *montecarlo.Estimator
-	err  error
-}
-
-// schedKey identifies a frozen-schedule estimator: the committed
-// schedule depends on the policy, the processor count and — through the
-// First Order priorities and the compiled failure probabilities — the
-// error rate. Trials/seed/workers vary per request via WithConfig.
-type schedKey struct {
-	policy schedmc.Policy
-	procs  int
-	lambda float64
-}
-
-type schedSlot struct {
-	once sync.Once
-	est  *schedmc.Estimator
-	err  error
 }
 
 // RegistryStats is a snapshot of cache occupancy and effectiveness,
-// served by /healthz.
+// served by /healthz. Hits/Misses count graph-level traffic (Add, Get,
+// LookupGenerated); Evictions counts evicted graphs (each taking its
+// derived artifacts with it). Per-kind artifact counters live on
+// GET /v1/cache.
 type RegistryStats struct {
 	Graphs    int
 	UsedBytes int64
@@ -122,111 +77,114 @@ type RegistryStats struct {
 	Evictions int64
 }
 
-// Registry is the content-addressed graph store: canonical-JSON SHA-256
-// keys, most-recently-used entries kept warm, least-recently-used entries
-// evicted — artifacts and all — once the byte budget overflows.
+// Registry is the service façade over the artifact store: it maps
+// content addresses to entries, keeps the generator-spec shortcut index
+// and relays graph evictions (the store evicts a graph's artifacts with
+// it; the façade then drops the entry so later lookups miss).
 type Registry struct {
-	mu     sync.Mutex
-	budget int64 // <= 0: unlimited
-	used   int64
-	lru    *list.List // of *Entry; front = most recently used
-	byID   map[string]*list.Element
+	store *artifact.Store
+
+	mu      sync.Mutex
+	entries map[string]*Entry
 	// genIDs short-circuits generator specs: the named workloads are
 	// deterministic, so (kind, k) -> id lets a warm request skip graph
 	// generation and content hashing entirely.
 	genIDs map[GraphMeta]string
 
-	hits, misses, evictions int64
+	hits, misses int64
 }
 
-// NewRegistry creates a registry with the given byte budget (<= 0 means
-// unlimited). The budget is enforced against the registry's own size
-// accounting — canonical JSON, frozen arrays and cached artifacts — and
-// the most recently touched entry is always retained even if it alone
-// exceeds the budget (evicting the entry a request is using would just
-// force an immediate rebuild).
+// NewRegistry creates a registry whose artifact store enforces the
+// given byte budget across every artifact kind (<= 0 means unlimited).
+// The entry a request is actively building or growing is never evicted
+// (the resolver pins in-flight builds), and neither is the sole
+// remaining entry.
 func NewRegistry(budget int64) *Registry {
-	return &Registry{
-		budget: budget,
-		lru:    list.New(),
-		byID:   make(map[string]*list.Element),
-		genIDs: make(map[GraphMeta]string),
+	r := &Registry{
+		entries: make(map[string]*Entry),
+		genIDs:  make(map[GraphMeta]string),
+	}
+	r.store = artifact.NewStoreOnEvict(budget, func(kind string, _ artifact.Key, value any) {
+		if kind != artifact.KindGraph {
+			return
+		}
+		r.dropEntry(value.(*artifact.Graph).ID)
+	})
+	return r
+}
+
+// dropEntry unlinks an evicted graph from the façade maps. Runs under
+// the resolver lock (lock order: resolver → Registry.mu → Entry.mu).
+func (r *Registry) dropEntry(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return
+	}
+	delete(r.entries, id)
+	e.mu.Lock()
+	meta := e.meta
+	e.mu.Unlock()
+	if gid, ok := r.genIDs[meta]; ok && gid == id {
+		delete(r.genIDs, meta)
 	}
 }
+
+// Store exposes the underlying artifact store (the sweep runner and
+// GET /v1/cache resolve through it directly).
+func (r *Registry) Store() *artifact.Store { return r.store }
 
 // GraphID returns the content address of a graph: "sha256:" + the hex
 // digest of its canonical JSON. Two submissions of the same DAG — inline
 // JSON or generator spec — collapse onto one entry.
-func GraphID(canonical []byte) string {
-	sum := sha256.Sum256(canonical)
-	return "sha256:" + hex.EncodeToString(sum[:])
-}
+func GraphID(canonical []byte) string { return artifact.GraphID(canonical) }
 
 // Add registers g, returning its entry and whether it was newly created.
-// An existing entry is touched to the front of the LRU and returned.
-// Labels only upgrade: resubmitting a generated graph as raw JSON keeps
-// the generator label, while naming a previously raw-submitted graph by
+// Resolution goes through the artifact store: content addressing,
+// freeze singleflight and LRU touch are the graph rule's. Labels only
+// upgrade: resubmitting a generated graph as raw JSON keeps the
+// generator label, while naming a previously raw-submitted graph by
 // its generator spec replaces "custom" with the spec (and indexes it),
 // so sweep responses always carry the most specific factorization known.
 func (r *Registry) Add(g *dag.Graph, meta GraphMeta) (*Entry, bool, error) {
-	canonical, err := json.Marshal(g)
+	ga, created, err := r.store.Graph(g)
 	if err != nil {
 		return nil, false, err
 	}
-	id := GraphID(canonical)
-	r.mu.Lock()
-	if el, ok := r.byID[id]; ok {
-		r.lru.MoveToFront(el)
-		r.hits++
-		e := el.Value.(*Entry)
-		r.upgradeMetaLocked(e, meta)
-		r.mu.Unlock()
-		return e, false, nil
-	}
-	r.mu.Unlock()
-
-	// Build outside the lock: freezing a large graph should not stall
-	// unrelated lookups. A concurrent identical Add may win the race;
-	// the loser's entry is discarded below.
-	frozen, err := dag.Freeze(g)
-	if err != nil {
-		return nil, false, err
-	}
-	e := &Entry{
-		ID:        id,
-		Canonical: canonical,
-		meta:      meta,
-		G:         g,
-		Frozen:    frozen,
-		D0:        frozen.Makespan(),
-		plans:     make(map[int]*planSlot),
-		ests:      make(map[estKey]*estSlot),
-		scheds:    make(map[schedKey]*schedSlot),
-		adapts:    make(map[adaptiveKey]*adaptiveSlot),
-		fixed:     make(map[fixedKey]*fixedFlight),
-		baseBytes: int64(len(canonical)) + frozen.SizeBytes() + graphSizeEstimate(g),
-	}
-	e.sweepers.New = func() any { return bounds.NewSweeperFrozen(frozen) }
-	e.paths.New = func() any { return dag.NewPathEvaluatorFrozen(frozen) }
-
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if el, ok := r.byID[id]; ok { // lost the race
-		r.lru.MoveToFront(el)
+	if created {
+		r.misses++
+	} else {
 		r.hits++
-		won := el.Value.(*Entry)
-		r.upgradeMetaLocked(won, meta)
-		return won, false, nil
 	}
-	e.reg = r
-	r.byID[id] = r.lru.PushFront(e)
-	if meta.Kind != "" && meta.Kind != "custom" {
-		r.genIDs[meta] = id
+	e, ok := r.entries[ga.ID]
+	if !ok {
+		e = newEntry(r, ga, meta)
+		r.entries[ga.ID] = e
+		if meta.Kind != "" && meta.Kind != "custom" {
+			r.genIDs[meta] = ga.ID
+		}
+		return e, created, nil
 	}
-	r.used += e.baseBytes
-	r.misses++
-	r.evictLocked(e)
-	return e, true, nil
+	r.upgradeMetaLocked(e, meta)
+	return e, false, nil
+}
+
+func newEntry(r *Registry, ga *artifact.Graph, meta GraphMeta) *Entry {
+	return &Entry{
+		reg:       r,
+		ga:        ga,
+		ID:        ga.ID,
+		Canonical: ga.Canonical,
+		G:         ga.G,
+		Frozen:    ga.Frozen,
+		D0:        ga.D0,
+		meta:      meta,
+		adapts:    make(map[adaptiveKey]*adaptiveSlot),
+		fixed:     make(map[fixedKey]*fixedFlight),
+	}
 }
 
 // upgradeMetaLocked relabels e when the caller knows a generator spec
@@ -251,6 +209,10 @@ func (e *Entry) Meta() GraphMeta {
 	return e.meta
 }
 
+// Artifact returns the entry's graph artifact (the sweep runner hands
+// it to experiments.RunSweepGraph).
+func (e *Entry) Artifact() *artifact.Graph { return e.ga }
+
 // LookupGenerated resolves a generator spec without generating: a warm
 // named workload costs one map probe instead of generate + marshal +
 // hash. Falls back to a miss when the entry was evicted.
@@ -264,201 +226,141 @@ func (r *Registry) LookupGenerated(meta GraphMeta) (*Entry, bool) {
 	return r.Get(id)
 }
 
-// Get returns the entry for id, touching it to the front of the LRU.
+// Get returns the entry for id, touching its graph to the front of the
+// store's LRU.
 func (r *Registry) Get(id string) (*Entry, bool) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	el, ok := r.byID[id]
+	e, ok := r.entries[id]
 	if !ok {
 		r.misses++
+		r.mu.Unlock()
 		return nil, false
 	}
-	r.lru.MoveToFront(el)
 	r.hits++
-	return el.Value.(*Entry), true
+	r.mu.Unlock()
+	r.store.Touch(e.ga)
+	return e, true
 }
 
-// Stats snapshots cache occupancy and hit counters.
+// Stats snapshots cache occupancy and graph-level hit counters.
 func (r *Registry) Stats() RegistryStats {
+	ks := r.store.Stats()[artifact.KindGraph]
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return RegistryStats{
-		Graphs:    r.lru.Len(),
-		UsedBytes: r.used,
-		Budget:    r.budget,
+		Graphs:    int(ks.Resident),
+		UsedBytes: r.store.UsedBytes(),
+		Budget:    r.store.Budget(),
 		Hits:      r.hits,
 		Misses:    r.misses,
-		Evictions: r.evictions,
+		Evictions: ks.Evictions,
 	}
 }
 
-// grow records delta bytes of freshly built artifacts on e and evicts
-// colder entries if the budget overflowed. The residency check and both
-// counters update under r.mu (then e.mu), the same order eviction uses:
-// whichever of grow and evict runs second sees the other's effect in
-// full, so r.used never drifts. Entries evicted while building stay
-// usable by requests already holding them (they are ordinary GC-managed
-// values); they simply stop being findable, so later requests rebuild.
-func (r *Registry) grow(e *Entry, delta int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	_, resident := r.byID[e.ID]
-	e.mu.Lock()
-	e.artifactBytes += delta
-	e.mu.Unlock()
-	if !resident {
-		return // evicted while building; not part of r.used anymore
-	}
-	r.used += delta
-	r.evictLocked(e)
-}
-
-// evictLocked drops LRU-tail entries until the budget holds, never
-// evicting keep (the entry the current request is touching).
-func (r *Registry) evictLocked(keep *Entry) {
-	if r.budget <= 0 {
-		return
-	}
-	for r.used > r.budget && r.lru.Len() > 1 {
-		el := r.lru.Back()
-		victim := el.Value.(*Entry)
-		if victim == keep {
-			return
-		}
-		r.lru.Remove(el)
-		delete(r.byID, victim.ID)
-		victim.mu.Lock()
-		if id, ok := r.genIDs[victim.meta]; ok && id == victim.ID {
-			delete(r.genIDs, victim.meta)
-		}
-		r.used -= victim.baseBytes + victim.artifactBytes
-		victim.mu.Unlock()
-		r.evictions++
-	}
-}
-
-// graphSizeEstimate approximates the retained size of the mutable graph:
-// adjacency slices, weights and names.
-func graphSizeEstimate(g *dag.Graph) int64 {
-	s := int64(g.NumTasks())*64 + int64(g.NumEdges())*16
-	for i := 0; i < g.NumTasks(); i++ {
-		s += int64(len(g.Name(i)))
-	}
-	return s
-}
-
-// normAtoms maps a request's Dodin atom cap onto the plan-cache key:
+// normAtoms maps a request's Dodin atom cap onto the plan-rule key:
 // 0 means the spgraph default, negative means unlimited.
-func normAtoms(atoms int) int {
-	if atoms == 0 {
-		return spgraph.DefaultMaxAtoms
-	}
-	if atoms < 0 {
-		return -1
-	}
-	return atoms
-}
+func normAtoms(atoms int) int { return artifact.NormAtoms(atoms) }
+
+// resident reports whether the entry's graph is still the store's
+// artifact for its content address. Requests already holding an evicted
+// entry keep working — its artifacts just stop being cached (and stop
+// being accounted), exactly the pre-store registry behavior.
+func (e *Entry) resident() bool { return e.reg.store.Resident(e.ga) }
 
 // Plan returns the entry's recorded Dodin reduction schedule for the
-// given atom cap, recording it under model on first use. The recording
-// is keyed by the normalized cap only: a plan replays bit-identically
-// under every failure model (see spgraph.Plan), so one recording serves
-// estimates and sweeps at any pfail.
+// given atom cap, resolving the plan rule (keyed by the normalized cap
+// only: a plan replays bit-identically under every failure model, see
+// spgraph.Plan, so one recording serves estimates and sweeps at any
+// pfail). On an evicted entry the plan is built cold and unaccounted.
 func (e *Entry) Plan(atoms int, model failure.Model) (*spgraph.Plan, error) {
-	key := normAtoms(atoms)
-	e.mu.Lock()
-	slot := e.plans[key]
-	if slot == nil {
-		slot = &planSlot{}
-		e.plans[key] = slot
+	if !e.resident() {
+		_, _, plan, err := spgraph.DodinPlan(e.G, model, atoms)
+		return plan, err
 	}
-	e.mu.Unlock()
-	slot.once.Do(func() {
-		_, _, slot.plan, slot.err = spgraph.DodinPlan(e.G, model, atoms)
-		if slot.err == nil {
-			e.addArtifactBytes(slot.plan.SizeBytes())
-		}
-	})
-	return slot.plan, slot.err
+	return e.reg.store.Plan(e.ga, atoms, model)
 }
 
 // Estimator returns the entry's compiled Monte Carlo estimator for the
-// failure model, building it (threshold tables included) on first use.
-// Callers derive per-request run configs via WithConfig; the snapshot
-// itself is shared read-only and safe for concurrent runs.
+// failure model, resolving the estimator rule (threshold tables
+// included) on first use. Callers derive per-request run configs via
+// WithConfig; the snapshot itself is shared read-only and safe for
+// concurrent runs.
 func (e *Entry) Estimator(model failure.Model, mode montecarlo.Mode) (*montecarlo.Estimator, error) {
-	key := estKey{lambda: model.Lambda, mode: mode}
-	e.mu.Lock()
-	slot := e.ests[key]
-	if slot == nil {
-		slot = &estSlot{}
-		e.ests[key] = slot
-	}
-	e.mu.Unlock()
-	slot.once.Do(func() {
-		slot.est, slot.err = montecarlo.NewEstimatorFrozen(e.Frozen, model, montecarlo.Config{
+	if !e.resident() {
+		return montecarlo.NewEstimatorFrozen(e.Frozen, model, montecarlo.Config{
 			Trials: 1, Workers: 1, Mode: mode,
 		})
-		if slot.err == nil {
-			e.addArtifactBytes(slot.est.SizeBytes())
-		}
-	})
-	return slot.est, slot.err
+	}
+	return e.reg.store.Estimator(e.ga, model, mode)
 }
 
 // ScheduleEstimator returns the entry's frozen-schedule Monte Carlo
-// estimator for (policy, procs, model), building it — priorities, list
-// schedule, schedule-DAG freeze, sampler threshold tables — exactly once
-// per key; concurrent requesters block on the winner. A warm request
-// therefore skips schedule freezing entirely and pays only the O(1)
-// WithConfig reconfiguration. The artifact is accounted against the
-// registry byte budget like plans and estimators.
+// estimator for (policy, procs, model), resolving the schedule rule —
+// priorities, list schedule, schedule-DAG freeze, sampler threshold
+// tables — exactly once per key; concurrent requesters coalesce on the
+// resolver's singleflight. A warm request therefore skips schedule
+// freezing entirely and pays only the O(1) WithConfig reconfiguration.
 func (e *Entry) ScheduleEstimator(policy schedmc.Policy, procs int, model failure.Model) (*schedmc.Estimator, error) {
-	key := schedKey{policy: policy, procs: procs, lambda: model.Lambda}
-	e.mu.Lock()
-	slot := e.scheds[key]
-	if slot == nil {
-		slot = &schedSlot{}
-		e.scheds[key] = slot
+	if !e.resident() {
+		fs, err := schedmc.Freeze(e.G, policy, procs, model)
+		if err != nil {
+			return nil, err
+		}
+		return schedmc.NewEstimator(fs, model, schedmc.Config{Trials: 1, Workers: 1})
 	}
-	e.mu.Unlock()
-	slot.once.Do(func() {
-		var fs *schedmc.FrozenSchedule
-		fs, slot.err = schedmc.Freeze(e.G, policy, procs, model)
-		if slot.err != nil {
-			return
-		}
-		slot.est, slot.err = schedmc.NewEstimator(fs, model, schedmc.Config{Trials: 1, Workers: 1})
-		if slot.err == nil {
-			e.addArtifactBytes(slot.est.SizeBytes())
-		}
-	})
-	return slot.est, slot.err
+	return e.reg.store.ScheduleEstimator(e.ga, policy, procs, model)
 }
 
-// Sweeper checks a bounds sweeper out of the entry's pool; return it with
-// PutSweeper. Sweepers are per-request scratch over the shared frozen
-// graph: they are cached for reuse (the pool), not counted against the
-// byte budget (the GC may reclaim them under pressure).
-func (e *Entry) Sweeper() *bounds.Sweeper {
-	return e.sweepers.Get().(*bounds.Sweeper)
+// snapshot returns the retained adaptive prefix for key, if any (see
+// coalesce.go). touch selects a warm lookup (counts a snapshot hit)
+// versus a silent peek for compare-before-replace.
+func (e *Entry) snapshot(key adaptiveKey, touch bool) (*montecarlo.Snapshot, bool) {
+	if !e.resident() {
+		return nil, false
+	}
+	sk := snapshotKeyFor(key)
+	if touch {
+		return e.reg.store.Snapshot(e.ga, sk)
+	}
+	return e.reg.store.PeekSnapshot(e.ga, sk)
 }
+
+// putSnapshot retains snap as the entry's snapshot artifact for key.
+// Dropped silently when the entry was evicted: an evicted graph's
+// snapshots would be unreachable anyway.
+func (e *Entry) putSnapshot(key adaptiveKey, snap *montecarlo.Snapshot) {
+	if !e.resident() {
+		return
+	}
+	e.reg.store.PutSnapshot(e.ga, snapshotKeyFor(key), snap)
+}
+
+func snapshotKeyFor(key adaptiveKey) artifact.SnapshotKey {
+	return artifact.SnapshotKey{
+		Sched:  key.sched,
+		Policy: key.policy,
+		Procs:  key.procs,
+		Lambda: key.lambda,
+		Mode:   key.mode,
+		Seed:   key.seed,
+	}
+}
+
+// Sweeper checks a bounds sweeper out of the graph's pool; return it
+// with PutSweeper. Sweepers are per-request scratch over the shared
+// frozen graph: pooled for reuse, not counted against the byte budget
+// (the GC may reclaim them under pressure).
+func (e *Entry) Sweeper() *bounds.Sweeper { return e.ga.Sweeper() }
 
 // PutSweeper returns a sweeper to the pool.
-func (e *Entry) PutSweeper(sw *bounds.Sweeper) {
-	e.sweepers.Put(sw)
-}
+func (e *Entry) PutSweeper(sw *bounds.Sweeper) { e.ga.PutSweeper(sw) }
 
-// PathEvaluator checks a longest-path evaluator out of the entry's pool
+// PathEvaluator checks a longest-path evaluator out of the graph's pool
 // (warm First Order estimates); return it with PutPathEvaluator.
-func (e *Entry) PathEvaluator() *dag.PathEvaluator {
-	return e.paths.Get().(*dag.PathEvaluator)
-}
+func (e *Entry) PathEvaluator() *dag.PathEvaluator { return e.ga.PathEvaluator() }
 
 // PutPathEvaluator returns an evaluator to the pool.
-func (e *Entry) PutPathEvaluator(pe *dag.PathEvaluator) {
-	e.paths.Put(pe)
-}
+func (e *Entry) PutPathEvaluator(pe *dag.PathEvaluator) { e.ga.PutPathEvaluator(pe) }
 
 // CacheInfo reports the entry's artifact population for GET /v1/graphs.
 type CacheInfo struct {
@@ -469,24 +371,17 @@ type CacheInfo struct {
 	AdaptiveSnaps int
 }
 
-// Cache snapshots the entry's artifact counts and accounted bytes.
+// Cache snapshots the entry's resident artifact counts and accounted
+// bytes — a census of the store's dependency graph under this entry's
+// graph artifact.
 func (e *Entry) Cache() CacheInfo {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	snaps := 0
-	for _, slot := range e.adapts {
-		slot.mu.Lock()
-		if slot.snap != nil {
-			snaps++
-		}
-		slot.mu.Unlock()
-	}
+	c := e.reg.store.Census(e.ga)
 	return CacheInfo{
-		Bytes:         e.baseBytes + e.artifactBytes,
-		DodinPlans:    len(e.plans),
-		Estimators:    len(e.ests),
-		Schedules:     len(e.scheds),
-		AdaptiveSnaps: snaps,
+		Bytes:         c.Bytes,
+		DodinPlans:    c.DodinPlans,
+		Estimators:    c.Estimators,
+		Schedules:     c.Schedules,
+		AdaptiveSnaps: c.AdaptiveSnaps,
 	}
 }
 
@@ -496,19 +391,6 @@ func (e *Entry) Cache() CacheInfo {
 // count. The coalescing tests assert on it.
 func (e *Entry) KernelRuns() int64 { return e.kernelRuns.Load() }
 
-func (e *Entry) addArtifactBytes(delta int64) {
-	if e.reg != nil {
-		e.reg.grow(e, delta)
-		return
-	}
-	e.mu.Lock()
-	e.artifactBytes += delta
-	e.mu.Unlock()
-}
-
-// SizeBytes reports the entry's total accounted size.
-func (e *Entry) SizeBytes() int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.baseBytes + e.artifactBytes
-}
+// SizeBytes reports the entry's total accounted size (graph artifact
+// plus resident derived artifacts).
+func (e *Entry) SizeBytes() int64 { return e.reg.store.Census(e.ga).Bytes }

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/experiments"
@@ -61,6 +62,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("GET /v1/cache", s.handleCache)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
@@ -764,29 +766,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		DodinMaxAtoms: req.DodinAtoms,
 		Workers:       s.workers,
 	}
+	// The sweep resolves its shared artifacts — Dodin plan, per-λ Monte
+	// Carlo estimators — through the registry's store, so repeat sweeps
+	// (and estimates touching the same artifacts) stay warm.
+	opts.Artifacts = s.reg.Store()
 	var res experiments.SweepResult
 	if err := s.heavy(func() error {
-		wantsDodin := len(methods) == 0 // paper default includes Dodin
-		for _, m := range methods {
-			if m == experiments.MethodDodin {
-				wantsDodin = true
-			}
-		}
-		if wantsDodin {
-			// Warm (or record-and-cache) the reduction schedule so every
-			// sweep on this graph replays one recording.
-			model, err := failure.FromPfail(spec.PFails[0], e.G.MeanWeight())
-			if err != nil {
-				return errBadRequest("%v", err)
-			}
-			plan, err := e.Plan(req.DodinAtoms, model)
-			if err != nil {
-				return errBadRequest("Dodin: %v", err)
-			}
-			opts.DodinPlan = plan
-		}
 		var err error
-		res, err = experiments.RunSweepFrozen(e.Frozen, spec, opts)
+		res, err = experiments.RunSweepGraph(e.Artifact(), spec, opts)
 		if err != nil {
 			return errBadRequest("%v", err)
 		}
@@ -798,6 +785,47 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_ = report.WriteSweepJSON(w, res, opts.Methods)
+}
+
+// kindStatsJSON is one artifact kind's row in GET /v1/cache.
+type kindStatsJSON struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Resident      int64 `json:"resident"`
+	ResidentBytes int64 `json:"resident_bytes"`
+}
+
+// cacheStatsResponse is the GET /v1/cache body: the artifact store's
+// per-kind resolver statistics plus overall occupancy.
+type cacheStatsResponse struct {
+	UsedBytes   int64                    `json:"used_bytes"`
+	BudgetBytes int64                    `json:"budget_bytes"`
+	Kinds       map[string]kindStatsJSON `json:"kinds"`
+}
+
+// handleCache serves the resolver's per-kind hit/miss/eviction and
+// residency counters. Every declared kind is always present (zeroed
+// before first use) so clients can rely on the shape.
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	st := s.reg.Store()
+	stats := st.Stats()
+	out := cacheStatsResponse{
+		UsedBytes:   st.UsedBytes(),
+		BudgetBytes: st.Budget(),
+		Kinds:       make(map[string]kindStatsJSON, len(artifact.Kinds())),
+	}
+	for _, kind := range artifact.Kinds() {
+		ks := stats[kind]
+		out.Kinds[kind] = kindStatsJSON{
+			Hits:          ks.Hits,
+			Misses:        ks.Misses,
+			Evictions:     ks.Evictions,
+			Resident:      ks.Resident,
+			ResidentBytes: ks.ResidentBytes,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 type healthzResponse struct {

@@ -1,14 +1,15 @@
 #!/usr/bin/env sh
 # bench.sh — run the Monte Carlo / frozen-kernel, Dodin, experiment-layer,
-# makespand service, frozen-schedule and adaptive-stopping benchmarks and
-# emit BENCH_mc.json + BENCH_dodin.json + BENCH_sweep.json +
-# BENCH_service.json + BENCH_sched.json + BENCH_adaptive.json so
-# successive PRs can track the perf trajectory (scripts/benchcheck gates
-# regressions against the committed copies in CI, including the >= 10x
-# schedsim legacy/frozen speedup, the >= 2x adaptive trials saving and
-# the >= 3x warm snapshot-extension speedup).
+# makespand service, frozen-schedule, adaptive-stopping and artifact-
+# resolver benchmarks and emit BENCH_mc.json + BENCH_dodin.json +
+# BENCH_sweep.json + BENCH_service.json + BENCH_sched.json +
+# BENCH_adaptive.json + BENCH_artifact.json so successive PRs can track
+# the perf trajectory (scripts/benchcheck gates regressions against the
+# committed copies in CI, including the >= 10x schedsim legacy/frozen
+# speedup, the >= 2x adaptive trials saving, the >= 3x warm
+# snapshot-extension speedup and the >= 10x artifact cold/warm ratio).
 #
-# Usage: scripts/bench.sh [mc.json] [dodin.json] [sweep.json] [service.json] [sched.json] [adaptive.json]
+# Usage: scripts/bench.sh [mc.json] [dodin.json] [sweep.json] [service.json] [sched.json] [adaptive.json] [artifact.json]
 #   COUNT=5   repetitions per benchmark (go test -count)
 #
 # Each JSON holds one entry per benchmark with every ns/op sample, the
@@ -23,6 +24,7 @@ sweep_out="${3:-BENCH_sweep.json}"
 service_out="${4:-BENCH_service.json}"
 sched_out="${5:-BENCH_sched.json}"
 adaptive_out="${6:-BENCH_adaptive.json}"
+artifact_out="${7:-BENCH_artifact.json}"
 count="${COUNT:-5}"
 mc_benches='BenchmarkFrozenEvalLU20|BenchmarkMCFusedLU20|BenchmarkMCLegacyLU20|BenchmarkTable1MonteCarloLU20|BenchmarkPathEvaluatorLU20|BenchmarkGraphConstructionDense'
 dodin_benches='BenchmarkTable1DodinLU16|BenchmarkTable1DodinLU20|BenchmarkDistributionFusedOps|BenchmarkBoundsBracketLU20|BenchmarkAblationDodinAtoms64'
@@ -30,6 +32,7 @@ sweep_benches='BenchmarkSweepLU10|BenchmarkMCHighPfailLU20|BenchmarkDodinPlanRep
 service_benches='BenchmarkServiceEstimateCold|BenchmarkServiceEstimateWarm|BenchmarkServiceDodinCold|BenchmarkServiceDodinWarm|BenchmarkServiceSweepWarm'
 sched_benches='BenchmarkSchedsimLegacyLU16|BenchmarkSchedMCLU16|BenchmarkSchedMCWarmLU16|BenchmarkSchedFreezeLU16'
 adaptive_benches='BenchmarkAdaptiveFixedBudgetLU10|BenchmarkAdaptiveStopLU10|BenchmarkAdaptiveColdRestartLU10|BenchmarkAdaptiveWarmExtendLU10'
+artifact_benches='BenchmarkArtifact'
 
 summarize() {
     awk -v trials=20000 '
@@ -77,3 +80,4 @@ run_group "$sweep_benches" "$sweep_out"
 run_group "$service_benches" "$service_out" ./internal/service
 run_group "$sched_benches" "$sched_out" ./internal/schedmc
 run_group "$adaptive_benches" "$adaptive_out"
+run_group "$artifact_benches" "$artifact_out" ./internal/artifact

@@ -6,9 +6,11 @@
 // one, when the frozen-schedule engine drops below -min-sched-ratio
 // times the speed of the legacy re-scheduling loop it replaced, when
 // adaptive stopping no longer beats the fixed default budget by at least
-// -min-adaptive-ratio at equal achieved quantile CI, or when extending a
+// -min-adaptive-ratio at equal achieved quantile CI, when extending a
 // warm snapshot drops below -min-extend-ratio times the speed of the
-// equivalent cold adaptive run.
+// equivalent cold adaptive run, or when the artifact resolver's warm hit
+// stops being at least -min-artifact-ratio times cheaper than the cold
+// build it replaces.
 //
 // Usage:
 //
@@ -70,6 +72,11 @@ var headline = map[string][]string{
 		"BenchmarkAdaptiveStopLU10",
 		"BenchmarkAdaptiveWarmExtendLU10",
 	},
+	"BENCH_artifact.json": {
+		"BenchmarkArtifactGraphWarm",
+		"BenchmarkArtifactEstimatorCold",
+		"BenchmarkArtifactScheduleCold",
+	},
 }
 
 // ratioGate checks that two benchmarks in one fresh file keep a minimum
@@ -120,6 +127,7 @@ func main() {
 	schedRatio := flag.Float64("min-sched-ratio", 10, "required legacy/frozen ratio of the schedsim engine pair (0 disables)")
 	adaptiveRatio := flag.Float64("min-adaptive-ratio", 2, "required fixed/adaptive ratio at equal quantile CI (0 disables)")
 	extendRatio := flag.Float64("min-extend-ratio", 3, "required cold/warm ratio of the snapshot-extension pair (0 disables)")
+	artifactRatio := flag.Float64("min-artifact-ratio", 10, "required cold/warm ratio of the artifact estimator pair (0 disables)")
 	flag.Parse()
 
 	failures := 0
@@ -219,6 +227,15 @@ func main() {
 		// warm-extension tests).
 		failures += ratioGate(*freshDir, "BENCH_adaptive.json", "adaptive warm-extend speedup",
 			"BenchmarkAdaptiveColdRestartLU10", "BenchmarkAdaptiveWarmExtendLU10", *extendRatio)
+	}
+	if *artifactRatio > 0 {
+		// The PR 7 acceptance criterion: a warm resolver hit (key lookup +
+		// LRU touch) must stay far cheaper than the cold estimator compile
+		// it replaces — in practice the measured ratio is in the hundreds;
+		// 10x is the alarm threshold for a hit path gone quadratic or a
+		// rule silently rebuilding per request.
+		failures += ratioGate(*freshDir, "BENCH_artifact.json", "artifact warm-hit speedup",
+			"BenchmarkArtifactEstimatorCold", "BenchmarkArtifactEstimatorWarm", *artifactRatio)
 	}
 
 	if failures > 0 {

@@ -125,4 +125,20 @@ gid_lu8="$(curl -fsS -X POST "$base/v1/graphs" -d '{"kind":"lu","k":8}' | jq -r 
 scheds="$(curl -fsS "$base/v1/graphs/$gid_lu8" | jq -r .cache.schedules)"
 test "$scheds" -ge 2
 
+echo "== E12 resolver stats (GET /v1/cache)"
+curl -fsS "$base/v1/cache" >"$work/cache.json"
+# Every declared kind is present, zeroed or not.
+for kind in graph plan mc sched snap; do
+    jq -e --arg k "$kind" '.kinds[$k] | has("hits") and has("misses") and has("evictions") and has("resident") and has("resident_bytes")' \
+        "$work/cache.json" >/dev/null
+done
+# The cases above left at least: two graphs (lu k=8 + the submitted
+# cholesky), per-λ MC estimators, and both policies' frozen schedules.
+test "$(jq -r .kinds.graph.resident "$work/cache.json")" -ge 2
+test "$(jq -r .kinds.mc.resident "$work/cache.json")" -ge 2
+test "$(jq -r .kinds.sched.resident "$work/cache.json")" -ge 2
+# Warm traffic (E4/E11 reruns, resubmissions) must register as hits.
+test "$(jq -r .kinds.graph.hits "$work/cache.json")" -ge 1
+test "$(jq -r .used_bytes "$work/cache.json")" -gt 0
+
 echo "e2e smoke: all cases passed"

@@ -27,12 +27,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/artifact"
 	"repro/internal/experiments"
@@ -70,7 +73,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown -format %q (text or json)\n", *format)
 		os.Exit(2)
 	}
+	// Ctrl-C / SIGTERM cancels the run context: the cell scheduler stops
+	// launching cells and in-flight Monte Carlo aborts at the next chunk
+	// boundary, so an interrupted run never emits a partial document.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	opts := experiments.Options{
+		Context:        ctx,
 		Trials:         *trials,
 		Seed:           *seed,
 		Workers:        *workers,

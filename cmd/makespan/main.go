@@ -31,9 +31,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/artifact"
@@ -100,13 +104,21 @@ func main() {
 			o.trials = 0
 		}
 	}
-	if err := run(o); err != nil {
+	// Ctrl-C / SIGTERM cancels the run context: artifact builds stop
+	// between rules and Monte Carlo aborts at the next chunk boundary, so
+	// an interrupted run never prints a partial document.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o); err != nil {
 		fmt.Fprintln(os.Stderr, "makespan:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(o options) error {
+func run(ctx context.Context, o options) error {
 	if o.format != "text" && o.format != "json" {
 		return fmt.Errorf("unknown -format %q (text or json)", o.format)
 	}
@@ -118,7 +130,7 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	est, err := buildEstimate(g, model, o)
+	est, err := buildEstimate(ctx, g, model, o)
 	if err != nil {
 		return err
 	}
@@ -136,9 +148,9 @@ func run(o options) error {
 // Within one invocation everything is a cold build; the value is that
 // there is exactly one construction path to keep byte-identical, which
 // the e2e suite pins CLI-vs-service.
-func buildEstimate(g *dag.Graph, model failure.Model, o options) (report.Estimate, error) {
+func buildEstimate(ctx context.Context, g *dag.Graph, model failure.Model, o options) (report.Estimate, error) {
 	st := artifact.NewStore(0)
-	ga, _, err := st.Graph(g)
+	ga, _, err := st.GraphContext(ctx, g)
 	if err != nil {
 		return report.Estimate{}, err
 	}
@@ -182,7 +194,7 @@ func buildEstimate(g *dag.Graph, model failure.Model, o options) (report.Estimat
 		var dt time.Duration
 		switch m {
 		case experiments.MethodDodin:
-			plan, err := st.Plan(ga, o.atoms, model)
+			plan, err := st.PlanContext(ctx, ga, o.atoms, model)
 			if err != nil {
 				return report.Estimate{}, fmt.Errorf("%s: %w", m, err)
 			}
@@ -221,7 +233,7 @@ func buildEstimate(g *dag.Graph, model failure.Model, o options) (report.Estimat
 		MaxTrials:      o.maxTrials,
 	}
 	t0 := time.Now()
-	warm, err := st.Estimator(ga, model, montecarlo.FullReexecution)
+	warm, err := st.EstimatorContext(ctx, ga, model, montecarlo.FullReexecution)
 	if err != nil {
 		return report.Estimate{}, err
 	}
@@ -231,7 +243,7 @@ func buildEstimate(g *dag.Graph, model failure.Model, o options) (report.Estimat
 	}
 	var mc *report.MonteCarloInfo
 	if o.tolerance != 0 {
-		res, snap, err := mcEst.ResumeAdaptive(nil, nil)
+		res, snap, err := mcEst.ResumeAdaptiveContext(ctx, nil, nil)
 		if err != nil {
 			return report.Estimate{}, err
 		}
@@ -244,7 +256,7 @@ func buildEstimate(g *dag.Graph, model failure.Model, o options) (report.Estimat
 			}
 		}
 	} else if len(qs) > 0 {
-		res, sketch, err := mcEst.RunQuantiles()
+		res, sketch, err := mcEst.RunQuantilesContext(ctx)
 		if err != nil {
 			return report.Estimate{}, err
 		}
@@ -253,7 +265,7 @@ func buildEstimate(g *dag.Graph, model failure.Model, o options) (report.Estimat
 			mc.Quantiles = append(mc.Quantiles, report.QuantileValue{Q: q, Value: sketch.Quantile(q)})
 		}
 	} else {
-		res, err := mcEst.Run()
+		res, err := mcEst.RunContext(ctx)
 		if err != nil {
 			return report.Estimate{}, err
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -68,42 +69,42 @@ func TestRunEndToEnd(t *testing.T) {
 	// Full CLI path with a tiny workload and no Monte Carlo.
 	o := base
 	o.bounds = true
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 	o = base
 	o.trials, o.methods = 500, "all"
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 	o = base
 	o.methods = "First Order,Sculli"
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 	o = base
 	o.methods = "bogus"
-	if err := run(o); err == nil {
+	if err := run(context.Background(), o); err == nil {
 		t.Fatal("bogus method accepted")
 	}
 	o = base
 	o.format = "yaml"
-	if err := run(o); err == nil {
+	if err := run(context.Background(), o); err == nil {
 		t.Fatal("bad format accepted")
 	}
 	o = base
 	o.format, o.trials, o.quantiles = "json", 500, "0.5,0.95"
-	if err := run(o); err != nil {
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 	o = base
 	o.quantiles = "0.5"
-	if err := run(o); err == nil {
+	if err := run(context.Background(), o); err == nil {
 		t.Fatal("quantiles without trials accepted")
 	}
 	o = base
 	o.trials, o.quantiles = 500, "1.5"
-	if err := run(o); err == nil {
+	if err := run(context.Background(), o); err == nil {
 		t.Fatal("out-of-range quantile accepted")
 	}
 }

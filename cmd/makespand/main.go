@@ -16,16 +16,25 @@
 //	POST /v1/estimate     estimate one graph: methods × pfail × trials
 //	POST /v1/sweep        pfail sweep via the experiment-cell scheduler
 //	POST /v1/schedule     processor-bounded scheduled-makespan estimate
-//	GET  /healthz         liveness + cache statistics
+//	GET  /v1/cache        resolver statistics + in-flight request count
+//	GET  /healthz         liveness + cache statistics (503 once draining)
 //
 // Estimate, sweep and schedule responses are byte-identical to
 // `makespan -format json`, `experiments -sweep -format json` and
 // `schedsim -format json` for the same inputs (timing fields excepted)
 // and deterministic under concurrent load.
+//
+// Lifecycle: SIGINT/SIGTERM starts a graceful drain — /healthz flips to
+// 503, the listener stops accepting after -drain-grace, in-flight
+// requests run to completion within -drain-timeout, stragglers have
+// their contexts cancelled (kernels abort at the next chunk boundary
+// and answer 504/499) — and the process exits 0. A second signal kills
+// it the default way.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -40,22 +49,50 @@ import (
 	"repro/internal/service"
 )
 
+// daemonConfig collects the flag-settable knobs of one daemon run.
+type daemonConfig struct {
+	addr         string
+	workers      int
+	cacheBytes   int64
+	maxInFlight  int
+	maxQueue     int
+	queueWait    time.Duration
+	timeout      time.Duration
+	maxTimeout   time.Duration
+	drainGrace   time.Duration
+	drainTimeout time.Duration
+}
+
 func main() {
-	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
-		workers = flag.Int("workers", 0, "server-wide CPU budget for estimation work (0 = GOMAXPROCS)")
-		cacheB  = flag.Int64("cache-bytes", 256<<20, "graph registry byte budget (<= 0 = unlimited)")
-	)
+	var cfg daemonConfig
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	flag.IntVar(&cfg.workers, "workers", 0, "server-wide CPU budget for estimation work (0 = GOMAXPROCS)")
+	flag.Int64Var(&cfg.cacheBytes, "cache-bytes", 256<<20, "graph registry byte budget (<= 0 = unlimited)")
+	flag.IntVar(&cfg.maxInFlight, "max-inflight", 0, "cap on concurrently admitted estimation requests (0 = unlimited)")
+	flag.IntVar(&cfg.maxQueue, "max-queue", 0, "admission wait-queue length when -max-inflight is set (0 = shed instantly)")
+	flag.DurationVar(&cfg.queueWait, "queue-wait", time.Second, "how long a queued request waits for admission before 429")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "default per-request deadline when the client sends no timeout_ms (0 = none)")
+	flag.DurationVar(&cfg.maxTimeout, "max-timeout", 0, "clamp on client-requested timeout_ms (0 = unclamped)")
+	flag.DurationVar(&cfg.drainGrace, "drain-grace", 0, "how long /healthz advertises draining before the listener closes")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 10*time.Second, "how long in-flight requests may run after drain starts")
 	flag.Parse()
-	if err := run(*addr, *workers, *cacheB); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "makespand:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers int, cacheBytes int64) error {
-	srv := service.New(service.Config{Workers: workers, CacheBytes: cacheBytes})
-	ln, err := net.Listen("tcp", addr)
+func run(cfg daemonConfig) error {
+	srv := service.New(service.Config{
+		Workers:        cfg.workers,
+		CacheBytes:     cfg.cacheBytes,
+		MaxInFlight:    cfg.maxInFlight,
+		MaxQueue:       cfg.maxQueue,
+		QueueWait:      cfg.queueWait,
+		DefaultTimeout: cfg.timeout,
+		MaxTimeout:     cfg.maxTimeout,
+	})
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
@@ -63,22 +100,59 @@ func run(addr string, workers int, cacheBytes int64) error {
 	// harness scrapes the port from it when started with :0.
 	log.SetFlags(0)
 	log.Printf("makespand: listening on %s (workers %d, cache budget %d bytes)",
-		ln.Addr(), workersOrMax(workers), cacheBytes)
+		ln.Addr(), workersOrMax(cfg.workers), cfg.cacheBytes)
 
-	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// rootCtx is the base of every request context: cancelling it aborts
+	// in-flight kernels at their next chunk boundary (the force phase of
+	// a drain that overran its budget).
+	rootCtx, rootCancel := context.WithCancel(context.Background())
+	defer rootCancel()
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return rootCtx },
+	}
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
 		return err
-	case <-ctx.Done():
-		log.Printf("makespand: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		return hs.Shutdown(shutdownCtx)
+	case <-sigCtx.Done():
 	}
+	// Restore default signal handling: a second SIGINT/SIGTERM kills the
+	// process immediately instead of being swallowed by a stuck drain.
+	stop()
+
+	log.Printf("makespand: draining (%d in flight, grace %s, timeout %s)",
+		srv.InFlight(), cfg.drainGrace, cfg.drainTimeout)
+	srv.StartDrain() // /healthz answers 503 from here on
+	if cfg.drainGrace > 0 {
+		// Keep accepting during the grace window so health checkers and
+		// load balancers can observe the draining state and stop routing
+		// here before the listener disappears.
+		time.Sleep(cfg.drainGrace)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		// In-flight requests outlived the drain budget: cancel their
+		// contexts — kernels abort at the next chunk boundary and the
+		// handlers answer 504/499 — then give them a moment to flush.
+		log.Printf("makespand: drain timeout; cancelling in-flight requests")
+		rootCancel()
+		finalCtx, cancelFinal := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancelFinal()
+		if err := hs.Shutdown(finalCtx); err != nil {
+			_ = hs.Close()
+		}
+	}
+	log.Printf("makespand: drained, exiting")
+	return nil
 }
 
 func workersOrMax(w int) int {

@@ -24,11 +24,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/artifact"
@@ -103,8 +107,16 @@ func main() {
 			o.trials = 0
 		}
 	}
-	if err := run(o, os.Stdout); err != nil {
+	// Ctrl-C / SIGTERM cancels the run context: artifact builds stop
+	// between rules and the simulation aborts at the next chunk boundary,
+	// so an interrupted run never prints a partial document.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "schedsim:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
@@ -176,7 +188,7 @@ func validate(o options) (policies []schedmc.Policy, qs []float64, over schedmc.
 	return policies, qs, over, nil
 }
 
-func run(o options, out io.Writer) error {
+func run(ctx context.Context, o options, out io.Writer) error {
 	policies, qs, over, err := validate(o)
 	if err != nil {
 		return err
@@ -198,7 +210,7 @@ func run(o options, out io.Writer) error {
 	// resolves, so both front ends share one construction path (the e2e
 	// suite pins their outputs byte-identical).
 	st := artifact.NewStore(0)
-	ga, _, err := st.Graph(tg)
+	ga, _, err := st.GraphContext(ctx, tg)
 	if err != nil {
 		return err
 	}
@@ -215,7 +227,7 @@ func run(o options, out io.Writer) error {
 	}
 	var gantts []sched.Schedule
 	for _, pol := range policies {
-		p, base, err := runPolicy(st, ga, pol, tm, qs, o)
+		p, base, err := runPolicy(ctx, st, ga, pol, tm, qs, o)
 		if err != nil {
 			return err
 		}
@@ -243,8 +255,8 @@ func run(o options, out io.Writer) error {
 // compiled estimator through the artifact store, estimate the expected
 // makespan (frozen engine by default, the dynamic re-scheduling loop
 // behind -dynamic) and assemble the report entry.
-func runPolicy(st *artifact.Store, ga *artifact.Graph, pol schedmc.Policy, model failure.Model, qs []float64, o options) (report.SchedulePolicy, sched.Schedule, error) {
-	warm, err := st.ScheduleEstimator(ga, pol, o.procs, model)
+func runPolicy(ctx context.Context, st *artifact.Store, ga *artifact.Graph, pol schedmc.Policy, model failure.Model, qs []float64, o options) (report.SchedulePolicy, sched.Schedule, error) {
+	warm, err := st.ScheduleEstimatorContext(ctx, ga, pol, o.procs, model)
 	if err != nil {
 		return report.SchedulePolicy{}, sched.Schedule{}, err
 	}
@@ -298,7 +310,7 @@ func runPolicy(st *artifact.Store, ga *artifact.Graph, pol schedmc.Policy, model
 	t0 := time.Now()
 	var mc *report.MonteCarloInfo
 	if o.tolerance != 0 {
-		res, snap, err := e.ResumeAdaptive(nil, nil)
+		res, snap, err := e.ResumeAdaptiveContext(ctx, nil, nil)
 		if err != nil {
 			return p, fs.Base, err
 		}
@@ -311,7 +323,7 @@ func runPolicy(st *artifact.Store, ga *artifact.Graph, pol schedmc.Policy, model
 			}
 		}
 	} else if len(qs) > 0 {
-		res, sketch, err := e.RunQuantiles()
+		res, sketch, err := e.RunQuantilesContext(ctx)
 		if err != nil {
 			return p, fs.Base, err
 		}
@@ -320,7 +332,7 @@ func runPolicy(st *artifact.Store, ga *artifact.Graph, pol schedmc.Policy, model
 			mc.Quantiles = append(mc.Quantiles, report.QuantileValue{Q: q, Value: sketch.Quantile(q)})
 		}
 	} else {
-		res, err := e.Run()
+		res, err := e.RunContext(ctx)
 		if err != nil {
 			return p, fs.Base, err
 		}

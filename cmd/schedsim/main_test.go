@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"testing"
 )
@@ -15,7 +16,7 @@ func baseOptions() options {
 func TestRunEndToEnd(t *testing.T) {
 	o := baseOptions()
 	o.gantt = true
-	if err := run(o, io.Discard); err != nil {
+	if err := run(context.Background(), o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -24,7 +25,7 @@ func TestRunJSONAndQuantiles(t *testing.T) {
 	o := baseOptions()
 	o.format = "json"
 	o.quantiles = "0.5, 0.99" // spaces are tolerated, like every list flag
-	if err := run(o, io.Discard); err != nil {
+	if err := run(context.Background(), o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -32,7 +33,7 @@ func TestRunJSONAndQuantiles(t *testing.T) {
 func TestRunDynamicEngine(t *testing.T) {
 	o := baseOptions()
 	o.dynamic = true
-	if err := run(o, io.Discard); err != nil {
+	if err := run(context.Background(), o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -42,7 +43,7 @@ func TestRunOverheads(t *testing.T) {
 	o.verifyFrac = 0.1
 	o.verifyFixed = 0.01
 	o.replication = "serial"
-	if err := run(o, io.Discard); err != nil {
+	if err := run(context.Background(), o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -76,7 +77,7 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	for _, tc := range cases {
 		o := baseOptions()
 		tc.mutate(&o)
-		if err := run(o, io.Discard); err == nil {
+		if err := run(context.Background(), o, io.Discard); err == nil {
 			t.Errorf("%s: accepted", tc.name)
 		}
 	}

@@ -1,0 +1,272 @@
+package artifact
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCancelledLeaderNoWaitersAborts: a leader whose ctx dies with
+// nobody else interested must see its build's flight context cancelled,
+// get its own ctx error back, and leave the resolver fully retryable —
+// no cached error, no leaked pins.
+func TestCancelledLeaderNoWaitersAborts(t *testing.T) {
+	r := NewResolver(0, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	req := Request{
+		Kind: "k",
+		Key:  "k/x",
+		Build: func(bctx context.Context, _ []any) (any, int64, error) {
+			close(started)
+			select {
+			case <-bctx.Done():
+				return nil, 0, bctx.Err()
+			case <-time.After(5 * time.Second):
+				return nil, 0, errors.New("flight context never cancelled")
+			}
+		},
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	if _, err := r.ResolveContext(ctx, req); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Retry with a live context rebuilds from scratch.
+	req.Build = func(context.Context, []any) (any, int64, error) { return "ok", 1, nil }
+	v, err := r.Resolve(req)
+	if err != nil || v != "ok" {
+		t.Fatalf("resolver not retryable after cancelled build: %v, %v", v, err)
+	}
+}
+
+// TestCancelledLeaderHandsOffToWaiter: when the leader's ctx dies but a
+// live waiter has coalesced onto the build, the flight context must
+// stay alive, the build completes once, and the waiter gets the value.
+func TestCancelledLeaderHandsOffToWaiter(t *testing.T) {
+	r := NewResolver(0, nil)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	builds := 0
+	req := Request{
+		Kind: "k",
+		Key:  "k/y",
+		Build: func(bctx context.Context, _ []any) (any, int64, error) {
+			builds++
+			close(started)
+			<-release
+			// The leader has been cancelled by now; a live waiter must be
+			// keeping the flight context open.
+			if err := bctx.Err(); err != nil {
+				return nil, 0, err
+			}
+			return "built", 1, nil
+		},
+	}
+
+	type res struct {
+		v   any
+		err error
+	}
+	leaderDone := make(chan res, 1)
+	go func() {
+		v, err := r.ResolveContext(leaderCtx, req)
+		leaderDone <- res{v, err}
+	}()
+	<-started
+
+	waiterDone := make(chan res, 1)
+	go func() {
+		v, err := r.ResolveContext(context.Background(), req)
+		waiterDone <- res{v, err}
+	}()
+	// Wait for the waiter to register interest (its join counts a hit).
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Stats()["k"].Hits < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never joined the in-flight build")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancelLeader()
+	close(release)
+
+	w := <-waiterDone
+	if w.err != nil || w.v != "built" {
+		t.Fatalf("waiter after leader cancel: %v, %v", w.v, w.err)
+	}
+	l := <-leaderDone
+	// The leader ran the build to completion on the waiter's behalf; it
+	// gets the value too (the work is done either way).
+	if l.err != nil || l.v != "built" {
+		t.Fatalf("leader: %v, %v", l.v, l.err)
+	}
+	if builds != 1 {
+		t.Fatalf("build ran %d times, want 1", builds)
+	}
+	if _, ok := r.Peek("k/y"); !ok {
+		t.Fatal("completed build not cached")
+	}
+}
+
+// TestCancelledWaiterDetachesWithoutKillingFlight: a waiter whose ctx
+// dies leaves immediately with its own error while the leader's build
+// continues and completes.
+func TestCancelledWaiterDetachesWithoutKillingFlight(t *testing.T) {
+	r := NewResolver(0, nil)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	req := Request{
+		Kind: "k",
+		Key:  "k/z",
+		Build: func(bctx context.Context, _ []any) (any, int64, error) {
+			close(started)
+			<-release
+			if err := bctx.Err(); err != nil {
+				return nil, 0, err
+			}
+			return "built", 1, nil
+		},
+	}
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := r.Resolve(req)
+		leaderDone <- err
+	}()
+	<-started
+
+	wctx, cancelWaiter := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := r.ResolveContext(wctx, req)
+		waiterDone <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Stats()["k"].Hits < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never joined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancelWaiter()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader failed after waiter detached: %v", err)
+	}
+	if _, ok := r.Peek("k/z"); !ok {
+		t.Fatal("completed build not cached")
+	}
+}
+
+// TestCancelledBuildUnpinsDeps: a build aborted by cancellation must
+// release the pins it took on its dependencies, or they become
+// permanently unevictable.
+func TestCancelledBuildUnpinsDeps(t *testing.T) {
+	r := NewResolver(0, nil)
+	dep := Request{
+		Kind:  "dep",
+		Key:   "dep/1",
+		Build: func(context.Context, []any) (any, int64, error) { return "d", 100, nil },
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	parent := Request{
+		Kind: "par",
+		Key:  "par/1",
+		Deps: []Request{dep},
+		Build: func(bctx context.Context, _ []any) (any, int64, error) {
+			close(started)
+			<-bctx.Done()
+			return nil, 0, bctx.Err()
+		},
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	if _, err := r.ResolveContext(ctx, parent); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// An extra entry so Shed's sole-entry guard is not what keeps the
+	// dep alive.
+	if _, err := r.Resolve(Request{
+		Kind:  "other",
+		Key:   "other/1",
+		Build: func(context.Context, []any) (any, int64, error) { return "o", 1, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if dropped := r.Shed(); dropped < 1 {
+		t.Fatalf("Shed dropped %d entries; the cancelled build leaked a dep pin", dropped)
+	}
+	if _, ok := r.Peek("dep/1"); ok {
+		t.Fatal("dep still resident after Shed: pin leaked by cancelled build")
+	}
+}
+
+// TestWaiterJoiningDyingFlightRetries: a request that coalesces onto a
+// build that dies with a cancellation error (its interest lapsed just
+// as we joined) must not surface the stranger's cancellation — it
+// retries and leads its own build.
+func TestWaiterJoiningDyingFlightRetries(t *testing.T) {
+	r := NewResolver(0, nil)
+	started := make(chan struct{})
+	waiterJoined := make(chan struct{})
+	var calls atomic.Int64
+	req := Request{
+		Kind: "k",
+		Key:  "k/r",
+		Build: func(bctx context.Context, _ []any) (any, int64, error) {
+			if calls.Add(1) == 1 {
+				close(started)
+				<-waiterJoined
+				// Simulate the abort racing the waiter's join: the flight
+				// dies with a cancellation error just as interest arrives.
+				return nil, 0, context.Canceled
+			}
+			return "second", 1, nil
+		},
+	}
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := r.Resolve(req)
+		leaderDone <- err
+	}()
+	<-started
+
+	waiterDone := make(chan error, 1)
+	var waiterVal any
+	go func() {
+		v, err := r.ResolveContext(context.Background(), req)
+		waiterVal = v
+		waiterDone <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Stats()["k"].Hits < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never joined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(waiterJoined)
+	if err := <-waiterDone; err != nil || waiterVal != "second" {
+		t.Fatalf("waiter = %v, %v; want a successful retried build", waiterVal, err)
+	}
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want its own cancellation", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("build ran %d times, want 2 (failed flight + retry)", n)
+	}
+}

@@ -16,6 +16,8 @@ package artifact
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"sync"
 )
 
@@ -42,7 +44,12 @@ type Request struct {
 	Deps []Request
 	// Build constructs the artifact from the resolved dependency values
 	// (in Deps order), returning it with its approximate retained size.
-	Build func(deps []any) (value any, size int64, err error)
+	// The context is the build's flight context, NOT any one caller's:
+	// it is cancelled only when every request interested in this build
+	// has detached (see ResolveContext), so a build shared by several
+	// requests survives any one of them going away. Builds should honor
+	// it at their natural checkpoint granularity.
+	Build func(ctx context.Context, deps []any) (value any, size int64, err error)
 }
 
 // KindStats counts one artifact kind's cache traffic. Hits include
@@ -83,6 +90,15 @@ type entry struct {
 	// in-flight build, and every build or Put currently holding it as a
 	// dependency. Guarded by Resolver.mu.
 	pins int
+
+	// interest counts requests whose outcome depends on the in-flight
+	// build: the leader plus every coalesced waiter still present. When
+	// the last one detaches, cancel fires and the build aborts. Only
+	// meaningful while building; guarded by Resolver.mu.
+	interest int
+	// cancel aborts the build's flight context; nil once the build has
+	// finished (or for ready entries). Guarded by Resolver.mu.
+	cancel context.CancelFunc
 
 	elem *list.Element // LRU position; nil while building
 
@@ -138,7 +154,19 @@ func (r *Resolver) kindStats(kind string) *KindStats {
 // stays valid even if the entry is evicted later (entries are ordinary
 // GC-managed values; eviction only stops them being findable).
 func (r *Resolver) Resolve(req Request) (any, error) {
-	e, _, err := r.resolve(req)
+	return r.ResolveContext(context.Background(), req)
+}
+
+// ResolveContext is Resolve with cancellation. The caller's ctx bounds
+// its *wait*, not the build outright: a build is shared, so it keeps a
+// flight context that is cancelled only when the last interested
+// request detaches. A caller whose ctx expires detaches immediately
+// (returning ctx.Err()); if it was the last one, the build aborts at
+// its next checkpoint and the failed entry is removed — no error is
+// cached, no dependency pins leak, and the next request simply
+// rebuilds.
+func (r *Resolver) ResolveContext(ctx context.Context, req Request) (any, error) {
+	e, _, err := r.resolve(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +179,13 @@ func (r *Resolver) Resolve(req Request) (any, error) {
 // the build itself (false on cache hits and coalesced waits) — the
 // service's "created" field for graph submissions.
 func (r *Resolver) ResolveBuilt(req Request) (any, bool, error) {
-	e, built, err := r.resolve(req)
+	return r.ResolveBuiltContext(context.Background(), req)
+}
+
+// ResolveBuiltContext is ResolveBuilt with ResolveContext's
+// cancellation semantics.
+func (r *Resolver) ResolveBuiltContext(ctx context.Context, req Request) (any, bool, error) {
+	e, built, err := r.resolve(ctx, req)
 	if err != nil {
 		return nil, false, err
 	}
@@ -162,7 +196,21 @@ func (r *Resolver) ResolveBuilt(req Request) (any, bool, error) {
 
 // resolve returns the entry for req with one pin held by the caller
 // (release with unpin). built reports whether this call ran the build.
-func (r *Resolver) resolve(req Request) (*entry, bool, error) {
+func (r *Resolver) resolve(ctx context.Context, req Request) (*entry, bool, error) {
+	for {
+		e, built, retry, err := r.resolveOnce(ctx, req)
+		if retry {
+			// The build this call coalesced onto was cancelled (its
+			// last interested request left before we joined, or raced
+			// our join). Our own ctx is still live, so lead a fresh
+			// build rather than surfacing someone else's cancellation.
+			continue
+		}
+		return e, built, err
+	}
+}
+
+func (r *Resolver) resolveOnce(ctx context.Context, req Request) (_ *entry, built, retry bool, err error) {
 	r.mu.Lock()
 	if e, ok := r.entries[req.Key]; ok {
 		e.pins++
@@ -170,41 +218,94 @@ func (r *Resolver) resolve(req Request) (*entry, bool, error) {
 		if e.ready {
 			r.lru.MoveToFront(e.elem)
 			r.mu.Unlock()
-			return e, false, nil
+			return e, false, false, nil
 		}
 		// In flight: coalesce onto the running build.
+		e.interest++
 		r.mu.Unlock()
-		<-e.done
+		if done := ctx.Done(); done != nil {
+			select {
+			case <-e.done:
+			case <-done:
+				// Detach: drop our interest (cancelling the flight if
+				// we were the last) and stop waiting. The build, if it
+				// continues for others, completes without us.
+				r.mu.Lock()
+				e.interest--
+				if e.interest <= 0 && e.cancel != nil {
+					e.cancel()
+				}
+				e.pins--
+				r.mu.Unlock()
+				return nil, false, false, ctx.Err()
+			}
+		} else {
+			<-e.done
+		}
+		r.mu.Lock()
+		e.interest--
+		r.mu.Unlock()
 		if e.err != nil {
 			r.unpin(e)
-			return nil, false, e.err
+			if isCancellation(e.err) && ctx.Err() == nil {
+				return nil, false, true, e.err
+			}
+			return nil, false, false, e.err
 		}
-		return e, false, nil
+		return e, false, false, nil
 	}
 	// Become the builder. The entry is findable (so later requests
 	// coalesce) but self-pinned and outside the LRU until the build
 	// completes, so budget pressure from concurrent inserts can never
-	// evict it mid-build.
+	// evict it mid-build. The build runs under its own flight context,
+	// detached from the leader's ctx except through interest counting,
+	// so a cancelled leader hands the running build to any waiter that
+	// joined instead of killing it under them.
+	buildCtx, buildCancel := context.WithCancel(context.Background())
+	defer buildCancel()
 	e := &entry{
 		kind:       req.Kind,
 		key:        req.Key,
 		done:       make(chan struct{}),
 		pins:       1,
+		interest:   1,
+		cancel:     buildCancel,
 		dependents: make(map[Key]*entry),
 	}
 	r.entries[req.Key] = e
 	r.kindStats(req.Kind).Misses++
 	r.mu.Unlock()
 
-	deps, vals, err := r.resolveDeps(req.Deps)
+	if done := ctx.Done(); done != nil {
+		// Watch the leader's own ctx: the build runs on this goroutine
+		// regardless (Build only aborts via buildCtx), but the leader's
+		// interest must lapse on cancel so a waiterless build stops.
+		watchStop := make(chan struct{})
+		defer close(watchStop)
+		go func() {
+			select {
+			case <-done:
+				r.mu.Lock()
+				e.interest--
+				if e.interest <= 0 && e.cancel != nil {
+					e.cancel()
+				}
+				r.mu.Unlock()
+			case <-watchStop:
+			}
+		}()
+	}
+
+	deps, vals, err := r.resolveDeps(buildCtx, req.Deps)
 	var value any
 	var size int64
 	if err == nil {
-		value, size, err = req.Build(vals)
+		value, size, err = req.Build(buildCtx, vals)
 	}
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	e.cancel = nil
 	if err != nil {
 		if r.entries[req.Key] == e {
 			delete(r.entries, req.Key)
@@ -213,7 +314,7 @@ func (r *Resolver) resolve(req Request) (*entry, bool, error) {
 		e.pins-- // the self-pin; the entry is dead either way
 		r.unpinDepsLocked(deps)
 		close(e.done)
-		return nil, false, err
+		return nil, false, false, err
 	}
 	e.value, e.size, e.ready = value, size, true
 	e.deps = deps
@@ -228,20 +329,29 @@ func (r *Resolver) resolve(req Request) (*entry, bool, error) {
 	ks.ResidentBytes += size
 	close(e.done)
 	r.evictLocked(e)
-	return e, true, nil
+	return e, true, false, nil
+}
+
+// isCancellation reports whether err is a context cancellation or
+// deadline — the errors that mean "a caller went away", not "the build
+// is broken".
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // resolveDeps resolves every dependency request, returning the entries
 // with one pin each (held for the duration of the parent build) plus
 // their values in order. On error the pins already taken are released.
-func (r *Resolver) resolveDeps(reqs []Request) ([]*entry, []any, error) {
+// Dependencies resolve under the parent's flight context: they abort
+// only when the parent build itself has lost all interest.
+func (r *Resolver) resolveDeps(ctx context.Context, reqs []Request) ([]*entry, []any, error) {
 	if len(reqs) == 0 {
 		return nil, nil, nil
 	}
 	deps := make([]*entry, 0, len(reqs))
 	vals := make([]any, 0, len(reqs))
 	for _, d := range reqs {
-		de, _, err := r.resolve(d)
+		de, _, err := r.resolve(ctx, d)
 		if err != nil {
 			r.mu.Lock()
 			r.unpinDepsLocked(deps)
@@ -275,7 +385,7 @@ func (r *Resolver) unpin(e *entry) {
 // the Put is dropped (the build's result wins). Counts as a miss for
 // the kind (a build happened, just not here).
 func (r *Resolver) Put(req Request, value any, size int64) {
-	deps, _, err := r.resolveDeps(req.Deps)
+	deps, _, err := r.resolveDeps(context.Background(), req.Deps)
 	if err != nil {
 		return
 	}
@@ -413,6 +523,36 @@ func (r *Resolver) evictLocked(keep *entry) {
 		}
 		if !evicted {
 			return
+		}
+	}
+}
+
+// Shed evicts every currently evictable entry regardless of budget —
+// pinned entries, in-flight builds and their dependencies stay, as do
+// cascades that would touch them. It returns the number of entries
+// dropped. Shed exists for fault drills (the chaos harness's eviction
+// storm) and for operators that want to empty a cache without
+// restarting; correctness must never depend on residency, only
+// latency, which is exactly what the storm verifies.
+func (r *Resolver) Shed() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	dropped := 0
+	for {
+		evicted := false
+		for el := r.lru.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*entry)
+			if !r.evictableLocked(e, nil) {
+				continue
+			}
+			before := r.lru.Len()
+			r.evictEntryLocked(e)
+			dropped += before - r.lru.Len()
+			evicted = true
+			break // cascades invalidated the iterator; rescan
+		}
+		if !evicted {
+			return dropped
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package artifact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -15,7 +16,7 @@ func testReq(kind, key string, size int64, counter *atomic.Int64, deps ...Reques
 		Kind: kind,
 		Key:  Key(key),
 		Deps: deps,
-		Build: func(vals []any) (any, int64, error) {
+		Build: func(_ context.Context, vals []any) (any, int64, error) {
 			if counter != nil {
 				counter.Add(1)
 			}
@@ -89,7 +90,7 @@ func TestResolveDepsShared(t *testing.T) {
 			Kind: "plan",
 			Key:  Key(key),
 			Deps: []Request{base},
-			Build: func(vals []any) (any, int64, error) {
+			Build: func(_ context.Context, vals []any) (any, int64, error) {
 				if vals[0] != "v:graph/x" {
 					return nil, 0, fmt.Errorf("dep value %v", vals[0])
 				}
@@ -126,7 +127,7 @@ func TestBuildErrorNotCached(t *testing.T) {
 	req := Request{
 		Kind: "t",
 		Key:  "t/flaky",
-		Build: func(vals []any) (any, int64, error) {
+		Build: func(_ context.Context, vals []any) (any, int64, error) {
 			if builds.Add(1) == 1 {
 				return nil, 0, boom
 			}
@@ -163,7 +164,7 @@ func TestMidBuildEvictionImpossible(t *testing.T) {
 		Kind: "mc",
 		Key:  "mc/slow",
 		Deps: []Request{base},
-		Build: func(vals []any) (any, int64, error) {
+		Build: func(_ context.Context, vals []any) (any, int64, error) {
 			close(started)
 			<-release
 			return "slow-value", 30, nil
@@ -244,7 +245,7 @@ func TestPutDroppedWhileBuildInFlight(t *testing.T) {
 	req := Request{
 		Kind: "t",
 		Key:  "t/k",
-		Build: func(vals []any) (any, int64, error) {
+		Build: func(_ context.Context, vals []any) (any, int64, error) {
 			close(started)
 			<-release
 			return "built", 10, nil
@@ -379,7 +380,7 @@ func TestConcurrentChurn(t *testing.T) {
 					Kind: "plan",
 					Key:  Key(key),
 					Deps: []Request{base},
-					Build: func(vals []any) (any, int64, error) {
+					Build: func(_ context.Context, vals []any) (any, int64, error) {
 						return fmt.Sprint("p:", vals[0]), 10, nil
 					},
 				})

@@ -17,6 +17,7 @@
 package artifact
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/dag"
 	"repro/internal/failure"
+	"repro/internal/faultinject"
 	"repro/internal/montecarlo"
 	"repro/internal/schedmc"
 	"repro/internal/spgraph"
@@ -199,6 +201,33 @@ func NewStoreOnEvict(budget int64, fn func(kind string, key Key, value any)) *St
 // introspection).
 func (s *Store) Resolver() *Resolver { return s.res }
 
+// buildCheck is the shared preamble of every build rule: honor the
+// build's flight context and the chaos harness's
+// "artifact.build.<kind>" failpoint before doing any work. Both checks
+// are free when unused — ctx.Err on a live context is one atomic load,
+// and the failpoint gate is another.
+func buildCheck(ctx context.Context, kind string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if faultinject.Enabled() {
+		if err := faultinject.Hit(ctx, "artifact.build."+kind); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maybeShed fires the chaos harness's "artifact.evict" failpoint: when
+// armed in trigger mode, every store resolution is followed by a full
+// eviction storm (Shed), the worst-case cache weather correctness must
+// shrug off.
+func (s *Store) maybeShed() {
+	if faultinject.Enabled() && faultinject.Triggered("artifact.evict") {
+		s.res.Shed()
+	}
+}
+
 // graphRequest is the graph rule bound to specific inputs. The build
 // freezes the graph and assembles the pools; size is the canonical
 // JSON plus the frozen arrays plus the mutable-graph estimate —
@@ -207,7 +236,10 @@ func graphRequest(id string, canonical []byte, g *dag.Graph) Request {
 	return Request{
 		Kind: KindGraph,
 		Key:  graphKey(id),
-		Build: func([]any) (any, int64, error) {
+		Build: func(ctx context.Context, _ []any) (any, int64, error) {
+			if err := buildCheck(ctx, KindGraph); err != nil {
+				return nil, 0, err
+			}
 			frozen, err := dag.Freeze(g)
 			if err != nil {
 				return nil, 0, err
@@ -235,7 +267,7 @@ func residentRequest(ga *Graph) Request {
 	return Request{
 		Kind:  KindGraph,
 		Key:   ga.key,
-		Build: func([]any) (any, int64, error) { return ga, ga.size, nil },
+		Build: func(context.Context, []any) (any, int64, error) { return ga, ga.size, nil },
 	}
 }
 
@@ -244,15 +276,23 @@ func residentRequest(ga *Graph) Request {
 // created reports whether this call ran the build (false on hits and
 // coalesced waits).
 func (s *Store) Graph(g *dag.Graph) (*Graph, bool, error) {
+	return s.GraphContext(context.Background(), g)
+}
+
+// GraphContext is Graph with the caller's request context: the wait is
+// cancellable, while the build itself aborts only when every interested
+// request has detached (see Resolver.ResolveContext).
+func (s *Store) GraphContext(ctx context.Context, g *dag.Graph) (*Graph, bool, error) {
 	canonical, err := json.Marshal(g)
 	if err != nil {
 		return nil, false, err
 	}
 	id := GraphID(canonical)
-	v, built, err := s.res.ResolveBuilt(graphRequest(id, canonical, g))
+	v, built, err := s.res.ResolveBuiltContext(ctx, graphRequest(id, canonical, g))
 	if err != nil {
 		return nil, false, err
 	}
+	s.maybeShed()
 	return v.(*Graph), built, nil
 }
 
@@ -285,11 +325,19 @@ func (s *Store) Touch(ga *Graph) {
 // recording serves estimates and sweeps at any pfail; model is used
 // solely for the recording run on a miss.
 func (s *Store) Plan(ga *Graph, atoms int, model failure.Model) (*spgraph.Plan, error) {
-	v, err := s.res.Resolve(Request{
+	return s.PlanContext(context.Background(), ga, atoms, model)
+}
+
+// PlanContext is Plan with the caller's request context.
+func (s *Store) PlanContext(ctx context.Context, ga *Graph, atoms int, model failure.Model) (*spgraph.Plan, error) {
+	v, err := s.res.ResolveContext(ctx, Request{
 		Kind: KindPlan,
 		Key:  planKey(ga.ID, atoms),
 		Deps: []Request{residentRequest(ga)},
-		Build: func(deps []any) (any, int64, error) {
+		Build: func(bctx context.Context, deps []any) (any, int64, error) {
+			if err := buildCheck(bctx, KindPlan); err != nil {
+				return nil, 0, err
+			}
 			g := deps[0].(*Graph)
 			_, _, plan, err := spgraph.DodinPlan(g.G, model, atoms)
 			if err != nil {
@@ -301,6 +349,7 @@ func (s *Store) Plan(ga *Graph, atoms int, model failure.Model) (*spgraph.Plan, 
 	if err != nil {
 		return nil, err
 	}
+	s.maybeShed()
 	return v.(*spgraph.Plan), nil
 }
 
@@ -310,11 +359,19 @@ func (s *Store) Plan(ga *Graph, atoms int, model failure.Model) (*spgraph.Plan, 
 // Workers 1); callers derive per-request variants with WithConfig,
 // which is O(1) and bit-identical to cold construction.
 func (s *Store) Estimator(ga *Graph, model failure.Model, mode montecarlo.Mode) (*montecarlo.Estimator, error) {
-	v, err := s.res.Resolve(Request{
+	return s.EstimatorContext(context.Background(), ga, model, mode)
+}
+
+// EstimatorContext is Estimator with the caller's request context.
+func (s *Store) EstimatorContext(ctx context.Context, ga *Graph, model failure.Model, mode montecarlo.Mode) (*montecarlo.Estimator, error) {
+	v, err := s.res.ResolveContext(ctx, Request{
 		Kind: KindEstimator,
 		Key:  estimatorKey(ga.ID, model.Lambda, mode),
 		Deps: []Request{residentRequest(ga)},
-		Build: func(deps []any) (any, int64, error) {
+		Build: func(bctx context.Context, deps []any) (any, int64, error) {
+			if err := buildCheck(bctx, KindEstimator); err != nil {
+				return nil, 0, err
+			}
 			g := deps[0].(*Graph)
 			est, err := montecarlo.NewEstimatorFrozen(g.Frozen, model, montecarlo.Config{
 				Trials: 1, Workers: 1, Mode: mode,
@@ -328,6 +385,7 @@ func (s *Store) Estimator(ga *Graph, model failure.Model, mode montecarlo.Mode) 
 	if err != nil {
 		return nil, err
 	}
+	s.maybeShed()
 	return v.(*montecarlo.Estimator), nil
 }
 
@@ -337,11 +395,20 @@ func (s *Store) Estimator(ga *Graph, model failure.Model, mode montecarlo.Mode) 
 // Like Estimator, the build uses a placeholder run config; derive the
 // per-request one with WithConfig.
 func (s *Store) ScheduleEstimator(ga *Graph, policy schedmc.Policy, procs int, model failure.Model) (*schedmc.Estimator, error) {
-	v, err := s.res.Resolve(Request{
+	return s.ScheduleEstimatorContext(context.Background(), ga, policy, procs, model)
+}
+
+// ScheduleEstimatorContext is ScheduleEstimator with the caller's
+// request context.
+func (s *Store) ScheduleEstimatorContext(ctx context.Context, ga *Graph, policy schedmc.Policy, procs int, model failure.Model) (*schedmc.Estimator, error) {
+	v, err := s.res.ResolveContext(ctx, Request{
 		Kind: KindSchedule,
 		Key:  scheduleKey(ga.ID, policy, procs, model.Lambda),
 		Deps: []Request{residentRequest(ga)},
-		Build: func(deps []any) (any, int64, error) {
+		Build: func(bctx context.Context, deps []any) (any, int64, error) {
+			if err := buildCheck(bctx, KindSchedule); err != nil {
+				return nil, 0, err
+			}
 			g := deps[0].(*Graph)
 			fs, err := schedmc.Freeze(g.G, policy, procs, model)
 			if err != nil {
@@ -357,6 +424,7 @@ func (s *Store) ScheduleEstimator(ga *Graph, policy schedmc.Policy, procs int, m
 	if err != nil {
 		return nil, err
 	}
+	s.maybeShed()
 	return v.(*schedmc.Estimator), nil
 }
 

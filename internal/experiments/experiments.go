@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -168,6 +169,20 @@ type Options struct {
 	// reported timings keep measuring full reductions (Table I compares
 	// method execution times).
 	Artifacts *artifact.Store
+	// Context, when non-nil, bounds the run: cancellation is observed
+	// between cells and at Monte Carlo chunk boundaries, and a cancelled
+	// run returns ctx.Err() without ever reporting partial points. Nil
+	// means context.Background() — no cancellation checks on the hot
+	// path.
+	Context context.Context
+}
+
+// ctx resolves the run's context (nil Context = Background).
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (o *Options) normalize() error {
@@ -276,7 +291,7 @@ func RunFigure(spec FigureSpec, opts Options) (FigureResult, error) {
 	}
 	ctxs := make([]*pointCtx, len(ks))
 	for i, k := range ks {
-		ctx, err := newPointCtx(opts.Artifacts, spec.Fact, k, spec.PFail, opts.Seed)
+		ctx, err := newPointCtx(opts.ctx(), opts.Artifacts, spec.Fact, k, spec.PFail, opts.Seed)
 		if err != nil {
 			return FigureResult{}, fmt.Errorf("figure %d k=%d: %w", spec.ID, k, err)
 		}
@@ -324,7 +339,7 @@ func RunTable1(spec Table1Spec, opts Options) (Table1Result, error) {
 	if err := opts.normalize(); err != nil {
 		return Table1Result{}, err
 	}
-	ctx, err := newPointCtx(opts.Artifacts, spec.Fact, spec.K, spec.PFail, opts.Seed)
+	ctx, err := newPointCtx(opts.ctx(), opts.Artifacts, spec.Fact, spec.K, spec.PFail, opts.Seed)
 	if err != nil {
 		return Table1Result{}, fmt.Errorf("table 1: %w", err)
 	}

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -54,14 +55,14 @@ type cellOut struct {
 // (the paper's figure suite revisits each (fact, k) graph at three
 // pfails); the point's cells otherwise stay cold — figure and table
 // timings must measure full method runs.
-func newPointCtx(st *artifact.Store, fact linalg.Factorization, k int, pfail float64, seed uint64) (*pointCtx, error) {
+func newPointCtx(rctx context.Context, st *artifact.Store, fact linalg.Factorization, k int, pfail float64, seed uint64) (*pointCtx, error) {
 	g, err := linalg.Generate(fact, k, linalg.KernelTimes{})
 	if err != nil {
 		return nil, err
 	}
 	var frozen *dag.Frozen
 	if st != nil {
-		ga, _, err := st.Graph(g)
+		ga, _, err := st.GraphContext(rctx, g)
 		if err != nil {
 			return nil, err
 		}
@@ -93,6 +94,7 @@ func (o Options) budget() int {
 // goroutines in total. progress, when non-nil, is called once per point
 // in point order as soon as the point and all its predecessors completed.
 func runPoints(ctxs []*pointCtx, opts Options, progress func(i int, p Point)) ([]Point, error) {
+	rctx := opts.ctx()
 	methods := opts.Methods
 	nm := len(methods)
 	cellsPerPoint := nm + 1 // cell 0: Monte Carlo; cell 1+m: methods[m]
@@ -192,7 +194,7 @@ func runPoints(ctxs []*pointCtx, opts Options, progress func(i int, p Point)) ([
 				// Warm: resolve the compiled estimator (per-task
 				// probabilities, sampler tables) through the store and
 				// rebind the run config — bit-identical to cold.
-				e, err = ctx.st.Estimator(ctx.ga, ctx.model, montecarlo.FullReexecution)
+				e, err = ctx.st.EstimatorContext(rctx, ctx.ga, ctx.model, montecarlo.FullReexecution)
 				if err == nil {
 					e, err = e.WithConfig(cfg)
 				}
@@ -200,7 +202,7 @@ func runPoints(ctxs []*pointCtx, opts Options, progress func(i int, p Point)) ([
 				e, err = montecarlo.NewEstimatorFrozen(ctx.frozen, ctx.model, cfg)
 			}
 			if err == nil {
-				mcRes[point], err = e.Run()
+				mcRes[point], err = e.RunContext(rctx)
 			}
 			mcTime[point] = time.Since(t0)
 			errs[c] = err
@@ -246,9 +248,14 @@ func runPoints(ctxs []*pointCtx, opts Options, progress func(i int, p Point)) ([
 				}
 				c := order[i]
 				// After a failure, remaining cells only run the gate
-				// bookkeeping so the pool drains quickly.
+				// bookkeeping so the pool drains quickly. A dead run
+				// context counts as a failure: the cell records the
+				// cancellation instead of starting work.
 				if !failed.Load() {
-					if c%cellsPerPoint == 0 {
+					if err := rctx.Err(); err != nil {
+						errs[c] = err
+						failed.Store(true)
+					} else if c%cellsPerPoint == 0 {
 						<-mcToken
 						runCell(c)
 						mcToken <- struct{}{}

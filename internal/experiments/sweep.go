@@ -66,7 +66,7 @@ func RunSweep(spec SweepSpec, opts Options) (SweepResult, error) {
 	if err != nil {
 		return SweepResult{}, err
 	}
-	ga, _, err := opts.Artifacts.Graph(g)
+	ga, _, err := opts.Artifacts.GraphContext(opts.ctx(), g)
 	if err != nil {
 		return SweepResult{}, err
 	}
@@ -117,7 +117,7 @@ func RunSweepGraph(ga *artifact.Graph, spec SweepSpec, opts Options) (SweepResul
 		// replay it at every point, including the first, so the
 		// per-point Dodin timings all measure the same (replay) work and
 		// stay comparable across pfail.
-		plan, err := opts.Artifacts.Plan(ga, opts.DodinMaxAtoms, ctxs[0].model)
+		plan, err := opts.Artifacts.PlanContext(opts.ctx(), ga, opts.DodinMaxAtoms, ctxs[0].model)
 		if err != nil {
 			return SweepResult{}, fmt.Errorf("sweep %s pfail=%g: %w", MethodDodin, ctxs[0].pfail, err)
 		}

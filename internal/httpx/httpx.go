@@ -1,0 +1,188 @@
+// Package httpx is the shared HTTP client helper for tools that talk
+// to makespand: a retrying client with a per-attempt timeout and
+// jittered exponential backoff for idempotent requests, plus a
+// readiness poller used by the e2e harnesses (and, later, the
+// makespan-lb hedging client) instead of fixed sleeps.
+package httpx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// RetryClient issues idempotent HTTP requests with bounded retries.
+// Each attempt gets its own timeout; attempts are separated by
+// jittered exponential backoff, and a Retry-After response header
+// overrides the computed backoff. The zero value is not usable; call
+// NewRetryClient.
+type RetryClient struct {
+	// Client is the underlying HTTP client. Its Timeout is ignored;
+	// PerAttempt governs each try.
+	Client *http.Client
+	// PerAttempt bounds a single attempt (connect + response).
+	PerAttempt time.Duration
+	// MaxAttempts is the total number of tries (first + retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles
+	// each retry up to MaxDelay, with ±50% jitter.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff.
+	MaxDelay time.Duration
+
+	rng *rand.Rand
+}
+
+// NewRetryClient returns a RetryClient with production defaults:
+// 2s per attempt, 5 attempts, 50ms base backoff capped at 1s.
+func NewRetryClient() *RetryClient {
+	return &RetryClient{
+		Client:      &http.Client{},
+		PerAttempt:  2 * time.Second,
+		MaxAttempts: 5,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    time.Second,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// retryableStatus reports whether a response status is worth retrying
+// for an idempotent request: 5xx (the server may recover) and 429
+// (explicit backpressure).
+func retryableStatus(code int) bool {
+	return code >= 500 || code == http.StatusTooManyRequests
+}
+
+// backoff computes the delay before attempt n (n=1 is the first
+// retry), honoring retryAfter when the server supplied one.
+func (c *RetryClient) backoff(n int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		return retryAfter
+	}
+	d := c.BaseDelay << (n - 1)
+	if c.MaxDelay > 0 && d > c.MaxDelay {
+		d = c.MaxDelay
+	}
+	if c.rng != nil && d > 0 {
+		// ±50% jitter decorrelates herds of clients retrying in step.
+		d = d/2 + time.Duration(c.rng.Int63n(int64(d)))
+	}
+	return d
+}
+
+// Get issues a GET to url, retrying transport errors and retryable
+// statuses until MaxAttempts or ctx expiry. On success the response
+// body is returned in full; the caller does not need to close
+// anything.
+func (c *RetryClient) Get(ctx context.Context, url string) (status int, body []byte, err error) {
+	var lastErr error
+	for attempt := 0; attempt < c.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(c.backoff(attempt, retryAfterOf(lastErr)))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return 0, nil, fmt.Errorf("httpx: %w (last error: %v)", ctx.Err(), lastErr)
+			}
+		}
+		status, body, lastErr = c.once(ctx, url)
+		if lastErr == nil {
+			return status, body, nil
+		}
+		if ctx.Err() != nil {
+			return 0, nil, fmt.Errorf("httpx: %w (last error: %v)", ctx.Err(), lastErr)
+		}
+	}
+	return 0, nil, fmt.Errorf("httpx: giving up after %d attempts: %w", c.MaxAttempts, lastErr)
+}
+
+// statusError carries a retryable non-2xx status between attempts so
+// backoff can honor Retry-After.
+type statusError struct {
+	code       int
+	retryAfter time.Duration
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("status %d", e.code) }
+
+func retryAfterOf(err error) time.Duration {
+	if se, ok := err.(*statusError); ok {
+		return se.retryAfter
+	}
+	return 0
+}
+
+func (c *RetryClient) once(ctx context.Context, url string) (int, []byte, error) {
+	actx := ctx
+	if c.PerAttempt > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.PerAttempt)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.Client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	if retryableStatus(resp.StatusCode) {
+		se := &statusError{code: resp.StatusCode}
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+				se.retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return resp.StatusCode, body, se
+	}
+	return resp.StatusCode, body, nil
+}
+
+// WaitReady polls url with short per-attempt timeouts until it answers
+// 200, ctx expires, or probe (when non-nil) reports the target dead.
+// It is the replacement for fixed-sleep startup loops in the e2e
+// harnesses: fast when the server is up, loud and prompt when it never
+// will be.
+func WaitReady(ctx context.Context, url string, probe func() error) error {
+	c := &http.Client{Timeout: 250 * time.Millisecond}
+	t := time.NewTicker(20 * time.Millisecond)
+	defer t.Stop()
+	var lastErr error
+	for {
+		if probe != nil {
+			if err := probe(); err != nil {
+				return fmt.Errorf("httpx: target died while waiting for %s: %w", url, err)
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			err = fmt.Errorf("status %d", resp.StatusCode)
+		}
+		lastErr = err
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("httpx: %s not ready: %w (last error: %v)", url, ctx.Err(), lastErr)
+		case <-t.C:
+		}
+	}
+}

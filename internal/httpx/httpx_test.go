@@ -1,0 +1,157 @@
+package httpx
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fastClient() *RetryClient {
+	c := NewRetryClient()
+	c.BaseDelay = time.Millisecond
+	c.MaxDelay = 5 * time.Millisecond
+	c.PerAttempt = 500 * time.Millisecond
+	return c
+}
+
+func TestGetRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	status, body, err := fastClient().Get(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 200 || string(body) != "ok" {
+		t.Fatalf("got %d %q", status, body)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d calls, want 3", n)
+	}
+}
+
+func TestGetDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "no such thing", http.StatusNotFound)
+	}))
+	defer srv.Close()
+
+	status, _, err := fastClient().Get(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 404 {
+		t.Fatalf("status = %d, want 404", status)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("4xx retried: %d calls", n)
+	}
+}
+
+func TestGetGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	c := fastClient()
+	c.MaxAttempts = 3
+	_, _, err := c.Get(context.Background(), srv.URL)
+	if err == nil {
+		t.Fatal("want error after exhausting attempts")
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d calls, want 3", n)
+	}
+}
+
+func TestGetHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "busy", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	status, _, err := fastClient().Get(context.Background(), srv.URL)
+	if err != nil || status != 200 {
+		t.Fatalf("got %d, %v", status, err)
+	}
+}
+
+func TestGetRespectsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	c := fastClient()
+	c.MaxAttempts = 1000
+	c.BaseDelay = 20 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := c.Get(ctx, srv.URL)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("context expiry not honored: took %v", d)
+	}
+}
+
+func TestWaitReady(t *testing.T) {
+	var ready atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !ready.Load() {
+			http.Error(w, "starting", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		ready.Store(true)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := WaitReady(ctx, srv.URL, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitReadyDetectsDeadTarget(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "starting", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	probeErr := context.DeadlineExceeded
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := WaitReady(ctx, srv.URL, func() error { return probeErr })
+	if err == nil || !strings.Contains(err.Error(), "died") {
+		t.Fatalf("want died error, got %v", err)
+	}
+}

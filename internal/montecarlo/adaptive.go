@@ -1,12 +1,14 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/dag"
+	"repro/internal/faultinject"
 )
 
 // Snapshot is the resumable state of an adaptive run: the number of whole
@@ -172,6 +174,17 @@ type chunkStat struct {
 // holds MaxTrials) returns immediately with no trials run — the warm
 // cache-hit path.
 func (e *Estimator) ResumeAdaptive(prev *Snapshot, progress func(*Snapshot) bool) (Result, *Snapshot, error) {
+	return e.ResumeAdaptiveContext(context.Background(), prev, progress)
+}
+
+// ResumeAdaptiveContext is ResumeAdaptive with cancellation, honored at
+// chunk boundaries. A run cancelled before the stopping rule fires
+// returns ctx.Err() with neither Result nor Snapshot: the chunks it
+// paid for are discarded whole, so the caller's stored snapshot (prev,
+// which is never mutated) stays valid and a retry extends it
+// bit-identically. If the stopping decision lands before the
+// cancellation is observed, the completed prefix is returned normally.
+func (e *Estimator) ResumeAdaptiveContext(ctx context.Context, prev *Snapshot, progress func(*Snapshot) bool) (Result, *Snapshot, error) {
 	if err := e.fresh(); err != nil {
 		return Result{}, nil, err
 	}
@@ -216,7 +229,19 @@ func (e *Estimator) ResumeAdaptive(prev *Snapshot, progress func(*Snapshot) bool
 		workers = 1
 	}
 	results := make(chan chunkStat, workers)
+	done := ctx.Done()
 	var next, limit atomic.Int64
+	var abort atomic.Bool
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		abort.Store(true)
+	}
 	next.Store(cur.chunks)
 	limit.Store(maxChunks)
 	var wg sync.WaitGroup
@@ -229,6 +254,26 @@ func (e *Estimator) ResumeAdaptive(prev *Snapshot, progress func(*Snapshot) bool
 				c := next.Add(1) - 1
 				if c >= limit.Load() {
 					return
+				}
+				if done != nil {
+					if abort.Load() {
+						return
+					}
+					select {
+					case <-done:
+						fail(ctx.Err())
+						return
+					default:
+					}
+				}
+				if faultinject.Enabled() {
+					if abort.Load() {
+						return
+					}
+					if err := faultinject.Hit(ctx, "mc.chunk"); err != nil {
+						fail(err)
+						return
+					}
 				}
 				wk.runChunk(newChunkRNG(e.cfg.Seed, c), int(c)*chunkSize, int(c+1)*chunkSize)
 				st := chunkStat{c: c, sketch: NewQuantileSketch(DefaultSketchCells)}
@@ -265,6 +310,17 @@ func (e *Estimator) ResumeAdaptive(prev *Snapshot, progress func(*Snapshot) bool
 				stopped = true
 				limit.Store(cur.chunks)
 			}
+		}
+	}
+	if !stopped && cur.chunks < maxChunks {
+		// The only way the chunk stream dries up before the stopping rule
+		// fires is a worker aborting on cancellation or an injected fault.
+		// Discard the partial fold entirely: no Result, no Snapshot.
+		if firstErr != nil {
+			return Result{}, nil, firstErr
+		}
+		if err := ctx.Err(); err != nil {
+			return Result{}, nil, err
 		}
 	}
 	return e.adaptiveResult(cur), cur, nil

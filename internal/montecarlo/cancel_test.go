@@ -1,0 +1,176 @@
+package montecarlo
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/faultinject"
+	"repro/internal/linalg"
+)
+
+// cancelGraph is a small-but-not-trivial workload: enough chunks that a
+// mid-run cancel lands between chunk boundaries.
+func cancelGraph(t *testing.T) *Estimator {
+	t.Helper()
+	g, err := linalg.LU(8, linalg.KernelTimes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := failure.FromPfail(0.01, g.MeanWeight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEstimator(g, m, Config{
+		Trials: 16 * chunkSize, Workers: 2, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	e := cancelGraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := e.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != (Result{}) {
+		t.Fatalf("cancelled run leaked a partial result: %+v", res)
+	}
+}
+
+func TestRunContextMidRunCancel(t *testing.T) {
+	e := cancelGraph(t)
+	// A per-chunk delay makes the run long enough that cancel reliably
+	// lands mid-run; the delay point also exercises the ctx-bounded sleep.
+	if err := faultinject.Arm("mc.chunk=delay:10ms"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Disarm)
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel()
+	res, err := e.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != (Result{}) {
+		t.Fatalf("cancelled run leaked a partial result: %+v", res)
+	}
+	// The estimator is retryable and the retry is bit-identical to a
+	// never-cancelled run.
+	faultinject.Disarm()
+	got, err := e.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cancelGraph(t).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("retry after cancel diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRunContextInjectedFault(t *testing.T) {
+	e := cancelGraph(t)
+	if err := faultinject.Arm("mc.chunk=error:chunk fault*1"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Disarm)
+	_, err := e.RunContext(context.Background())
+	if !faultinject.IsFault(err) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	faultinject.Disarm()
+	if _, err := e.RunContext(context.Background()); err != nil {
+		t.Fatalf("estimator not retryable after fault: %v", err)
+	}
+}
+
+func adaptiveCancelEstimator(t *testing.T) *Estimator {
+	t.Helper()
+	g, err := linalg.LU(8, linalg.KernelTimes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := failure.FromPfail(0.01, g.MeanWeight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEstimator(g, m, Config{
+		Workers: 2, Seed: 42, Tolerance: 1e-9, MaxTrials: 32 * chunkSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestResumeAdaptiveContextCancelKeepsPrevSnapshot(t *testing.T) {
+	e := adaptiveCancelEstimator(t)
+	// Build a small genuine snapshot first.
+	stopAt := func(chunks int64) func(*Snapshot) bool {
+		return func(s *Snapshot) bool { return s.Chunks() >= chunks }
+	}
+	_, prev, err := e.ResumeAdaptive(nil, stopAt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevTrials := prev.Trials()
+
+	if err := faultinject.Arm("mc.chunk=delay:10ms"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Disarm)
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel()
+	res, snap, err := e.ResumeAdaptiveContext(ctx, prev, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if snap != nil || res != (Result{}) {
+		t.Fatalf("cancelled adaptive run leaked state: res=%+v snap=%v", res, snap)
+	}
+	if prev.Trials() != prevTrials {
+		t.Fatalf("prev snapshot mutated by cancelled run: %d -> %d trials", prevTrials, prev.Trials())
+	}
+
+	// Extending the untouched snapshot after the cancel is bit-identical
+	// to extending it without the failed attempt in between.
+	faultinject.Disarm()
+	_, got, err := e.ResumeAdaptiveContext(context.Background(), prev, stopAt(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := adaptiveCancelEstimator(t)
+	_, want, err := e2.ResumeAdaptive(nil, stopAt(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Chunks() != want.Chunks() || got.acc != want.acc {
+		t.Fatalf("post-cancel extension diverged: got %d chunks acc %+v, want %d chunks acc %+v",
+			got.Chunks(), got.acc, want.Chunks(), want.acc)
+	}
+}
+
+func TestResumeAdaptiveContextPreCancelledServesWarmSnapshot(t *testing.T) {
+	// A snapshot that already satisfies the stopping rule is served even
+	// with a dead context: the warm path runs no trials and should not
+	// fail a request that needs none.
+	e := adaptiveCancelEstimator(t)
+	_, snap, err := e.ResumeAdaptive(nil, func(s *Snapshot) bool { return s.Chunks() >= 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := e.ResumeAdaptiveContext(ctx, snap, func(s *Snapshot) bool { return true }); err != nil {
+		t.Fatalf("warm snapshot not served under cancelled ctx: %v", err)
+	}
+}

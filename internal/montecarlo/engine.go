@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/failure"
+	"repro/internal/faultinject"
 )
 
 // Mode selects the re-execution model sampled per task.
@@ -447,14 +449,33 @@ func (e *Estimator) numChunks() int {
 // calling observe(chunk, trialIndex, makespan) for every trial of a chunk
 // in trial order. observe must be safe for concurrent calls with distinct
 // chunks; chunk indices are in [0, numChunks()).
-func (e *Estimator) runChunks(observe func(c int64, t int, x float64)) {
+//
+// Cancellation is checked at chunk boundaries — the natural
+// prefix-deterministic stopping points. A cancelled run returns
+// ctx.Err() and the caller must discard whatever observe accumulated:
+// runChunks never produces a partial Result. The checks cost nothing on
+// the hot path: ctx.Done() is captured once and is nil for
+// context.Background(), and the faultinject gate is one atomic load.
+func (e *Estimator) runChunks(ctx context.Context, observe func(c int64, t int, x float64)) error {
 	trials := e.cfg.Trials
 	nChunks := int64(e.numChunks())
 	workers := e.cfg.Workers
 	if int64(workers) > nChunks {
 		workers = int(nChunks)
 	}
+	done := ctx.Done()
 	var next atomic.Int64
+	var abort atomic.Bool
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		abort.Store(true)
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
@@ -465,6 +486,26 @@ func (e *Estimator) runChunks(observe func(c int64, t int, x float64)) {
 				c := next.Add(1) - 1
 				if c >= nChunks {
 					return
+				}
+				if done != nil {
+					if abort.Load() {
+						return
+					}
+					select {
+					case <-done:
+						fail(ctx.Err())
+						return
+					default:
+					}
+				}
+				if faultinject.Enabled() {
+					if abort.Load() {
+						return
+					}
+					if err := faultinject.Hit(ctx, "mc.chunk"); err != nil {
+						fail(err)
+						return
+					}
 				}
 				t0 := int(c) * chunkSize
 				t1 := t0 + chunkSize
@@ -479,6 +520,7 @@ func (e *Estimator) runChunks(observe func(c int64, t int, x float64)) {
 		}()
 	}
 	wg.Wait()
+	return firstErr
 }
 
 // ErrStaleGraph is returned by Run/RunSamples when the graph was mutated
@@ -507,36 +549,49 @@ func (e *Estimator) fresh() error {
 // the trials actually spent — still worker-count invariant, because the
 // stopping point is a deterministic function of the chunk-ordered prefix.
 func (e *Estimator) Run() (Result, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the deadline or cancel of ctx is
+// honored at chunk boundaries (per ~512-trial batch for the legacy
+// sampler), and a cancelled run returns ctx.Err() with a zero Result —
+// never a partial estimate, so a retry after cancellation reproduces
+// the same bytes a never-cancelled run would have. A background context
+// adds no per-chunk overhead.
+func (e *Estimator) RunContext(ctx context.Context) (Result, error) {
 	if err := e.fresh(); err != nil {
 		return Result{}, err
 	}
 	if e.cfg.Adaptive() {
-		res, _, err := e.ResumeAdaptive(nil, nil)
+		res, _, err := e.ResumeAdaptiveContext(ctx, nil, nil)
 		return res, err
 	}
 	if e.cfg.LegacySampler {
-		return e.legacyRun()
+		return e.legacyRun(ctx)
 	}
-	return e.runReduce(nil), nil
+	return e.runReduce(ctx, nil)
 }
 
 // runReduce runs all chunks, reduces the per-chunk accumulators in chunk
 // order (the step that makes the Result worker-count invariant), and
 // optionally streams every trial to sink. Shared by Run and RunSamples so
 // their Results cannot diverge.
-func (e *Estimator) runReduce(sink func(t int, x float64)) Result {
+func (e *Estimator) runReduce(ctx context.Context, sink func(t int, x float64)) (Result, error) {
 	accs := make([]Welford, e.numChunks())
-	e.runChunks(func(c int64, t int, x float64) {
+	err := e.runChunks(ctx, func(c int64, t int, x float64) {
 		accs[c].Add(x)
 		if sink != nil {
 			sink(t, x)
 		}
 	})
+	if err != nil {
+		return Result{}, err
+	}
 	var total Welford
 	for i := range accs {
 		total.Merge(accs[i])
 	}
-	return resultFrom(total)
+	return resultFrom(total), nil
 }
 
 func resultFrom(w Welford) Result {
@@ -555,10 +610,11 @@ func resultFrom(w Welford) Result {
 // legacyRun is the v1 engine: one deterministic PCG stream per worker and
 // a two-pass sample-then-evaluate trial. Kept behind Config.LegacySampler
 // so parity tests can compare the fused sampler against the old stream.
-func (e *Estimator) legacyRun() (Result, error) {
+func (e *Estimator) legacyRun(ctx context.Context) (Result, error) {
 	per := e.cfg.Trials / e.cfg.Workers
 	extra := e.cfg.Trials % e.cfg.Workers
 	accs := make([]Welford, e.cfg.Workers)
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	for w := 0; w < e.cfg.Workers; w++ {
 		trials := per
@@ -572,12 +628,24 @@ func (e *Estimator) legacyRun() (Result, error) {
 			pe := dag.NewPathEvaluatorFrozen(e.frozen)
 			weights := make([]float64, e.g.NumTasks())
 			for t := 0; t < trials; t++ {
+				if done != nil && t&511 == 0 {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				e.sampleWeights(rng, weights)
 				accs[w].Add(pe.MakespanWith(weights))
 			}
 		}(w, trials)
 	}
 	wg.Wait()
+	// Early-returning workers are only possible on cancellation; the
+	// partial accumulators are discarded with the error.
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	var total Welford
 	for i := range accs {
 		total.Merge(accs[i])

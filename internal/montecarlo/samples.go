@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -136,7 +137,10 @@ func (e *Estimator) RunSamples() (Result, *Samples, error) {
 	// cfg.Trials is normalized to >= 1 at construction, so the run always
 	// produces samples.
 	all := make([]float64, e.cfg.Trials)
-	res := e.runReduce(func(t int, x float64) { all[t] = x })
+	res, err := e.runReduce(context.Background(), func(t int, x float64) { all[t] = x })
+	if err != nil {
+		return Result{}, nil, err
+	}
 	return res, NewSamples(all), nil
 }
 

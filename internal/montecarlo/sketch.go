@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -413,6 +414,13 @@ func (s *QuantileSketch) CDF(x float64) float64 {
 // worker-count independence: Result and sketch are identical for any
 // Workers.
 func (e *Estimator) RunQuantiles() (Result, *QuantileSketch, error) {
+	return e.RunQuantilesContext(context.Background())
+}
+
+// RunQuantilesContext is RunQuantiles with cancellation, honored at
+// chunk boundaries exactly like RunContext: a cancelled run returns
+// ctx.Err() and neither a Result nor a sketch.
+func (e *Estimator) RunQuantilesContext(ctx context.Context) (Result, *QuantileSketch, error) {
 	if err := e.fresh(); err != nil {
 		return Result{}, nil, err
 	}
@@ -420,7 +428,7 @@ func (e *Estimator) RunQuantiles() (Result, *QuantileSketch, error) {
 		// The adaptive runner always maintains the merged sketch (it may be
 		// the stopping statistic, and snapshots must be able to answer
 		// later quantile queries), so this is just Run plus the sketch.
-		res, snap, err := e.ResumeAdaptive(nil, nil)
+		res, snap, err := e.ResumeAdaptiveContext(ctx, nil, nil)
 		if err != nil {
 			return Result{}, nil, err
 		}
@@ -441,13 +449,16 @@ func (e *Estimator) RunQuantiles() (Result, *QuantileSketch, error) {
 	}
 	accs := make([]Welford, e.numChunks())
 	sketches := make([]*QuantileSketch, e.numChunks())
-	e.runChunks(func(c int64, t int, x float64) {
+	err := e.runChunks(ctx, func(c int64, t int, x float64) {
 		accs[c].Add(x)
 		if sketches[c] == nil {
 			sketches[c] = NewQuantileSketch(DefaultSketchCells)
 		}
 		sketches[c].Add(x)
 	})
+	if err != nil {
+		return Result{}, nil, err
+	}
 	total := NewQuantileSketch(DefaultSketchCells)
 	var acc Welford
 	for i := range accs {

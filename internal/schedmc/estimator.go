@@ -1,6 +1,7 @@
 package schedmc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dag"
@@ -102,10 +103,23 @@ func (e *Estimator) Schedule() *FrozenSchedule { return e.fs }
 // Workers (see montecarlo's chunked streams).
 func (e *Estimator) Run() (montecarlo.Result, error) { return e.mc.Run() }
 
+// RunContext is Run with cancellation at chunk boundaries
+// (montecarlo.Estimator.RunContext semantics verbatim: a cancelled run
+// returns ctx.Err() and never a partial estimate).
+func (e *Estimator) RunContext(ctx context.Context) (montecarlo.Result, error) {
+	return e.mc.RunContext(ctx)
+}
+
 // RunQuantiles is Run plus a mergeable quantile sketch of the scheduled
 // makespan distribution, also worker-count invariant.
 func (e *Estimator) RunQuantiles() (montecarlo.Result, *montecarlo.QuantileSketch, error) {
 	return e.mc.RunQuantiles()
+}
+
+// RunQuantilesContext is RunQuantiles with cancellation at chunk
+// boundaries.
+func (e *Estimator) RunQuantilesContext(ctx context.Context) (montecarlo.Result, *montecarlo.QuantileSketch, error) {
+	return e.mc.RunQuantilesContext(ctx)
 }
 
 // WithConfig returns an estimator sharing this one's compiled snapshot —
@@ -128,6 +142,13 @@ func (e *Estimator) WithConfig(cfg Config) (*Estimator, error) {
 // extended to a tighter tolerance bit-identically to a cold run.
 func (e *Estimator) ResumeAdaptive(prev *montecarlo.Snapshot, progress func(*montecarlo.Snapshot) bool) (montecarlo.Result, *montecarlo.Snapshot, error) {
 	return e.mc.ResumeAdaptive(prev, progress)
+}
+
+// ResumeAdaptiveContext is ResumeAdaptive with cancellation at chunk
+// boundaries: a cancelled run returns ctx.Err() with neither Result nor
+// Snapshot, leaving prev untouched and extendable.
+func (e *Estimator) ResumeAdaptiveContext(ctx context.Context, prev *montecarlo.Snapshot, progress func(*montecarlo.Snapshot) bool) (montecarlo.Result, *montecarlo.Snapshot, error) {
+	return e.mc.ResumeAdaptiveContext(ctx, prev, progress)
 }
 
 // SnapshotConverged reports whether snap already satisfies this

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -29,6 +30,18 @@ import (
 // full run identity (including trials and whether a sketch is needed):
 // followers arriving while the leader computes share its result.
 //
+// Lifetime and cancellation: each kernel runs on a goroutine the flight
+// itself owns, under a flight context derived from Background — never
+// from any one requester's context. Every participant (the creator
+// included) registers as a waiter and counts one unit of interest; a
+// participant whose request context dies detaches, and only when the
+// last participant has detached is the flight context cancelled, so a
+// cancelled creator hands the run off to the surviving waiters instead
+// of failing their requests. A request that joins a flight just as its
+// last interest lapses may be handed the dying flight's cancellation;
+// it retries (its own context is live) and leads a fresh run — the
+// cancellation of strangers is never surfaced to a live request.
+//
 // Lock order: Entry.mu → adaptiveSlot.mu → inflightRun.mu. Snapshot
 // store access (which takes the resolver lock, possibly then
 // Registry.mu via graph eviction) nests under adaptiveSlot.mu.
@@ -37,9 +50,9 @@ import (
 // coalesces over: the unbounded-processor estimator and the
 // frozen-schedule estimator (which delegates to it). Each request binds
 // its own runner (its tolerance/target/confidence); the shared run only
-// needs the leader's.
+// needs the creator's.
 type adaptiveRunner interface {
-	ResumeAdaptive(prev *montecarlo.Snapshot, progress func(*montecarlo.Snapshot) bool) (montecarlo.Result, *montecarlo.Snapshot, error)
+	ResumeAdaptiveContext(ctx context.Context, prev *montecarlo.Snapshot, progress func(*montecarlo.Snapshot) bool) (montecarlo.Result, *montecarlo.Snapshot, error)
 	SnapshotConverged(snap *montecarlo.Snapshot) bool
 	SnapshotResult(snap *montecarlo.Snapshot) (montecarlo.Result, error)
 }
@@ -65,10 +78,14 @@ type adaptiveSlot struct {
 	run *inflightRun
 }
 
-// inflightRun collects the waiters joined to a leader's kernel run.
+// inflightRun is one flight-owned adaptive kernel run: the waiters
+// joined to it plus the interest count that keeps its context alive.
 type inflightRun struct {
-	mu      sync.Mutex
-	waiters []*adaptiveWaiter
+	cancel context.CancelFunc // cancels the flight context
+
+	mu       sync.Mutex
+	interest int // participants not yet released or detached
+	waiters  []*adaptiveWaiter
 }
 
 type adaptiveWaiter struct {
@@ -76,25 +93,64 @@ type adaptiveWaiter struct {
 	ch        chan waiterResult // buffered(1): deliver never blocks
 }
 
+// waiterResult is one released waiter's view of the run. Mid-run
+// releases carry a snapshot clone satisfying the waiter's rule; the
+// final release additionally carries the flight's own Result so the
+// creator returns exactly what a solo run would have (its cap binding
+// even when its rule was not met).
 type waiterResult struct {
-	snap *montecarlo.Snapshot
-	err  error
+	snap  *montecarlo.Snapshot
+	res   montecarlo.Result
+	final bool
+	err   error
+}
+
+// join registers a waiter and its unit of interest.
+func (r *inflightRun) join(w *adaptiveWaiter) {
+	r.mu.Lock()
+	r.interest++
+	r.waiters = append(r.waiters, w)
+	r.mu.Unlock()
+}
+
+// detach withdraws a cancelled participant. The last detach cancels the
+// flight context — the kernel aborts at its next chunk boundary. A
+// participant that was concurrently released by deliver is not found
+// and nothing is withdrawn (its interest was already released).
+func (r *inflightRun) detach(w *adaptiveWaiter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, x := range r.waiters {
+		if x != w {
+			continue
+		}
+		last := len(r.waiters) - 1
+		r.waiters[i] = r.waiters[last]
+		r.waiters[last] = nil
+		r.waiters = r.waiters[:last]
+		r.interest--
+		if r.interest == 0 {
+			r.cancel()
+		}
+		return
+	}
 }
 
 // deliver hands the current prefix to every waiter it satisfies (all of
 // them when final) and reports whether none remain. Each released
 // waiter gets its own clone — the run keeps mutating cur.
-func (r *inflightRun) deliver(cur *montecarlo.Snapshot, final bool, err error) (empty bool) {
+func (r *inflightRun) deliver(cur *montecarlo.Snapshot, final bool, res montecarlo.Result, err error) (empty bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	kept := r.waiters[:0]
 	for _, w := range r.waiters {
 		if final || w.satisfied(cur) {
-			wr := waiterResult{err: err}
+			wr := waiterResult{res: res, final: final, err: err}
 			if err == nil && cur != nil {
 				wr.snap = cur.Clone()
 			}
 			w.ch <- wr
+			r.interest--
 		} else {
 			kept = append(kept, w)
 		}
@@ -124,68 +180,99 @@ func (e *Entry) adaptiveSlotFor(key adaptiveKey) *adaptiveSlot {
 // shared trial stream for key. Three outcomes per loop iteration: the
 // stored snapshot already satisfies this request's rule (serve it, zero
 // trials); a run is in flight (join it, wake when the shared prefix
-// satisfies us); or lead a run ourselves, extending the stored
-// snapshot. A joiner released by a run that ended (its leader's cap)
-// before this request's rule was met loops back — its own MaxTrials
-// bounds the retry, so the loop terminates.
-func (s *Server) coalesceAdaptive(e *Entry, key adaptiveKey, runner adaptiveRunner) (montecarlo.Result, *montecarlo.Snapshot, error) {
+// satisfies us); or create a run, extending the stored snapshot. A
+// joiner released by a run that ended (its creator's cap) before this
+// request's rule was met loops back — its own MaxTrials bounds the
+// retry, so the loop terminates. A cancelled request detaches without
+// disturbing the flight; a flight killed by everyone else's lapsed
+// interest is retried, never surfaced.
+func (s *Server) coalesceAdaptive(ctx context.Context, e *Entry, key adaptiveKey, runner adaptiveRunner) (montecarlo.Result, *montecarlo.Snapshot, error) {
 	slot := e.adaptiveSlotFor(key)
 	for {
+		if err := ctx.Err(); err != nil {
+			return montecarlo.Result{}, nil, err
+		}
 		slot.mu.Lock()
 		if snap, ok := e.snapshot(key, true); ok && runner.SnapshotConverged(snap) {
 			slot.mu.Unlock()
 			res, err := runner.SnapshotResult(snap)
 			return res, snap, err
 		}
-		if run := slot.run; run != nil {
-			w := &adaptiveWaiter{satisfied: runner.SnapshotConverged, ch: make(chan waiterResult, 1)}
-			run.mu.Lock()
-			run.waiters = append(run.waiters, w)
-			run.mu.Unlock()
+		w := &adaptiveWaiter{satisfied: runner.SnapshotConverged, ch: make(chan waiterResult, 1)}
+		run := slot.run
+		created := run == nil
+		if created {
+			// Lead: register our own waiter and interest before the kernel
+			// goroutine exists, so the flight can never observe an empty
+			// waiter set between creation and first join.
+			fctx, cancel := context.WithCancel(context.Background())
+			run = &inflightRun{cancel: cancel, interest: 1, waiters: []*adaptiveWaiter{w}}
+			slot.run = run
+			prev, _ := e.snapshot(key, false)
 			slot.mu.Unlock()
-			wr := <-w.ch
-			if wr.err != nil {
+			e.kernelRuns.Add(1)
+			go s.runAdaptiveFlight(fctx, e, slot, key, run, runner, prev)
+		} else {
+			run.join(w)
+			slot.mu.Unlock()
+		}
+		select {
+		case wr := <-w.ch:
+			switch {
+			case wr.err != nil:
+				if isCtxErr(wr.err) && ctx.Err() == nil {
+					continue // strangers' lapsed interest killed the flight; retry
+				}
 				return montecarlo.Result{}, nil, wr.err
-			}
-			if runner.SnapshotConverged(wr.snap) {
+			case wr.final && created:
+				// The creator returns the flight's own result — its cap
+				// binds exactly as in a solo run even when its rule was
+				// not met.
+				return wr.res, wr.snap, nil
+			case runner.SnapshotConverged(wr.snap):
 				res, err := runner.SnapshotResult(wr.snap)
 				return res, wr.snap, err
+			default:
+				continue // released at someone else's final, rule unmet: retry
 			}
-			continue
+		case <-ctx.Done():
+			run.detach(w)
+			return montecarlo.Result{}, nil, ctx.Err()
 		}
-		run := &inflightRun{}
-		slot.run = run
-		prev, _ := e.snapshot(key, false)
-		slot.mu.Unlock()
-
-		e.kernelRuns.Add(1)
-		var res montecarlo.Result
-		var snap *montecarlo.Snapshot
-		err := s.heavy(func() error {
-			var rerr error
-			res, snap, rerr = runner.ResumeAdaptive(prev, func(cur *montecarlo.Snapshot) bool {
-				// Release every waiter the prefix satisfies first, then
-				// apply the leader's own rule; stop only when both the
-				// leader and all joined waiters are done.
-				return run.deliver(cur, false, nil) && runner.SnapshotConverged(cur)
-			})
-			return rerr
-		})
-
-		slot.mu.Lock()
-		slot.run = nil
-		if err == nil {
-			if old, ok := e.snapshot(key, false); !ok || snap.Chunks() > old.Chunks() {
-				e.putSnapshot(key, snap)
-			}
-		}
-		// Sweep waiters that joined after the run's last progress call;
-		// they re-evaluate against the final snapshot and retry if it
-		// still falls short of their rule.
-		run.deliver(snap, true, err)
-		slot.mu.Unlock()
-		return res, snap, err
 	}
+}
+
+// runAdaptiveFlight is the flight-owned kernel goroutine: it extends
+// prev under the flight context, releasing waiters as the shared prefix
+// satisfies them, then retains the grown snapshot and sweeps the
+// stragglers. It runs under the compute gate like any other kernel.
+func (s *Server) runAdaptiveFlight(fctx context.Context, e *Entry, slot *adaptiveSlot, key adaptiveKey, run *inflightRun, runner adaptiveRunner, prev *montecarlo.Snapshot) {
+	defer run.cancel() // release the flight context's resources
+	var res montecarlo.Result
+	var snap *montecarlo.Snapshot
+	err := s.heavy(fctx, func() error {
+		var rerr error
+		res, snap, rerr = runner.ResumeAdaptiveContext(fctx, prev, func(cur *montecarlo.Snapshot) bool {
+			// Release every waiter the prefix satisfies first, then apply
+			// the creator's own rule; stop only when both the creator and
+			// all joined waiters are done.
+			return run.deliver(cur, false, montecarlo.Result{}, nil) && runner.SnapshotConverged(cur)
+		})
+		return rerr
+	})
+
+	slot.mu.Lock()
+	slot.run = nil
+	if err == nil {
+		if old, ok := e.snapshot(key, false); !ok || snap.Chunks() > old.Chunks() {
+			e.putSnapshot(key, snap)
+		}
+	}
+	// Sweep waiters that joined after the run's last progress call; they
+	// re-evaluate against the final snapshot and retry if it still falls
+	// short of their rule. Joins serialize on slot.mu, so none are lost.
+	run.deliver(snap, true, res, err)
+	slot.mu.Unlock()
 }
 
 // fixedKey identifies one shareable fixed-budget run. sketch is part of
@@ -204,46 +291,85 @@ type fixedKey struct {
 
 // fixedFlight is one in-flight fixed-budget run; followers block on
 // done and then read the leader's fields (written before close).
+// Interest counting mirrors inflightRun: the kernel runs on a
+// flight-owned goroutine and its context dies only when the last
+// participant has detached.
 type fixedFlight struct {
 	done    chan struct{}
+	cancel  context.CancelFunc
 	joiners atomic.Int64 // followers waiting; test-hook observability
-	res     montecarlo.Result
-	sk      *montecarlo.QuantileSketch
-	err     error
+
+	mu       sync.Mutex
+	interest int
+
+	res montecarlo.Result
+	sk  *montecarlo.QuantileSketch
+	err error
 }
 
-// testHookFixedLeader, when set, runs on the leader after its flight is
-// registered and before the kernel runs. The under-load test uses it to
-// hold the leader until all followers have joined.
+// detach withdraws a cancelled participant; the last one out cancels
+// the flight context.
+func (f *fixedFlight) detach() {
+	f.mu.Lock()
+	f.interest--
+	if f.interest == 0 {
+		f.cancel()
+	}
+	f.mu.Unlock()
+}
+
+// testHookFixedLeader, when set, runs on the creator after its flight
+// is registered and before the kernel starts. The under-load test uses
+// it to hold the kernel until all followers have joined.
 var testHookFixedLeader func(f *fixedFlight)
 
 // coalesceFixed deduplicates concurrent identical fixed-budget runs:
-// the first request becomes the leader and runs kernel (which takes the
-// compute gate itself); requests arriving while it is in flight share
-// its result. The flight is removed before done closes, so a request
-// arriving after completion runs fresh — fixed runs are cheap to rerun
-// and, unlike adaptive snapshots, not worth retaining.
-func (s *Server) coalesceFixed(e *Entry, key fixedKey, kernel func() (montecarlo.Result, *montecarlo.QuantileSketch, error)) (montecarlo.Result, *montecarlo.QuantileSketch, error) {
-	e.mu.Lock()
-	if f := e.fixed[key]; f != nil {
-		f.joiners.Add(1)
-		e.mu.Unlock()
-		<-f.done
-		return f.res, f.sk, f.err
+// the first request creates the flight and requests arriving while it
+// is in flight share its result. The flight is removed before done
+// closes, so a request arriving after completion runs fresh — fixed
+// runs are cheap to rerun and, unlike adaptive snapshots, not worth
+// retaining. kernel receives the flight context and must abort promptly
+// when it dies (all participants detached).
+func (s *Server) coalesceFixed(ctx context.Context, e *Entry, key fixedKey, kernel func(context.Context) (montecarlo.Result, *montecarlo.QuantileSketch, error)) (montecarlo.Result, *montecarlo.QuantileSketch, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return montecarlo.Result{}, nil, err
+		}
+		e.mu.Lock()
+		f := e.fixed[key]
+		if f == nil {
+			fctx, cancel := context.WithCancel(context.Background())
+			f = &fixedFlight{done: make(chan struct{}), cancel: cancel, interest: 1}
+			e.fixed[key] = f
+			e.mu.Unlock()
+			if h := testHookFixedLeader; h != nil {
+				h(f)
+			}
+			e.kernelRuns.Add(1)
+			go func() {
+				f.res, f.sk, f.err = kernel(fctx)
+				e.mu.Lock()
+				delete(e.fixed, key)
+				e.mu.Unlock()
+				close(f.done) // publishes res/sk/err
+				cancel()
+			}()
+		} else {
+			f.joiners.Add(1)
+			f.mu.Lock()
+			f.interest++
+			f.mu.Unlock()
+			e.mu.Unlock()
+		}
+		select {
+		case <-f.done:
+			if f.err != nil && isCtxErr(f.err) && ctx.Err() == nil {
+				continue // strangers' lapsed interest killed the flight; retry
+			}
+			return f.res, f.sk, f.err
+		case <-ctx.Done():
+			f.detach()
+			return montecarlo.Result{}, nil, ctx.Err()
+		}
 	}
-	f := &fixedFlight{done: make(chan struct{})}
-	e.fixed[key] = f
-	e.mu.Unlock()
-
-	if h := testHookFixedLeader; h != nil {
-		h(f)
-	}
-	e.kernelRuns.Add(1)
-	f.res, f.sk, f.err = kernel()
-
-	e.mu.Lock()
-	delete(e.fixed, key)
-	e.mu.Unlock()
-	close(f.done)
-	return f.res, f.sk, f.err
 }

@@ -2,6 +2,8 @@ package service
 
 import (
 	"bufio"
+	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,10 +13,12 @@ import (
 	"regexp"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
 	"repro/internal/dag"
+	"repro/internal/httpx"
 	"repro/internal/linalg"
 )
 
@@ -55,12 +59,33 @@ func buildBinaries(t *testing.T) string {
 	return e2eDir
 }
 
-// startDaemon launches makespand on a free port and waits for the
-// listening line.
-func startDaemon(t *testing.T, bin string, extraArgs ...string) string {
+// daemon is one running makespand process under test.
+type daemon struct {
+	base   string // http://host:port
+	cmd    *exec.Cmd
+	waitc  chan error // closed result of cmd.Wait (buffered 1)
+	stderr *bytes.Buffer
+	mu     *sync.Mutex // guards stderr
+}
+
+// stderrTail returns what the daemon has written so far (for failure
+// dumps).
+func (d *daemon) stderrTail() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stderr.String()
+}
+
+// startDaemonProc launches makespand on a free port and returns once
+// /healthz answers. It fails fast — with the daemon's stderr — when the
+// process dies during startup instead of sitting out the full deadline,
+// and never uses a fixed sleep: readiness is the scraped listening line
+// plus a retrying probe with a hard deadline.
+func startDaemonProc(t *testing.T, bin string, env []string, extraArgs ...string) *daemon {
 	t.Helper()
 	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, extraArgs...)
 	cmd := exec.Command(filepath.Join(bin, "makespand"), args...)
+	cmd.Env = append(os.Environ(), env...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -68,29 +93,56 @@ func startDaemon(t *testing.T, bin string, extraArgs ...string) string {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() {
-		_ = cmd.Process.Kill()
-		_ = cmd.Wait()
-	})
+	d := &daemon{cmd: cmd, waitc: make(chan error, 1), stderr: &bytes.Buffer{}, mu: &sync.Mutex{}}
+
 	addrRe := regexp.MustCompile(`listening on (\S+)`)
-	lines := bufio.NewScanner(stderr)
-	deadline := time.After(30 * time.Second)
 	addrc := make(chan string, 1)
 	go func() {
+		lines := bufio.NewScanner(stderr)
 		for lines.Scan() {
-			if m := addrRe.FindStringSubmatch(lines.Text()); m != nil {
-				addrc <- m[1]
-				return
+			line := lines.Text()
+			d.mu.Lock()
+			d.stderr.WriteString(line)
+			d.stderr.WriteByte('\n')
+			d.mu.Unlock()
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrc <- m[1]:
+				default:
+				}
 			}
 		}
+		// Pipe EOF: the process is exiting; reap it exactly once.
+		d.waitc <- cmd.Wait()
 	}()
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		select {
+		case <-d.waitc:
+		case <-time.After(10 * time.Second):
+		}
+	})
+
 	select {
 	case addr := <-addrc:
-		return "http://" + addr
-	case <-deadline:
-		t.Fatal("makespand did not report a listening address")
-		return ""
+		d.base = "http://" + addr
+	case err := <-d.waitc:
+		t.Fatalf("makespand died during startup (%v); stderr:\n%s", err, d.stderrTail())
+	case <-time.After(30 * time.Second):
+		t.Fatalf("makespand did not report a listening address; stderr:\n%s", d.stderrTail())
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpx.WaitReady(ctx, d.base+"/healthz", nil); err != nil {
+		t.Fatalf("makespand never became ready (%v); stderr:\n%s", err, d.stderrTail())
+	}
+	return d
+}
+
+// startDaemon is the plain-URL variant for tests that only speak HTTP.
+func startDaemon(t *testing.T, bin string, extraArgs ...string) string {
+	t.Helper()
+	return startDaemonProc(t, bin, nil, extraArgs...).base
 }
 
 func httpPost(t *testing.T, url, body string) string {
@@ -235,4 +287,96 @@ func TestE2EServiceMatchesCLIs(t *testing.T) {
 			t.Errorf("file-graph estimate differs:\nservice:\n%s\ncli:\n%s", svc, cli)
 		}
 	})
+}
+
+// SIGTERM drains a real makespand process: /healthz flips to 503 during
+// the grace window, the request that was mid-kernel when the signal
+// arrived still completes with a full 200 document, and the process
+// exits 0.
+func TestE2EDrainOnSigterm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildBinaries(t)
+	// The chunk delay keeps the in-flight estimate slow enough to
+	// straddle the signal on any machine; the grace window keeps the
+	// listener open long enough to observe the draining health state.
+	d := startDaemonProc(t, bin, []string{"MAKESPAND_FAULTS=mc.chunk=delay:20ms"},
+		"-drain-grace", "500ms", "-drain-timeout", "30s")
+
+	done := make(chan string, 1)
+	go func() {
+		resp, err := http.Post(d.base+"/v1/estimate", "application/json",
+			strings.NewReader(`{"kind":"lu","k":6,"pfail":0.05,"methods":"First Order","trials":40960}`))
+		if err != nil {
+			done <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		done <- fmt.Sprintf("%d %s", resp.StatusCode, b)
+	}()
+
+	// Wait until the request is inside the handler stack, then signal.
+	waitInFlight := func() bool {
+		resp, err := http.Get(d.base + "/v1/cache")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return strings.Contains(string(b), `"in_flight": 2`) // the estimate + this probe
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for !waitInFlight() {
+		if time.Now().After(deadline) {
+			t.Fatalf("estimate never showed up in flight; stderr:\n%s", d.stderrTail())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// During the grace window the health probe must advertise draining.
+	saw503 := false
+	for probeDeadline := time.Now().Add(5 * time.Second); time.Now().Before(probeDeadline); {
+		resp, err := http.Get(d.base + "/healthz")
+		if err != nil {
+			break // listener closed: grace window over
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			saw503 = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !saw503 {
+		t.Errorf("healthz never answered 503 during the drain grace window; stderr:\n%s", d.stderrTail())
+	}
+
+	// The in-flight estimate survives the drain with a complete document.
+	select {
+	case res := <-done:
+		if !strings.HasPrefix(res, "200 ") || !strings.Contains(res, `"monte_carlo"`) {
+			t.Fatalf("in-flight request during drain: %s\nstderr:\n%s", res, d.stderrTail())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("in-flight request never completed; stderr:\n%s", d.stderrTail())
+	}
+
+	// And the process exits 0 — a drain is not a crash.
+	select {
+	case err := <-d.waitc:
+		if err != nil {
+			t.Fatalf("daemon exit after drain: %v; stderr:\n%s", err, d.stderrTail())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("daemon never exited after SIGTERM; stderr:\n%s", d.stderrTail())
+	}
+	if !strings.Contains(d.stderrTail(), "drained, exiting") {
+		t.Errorf("drain log line missing; stderr:\n%s", d.stderrTail())
+	}
 }

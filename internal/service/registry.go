@@ -17,6 +17,7 @@
 package service
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -148,7 +149,14 @@ func GraphID(canonical []byte) string { return artifact.GraphID(canonical) }
 // its generator spec replaces "custom" with the spec (and indexes it),
 // so sweep responses always carry the most specific factorization known.
 func (r *Registry) Add(g *dag.Graph, meta GraphMeta) (*Entry, bool, error) {
-	ga, created, err := r.store.Graph(g)
+	return r.AddContext(context.Background(), g, meta)
+}
+
+// AddContext is Add bounded by ctx: a cancelled registration aborts the
+// graph freeze at the next check and leaves the store retryable (the
+// resolver never caches a cancellation).
+func (r *Registry) AddContext(ctx context.Context, g *dag.Graph, meta GraphMeta) (*Entry, bool, error) {
+	ga, created, err := r.store.GraphContext(ctx, g)
 	if err != nil {
 		return nil, false, err
 	}
@@ -273,11 +281,21 @@ func (e *Entry) resident() bool { return e.reg.store.Resident(e.ga) }
 // spgraph.Plan, so one recording serves estimates and sweeps at any
 // pfail). On an evicted entry the plan is built cold and unaccounted.
 func (e *Entry) Plan(atoms int, model failure.Model) (*spgraph.Plan, error) {
+	return e.PlanContext(context.Background(), atoms, model)
+}
+
+// PlanContext is Plan bounded by ctx: cancellation aborts an in-flight
+// plan recording at the resolver's next check (the cold, unaccounted
+// path checks once up front — the recording itself is not chunked).
+func (e *Entry) PlanContext(ctx context.Context, atoms int, model failure.Model) (*spgraph.Plan, error) {
 	if !e.resident() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		_, _, plan, err := spgraph.DodinPlan(e.G, model, atoms)
 		return plan, err
 	}
-	return e.reg.store.Plan(e.ga, atoms, model)
+	return e.reg.store.PlanContext(ctx, e.ga, atoms, model)
 }
 
 // Estimator returns the entry's compiled Monte Carlo estimator for the
@@ -286,12 +304,21 @@ func (e *Entry) Plan(atoms int, model failure.Model) (*spgraph.Plan, error) {
 // WithConfig; the snapshot itself is shared read-only and safe for
 // concurrent runs.
 func (e *Entry) Estimator(model failure.Model, mode montecarlo.Mode) (*montecarlo.Estimator, error) {
+	return e.EstimatorContext(context.Background(), model, mode)
+}
+
+// EstimatorContext is Estimator bounded by ctx (resolver semantics: a
+// cancelled compile is never cached and the rule stays retryable).
+func (e *Entry) EstimatorContext(ctx context.Context, model failure.Model, mode montecarlo.Mode) (*montecarlo.Estimator, error) {
 	if !e.resident() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return montecarlo.NewEstimatorFrozen(e.Frozen, model, montecarlo.Config{
 			Trials: 1, Workers: 1, Mode: mode,
 		})
 	}
-	return e.reg.store.Estimator(e.ga, model, mode)
+	return e.reg.store.EstimatorContext(ctx, e.ga, model, mode)
 }
 
 // ScheduleEstimator returns the entry's frozen-schedule Monte Carlo
@@ -301,14 +328,23 @@ func (e *Entry) Estimator(model failure.Model, mode montecarlo.Mode) (*montecarl
 // resolver's singleflight. A warm request therefore skips schedule
 // freezing entirely and pays only the O(1) WithConfig reconfiguration.
 func (e *Entry) ScheduleEstimator(policy schedmc.Policy, procs int, model failure.Model) (*schedmc.Estimator, error) {
+	return e.ScheduleEstimatorContext(context.Background(), policy, procs, model)
+}
+
+// ScheduleEstimatorContext is ScheduleEstimator bounded by ctx
+// (resolver semantics: a cancelled freeze is never cached).
+func (e *Entry) ScheduleEstimatorContext(ctx context.Context, policy schedmc.Policy, procs int, model failure.Model) (*schedmc.Estimator, error) {
 	if !e.resident() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		fs, err := schedmc.Freeze(e.G, policy, procs, model)
 		if err != nil {
 			return nil, err
 		}
 		return schedmc.NewEstimator(fs, model, schedmc.Config{Trials: 1, Workers: 1})
 	}
-	return e.reg.store.ScheduleEstimator(e.ga, policy, procs, model)
+	return e.reg.store.ScheduleEstimatorContext(ctx, e.ga, policy, procs, model)
 }
 
 // snapshot returns the retained adaptive prefix for key, if any (see

@@ -1,12 +1,17 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/artifact"
@@ -14,6 +19,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/experiments"
 	"repro/internal/failure"
+	"repro/internal/faultinject"
 	"repro/internal/linalg"
 	"repro/internal/montecarlo"
 	"repro/internal/report"
@@ -32,16 +38,42 @@ type Config struct {
 	Workers int
 	// CacheBytes is the graph registry's byte budget (<= 0: unlimited).
 	CacheBytes int64
+
+	// MaxInFlight caps the estimation requests (estimate, schedule,
+	// sweep) admitted at once; excess requests wait in a bounded queue
+	// and are shed with 429 + Retry-After when it overflows or QueueWait
+	// expires. 0 disables admission control (the compute gate still
+	// serializes kernels).
+	MaxInFlight int
+	// MaxQueue bounds the admission wait queue (used only when
+	// MaxInFlight > 0). 0 means no queue: a full server sheds instantly.
+	MaxQueue int
+	// QueueWait is how long a queued request waits for an admission slot
+	// before 429 (default 1s when queuing is enabled).
+	QueueWait time.Duration
+
+	// DefaultTimeout is the per-request deadline applied when the client
+	// sends no timeout_ms (0 = none). MaxTimeout clamps client-requested
+	// deadlines (0 = unclamped). An expired deadline aborts the request's
+	// kernels at the next chunk boundary and answers 504.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
 }
 
 // Server is the makespand HTTP service. Create with New, mount via
 // Handler.
 type Server struct {
-	reg     *Registry
-	workers int
-	gate    chan struct{} // serializes heavy compute across requests
-	mux     *http.ServeMux
-	started time.Time
+	reg      *Registry
+	workers  int
+	gate     chan struct{} // serializes heavy compute across requests
+	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped in recovery/accounting middleware
+	limit    *limiter     // nil: admission control disabled
+	started  time.Time
+	defaultT time.Duration
+	maxT     time.Duration
+	draining atomic.Bool
+	inflight atomic.Int64
 }
 
 // New builds a server with a fresh registry.
@@ -51,11 +83,20 @@ func New(cfg Config) *Server {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	s := &Server{
-		reg:     NewRegistry(cfg.CacheBytes),
-		workers: workers,
-		gate:    make(chan struct{}, 1),
-		mux:     http.NewServeMux(),
-		started: time.Now(),
+		reg:      NewRegistry(cfg.CacheBytes),
+		workers:  workers,
+		gate:     make(chan struct{}, 1),
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+		defaultT: cfg.DefaultTimeout,
+		maxT:     cfg.MaxTimeout,
+	}
+	if cfg.MaxInFlight > 0 {
+		wait := cfg.QueueWait
+		if wait <= 0 {
+			wait = time.Second
+		}
+		s.limit = newLimiter(cfg.MaxInFlight, cfg.MaxQueue, wait)
 	}
 	s.mux.HandleFunc("POST /v1/graphs", s.handleSubmitGraph)
 	s.mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
@@ -64,29 +105,195 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("GET /v1/cache", s.handleCache)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.handler = s.middleware(s.mux)
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler (the routes wrapped in the
+// in-flight accounting and panic-recovery middleware).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Registry exposes the server's graph registry (tests and stats).
 func (s *Server) Registry() *Registry { return s.reg }
 
+// StartDrain flips the server into draining: /healthz answers 503 so
+// load balancers and probes stop routing here, while in-flight requests
+// keep being served until the caller shuts the HTTP server down. It is
+// idempotent and never blocks.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight reports the requests currently inside the handler stack.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// middleware wraps the route mux with per-request accounting and panic
+// recovery: a panicking handler answers 500 (when nothing was written
+// yet) and emits one structured log line plus the stack, instead of
+// killing the daemon and every sibling request with it.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				log.Printf("level=error event=panic method=%s path=%s panic=%q\n%s",
+					r.Method, r.URL.Path, fmt.Sprint(p), debug.Stack())
+				if !sw.wrote {
+					writeError(sw, &httpError{status: http.StatusInternalServerError,
+						msg: fmt.Sprintf("internal error: %v", p)})
+				}
+			}
+		}()
+		if faultinject.Enabled() {
+			faultinject.MaybePanic("service.panic." + r.URL.Path)
+		}
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// statusWriter records whether a response has started, so the panic
+// handler knows if a 500 can still be written.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote  bool
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// limiter is the admission controller: a slot channel caps in-flight
+// estimation requests, a token channel bounds the wait queue.
+type limiter struct {
+	slots chan struct{}
+	queue chan struct{} // nil: no queue, shed instantly when full
+	wait  time.Duration
+}
+
+func newLimiter(inflight, queueLen int, wait time.Duration) *limiter {
+	l := &limiter{slots: make(chan struct{}, inflight), wait: wait}
+	if queueLen > 0 {
+		l.queue = make(chan struct{}, queueLen)
+	}
+	return l
+}
+
+// acquire claims an admission slot, queueing up to l.wait when the
+// server is full. It returns the release func, or a 429 httpError with
+// a Retry-After hint when the queue is full or the wait expires, or
+// ctx's error when the request dies first.
+func (l *limiter) acquire(ctx context.Context) (func(), error) {
+	select {
+	case l.slots <- struct{}{}:
+		return func() { <-l.slots }, nil
+	default:
+	}
+	if l.queue == nil {
+		return nil, errTooBusy(l.wait)
+	}
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		return nil, errTooBusy(l.wait)
+	}
+	defer func() { <-l.queue }()
+	t := time.NewTimer(l.wait)
+	defer t.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		return func() { <-l.slots }, nil
+	case <-t.C:
+		return nil, errTooBusy(l.wait)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// admit runs the admission controller for one estimation request; the
+// returned release must be called when the request finishes.
+func (s *Server) admit(ctx context.Context) (func(), error) {
+	if s.limit == nil {
+		return func() {}, nil
+	}
+	return s.limit.acquire(ctx)
+}
+
+// errTooBusy is the 429 shed response; Retry-After hints at the queue
+// wait (rounded up to a whole second).
+func errTooBusy(wait time.Duration) error {
+	retry := int((wait + time.Second - 1) / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	return &httpError{
+		status:     http.StatusTooManyRequests,
+		msg:        "server at capacity; retry later",
+		retryAfter: retry,
+	}
+}
+
 // heavy runs fn while holding the compute gate: requests overlap at the
 // HTTP layer, but estimation work — which already spreads across the
 // worker budget internally — runs one request at a time, keeping the
-// process at ~Workers estimation goroutines under any client load.
-func (s *Server) heavy(fn func() error) error {
-	s.gate <- struct{}{}
+// process at ~Workers estimation goroutines under any client load. A
+// context that dies while waiting for the gate abandons the wait.
+func (s *Server) heavy(ctx context.Context, fn func() error) error {
+	if done := ctx.Done(); done != nil {
+		select {
+		case s.gate <- struct{}{}:
+		case <-done:
+			return ctx.Err()
+		}
+	} else {
+		s.gate <- struct{}{}
+	}
 	defer func() { <-s.gate }()
 	return fn()
 }
 
+// requestCtx derives a request's working context: the client's
+// timeout_ms, clamped by Config.MaxTimeout, with Config.DefaultTimeout
+// applied when the client sets none. The base is r.Context(), so a
+// dropped connection or server-wide force-cancel also aborts the work.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc, error) {
+	if timeoutMS < 0 {
+		return nil, nil, errBadRequest("negative timeout_ms %d", timeoutMS)
+	}
+	d := time.Duration(timeoutMS) * time.Millisecond
+	if d == 0 {
+		d = s.defaultT
+	}
+	if s.maxT > 0 && (d == 0 || d > s.maxT) {
+		d = s.maxT
+	}
+	if d <= 0 {
+		return r.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // httpError carries a status code with a request-level failure.
 type httpError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int // seconds; emitted as Retry-After when > 0
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -99,11 +306,35 @@ func errNotFound(format string, args ...any) error {
 	return &httpError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
 }
 
+// reqErr classifies an estimation-phase failure: context errors pass
+// through untouched (writeError maps them to 504/499), injected faults
+// and other server-side failures stay 500, and anything else — engine
+// config validation, bad parameters — is the client's 400.
+func reqErr(err error, format string, args ...any) error {
+	if isCtxErr(err) || faultinject.IsFault(err) {
+		return fmt.Errorf(format+": %w", append(args, err)...)
+	}
+	return errBadRequest(format+": %v", append(args, err)...)
+}
+
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// went away before the response; nobody reads it, but the access log
+// should not claim a server error.
+const statusClientClosedRequest = 499
+
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var he *httpError
-	if errors.As(err, &he) {
+	switch {
+	case errors.As(err, &he):
 		status = he.status
+		if he.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = statusClientClosedRequest
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -140,8 +371,10 @@ type graphRef struct {
 }
 
 // resolve turns a graphRef into a registry entry, registering generated
-// or inline graphs on the fly (warm resubmissions dedup by content hash).
-func (s *Server) resolve(ref graphRef) (*Entry, bool, error) {
+// or inline graphs on the fly (warm resubmissions dedup by content
+// hash). A cancelled ctx aborts an in-flight freeze without caching the
+// failure — the reference stays resolvable by the next request.
+func (s *Server) resolve(ctx context.Context, ref graphRef) (*Entry, bool, error) {
 	set := 0
 	if ref.GraphID != "" {
 		set++
@@ -175,18 +408,23 @@ func (s *Server) resolve(ref graphRef) (*Entry, bool, error) {
 		if err != nil {
 			return nil, false, errBadRequest("%v", err)
 		}
-		e, created, err := s.reg.Add(g, meta)
-		return e, created, err
+		e, created, err := s.reg.AddContext(ctx, g, meta)
+		if err != nil {
+			return nil, false, reqErr(err, "register graph")
+		}
+		return e, created, nil
 	default:
 		var g dag.Graph
 		if err := json.Unmarshal(ref.Graph, &g); err != nil {
 			return nil, false, errBadRequest("bad graph: %v", err)
 		}
-		e, created, err := s.reg.Add(&g, GraphMeta{Kind: "custom"})
+		e, created, err := s.reg.AddContext(ctx, &g, GraphMeta{Kind: "custom"})
 		if err != nil {
-			// Add fails only on the submitted content (a cyclic DAG is
-			// first caught by Freeze): the client's fault, not ours.
-			return nil, false, errBadRequest("bad graph: %v", err)
+			// Aside from cancellation and injected faults (which reqErr
+			// keeps server-side), Add fails only on the submitted content
+			// (a cyclic DAG is first caught by Freeze): the client's
+			// fault, not ours.
+			return nil, false, reqErr(err, "bad graph")
 		}
 		return e, created, nil
 	}
@@ -244,7 +482,7 @@ func (s *Server) handleSubmitGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBadRequest("POST /v1/graphs submits a graph; use GET /v1/graphs/{id} to look one up"))
 		return
 	}
-	e, created, err := s.resolve(ref)
+	e, created, err := s.resolve(r.Context(), ref)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -291,6 +529,11 @@ type estimateRequest struct {
 	TargetQuantile float64 `json:"target_quantile,omitempty"`
 	Confidence     float64 `json:"confidence,omitempty"`
 	MaxTrials      int     `json:"max_trials,omitempty"`
+
+	// TimeoutMS bounds the whole request: on expiry every kernel aborts
+	// at its next chunk boundary and the response is 504. Clamped by the
+	// server's -max-timeout; 0 selects the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -299,7 +542,19 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	e, _, err := s.resolve(req.graphRef)
+	ctx, cancel, err := s.requestCtx(r, req.TimeoutMS)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
+	e, _, err := s.resolve(ctx, req.graphRef)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -312,7 +567,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// No outer gate here: buildEstimate takes the compute gate around its
 	// heavy phases itself, so the Monte Carlo phase can go through the
 	// coalescers (whose leaders acquire the gate) without deadlocking.
-	est, err := s.buildEstimate(e, model, req)
+	est, err := s.buildEstimate(ctx, e, model, req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -346,7 +601,7 @@ func buildModel(g *dag.Graph, pfail, lambda float64) (failure.Model, error) {
 // estimator snapshot (reconfigured instead of rebuilt) and the bounds
 // sweeper scratch. Every substitution is bit-identical by construction,
 // which the e2e suite verifies against the CLI byte for byte.
-func (s *Server) buildEstimate(e *Entry, model failure.Model, req estimateRequest) (report.Estimate, error) {
+func (s *Server) buildEstimate(ctx context.Context, e *Entry, model failure.Model, req estimateRequest) (report.Estimate, error) {
 	est := report.Estimate{
 		Graph: report.GraphInfo{Tasks: e.G.NumTasks(), Edges: e.G.NumEdges(), MeanWeight: e.G.MeanWeight()},
 		Model: report.ModelInfo{
@@ -374,7 +629,7 @@ func (s *Server) buildEstimate(e *Entry, model failure.Model, req estimateReques
 	// Bounds and analytic methods run under the compute gate; the Monte
 	// Carlo phase below takes it through the coalescers instead, so
 	// requests sharing a trial stream don't each occupy a gate slot.
-	if err := s.heavy(func() error {
+	if err := s.heavy(ctx, func() error {
 		if req.Bounds {
 			sw := e.Sweeper()
 			lo, hi, err := sw.Bracket(model, req.DodinAtoms)
@@ -391,9 +646,9 @@ func (s *Server) buildEstimate(e *Entry, model failure.Model, req estimateReques
 			case experiments.MethodDodin:
 				// Warm: replay the cached reduction schedule instead of
 				// re-running the series-parallel reduction.
-				plan, err := e.Plan(req.DodinAtoms, model)
+				plan, err := e.PlanContext(ctx, req.DodinAtoms, model)
 				if err != nil {
-					return errBadRequest("%s: %v", m, err)
+					return reqErr(err, "%s", m)
 				}
 				t0 := time.Now()
 				res, err := plan.Run(model)
@@ -430,9 +685,9 @@ func (s *Server) buildEstimate(e *Entry, model failure.Model, req estimateReques
 		seed = *req.Seed
 	}
 	t0 := time.Now()
-	warm, err := e.Estimator(model, montecarlo.FullReexecution)
+	warm, err := e.EstimatorContext(ctx, model, montecarlo.FullReexecution)
 	if err != nil {
-		return est, errBadRequest("monte carlo: %v", err)
+		return est, reqErr(err, "monte carlo")
 	}
 	var mc *report.MonteCarloInfo
 	if req.Tolerance != 0 {
@@ -449,9 +704,9 @@ func (s *Server) buildEstimate(e *Entry, model failure.Model, req estimateReques
 			return est, errBadRequest("monte carlo: %v", err)
 		}
 		key := adaptiveKey{lambda: model.Lambda, mode: montecarlo.FullReexecution, seed: seed}
-		res, snap, err := s.coalesceAdaptive(e, key, run)
+		res, snap, err := s.coalesceAdaptive(ctx, e, key, run)
 		if err != nil {
-			return est, errBadRequest("monte carlo: %v", err)
+			return est, reqErr(err, "monte carlo")
 		}
 		mc = report.MonteCarloInfoFrom(res, seed)
 		mc.Adaptive = report.AdaptiveInfoFrom(res, req.Tolerance, req.TargetQuantile, req.Confidence)
@@ -477,22 +732,22 @@ func (s *Server) buildEstimate(e *Entry, model failure.Model, req estimateReques
 			lambda: model.Lambda, mode: montecarlo.FullReexecution,
 			seed: seed, trials: req.Trials, sketch: len(req.Quantiles) > 0,
 		}
-		res, sketch, err := s.coalesceFixed(e, key, func() (montecarlo.Result, *montecarlo.QuantileSketch, error) {
+		res, sketch, err := s.coalesceFixed(ctx, e, key, func(fctx context.Context) (montecarlo.Result, *montecarlo.QuantileSketch, error) {
 			var res montecarlo.Result
 			var sk *montecarlo.QuantileSketch
-			err := s.heavy(func() error {
+			err := s.heavy(fctx, func() error {
 				var err error
 				if key.sketch {
-					res, sk, err = run.RunQuantiles()
+					res, sk, err = run.RunQuantilesContext(fctx)
 				} else {
-					res, err = run.Run()
+					res, err = run.RunContext(fctx)
 				}
 				return err
 			})
 			return res, sk, err
 		})
 		if err != nil {
-			return est, errBadRequest("monte carlo: %v", err)
+			return est, reqErr(err, "monte carlo")
 		}
 		mc = report.MonteCarloInfoFrom(res, seed)
 		for _, q := range req.Quantiles {
@@ -526,6 +781,9 @@ type scheduleRequest struct {
 	TargetQuantile float64 `json:"target_quantile,omitempty"`
 	Confidence     float64 `json:"confidence,omitempty"`
 	MaxTrials      int     `json:"max_trials,omitempty"`
+
+	// TimeoutMS bounds the whole request (see estimateRequest.TimeoutMS).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
@@ -561,7 +819,19 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	e, _, err := s.resolve(req.graphRef)
+	ctx, cancel, err := s.requestCtx(r, req.TimeoutMS)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
+	e, _, err := s.resolve(ctx, req.graphRef)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -573,7 +843,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	// Like handleEstimate: buildSchedule gates its own heavy phases so
 	// the Monte Carlo runs can coalesce across requests.
-	doc, err := s.buildSchedule(e, model, policies, req)
+	doc, err := s.buildSchedule(ctx, e, model, policies, req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -588,7 +858,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 // estimator come from the registry when a previous request already built
 // them (ScheduleEstimator), so a warm request pays only the O(1)
 // reconfiguration plus the trials themselves.
-func (s *Server) buildSchedule(e *Entry, model failure.Model, policies []schedmc.Policy, req scheduleRequest) (report.Schedule, error) {
+func (s *Server) buildSchedule(ctx context.Context, e *Entry, model failure.Model, policies []schedmc.Policy, req scheduleRequest) (report.Schedule, error) {
 	doc := report.Schedule{
 		Graph: report.GraphInfo{Tasks: e.G.NumTasks(), Edges: e.G.NumEdges(), MeanWeight: e.G.MeanWeight()},
 		Model: report.ModelInfo{
@@ -607,11 +877,11 @@ func (s *Server) buildSchedule(e *Entry, model failure.Model, policies []schedmc
 		// Schedule freezing and estimator compilation are heavy; gate
 		// them. The Monte Carlo phase goes through the coalescers.
 		var warm *schedmc.Estimator
-		if err := s.heavy(func() error {
+		if err := s.heavy(ctx, func() error {
 			var err error
-			warm, err = e.ScheduleEstimator(pol, req.Procs, model)
+			warm, err = e.ScheduleEstimatorContext(ctx, pol, req.Procs, model)
 			if err != nil {
-				return errBadRequest("%s: %v", pol, err)
+				return reqErr(err, "%s", pol)
 			}
 			return nil
 		}); err != nil {
@@ -645,9 +915,9 @@ func (s *Server) buildSchedule(e *Entry, model failure.Model, policies []schedmc
 					sched: true, policy: pol, procs: req.Procs,
 					lambda: model.Lambda, mode: montecarlo.FullReexecution, seed: seed,
 				}
-				res, snap, err := s.coalesceAdaptive(e, key, run)
+				res, snap, err := s.coalesceAdaptive(ctx, e, key, run)
 				if err != nil {
-					return doc, errBadRequest("%s: %v", pol, err)
+					return doc, reqErr(err, "%s", pol)
 				}
 				mc = report.MonteCarloInfoFrom(res, seed)
 				mc.Adaptive = report.AdaptiveInfoFrom(res, req.Tolerance, req.TargetQuantile, req.Confidence)
@@ -674,22 +944,22 @@ func (s *Server) buildSchedule(e *Entry, model failure.Model, policies []schedmc
 					lambda: model.Lambda, mode: montecarlo.FullReexecution,
 					seed: seed, trials: req.Trials, sketch: len(req.Quantiles) > 0,
 				}
-				res, sketch, err := s.coalesceFixed(e, key, func() (montecarlo.Result, *montecarlo.QuantileSketch, error) {
+				res, sketch, err := s.coalesceFixed(ctx, e, key, func(fctx context.Context) (montecarlo.Result, *montecarlo.QuantileSketch, error) {
 					var res montecarlo.Result
 					var sk *montecarlo.QuantileSketch
-					err := s.heavy(func() error {
+					err := s.heavy(fctx, func() error {
 						var err error
 						if key.sketch {
-							res, sk, err = run.RunQuantiles()
+							res, sk, err = run.RunQuantilesContext(fctx)
 						} else {
-							res, err = run.Run()
+							res, err = run.RunContext(fctx)
 						}
 						return err
 					})
 					return res, sk, err
 				})
 				if err != nil {
-					return doc, errBadRequest("%s: %v", pol, err)
+					return doc, reqErr(err, "%s", pol)
 				}
 				mc = report.MonteCarloInfoFrom(res, seed)
 				for _, q := range req.Quantiles {
@@ -714,6 +984,9 @@ type sweepRequest struct {
 	Trials     int       `json:"trials,omitempty"`
 	Seed       *uint64   `json:"seed,omitempty"`
 	DodinAtoms int       `json:"dodin_atoms,omitempty"`
+
+	// TimeoutMS bounds the whole request (see estimateRequest.TimeoutMS).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -722,12 +995,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	ctx, cancel, err := s.requestCtx(r, req.TimeoutMS)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
 	def := experiments.DefaultSweep()
 	if req.GraphID == "" && req.Kind == "" && len(req.Graph) == 0 {
 		// Zero-config parity with `experiments -sweep`.
 		req.Kind, req.K = string(def.Fact), def.K
 	}
-	e, _, err := s.resolve(req.graphRef)
+	e, _, err := s.resolve(ctx, req.graphRef)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -765,17 +1050,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Methods:       methods,
 		DodinMaxAtoms: req.DodinAtoms,
 		Workers:       s.workers,
+		Context:       ctx,
 	}
 	// The sweep resolves its shared artifacts — Dodin plan, per-λ Monte
 	// Carlo estimators — through the registry's store, so repeat sweeps
 	// (and estimates touching the same artifacts) stay warm.
 	opts.Artifacts = s.reg.Store()
 	var res experiments.SweepResult
-	if err := s.heavy(func() error {
+	if err := s.heavy(ctx, func() error {
 		var err error
 		res, err = experiments.RunSweepGraph(e.Artifact(), spec, opts)
 		if err != nil {
-			return errBadRequest("%v", err)
+			return reqErr(err, "sweep")
 		}
 		return nil
 	}); err != nil {
@@ -797,10 +1083,12 @@ type kindStatsJSON struct {
 }
 
 // cacheStatsResponse is the GET /v1/cache body: the artifact store's
-// per-kind resolver statistics plus overall occupancy.
+// per-kind resolver statistics plus overall occupancy and the requests
+// currently inside the handler stack (drain observability).
 type cacheStatsResponse struct {
 	UsedBytes   int64                    `json:"used_bytes"`
 	BudgetBytes int64                    `json:"budget_bytes"`
+	InFlight    int64                    `json:"in_flight"`
 	Kinds       map[string]kindStatsJSON `json:"kinds"`
 }
 
@@ -813,6 +1101,7 @@ func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 	out := cacheStatsResponse{
 		UsedBytes:   st.UsedBytes(),
 		BudgetBytes: st.Budget(),
+		InFlight:    s.inflight.Load(),
 		Kinds:       make(map[string]kindStatsJSON, len(artifact.Kinds())),
 	}
 	for _, kind := range artifact.Kinds() {
@@ -844,8 +1133,14 @@ type healthzResponse struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.reg.Stats()
-	writeJSON(w, http.StatusOK, healthzResponse{
-		Status:          "ok",
+	// Draining flips the probe to 503 so load balancers stop routing
+	// here; requests already in flight keep being served.
+	status, state := http.StatusOK, "ok"
+	if s.draining.Load() {
+		status, state = http.StatusServiceUnavailable, "draining"
+	}
+	writeJSON(w, status, healthzResponse{
+		Status:          state,
 		Graphs:          st.Graphs,
 		CacheUsedBytes:  st.UsedBytes,
 		CacheBudget:     st.Budget,

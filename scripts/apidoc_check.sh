@@ -25,11 +25,18 @@ go build -o "$bin/" ./cmd/makespand
 echo "== start makespand on 127.0.0.1:$port"
 "$bin/makespand" -addr "127.0.0.1:$port" -workers 2 2>"$work/makespand.log" &
 pid=$!
+# Readiness: poll with a hard deadline, but fail fast — with the log —
+# the moment the daemon process dies, instead of sitting out the budget.
 i=0
-until curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; do
+until curl -fsS --max-time 2 "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "makespand died during startup; log:" >&2
+        cat "$work/makespand.log" >&2
+        exit 1
+    fi
     i=$((i + 1))
-    if [ "$i" -ge 100 ]; then
-        echo "makespand did not come up; log:" >&2
+    if [ "$i" -ge 300 ]; then
+        echo "makespand did not come up within 30s; log:" >&2
         cat "$work/makespand.log" >&2
         exit 1
     fi

@@ -1,0 +1,206 @@
+#!/usr/bin/env sh
+# chaos_e2e.sh — fault-injection e2e matrix for the makespand service.
+# Each scenario starts a real daemon with a MAKESPAND_FAULTS spec
+# (internal/faultinject), drives the same request set as the fault-free
+# baseline, and requires every 2xx response to be byte-identical to the
+# baseline after timing fields are zeroed: injected build failures,
+# latency, eviction storms and a mid-load SIGTERM may cost retries or
+# latency but may never change an answer. Every daemon must drain and
+# exit 0 on SIGTERM, and an injected build failure must not be served
+# from the cache afterwards (the retry must succeed with the baseline
+# bytes).
+#
+# Scenarios:
+#   S1 baseline      no faults; responses recorded as the reference
+#   S2 build failure artifact.build.plan=error (single-shot): first
+#                    estimate answers 5xx, the retry is byte-identical
+#   S3 latency       mc.chunk=delay:2ms on every chunk
+#   S4 evict storm   artifact.evict=trigger: a full cache shed after
+#                    every resolution, cold paths everywhere
+#   S5 kill mid-load SIGTERM with an estimate mid-kernel: the in-flight
+#                    request completes byte-identically, exit code 0
+#
+# Usage: scripts/chaos_e2e.sh [base_port]   (default 17521)
+set -eu
+
+cd "$(dirname "$0")/.."
+base_port="${1:-17521}"
+bin="$(mktemp -d)"
+work="$(mktemp -d)"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$bin" "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build"
+go build -o "$bin/" ./cmd/makespand
+
+normalize() {
+    sed -E 's/"(mc_time_seconds|time_seconds|uptime_seconds)": [-+0-9.eE]+/"\1": 0/'
+}
+
+# start_daemon <port> <faults-spec> [extra args...]: launch makespand,
+# wait for readiness, fail fast with the log if the process dies.
+start_daemon() {
+    sd_port="$1"
+    sd_faults="$2"
+    shift 2
+    base="http://127.0.0.1:$sd_port"
+    MAKESPAND_FAULTS="$sd_faults" "$bin/makespand" -addr "127.0.0.1:$sd_port" -workers 2 \
+        -drain-grace 500ms -drain-timeout 30s "$@" 2>"$work/daemon.log" &
+    pid=$!
+    i=0
+    until curl -fsS --max-time 2 "$base/healthz" >/dev/null 2>&1; do
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "makespand died during startup; log:" >&2
+            cat "$work/daemon.log" >&2
+            exit 1
+        fi
+        i=$((i + 1))
+        if [ "$i" -ge 300 ]; then
+            echo "makespand did not come up within 30s; log:" >&2
+            cat "$work/daemon.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+# stop_daemon: SIGTERM, then require a clean (exit 0) drain.
+stop_daemon() {
+    kill -TERM "$pid" 2>/dev/null || true
+    set +e
+    wait "$pid"
+    status=$?
+    set -e
+    pid=""
+    if [ "$status" -ne 0 ]; then
+        echo "makespand exited $status after SIGTERM (want 0); log:" >&2
+        cat "$work/daemon.log" >&2
+        exit 1
+    fi
+    if ! grep -q "drained, exiting" "$work/daemon.log"; then
+        echo "makespand exited without draining; log:" >&2
+        cat "$work/daemon.log" >&2
+        exit 1
+    fi
+}
+
+# The deterministic request set. R5 doubles as the mid-load victim in S5.
+r1='{"kind":"lu","k":8,"pfail":0.001,"methods":"paper","trials":2000,"seed":7}'
+r2='{"kind":"lu","k":8,"pfail":0.01,"methods":"all","trials":3000,"seed":11,"bounds":true,"quantiles":[0.5,0.95]}'
+r3='{"kind":"lu","k":8,"procs":4,"pfail":0.01,"trials":2000,"seed":7,"quantiles":[0.5,0.99]}'
+r4='{"kind":"lu","k":6,"pfails":[0.1,0.01],"trials":1500,"seed":3}'
+r5='{"kind":"lu","k":6,"pfail":0.05,"methods":"First Order","trials":40960,"seed":9}'
+
+# run_set <dir>: drive R1..R5 and store normalized responses.
+run_set() {
+    dir="$1"
+    mkdir -p "$dir"
+    curl -fsS -X POST "$base/v1/estimate" -d "$r1" | normalize >"$dir/r1.json"
+    curl -fsS -X POST "$base/v1/estimate" -d "$r2" | normalize >"$dir/r2.json"
+    curl -fsS -X POST "$base/v1/schedule" -d "$r3" | normalize >"$dir/r3.json"
+    curl -fsS -X POST "$base/v1/sweep" -d "$r4" | normalize >"$dir/r4.json"
+    curl -fsS -X POST "$base/v1/estimate" -d "$r5" | normalize >"$dir/r5.json"
+}
+
+# diff_set <dir>: every response must match the baseline byte for byte.
+diff_set() {
+    for f in r1 r2 r3 r4 r5; do
+        diff -u "$work/baseline/$f.json" "$1/$f.json"
+    done
+}
+
+echo "== S1 baseline (fault-free)"
+start_daemon "$base_port" ""
+run_set "$work/baseline"
+stop_daemon
+
+echo "== S2 injected build failure (artifact.build.plan, single-shot)"
+start_daemon $((base_port + 1)) "artifact.build.plan=error:injected chaos fault*1"
+# The first Dodin-bearing estimate trips the failpoint: a server-side
+# 5xx, not a silent wrong answer and not a client-blaming 4xx.
+code="$(curl -s -o "$work/s2_fail.json" -w '%{http_code}' -X POST "$base/v1/estimate" -d "$r1")"
+case "$code" in 5??) ;; *)
+    echo "injected build failure answered $code (want 5xx): $(cat "$work/s2_fail.json")" >&2
+    exit 1
+    ;;
+esac
+grep -q "injected chaos fault" "$work/s2_fail.json"
+# The failure was not cached: the full set now runs to baseline bytes.
+run_set "$work/s2"
+diff_set "$work/s2"
+stop_daemon
+
+echo "== S3 injected latency on every MC chunk"
+start_daemon $((base_port + 2)) "mc.chunk=delay:2ms"
+run_set "$work/s3"
+diff_set "$work/s3"
+stop_daemon
+
+echo "== S4 eviction storm after every resolution"
+start_daemon $((base_port + 3)) "artifact.evict=trigger"
+run_set "$work/s4"
+diff_set "$work/s4"
+# Warm-path rerun under the storm: every artifact rebuilt, same bytes.
+run_set "$work/s4_warm"
+diff_set "$work/s4_warm"
+stop_daemon
+
+echo "== S5 SIGTERM mid-load"
+start_daemon $((base_port + 4)) "mc.chunk=delay:20ms"
+# Fire the slow estimate, wait until it is inside the handler stack,
+# then signal. The drain must let it finish with baseline bytes.
+curl -fsS -X POST "$base/v1/estimate" -d "$r5" >"$work/s5_raw.json" &
+curl_pid=$!
+i=0
+until curl -fsS --max-time 2 "$base/v1/cache" 2>/dev/null | grep -q '"in_flight": 2'; do
+    i=$((i + 1))
+    if [ "$i" -ge 300 ]; then
+        echo "estimate never showed up in flight; log:" >&2
+        cat "$work/daemon.log" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+kill -TERM "$pid"
+# During the grace window the health probe must advertise draining.
+saw503=0
+i=0
+while [ "$i" -lt 100 ]; do
+    hc="$(curl -s -o /dev/null -w '%{http_code}' --max-time 2 "$base/healthz" 2>/dev/null || true)"
+    if [ "$hc" = "503" ]; then
+        saw503=1
+        break
+    fi
+    [ "$hc" = "000" ] && break # listener closed: grace window over
+    i=$((i + 1))
+    sleep 0.01
+done
+if [ "$saw503" -ne 1 ]; then
+    echo "healthz never advertised draining after SIGTERM; log:" >&2
+    cat "$work/daemon.log" >&2
+    exit 1
+fi
+if ! wait "$curl_pid"; then
+    echo "in-flight estimate failed during drain; log:" >&2
+    cat "$work/daemon.log" >&2
+    exit 1
+fi
+normalize <"$work/s5_raw.json" >"$work/s5.json"
+diff -u "$work/baseline/r5.json" "$work/s5.json"
+set +e
+wait "$pid"
+status=$?
+set -e
+pid=""
+if [ "$status" -ne 0 ]; then
+    echo "makespand exited $status after mid-load SIGTERM (want 0); log:" >&2
+    cat "$work/daemon.log" >&2
+    exit 1
+fi
+grep -q "drained, exiting" "$work/daemon.log"
+
+echo "chaos e2e: all scenarios passed"

@@ -35,11 +35,18 @@ normalize() {
     sed -E 's/"(mc_time_seconds|time_seconds|uptime_seconds)": [-+0-9.eE]+/"\1": 0/'
 }
 
+# Readiness: poll with a hard deadline, but fail fast — with the log —
+# the moment the daemon process dies, instead of sitting out the budget.
 i=0
-until curl -fsS "$base/healthz" >"$work/healthz.json" 2>/dev/null; do
+until curl -fsS --max-time 2 "$base/healthz" >"$work/healthz.json" 2>/dev/null; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "makespand died during startup; log:" >&2
+        cat "$work/makespand.log" >&2
+        exit 1
+    fi
     i=$((i + 1))
-    if [ "$i" -ge 100 ]; then
-        echo "makespand did not come up; log:" >&2
+    if [ "$i" -ge 300 ]; then
+        echo "makespand did not come up within 30s; log:" >&2
         cat "$work/makespand.log" >&2
         exit 1
     fi

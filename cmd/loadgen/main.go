@@ -1,0 +1,273 @@
+// Command loadgen drives a fixed-RPS open-loop load profile against a
+// running makespand and reports the latency distribution. Open-loop
+// means requests are launched on a fixed schedule regardless of how
+// fast earlier ones complete, so a slow server accumulates concurrency
+// instead of silently slowing the generator down — the measurement
+// avoids coordinated omission by clocking each request from its
+// scheduled start, not its actual send. Measured requests are made
+// exactly once (no retries: a retry would hide a shed or an error from
+// the numbers); only the unmeasured warm-up uses the retrying client.
+//
+// Usage:
+//
+//	loadgen -base http://127.0.0.1:8080 -rps 40 -duration 8s \
+//	  -body '{"kind":"lu","k":8,"methods":"First Order","trials":256,"seed":7}' \
+//	  -out BENCH_load.json -metrics-out metrics.prom
+//
+// The JSON report (request counts, ok/shed/error split, achieved RPS
+// and latency percentiles in milliseconds) is what scripts/benchcheck
+// gates in CI against the committed BENCH_load.json baseline.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/httpx"
+)
+
+// profile records the knobs of one run, echoed into the report so a
+// baseline is self-describing.
+type profile struct {
+	Base            string  `json:"base"`
+	Route           string  `json:"route"`
+	Body            string  `json:"body"`
+	RPS             float64 `json:"rps"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	WarmupRequests  int     `json:"warmup_requests"`
+}
+
+// latencySummary is the distribution over successful (2xx) requests,
+// in milliseconds.
+type latencySummary struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// report is the JSON document written to -out.
+type report struct {
+	Profile     profile        `json:"profile"`
+	Requests    int            `json:"requests"`
+	OK          int            `json:"ok"`
+	Shed        int            `json:"shed"`
+	Errors      int            `json:"errors"`
+	AchievedRPS float64        `json:"achieved_rps"`
+	LatencyMS   latencySummary `json:"latency_ms"`
+}
+
+type result struct {
+	latency time.Duration
+	status  int
+	err     error
+}
+
+func main() {
+	var (
+		base       = flag.String("base", "", "base URL of the makespand to load (required)")
+		route      = flag.String("route", "/v1/estimate", "route to drive (POST when -body is set, GET otherwise)")
+		body       = flag.String("body", `{"kind":"lu","k":8,"methods":"First Order","trials":256,"seed":7}`, "request body (empty = GET)")
+		rps        = flag.Float64("rps", 40, "request launch rate (open loop)")
+		duration   = flag.Duration("duration", 8*time.Second, "how long to launch requests for")
+		warmup     = flag.Int("warmup", 3, "unmeasured warm-up requests before the clock starts")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		out        = flag.String("out", "BENCH_load.json", `report path ("-" = stdout)`)
+		metricsOut = flag.String("metrics-out", "", "if set, scrape GET /metrics after the run into this file")
+	)
+	flag.Parse()
+	if err := run(*base, *route, *body, *rps, *duration, *warmup, *timeout, *out, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(base, route, body string, rps float64, duration time.Duration, warmup int, timeout time.Duration, out, metricsOut string) error {
+	if base == "" {
+		return fmt.Errorf("-base is required")
+	}
+	if rps <= 0 || duration <= 0 {
+		return fmt.Errorf("-rps and -duration must be positive")
+	}
+	base = strings.TrimRight(base, "/")
+	url := base + route
+	ctx := context.Background()
+
+	readyCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := httpx.WaitReady(readyCtx, base+"/healthz", nil); err != nil {
+		return err
+	}
+	// Warm-up primes the graph registry and the estimator caches so the
+	// measured window sees the steady state a scraped fleet would; the
+	// retrying client is fine here because these requests are not timed.
+	rc := httpx.NewRetryClient()
+	rc.PerAttempt = timeout
+	for i := 0; i < warmup; i++ {
+		status, _, err := warmupOnce(ctx, rc, url, body)
+		if err != nil {
+			return fmt.Errorf("warm-up request %d: %w", i, err)
+		}
+		if status/100 != 2 {
+			return fmt.Errorf("warm-up request %d: status %d", i, status)
+		}
+	}
+
+	interval := time.Duration(float64(time.Second) / rps)
+	n := int(duration / interval)
+	if n < 1 {
+		n = 1
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	results := make(chan result, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		sched := start.Add(time.Duration(i) * interval)
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(sched time.Time) {
+			defer wg.Done()
+			status, err := once(ctx, client, url, body, timeout)
+			// Clock from the scheduled start: launcher lag counts against
+			// the server, as it would for a real open-loop client.
+			results <- result{latency: time.Since(sched), status: status, err: err}
+		}(sched)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(results)
+
+	rep := report{
+		Profile: profile{
+			Base: base, Route: route, Body: body,
+			RPS: rps, DurationSeconds: duration.Seconds(), WarmupRequests: warmup,
+		},
+		Requests:    n,
+		AchievedRPS: float64(n) / elapsed.Seconds(),
+	}
+	var okLat []float64
+	for res := range results {
+		switch {
+		case res.err != nil:
+			rep.Errors++
+		case res.status == http.StatusTooManyRequests:
+			rep.Shed++
+		case res.status/100 == 2:
+			rep.OK++
+			okLat = append(okLat, float64(res.latency)/float64(time.Millisecond))
+		default:
+			rep.Errors++
+		}
+	}
+	rep.LatencyMS = summarize(okLat)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(enc)
+	} else {
+		err = os.WriteFile(out, enc, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	if metricsOut != "" {
+		status, text, err := rc.Get(ctx, base+"/metrics")
+		if err != nil {
+			return fmt.Errorf("final metrics scrape: %w", err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("final metrics scrape: status %d", status)
+		}
+		if err := os.WriteFile(metricsOut, text, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d requests (%d ok, %d shed, %d errors) at %.1f rps; p50=%.3fms p95=%.3fms p99=%.3fms\n",
+		rep.Requests, rep.OK, rep.Shed, rep.Errors, rep.AchievedRPS,
+		rep.LatencyMS.P50, rep.LatencyMS.P95, rep.LatencyMS.P99)
+	return nil
+}
+
+func warmupOnce(ctx context.Context, rc *httpx.RetryClient, url, body string) (int, []byte, error) {
+	if body == "" {
+		return rc.Get(ctx, url)
+	}
+	return rc.Post(ctx, url, "application/json", []byte(body))
+}
+
+// once issues exactly one request — never retried, so every shed and
+// error shows up in the report.
+func once(ctx context.Context, client *http.Client, url, body string, timeout time.Duration) (int, error) {
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	method, rd := http.MethodGet, io.Reader(nil)
+	if body != "" {
+		method, rd = http.MethodPost, strings.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(rctx, method, url, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// summarize computes the report distribution; percentiles use the
+// nearest-rank method on the sorted sample.
+func summarize(ms []float64) latencySummary {
+	if len(ms) == 0 {
+		return latencySummary{}
+	}
+	sort.Float64s(ms)
+	sum := 0.0
+	for _, v := range ms {
+		sum += v
+	}
+	q := func(p float64) float64 {
+		i := int(p*float64(len(ms))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ms) {
+			i = len(ms) - 1
+		}
+		return ms[i]
+	}
+	return latencySummary{
+		Mean: sum / float64(len(ms)),
+		P50:  q(0.50),
+		P90:  q(0.90),
+		P95:  q(0.95),
+		P99:  q(0.99),
+		Max:  ms[len(ms)-1],
+	}
+}

@@ -18,6 +18,17 @@
 //	POST /v1/schedule     processor-bounded scheduled-makespan estimate
 //	GET  /v1/cache        resolver statistics + in-flight request count
 //	GET  /healthz         liveness + cache statistics (503 once draining)
+//	GET  /metrics         Prometheus text exposition (per-route request
+//	                      counters and latency histograms, admission and
+//	                      in-flight gauges, per-kind cache series)
+//
+// Observability: unless -access-log=false, every request emits one
+// structured line to stderr (event=request method=... route=...
+// status=... bytes=... dur_ms=... deadline_ms=... outcome=...),
+// extending the event=panic convention; /metrics serves the same
+// counters a fleet operator would graph. /healthz, GET /v1/cache and
+// GET /metrics bypass admission control so probes and scrapes keep
+// answering while the daemon sheds load.
 //
 // Estimate, sweep and schedule responses are byte-identical to
 // `makespan -format json`, `experiments -sweep -format json` and
@@ -61,6 +72,7 @@ type daemonConfig struct {
 	maxTimeout   time.Duration
 	drainGrace   time.Duration
 	drainTimeout time.Duration
+	accessLog    bool
 }
 
 func main() {
@@ -75,6 +87,7 @@ func main() {
 	flag.DurationVar(&cfg.maxTimeout, "max-timeout", 0, "clamp on client-requested timeout_ms (0 = unclamped)")
 	flag.DurationVar(&cfg.drainGrace, "drain-grace", 0, "how long /healthz advertises draining before the listener closes")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 10*time.Second, "how long in-flight requests may run after drain starts")
+	flag.BoolVar(&cfg.accessLog, "access-log", true, "emit one structured log line per request to stderr")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "makespand:", err)
@@ -83,7 +96,7 @@ func main() {
 }
 
 func run(cfg daemonConfig) error {
-	srv := service.New(service.Config{
+	scfg := service.Config{
 		Workers:        cfg.workers,
 		CacheBytes:     cfg.cacheBytes,
 		MaxInFlight:    cfg.maxInFlight,
@@ -91,7 +104,11 @@ func run(cfg daemonConfig) error {
 		QueueWait:      cfg.queueWait,
 		DefaultTimeout: cfg.timeout,
 		MaxTimeout:     cfg.maxTimeout,
-	})
+	}
+	if cfg.accessLog {
+		scfg.AccessLog = os.Stderr
+	}
+	srv := service.New(scfg)
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err

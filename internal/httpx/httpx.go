@@ -6,6 +6,7 @@
 package httpx
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -99,6 +100,67 @@ func (c *RetryClient) Get(ctx context.Context, url string) (status int, body []b
 		}
 	}
 	return 0, nil, fmt.Errorf("httpx: giving up after %d attempts: %w", c.MaxAttempts, lastErr)
+}
+
+// Post issues a POST to url with the given body, retrying transport
+// errors and retryable statuses like Get. Only use it against routes
+// that are effectively idempotent (makespand's estimation routes are:
+// repeating a request returns the byte-identical document); the body is
+// replayed from memory on every attempt.
+func (c *RetryClient) Post(ctx context.Context, url, contentType string, reqBody []byte) (status int, body []byte, err error) {
+	var lastErr error
+	for attempt := 0; attempt < c.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(c.backoff(attempt, retryAfterOf(lastErr)))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return 0, nil, fmt.Errorf("httpx: %w (last error: %v)", ctx.Err(), lastErr)
+			}
+		}
+		status, body, lastErr = c.oncePost(ctx, url, contentType, reqBody)
+		if lastErr == nil {
+			return status, body, nil
+		}
+		if ctx.Err() != nil {
+			return 0, nil, fmt.Errorf("httpx: %w (last error: %v)", ctx.Err(), lastErr)
+		}
+	}
+	return 0, nil, fmt.Errorf("httpx: giving up after %d attempts: %w", c.MaxAttempts, lastErr)
+}
+
+func (c *RetryClient) oncePost(ctx context.Context, url, contentType string, reqBody []byte) (int, []byte, error) {
+	actx := ctx
+	if c.PerAttempt > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.PerAttempt)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(reqBody))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := c.Client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	if retryableStatus(resp.StatusCode) {
+		se := &statusError{code: resp.StatusCode}
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+				se.retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return resp.StatusCode, body, se
+	}
+	return resp.StatusCode, body, nil
 }
 
 // statusError carries a retryable non-2xx status between attempts so

@@ -1,0 +1,472 @@
+// Package metrics is a small, dependency-free metric registry with
+// Prometheus text-format exposition. It provides exactly the three
+// instrument kinds the makespand service needs — monotonic counters,
+// gauges, and fixed-bucket latency histograms — in plain and labeled
+// ("vec") forms, plus func-backed families whose samples are produced
+// at scrape time from state that already exists elsewhere (the
+// admission limiter's channel lengths, the artifact store's per-kind
+// statistics). Every instrument is safe for concurrent use: counters
+// and gauges are single atomics, histograms are one atomic per bucket
+// plus a CAS-updated sum, and there are no locks on the observation
+// path once a child has been created.
+//
+// The registry renders with WriteText in the Prometheus text exposition
+// format (version 0.0.4): one `# HELP`/`# TYPE` header per family,
+// samples sorted by label value for deterministic output, histograms
+// with cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+// No part of this package imports anything beyond the standard library.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A Counter is a monotonically increasing integer metric. The zero
+// value is unusable; obtain counters from a Registry.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; n must not be negative (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("metrics: negative Counter.Add")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// A Gauge is an integer metric that can go up and down. The zero value
+// is unusable; obtain gauges from a Registry.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative allowed).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// A Histogram counts observations into fixed buckets and tracks their
+// sum. Buckets are non-cumulative internally and cumulated at
+// exposition, so Observe touches exactly one bucket atomic plus the
+// sum. The zero value is unusable; obtain histograms from a Registry.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; +Inf is implicit
+	counts []atomic.Int64 // len(bounds)+1, last is the +Inf bucket
+	sum    atomic.Uint64  // float64 bits, CAS-updated
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefLatencyBuckets is the default upper-bound ladder for request
+// latency histograms, in seconds: half a millisecond to one minute.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// kind is the exposition TYPE of a family.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// family is one named metric with zero or more labeled children.
+type family struct {
+	name   string
+	help   string
+	typ    kind
+	labels []string
+	bounds []float64 // histogram families only
+
+	mu       sync.Mutex
+	children map[string]any // label-values key -> *Counter/*Gauge/*Histogram
+
+	collect CollectFn // func-backed families; children stays nil
+}
+
+// CollectFn produces a func-backed family's samples at scrape time:
+// call emit once per child with its label values (matching the family's
+// label names) and current value. Emission order does not matter; the
+// writer sorts samples.
+type CollectFn func(emit func(labelValues []string, value float64))
+
+// Registry holds metric families and renders them with WriteText.
+// Create with NewRegistry; methods are safe for concurrent use, and
+// registration panics on an invalid or duplicate name (programmer
+// error, caught at startup).
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(name, help string, typ kind, labels []string, bounds []float64, collect CollectFn) *family {
+	if !validName(name) {
+		panic("metrics: invalid metric name " + strconv.Quote(name))
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic("metrics: invalid label name " + strconv.Quote(l))
+		}
+	}
+	if typ == kindHistogram {
+		if len(bounds) == 0 {
+			panic("metrics: histogram " + name + " needs at least one bucket bound")
+		}
+		if !sort.Float64sAreSorted(bounds) {
+			panic("metrics: histogram " + name + " bucket bounds must ascend")
+		}
+	}
+	f := &family{name: name, help: help, typ: typ, labels: labels, bounds: bounds, collect: collect}
+	if collect == nil {
+		f.children = make(map[string]any)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic("metrics: duplicate metric " + name)
+	}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, nil, nil, nil)
+	return f.child(nil).(*Counter)
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, nil, nil, nil)
+	return f.child(nil).(*Gauge)
+}
+
+// Histogram registers and returns an unlabeled histogram with the given
+// ascending bucket upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.register(name, help, kindHistogram, nil, bounds, nil)
+	return f.child(nil).(*Histogram)
+}
+
+// CounterVec registers a labeled counter family; children are created
+// on first With.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic("metrics: CounterVec " + name + " needs label names")
+	}
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil, nil)}
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic("metrics: GaugeVec " + name + " needs label names")
+	}
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil, nil)}
+}
+
+// HistogramVec registers a labeled histogram family sharing one bucket
+// ladder across children.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic("metrics: HistogramVec " + name + " needs label names")
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, bounds, nil)}
+}
+
+// CounterFunc registers a counter family whose samples are produced by
+// collect at scrape time (for monotonic counts that already live
+// elsewhere, e.g. cache hit totals). labels may be nil for a single
+// unlabeled sample.
+func (r *Registry) CounterFunc(name, help string, labels []string, collect CollectFn) {
+	if collect == nil {
+		panic("metrics: CounterFunc " + name + " needs a collect func")
+	}
+	r.register(name, help, kindCounter, labels, nil, collect)
+}
+
+// GaugeFunc registers a gauge family whose samples are produced by
+// collect at scrape time (for instantaneous values that already live
+// elsewhere, e.g. channel lengths). labels may be nil for a single
+// unlabeled sample.
+func (r *Registry) GaugeFunc(name, help string, labels []string, collect CollectFn) {
+	if collect == nil {
+		panic("metrics: GaugeFunc " + name + " needs a collect func")
+	}
+	r.register(name, help, kindGauge, labels, nil, collect)
+}
+
+// child returns the instrument for the given label values, creating it
+// on first use. The key doubles as the exposition sort key.
+func (f *family) child(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		switch f.typ {
+		case kindCounter:
+			c = &Counter{}
+		case kindGauge:
+			c = &Gauge{}
+		case kindHistogram:
+			c = &Histogram{bounds: f.bounds, counts: make([]atomic.Int64, len(f.bounds)+1)}
+		}
+		f.children[key] = c
+	}
+	return c
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (in the family's
+// label-name order), creating it on first use.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.child(labelValues).(*Counter)
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.child(labelValues).(*Gauge)
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.child(labelValues).(*Histogram)
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// labelSet renders {k="v",...} for the given names and values, with
+// extra appended verbatim (the histogram le pair). Empty when there are
+// no pairs at all.
+func labelSet(names, values []string, extra string) string {
+	if len(names) == 0 && extra == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extra != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatBound(b float64) string {
+	if math.IsInf(b, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// WriteText renders every family in registration order in the
+// Prometheus text exposition format (version 0.0.4). Samples within a
+// family are sorted by label values, so successive scrapes of a stable
+// system are byte-comparable.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if err := f.writeText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TextContentType is the Content-Type of WriteText's output.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func (f *family) writeText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+		return err
+	}
+	type sample struct {
+		key    string
+		values []string
+		value  float64
+		hist   *Histogram
+	}
+	var samples []sample
+	if f.collect != nil {
+		f.collect(func(labelValues []string, value float64) {
+			if len(labelValues) != len(f.labels) {
+				panic(fmt.Sprintf("metrics: %s collect emitted %d label values, want %d", f.name, len(labelValues), len(f.labels)))
+			}
+			vals := append([]string(nil), labelValues...)
+			samples = append(samples, sample{key: strings.Join(vals, "\x00"), values: vals, value: value})
+		})
+	} else {
+		f.mu.Lock()
+		for key, c := range f.children {
+			s := sample{key: key}
+			if key != "" || len(f.labels) > 0 {
+				s.values = strings.Split(key, "\x00")
+			}
+			switch c := c.(type) {
+			case *Counter:
+				s.value = float64(c.Value())
+			case *Gauge:
+				s.value = float64(c.Value())
+			case *Histogram:
+				s.hist = c
+			}
+			samples = append(samples, s)
+		}
+		f.mu.Unlock()
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].key < samples[j].key })
+	for _, s := range samples {
+		if s.hist != nil {
+			if err := s.hist.writeText(w, f.name, f.labels, s.values); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelSet(f.labels, s.values, ""), formatValue(s.value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *Histogram) writeText(w io.Writer, name string, labelNames, labelValues []string) error {
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		bound := math.Inf(+1)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		le := `le="` + formatBound(bound) + `"`
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelSet(labelNames, labelValues, le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labelSet(labelNames, labelValues, ""), formatValue(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelSet(labelNames, labelValues, ""), cum)
+	return err
+}

@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs seen")
+	g := r.Gauge("queue_depth", "queued jobs")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Add(-3)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Counter.Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestVecChildrenAreStable(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "requests", "route", "code")
+	a := v.With("/v1/estimate", "200")
+	b := v.With("/v1/estimate", "200")
+	if a != b {
+		t.Fatal("same label values returned distinct children")
+	}
+	a.Inc()
+	if v.With("/v1/estimate", "200").Value() != 1 {
+		t.Fatal("child state not shared")
+	}
+	if v.With("/v1/estimate", "429").Value() != 0 {
+		t.Fatal("distinct label values shared a child")
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if want := 0.05 + 0.1 + 0.5 + 2 + 100; math.Abs(h.Sum()-want) > 1e-12 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), want)
+	}
+	var out strings.Builder
+	if err := r.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	// Buckets are cumulative: le=0.1 holds 0.05 and the boundary value
+	// 0.1 (le is <=), le=1 adds 0.5, le=10 adds 2, +Inf adds 100.
+	for _, line := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 2`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		"latency_seconds_count 5",
+	} {
+		if !strings.Contains(text, line+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", line, text)
+		}
+	}
+}
+
+func TestWriteTextShapeAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("odd_total", "odd label values", "name")
+	v.With(`quo"te` + "\n" + `back\slash`).Inc()
+	r.GaugeFunc("live_value", "scrape-time gauge", []string{"kind"}, func(emit func([]string, float64)) {
+		emit([]string{"b"}, 2)
+		emit([]string{"a"}, 1.5)
+	})
+	var out strings.Builder
+	if err := r.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, `odd_total{name="quo\"te\nback\\slash"} 1`) {
+		t.Fatalf("label escaping wrong:\n%s", text)
+	}
+	// Func samples are sorted by label value regardless of emit order,
+	// and non-integer values render as floats.
+	ai := strings.Index(text, `live_value{kind="a"} 1.5`)
+	bi := strings.Index(text, `live_value{kind="b"} 2`)
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Fatalf("func gauge samples wrong or unsorted:\n%s", text)
+	}
+	// HELP/TYPE precede their samples, in registration order.
+	if h := strings.Index(text, "# HELP odd_total"); h < 0 || h > ai {
+		t.Fatalf("family header order wrong:\n%s", text)
+	}
+}
+
+func TestRegistrationValidation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "fine")
+	for name, fn := range map[string]func(){
+		"duplicate name":    func() { r.Counter("ok_total", "again") },
+		"invalid name":      func() { r.Counter("bad-name", "dash") },
+		"digit first":       func() { r.Counter("9lives", "digit") },
+		"invalid label":     func() { r.CounterVec("c_total", "x", "bad-label") },
+		"vec without label": func() { r.CounterVec("v_total", "x") },
+		"unsorted buckets":  func() { r.Histogram("h_seconds", "x", []float64{1, 0.1}) },
+		"empty buckets":     func() { r.Histogram("h2_seconds", "x", nil) },
+		"nil collect":       func() { r.GaugeFunc("g", "x", nil, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Under N-way concurrent load every observation must land exactly once:
+// counter totals, histogram count and histogram sum all add up. Run
+// with -race in CI.
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("reqs_total", "requests", "code")
+	h := r.HistogramVec("lat_seconds", "latency", []float64{0.001, 0.01, 0.1, 1}, "route")
+	g := r.Gauge("inflight", "in flight")
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				g.Add(1)
+				c.With("200").Inc()
+				h.With("/v1/estimate").Observe(float64(i%7) * 0.003)
+				g.Add(-1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	const total = workers * perWorker
+	if got := c.With("200").Value(); got != total {
+		t.Fatalf("counter = %d, want %d", got, total)
+	}
+	hist := h.With("/v1/estimate")
+	if got := hist.Count(); got != total {
+		t.Fatalf("histogram count = %d, want %d", got, total)
+	}
+	perWorkerSum := 0.0
+	for i := 0; i < perWorker; i++ {
+		perWorkerSum += float64(i%7) * 0.003
+	}
+	if want := perWorkerSum * workers; math.Abs(hist.Sum()-want) > 1e-6*want {
+		t.Fatalf("histogram sum = %g, want %g", hist.Sum(), want)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+	// A scrape after the storm is internally consistent: +Inf bucket ==
+	// count for every series.
+	var out strings.Builder
+	if err := r.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `lat_seconds_bucket{route="/v1/estimate",le="+Inf"} 16000`) {
+		t.Fatalf("cumulative +Inf bucket wrong:\n%s", out.String())
+	}
+}
+
+// Scraping while observations are in flight must be race-free and
+// monotone-consistent (never a torn family).
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("work_seconds", "work", DefLatencyBuckets)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Observe(0.002)
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		var out strings.Builder
+		if err := r.WriteText(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/metrics"
+)
+
+// serverMetrics bundles the makespand metric families, all registered
+// on one internal/metrics registry that GET /metrics renders. Request
+// counters, latency histograms and response-byte counters are updated
+// by the middleware on every request (admission-bypassed probe routes
+// included); the shed counter is bumped by the limiter alone, so probe
+// traffic can never appear in it. Everything gauge-shaped — in-flight
+// requests, admission occupancy and queue depth, per-kind cache
+// residency, byte budget, uptime — is func-backed and sampled at
+// scrape time from the same state that already serves /healthz and
+// GET /v1/cache, so /metrics can never disagree with them.
+type serverMetrics struct {
+	reg       *metrics.Registry
+	requests  *metrics.CounterVec   // route, code
+	latency   *metrics.HistogramVec // route
+	respBytes *metrics.CounterVec   // route
+	shed      *metrics.Counter      // admission sheds (429), limiter only
+}
+
+// kindCounterFn adapts one artifact.KindStats field into a per-kind
+// CollectFn over the store's live statistics.
+func kindCounterFn(s *Server, field func(artifact.KindStats) float64) metrics.CollectFn {
+	return func(emit func([]string, float64)) {
+		stats := s.reg.Store().Stats()
+		for _, kind := range artifact.Kinds() {
+			emit([]string{kind}, field(stats[kind]))
+		}
+	}
+}
+
+// single wraps one scalar source as an unlabeled CollectFn.
+func single(fn func() float64) metrics.CollectFn {
+	return func(emit func([]string, float64)) { emit(nil, fn()) }
+}
+
+func newServerMetrics(s *Server) *serverMetrics {
+	r := metrics.NewRegistry()
+	m := &serverMetrics{
+		reg: r,
+		requests: r.CounterVec("makespand_http_requests_total",
+			"HTTP requests served, by route pattern and status code.",
+			"route", "code"),
+		latency: r.HistogramVec("makespand_http_request_duration_seconds",
+			"HTTP request latency in seconds, by route pattern.",
+			metrics.DefLatencyBuckets, "route"),
+		respBytes: r.CounterVec("makespand_http_response_bytes_total",
+			"Response body bytes written, by route pattern.",
+			"route"),
+		shed: r.Counter("makespand_requests_shed_total",
+			"Estimation requests shed by the admission limiter (answered 429 + Retry-After). Probe routes bypass admission and never count here."),
+	}
+	r.GaugeFunc("makespand_http_requests_in_flight",
+		"Requests currently inside the handler stack (the count a drain waits out).",
+		nil, single(func() float64 { return float64(s.inflight.Load()) }))
+	r.GaugeFunc("makespand_admission_in_flight",
+		"Estimation requests currently holding an admission slot (0 when -max-inflight is unset).",
+		nil, single(func() float64 {
+			if s.limit == nil {
+				return 0
+			}
+			return float64(len(s.limit.slots))
+		}))
+	r.GaugeFunc("makespand_admission_queued",
+		"Estimation requests waiting in the bounded admission queue.",
+		nil, single(func() float64 {
+			if s.limit == nil {
+				return 0
+			}
+			return float64(len(s.limit.queue))
+		}))
+	r.CounterFunc("makespand_cache_hits_total",
+		"Artifact resolver hits (resolve found the artifact ready or joined an in-flight build), by artifact kind.",
+		[]string{"kind"}, kindCounterFn(s, func(ks artifact.KindStats) float64 { return float64(ks.Hits) }))
+	r.CounterFunc("makespand_cache_misses_total",
+		"Artifact resolver misses (a build started or a snapshot stored), by artifact kind.",
+		[]string{"kind"}, kindCounterFn(s, func(ks artifact.KindStats) float64 { return float64(ks.Misses) }))
+	r.CounterFunc("makespand_cache_evictions_total",
+		"Artifacts evicted by the LRU byte budget, by artifact kind.",
+		[]string{"kind"}, kindCounterFn(s, func(ks artifact.KindStats) float64 { return float64(ks.Evictions) }))
+	r.GaugeFunc("makespand_cache_resident",
+		"Artifacts currently resident in the store, by artifact kind.",
+		[]string{"kind"}, kindCounterFn(s, func(ks artifact.KindStats) float64 { return float64(ks.Resident) }))
+	r.GaugeFunc("makespand_cache_resident_bytes",
+		"Accounted bytes of resident artifacts, by artifact kind.",
+		[]string{"kind"}, kindCounterFn(s, func(ks artifact.KindStats) float64 { return float64(ks.ResidentBytes) }))
+	r.GaugeFunc("makespand_cache_used_bytes",
+		"Accounted bytes across all resident artifacts.",
+		nil, single(func() float64 { return float64(s.reg.Store().UsedBytes()) }))
+	r.GaugeFunc("makespand_cache_budget_bytes",
+		"The -cache-bytes LRU budget eviction enforces (0 = unlimited).",
+		nil, single(func() float64 { return float64(s.reg.Store().Budget()) }))
+	r.GaugeFunc("makespand_uptime_seconds",
+		"Seconds since the server was constructed.",
+		nil, single(func() float64 { return time.Since(s.started).Seconds() }))
+	return m
+}
+
+// handleMetrics serves the Prometheus text exposition. Like /healthz
+// and GET /v1/cache it bypasses admission control, so the fleet can be
+// scraped while the daemon sheds load — that is exactly when the
+// series matter.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.TextContentType)
+	_ = s.metrics.reg.WriteText(w)
+}
+
+// Metrics exposes the server's metric registry (tests scrape through
+// the handler; direct instrument access keeps assertions exact).
+func (s *Server) Metrics() *metrics.Registry { return s.metrics.reg }

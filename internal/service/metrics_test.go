@@ -1,0 +1,214 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// This file pins the observability surface: per-route request counters
+// and latency histograms under concurrent load, the shed series staying
+// disjoint from the 2xx series, the admission-bypass boundary (probe
+// routes are counted but never shed), and the structured access-log
+// line shape. Metrics are updated in the middleware's deferred observe,
+// which can run a beat after the client sees the response — assertions
+// on exact totals go through waitFor.
+
+// scrapeMetrics fetches GET /metrics and returns the exposition text.
+func scrapeMetrics(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	code, body := get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d %s", code, body)
+	}
+	return body
+}
+
+// sampleValue extracts one sample (by its exact series string, label
+// braces included) from exposition text; absent series read as 0.
+func sampleValue(t *testing.T, text, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("series %s: bad value %q", series, rest)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+// Histogram observation count equals requests served under N-way
+// concurrent load, and the scrape agrees with the instruments.
+func TestMetricsConcurrentRequestAccounting(t *testing.T) {
+	s, ts := opsServer(t, Config{Workers: 2})
+
+	// Prime once so the concurrent phase exercises the warm path.
+	if code, body := post(t, ts, "/v1/estimate", `{"kind":"lu","k":4}`); code != http.StatusOK {
+		t.Fatalf("prime: %d %s", code, body)
+	}
+	const workers, perWorker = 4, 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				resp, err := http.Post(ts.URL+"/v1/estimate", "application/json",
+					strings.NewReader(`{"kind":"lu","k":4}`))
+				if err != nil {
+					errs <- err
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	const total = 1 + workers*perWorker
+	route := s.metrics.requests.With("/v1/estimate", "200")
+	waitFor(t, "request counter to settle", func() bool { return route.Value() == total })
+	if got := s.metrics.latency.With("/v1/estimate").Count(); got != total {
+		t.Fatalf("histogram count = %d, want %d (every request must be observed exactly once)", got, total)
+	}
+	text := scrapeMetrics(t, ts)
+	for series, want := range map[string]float64{
+		`makespand_http_requests_total{route="/v1/estimate",code="200"}`:                 total,
+		`makespand_http_request_duration_seconds_bucket{route="/v1/estimate",le="+Inf"}`: total,
+		`makespand_http_request_duration_seconds_count{route="/v1/estimate"}`:            total,
+		`makespand_requests_shed_total`:                                                  0,
+	} {
+		if got := sampleValue(t, text, series); got != want {
+			t.Fatalf("%s = %g, want %g\n%s", series, got, want, text)
+		}
+	}
+	if got := sampleValue(t, text, `makespand_cache_hits_total{kind="graph"}`); got < float64(total-1) {
+		t.Fatalf(`cache_hits_total{kind="graph"} = %g, want >= %d (warm repeats hit the frozen graph)`, got, total-1)
+	}
+}
+
+// Shed requests land in the 429 series, never the 2xx one, and every
+// shed increments the shed counter exactly once.
+func TestMetricsShedSeries(t *testing.T) {
+	s, ts := opsServer(t, Config{Workers: 2, MaxInFlight: 1, QueueWait: time.Second})
+
+	s.limit.slots <- struct{}{} // fill the only admission slot
+	const sheds = 5
+	for i := 0; i < sheds; i++ {
+		if code, _ := post(t, ts, "/v1/estimate", `{"kind":"lu","k":4}`); code != http.StatusTooManyRequests {
+			t.Fatalf("full server request %d: %d, want 429", i, code)
+		}
+	}
+	<-s.limit.slots
+	if code, body := post(t, ts, "/v1/estimate", `{"kind":"lu","k":4}`); code != http.StatusOK {
+		t.Fatalf("after release: %d %s", code, body)
+	}
+
+	waitFor(t, "shed counter", func() bool { return s.metrics.shed.Value() == sheds })
+	waitFor(t, "429 series", func() bool {
+		return s.metrics.requests.With("/v1/estimate", "429").Value() == sheds
+	})
+	if got := s.metrics.requests.With("/v1/estimate", "200").Value(); got != 1 {
+		t.Fatalf("200 series = %d, want 1 (sheds must not leak into it)", got)
+	}
+	// The latency histogram sees every request, shed or served.
+	waitFor(t, "histogram count", func() bool {
+		return s.metrics.latency.With("/v1/estimate").Count() == sheds+1
+	})
+}
+
+// Admission-bypassed probe routes (/healthz, GET /v1/cache, /metrics)
+// are still counted in the request metrics but can never appear in the
+// shed counter or occupy admission capacity — this is the boundary the
+// limiter's placement in admit() guarantees.
+func TestMetricsProbeRoutesBypassAdmission(t *testing.T) {
+	s, ts := opsServer(t, Config{Workers: 2, MaxInFlight: 1, QueueWait: time.Second})
+
+	s.limit.slots <- struct{}{} // saturate admission
+	for _, path := range []string{"/healthz", "/v1/cache", "/metrics"} {
+		if code, body := get(t, ts, path); code != http.StatusOK {
+			t.Fatalf("GET %s behind full server: %d %s", path, code, body)
+		}
+	}
+	for _, route := range []string{"/healthz", "/v1/cache", "/metrics"} {
+		route := route
+		waitFor(t, "probe counter "+route, func() bool {
+			return s.metrics.requests.With(route, "200").Value() >= 1
+		})
+	}
+	if got := s.metrics.shed.Value(); got != 0 {
+		t.Fatalf("shed counter = %d after probe traffic, want 0", got)
+	}
+	if got := len(s.limit.queue); got != 0 {
+		t.Fatalf("admission queue depth = %d after probe traffic, want 0", got)
+	}
+
+	// An estimation request in the same saturated state does shed — the
+	// counter moves for admitted routes only.
+	if code, _ := post(t, ts, "/v1/estimate", `{"kind":"lu","k":4}`); code != http.StatusTooManyRequests {
+		t.Fatalf("estimate behind full server: %d, want 429", code)
+	}
+	waitFor(t, "shed counter after estimate", func() bool { return s.metrics.shed.Value() == 1 })
+	<-s.limit.slots
+}
+
+// syncBuffer lets the test read the access log while the middleware may
+// still be writing it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// One structured line per request, with the documented fields in order;
+// deadlines show up in deadline_ms and unmatched paths log route=other.
+func TestAccessLogLineShape(t *testing.T) {
+	var buf syncBuffer
+	_, ts := opsServer(t, Config{Workers: 2, AccessLog: &buf})
+
+	if code, body := post(t, ts, "/v1/estimate", `{"kind":"lu","k":4}`); code != http.StatusOK {
+		t.Fatalf("estimate: %d %s", code, body)
+	}
+	ok := regexp.MustCompile(`(?m)^event=request method=POST route=/v1/estimate status=200 bytes=[1-9][0-9]* dur_ms=[0-9.]+ deadline_ms=0 outcome=ok$`)
+	waitFor(t, "access log line", func() bool { return ok.MatchString(buf.String()) })
+
+	if code, _ := post(t, ts, "/v1/estimate", `{"kind":"lu","k":4,"timeout_ms":30000}`); code != http.StatusOK {
+		t.Fatalf("estimate with deadline: %d", code)
+	}
+	deadline := regexp.MustCompile(`(?m)^event=request method=POST route=/v1/estimate status=200 bytes=[0-9]+ dur_ms=[0-9.]+ deadline_ms=30000 outcome=ok$`)
+	waitFor(t, "deadline access log line", func() bool { return deadline.MatchString(buf.String()) })
+
+	if code, _ := get(t, ts, "/no/such/route"); code != http.StatusNotFound {
+		t.Fatalf("unknown path: %d, want 404", code)
+	}
+	other := regexp.MustCompile(`(?m)^event=request method=GET route=other status=404 bytes=[0-9]+ dur_ms=[0-9.]+ deadline_ms=0 outcome=error$`)
+	waitFor(t, "route=other access log line", func() bool { return other.MatchString(buf.String()) })
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"net/http"
@@ -58,22 +59,30 @@ type Config struct {
 	// kernels at the next chunk boundary and answers 504.
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+
+	// AccessLog receives one structured log line per request (route,
+	// status, bytes, duration, deadline used, outcome). nil disables
+	// access logging; metrics are collected either way. The daemon wires
+	// stderr here (-access-log); tests pass a buffer.
+	AccessLog io.Writer
 }
 
 // Server is the makespand HTTP service. Create with New, mount via
 // Handler.
 type Server struct {
-	reg      *Registry
-	workers  int
-	gate     chan struct{} // serializes heavy compute across requests
-	mux      *http.ServeMux
-	handler  http.Handler // mux wrapped in recovery/accounting middleware
-	limit    *limiter     // nil: admission control disabled
-	started  time.Time
-	defaultT time.Duration
-	maxT     time.Duration
-	draining atomic.Bool
-	inflight atomic.Int64
+	reg       *Registry
+	workers   int
+	gate      chan struct{} // serializes heavy compute across requests
+	mux       *http.ServeMux
+	handler   http.Handler // mux wrapped in recovery/accounting middleware
+	limit     *limiter     // nil: admission control disabled
+	metrics   *serverMetrics
+	accessLog *log.Logger // nil: access logging disabled
+	started   time.Time
+	defaultT  time.Duration
+	maxT      time.Duration
+	draining  atomic.Bool
+	inflight  atomic.Int64
 }
 
 // New builds a server with a fresh registry.
@@ -98,15 +107,78 @@ func New(cfg Config) *Server {
 		}
 		s.limit = newLimiter(cfg.MaxInFlight, cfg.MaxQueue, wait)
 	}
-	s.mux.HandleFunc("POST /v1/graphs", s.handleSubmitGraph)
-	s.mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
-	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
-	s.mux.HandleFunc("GET /v1/cache", s.handleCache)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.metrics = newServerMetrics(s)
+	if cfg.AccessLog != nil {
+		s.accessLog = log.New(cfg.AccessLog, "", 0)
+	}
+	s.route("POST /v1/graphs", "/v1/graphs", s.handleSubmitGraph)
+	s.route("GET /v1/graphs/{id}", "/v1/graphs/{id}", s.handleGetGraph)
+	s.route("POST /v1/estimate", "/v1/estimate", s.handleEstimate)
+	s.route("POST /v1/sweep", "/v1/sweep", s.handleSweep)
+	s.route("POST /v1/schedule", "/v1/schedule", s.handleSchedule)
+	s.route("GET /v1/cache", "/v1/cache", s.handleCache)
+	s.route("GET /healthz", "/healthz", s.handleHealthz)
+	s.route("GET /metrics", "/metrics", s.handleMetrics)
 	s.handler = s.middleware(s.mux)
 	return s
+}
+
+// route registers a handler under its mux pattern and stamps the
+// request-scoped info with a fixed route label, so metrics and access
+// logs carry the bounded pattern ("/v1/graphs/{id}"), never the raw
+// path — label cardinality stays constant under arbitrary traffic.
+// Requests no pattern matches keep the label "other".
+func (s *Server) route(pattern, label string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if ri := infoFrom(r.Context()); ri != nil {
+			ri.route = label
+		}
+		h(w, r)
+	})
+}
+
+// routeOther labels requests that matched no registered pattern (the
+// mux's own 404/405 responses).
+const routeOther = "other"
+
+// reqInfo is the middleware's per-request record: the route label set
+// at dispatch, the effective deadline requestCtx applied, and a forced
+// outcome (panic) the status code cannot express. All writes happen on
+// the request's own goroutine.
+type reqInfo struct {
+	route    string
+	deadline time.Duration // effective deadline applied; 0 = none
+	outcome  string        // set only for panic; otherwise derived from status
+}
+
+// outcomeOr classifies the request for the access log: ok, shed (429),
+// timeout (504), cancelled (499, client went away), panic (recovered
+// handler) or error (remaining 4xx/5xx).
+func (ri *reqInfo) outcomeOr(status int) string {
+	if ri.outcome != "" {
+		return ri.outcome
+	}
+	switch {
+	case status == http.StatusTooManyRequests:
+		return "shed"
+	case status == http.StatusGatewayTimeout:
+		return "timeout"
+	case status == statusClientClosedRequest:
+		return "cancelled"
+	case status < 400:
+		return "ok"
+	default:
+		return "error"
+	}
+}
+
+type reqInfoCtxKey struct{}
+
+// infoFrom retrieves the middleware's per-request record (nil when the
+// handler runs outside the middleware, e.g. direct unit-test calls).
+func infoFrom(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoCtxKey{}).(*reqInfo)
+	return ri
 }
 
 // Handler returns the service's HTTP handler (the routes wrapped in the
@@ -128,17 +200,23 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // InFlight reports the requests currently inside the handler stack.
 func (s *Server) InFlight() int64 { return s.inflight.Load() }
 
-// middleware wraps the route mux with per-request accounting and panic
-// recovery: a panicking handler answers 500 (when nothing was written
-// yet) and emits one structured log line plus the stack, instead of
-// killing the daemon and every sibling request with it.
+// middleware wraps the route mux with per-request accounting, panic
+// recovery and observability: a panicking handler answers 500 (when
+// nothing was written yet) and emits one structured log line plus the
+// stack, instead of killing the daemon and every sibling request with
+// it; and every request — panicking, shed or fine — lands in the
+// request metrics and, when configured, one access-log line.
 func (s *Server) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ri := &reqInfo{route: routeOther}
+		r = r.WithContext(context.WithValue(r.Context(), reqInfoCtxKey{}, ri))
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w}
 		defer func() {
 			if p := recover(); p != nil {
+				ri.outcome = "panic"
 				log.Printf("level=error event=panic method=%s path=%s panic=%q\n%s",
 					r.Method, r.URL.Path, fmt.Sprint(p), debug.Stack())
 				if !sw.wrote {
@@ -146,6 +224,7 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 						msg: fmt.Sprintf("internal error: %v", p)})
 				}
 			}
+			s.observe(r, sw, ri, time.Since(start))
 		}()
 		if faultinject.Enabled() {
 			faultinject.MaybePanic("service.panic." + r.URL.Path)
@@ -154,12 +233,41 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 	})
 }
 
-// statusWriter records whether a response has started, so the panic
-// handler knows if a 500 can still be written.
+// observe records one finished request into the metric families and,
+// when access logging is on, emits the structured request line — the
+// counterpart of the middleware's event=panic convention:
+//
+//	event=request method=POST route=/v1/estimate status=200 bytes=841
+//	dur_ms=1.292 deadline_ms=0 outcome=ok
+//
+// route is the registered pattern (bounded cardinality), bytes the
+// response body size, deadline_ms the effective deadline requestCtx
+// applied (0 = unbounded), outcome one of ok / shed / timeout /
+// cancelled / panic / error.
+func (s *Server) observe(r *http.Request, sw *statusWriter, ri *reqInfo, dur time.Duration) {
+	status := sw.status
+	if status == 0 {
+		// The handler never called WriteHeader: net/http answered 200.
+		status = http.StatusOK
+	}
+	s.metrics.requests.With(ri.route, strconv.Itoa(status)).Inc()
+	s.metrics.latency.With(ri.route).Observe(dur.Seconds())
+	s.metrics.respBytes.With(ri.route).Add(sw.bytes)
+	if s.accessLog != nil {
+		s.accessLog.Printf("event=request method=%s route=%s status=%d bytes=%d dur_ms=%.3f deadline_ms=%d outcome=%s",
+			r.Method, ri.route, status, sw.bytes,
+			float64(dur)/float64(time.Millisecond), ri.deadline.Milliseconds(), ri.outcomeOr(status))
+	}
+}
+
+// statusWriter records whether a response has started (so the panic
+// handler knows if a 500 can still be written), the status code and
+// the body bytes written, for the request metrics and access log.
 type statusWriter struct {
 	http.ResponseWriter
 	wrote  bool
 	status int
+	bytes  int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -170,7 +278,9 @@ func (w *statusWriter) WriteHeader(code int) {
 
 func (w *statusWriter) Write(b []byte) (int, error) {
 	w.wrote = true
-	return w.ResponseWriter.Write(b)
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // limiter is the admission controller: a slot channel caps in-flight
@@ -221,12 +331,21 @@ func (l *limiter) acquire(ctx context.Context) (func(), error) {
 }
 
 // admit runs the admission controller for one estimation request; the
-// returned release must be called when the request finishes.
+// returned release must be called when the request finishes. Sheds are
+// counted here — the only place 429s originate — so the shed series can
+// never include admission-bypassed probe routes.
 func (s *Server) admit(ctx context.Context) (func(), error) {
 	if s.limit == nil {
 		return func() {}, nil
 	}
-	return s.limit.acquire(ctx)
+	release, err := s.limit.acquire(ctx)
+	if err != nil {
+		var he *httpError
+		if errors.As(err, &he) && he.status == http.StatusTooManyRequests {
+			s.metrics.shed.Inc()
+		}
+	}
+	return release, err
 }
 
 // errTooBusy is the 429 shed response; Retry-After hints at the queue
@@ -276,6 +395,9 @@ func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, 
 	}
 	if s.maxT > 0 && (d == 0 || d > s.maxT) {
 		d = s.maxT
+	}
+	if ri := infoFrom(r.Context()); ri != nil {
+		ri.deadline = d // the access log's deadline_ms field
 	}
 	if d <= 0 {
 		return r.Context(), func() {}, nil

@@ -12,9 +12,22 @@
 // stops being at least -min-artifact-ratio times cheaper than the cold
 // build it replaces.
 //
+// With -load-only it instead gates the tail-latency load profile alone:
+// fresh BENCH_load.json (scripts/load.sh) must show zero errors, zero
+// sheds, an achieved launch rate within 10% of the requested one, and
+// p50/p95/p99 no worse than the committed baseline times
+// (1 + -load-tolerance). The load tolerance is deliberately loose
+// (default +100%): CI runners are shared and tail latency is the
+// noisiest statistic measured here — the gate exists to catch
+// order-of-magnitude regressions (a lock on the hot path, accidental
+// per-request recompilation), not 20% drift. The two modes are disjoint
+// so the kernel-bench canary job and the live-daemon load job can each
+// generate only the files they gate.
+//
 // Usage:
 //
 //	go run ./scripts/benchcheck -baseline . -fresh out [-tolerance 0.25]
+//	go run ./scripts/benchcheck -load-only -baseline . -fresh load-out
 //
 // Comparison uses best_ns_op — the minimum across bench.sh's repeated
 // samples — which is the most noise-robust point estimate on shared CI
@@ -103,6 +116,86 @@ func ratioGate(freshDir, file, label, slowName, fastName string, min float64) in
 	return fails
 }
 
+// loadReport mirrors cmd/loadgen's report document; only the gated
+// fields are decoded.
+type loadReport struct {
+	Profile struct {
+		RPS float64 `json:"rps"`
+	} `json:"profile"`
+	Requests    int     `json:"requests"`
+	OK          int     `json:"ok"`
+	Shed        int     `json:"shed"`
+	Errors      int     `json:"errors"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	LatencyMS   struct {
+		P50 float64 `json:"p50"`
+		P95 float64 `json:"p95"`
+		P99 float64 `json:"p99"`
+	} `json:"latency_ms"`
+}
+
+func loadLoadReport(path string) (*loadReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r loadReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// checkLoad gates the fixed-RPS load profile: hard invariants on the
+// fresh run (it must have been clean and on-rate, or its percentiles
+// are meaningless), then tail percentiles against the baseline.
+func checkLoad(baseDir, freshDir string, tolerance float64) int {
+	const file = "BENCH_load.json"
+	fresh, err := loadLoadReport(filepath.Join(freshDir, file))
+	if err != nil {
+		fatal(fmt.Errorf("fresh results missing (did scripts/load.sh run?): %w", err))
+	}
+	failures := 0
+	check := func(ok bool, format string, args ...any) {
+		status := "ok  "
+		if !ok {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s %s\n", status, fmt.Sprintf(format, args...))
+	}
+	check(fresh.Errors == 0, "%-40s %d (must be 0)", "load profile errors", fresh.Errors)
+	check(fresh.Shed == 0, "%-40s %d (must be 0)", "load profile sheds", fresh.Shed)
+	check(fresh.OK == fresh.Requests, "%-40s %d/%d", "load profile ok requests", fresh.OK, fresh.Requests)
+	// An open-loop generator that fell behind its own schedule measured
+	// a lighter profile than requested; refuse to compare percentiles.
+	check(fresh.AchievedRPS >= 0.9*fresh.Profile.RPS,
+		"%-40s %.1f (requested %.1f, minimum %.1f)", "load profile achieved rps",
+		fresh.AchievedRPS, fresh.Profile.RPS, 0.9*fresh.Profile.RPS)
+
+	base, err := loadLoadReport(filepath.Join(baseDir, file))
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("skip %-20s no committed baseline yet\n", file)
+			return failures
+		}
+		fatal(err)
+	}
+	for _, q := range []struct {
+		name        string
+		base, fresh float64
+	}{
+		{"p50", base.LatencyMS.P50, fresh.LatencyMS.P50},
+		{"p95", base.LatencyMS.P95, fresh.LatencyMS.P95},
+		{"p99", base.LatencyMS.P99, fresh.LatencyMS.P99},
+	} {
+		limit := q.base * (1 + tolerance)
+		check(q.fresh <= limit, "%-40s base %8.3f ms  fresh %8.3f ms  (limit %.3f ms)",
+			"load latency "+q.name, q.base, q.fresh, limit)
+	}
+	return failures
+}
+
 func load(path string) (map[string]entry, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -128,7 +221,18 @@ func main() {
 	adaptiveRatio := flag.Float64("min-adaptive-ratio", 2, "required fixed/adaptive ratio at equal quantile CI (0 disables)")
 	extendRatio := flag.Float64("min-extend-ratio", 3, "required cold/warm ratio of the snapshot-extension pair (0 disables)")
 	artifactRatio := flag.Float64("min-artifact-ratio", 10, "required cold/warm ratio of the artifact estimator pair (0 disables)")
+	loadOnly := flag.Bool("load-only", false, "gate only the BENCH_load.json tail-latency profile")
+	loadTolerance := flag.Float64("load-tolerance", 1.0, "allowed relative tail-latency slowdown in -load-only mode")
 	flag.Parse()
+
+	if *loadOnly {
+		if failures := checkLoad(*baseDir, *freshDir, *loadTolerance); failures > 0 {
+			fmt.Printf("\nbenchcheck: %d failure(s)\n", failures)
+			os.Exit(1)
+		}
+		fmt.Println("\nbenchcheck: load profile within tolerance")
+		return
+	}
 
 	failures := 0
 	for file, names := range headline {

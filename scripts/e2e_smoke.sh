@@ -148,4 +148,36 @@ test "$(jq -r .kinds.sched.resident "$work/cache.json")" -ge 2
 test "$(jq -r .kinds.graph.hits "$work/cache.json")" -ge 1
 test "$(jq -r .used_bytes "$work/cache.json")" -gt 0
 
+echo "== E13 /metrics scrape shape + counter increments"
+curl -fsS "$base/metrics" >"$work/metrics.prom"
+# Required families are typed, and the estimate route has a real
+# cumulative histogram (the +Inf bucket is the observation count).
+grep -q '^# TYPE makespand_http_requests_total counter$' "$work/metrics.prom"
+grep -q '^# TYPE makespand_http_request_duration_seconds histogram$' "$work/metrics.prom"
+grep -q '^makespand_http_request_duration_seconds_bucket{route="/v1/estimate",le="+Inf"} [1-9]' "$work/metrics.prom"
+grep -q '^makespand_http_requests_in_flight ' "$work/metrics.prom"
+grep -q '^makespand_requests_shed_total 0$' "$work/metrics.prom"
+# Every artifact kind reports cache series (same kinds E12 checked).
+for kind in graph plan mc sched snap; do
+    grep -q "^makespand_cache_hits_total{kind=\"$kind\"} " "$work/metrics.prom"
+    grep -q "^makespand_cache_resident_bytes{kind=\"$kind\"} " "$work/metrics.prom"
+done
+# One more estimate moves the route's request counter by exactly one.
+before="$(grep '^makespand_http_requests_total{route="/v1/estimate",code="200"}' "$work/metrics.prom" | awk '{print $2}')"
+curl -fsS -X POST "$base/v1/estimate" -d "$req" >/dev/null
+after="$(curl -fsS "$base/metrics" | grep '^makespand_http_requests_total{route="/v1/estimate",code="200"}' | awk '{print $2}')"
+test "$after" = "$((before + 1))"
+
+echo "== E14 structured access-log line shape"
+# The daemon runs with the default -access-log=true; its stderr is
+# $work/makespand.log. Every request must have left one event=request
+# line with the documented fields in order. The line is written after
+# the response is flushed; give the last one a beat to land.
+sleep 0.3
+grep -Eq '^event=request method=POST route=/v1/estimate status=200 bytes=[0-9]+ dur_ms=[0-9.]+ deadline_ms=0 outcome=ok$' "$work/makespand.log"
+grep -Eq '^event=request method=GET route=/metrics status=200 bytes=[0-9]+ dur_ms=[0-9.]+ deadline_ms=0 outcome=ok$' "$work/makespand.log"
+# The E9 rejects logged outcome=error, and nothing ever logged a panic.
+grep -Eq '^event=request method=POST route=/v1/estimate status=(400|404) bytes=[0-9]+ dur_ms=[0-9.]+ deadline_ms=0 outcome=error$' "$work/makespand.log"
+! grep -q 'outcome=panic' "$work/makespand.log"
+
 echo "e2e smoke: all cases passed"

@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# load.sh — the tail-latency load profile behind BENCH_load.json: build
+# the real daemon and cmd/loadgen, start makespand the way production
+# runs it (access log on, no admission cap — the gate demands zero
+# sheds), drive a fixed-RPS open-loop profile of warm estimates and
+# write the latency report plus a final /metrics scrape into the output
+# directory. CI's load job runs this into a fresh directory and gates it
+# with `go run ./scripts/benchcheck -load-only` against the committed
+# BENCH_load.json; refresh the committed baseline by running it at the
+# repo root: scripts/load.sh .
+#
+# Usage: scripts/load.sh [outdir] [port]   (default out-load, 17421)
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-out-load}"
+port="${2:-17421}"
+base="http://127.0.0.1:$port"
+rps="${LOADGEN_RPS:-40}"
+duration="${LOADGEN_DURATION:-8s}"
+mkdir -p "$out"
+bin="$(mktemp -d)"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$bin"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build"
+go build -o "$bin/" ./cmd/makespand ./cmd/loadgen
+
+echo "== start makespand on $base"
+"$bin/makespand" -addr "127.0.0.1:$port" -workers 2 2>"$out/makespand.log" &
+pid=$!
+
+echo "== drive $rps rps for $duration"
+# loadgen waits for /healthz itself, warms the caches, then launches the
+# measured open-loop window and scrapes /metrics on its way out.
+"$bin/loadgen" -base "$base" -rps "$rps" -duration "$duration" \
+    -out "$out/BENCH_load.json" -metrics-out "$out/metrics.prom"
+
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+echo "== report"
+jq '{requests, ok, shed, errors, achieved_rps, latency_ms}' "$out/BENCH_load.json"

@@ -14,9 +14,16 @@
 //	  -body '{"kind":"lu","k":8,"methods":"First Order","trials":256,"seed":7}' \
 //	  -out BENCH_load.json -metrics-out metrics.prom
 //
+// -bodies FILE replaces -body with one JSON body per line, driven
+// round-robin; a cluster run points it at several distinct graphs so
+// the traffic spreads across the makespan-lb shards and every replica
+// serves its own warm cache.
+//
 // The JSON report (request counts, ok/shed/error split, achieved RPS
 // and latency percentiles in milliseconds) is what scripts/benchcheck
-// gates in CI against the committed BENCH_load.json baseline.
+// gates in CI against the committed BENCH_load.json baseline; the
+// cluster profile's BENCH_cluster.json is the same document plus a
+// fleet cache section merged in by scripts/load.sh.
 package main
 
 import (
@@ -40,7 +47,9 @@ import (
 type profile struct {
 	Base            string  `json:"base"`
 	Route           string  `json:"route"`
-	Body            string  `json:"body"`
+	Body            string  `json:"body,omitempty"`
+	BodiesFile      string  `json:"bodies_file,omitempty"`
+	DistinctBodies  int     `json:"distinct_bodies,omitempty"`
 	RPS             float64 `json:"rps"`
 	DurationSeconds float64 `json:"duration_seconds"`
 	WarmupRequests  int     `json:"warmup_requests"`
@@ -79,6 +88,7 @@ func main() {
 		base       = flag.String("base", "", "base URL of the makespand to load (required)")
 		route      = flag.String("route", "/v1/estimate", "route to drive (POST when -body is set, GET otherwise)")
 		body       = flag.String("body", `{"kind":"lu","k":8,"methods":"First Order","trials":256,"seed":7}`, "request body (empty = GET)")
+		bodies     = flag.String("bodies", "", "file with one JSON body per line, driven round-robin (overrides -body; for cluster runs, spreads traffic across shards)")
 		rps        = flag.Float64("rps", 40, "request launch rate (open loop)")
 		duration   = flag.Duration("duration", 8*time.Second, "how long to launch requests for")
 		warmup     = flag.Int("warmup", 3, "unmeasured warm-up requests before the clock starts")
@@ -87,18 +97,48 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "if set, scrape GET /metrics after the run into this file")
 	)
 	flag.Parse()
-	if err := run(*base, *route, *body, *rps, *duration, *warmup, *timeout, *out, *metricsOut); err != nil {
+	if err := run(*base, *route, *body, *bodies, *rps, *duration, *warmup, *timeout, *out, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(base, route, body string, rps float64, duration time.Duration, warmup int, timeout time.Duration, out, metricsOut string) error {
+// readBodies loads one request body per non-blank, non-# line.
+func readBodies(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line = strings.TrimSpace(line); line != "" && !strings.HasPrefix(line, "#") {
+			out = append(out, line)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no request bodies", path)
+	}
+	return out, nil
+}
+
+func run(base, route, body, bodiesFile string, rps float64, duration time.Duration, warmup int, timeout time.Duration, out, metricsOut string) error {
 	if base == "" {
 		return fmt.Errorf("-base is required")
 	}
 	if rps <= 0 || duration <= 0 {
 		return fmt.Errorf("-rps and -duration must be positive")
+	}
+	bodyList := []string{body}
+	if bodiesFile != "" {
+		var err error
+		if bodyList, err = readBodies(bodiesFile); err != nil {
+			return err
+		}
+		body = ""
+	}
+	distinct := 0
+	if bodiesFile != "" {
+		distinct = len(bodyList)
 	}
 	base = strings.TrimRight(base, "/")
 	url := base + route
@@ -114,8 +154,10 @@ func run(base, route, body string, rps float64, duration time.Duration, warmup i
 	// retrying client is fine here because these requests are not timed.
 	rc := httpx.NewRetryClient()
 	rc.PerAttempt = timeout
-	for i := 0; i < warmup; i++ {
-		status, _, err := warmupOnce(ctx, rc, url, body)
+	// With a bodies file every distinct body is warmed at least once, so
+	// the measured window sees each shard's cache already primed.
+	for i := 0; i < warmup || i < len(bodyList); i++ {
+		status, _, err := warmupOnce(ctx, rc, url, bodyList[i%len(bodyList)])
 		if err != nil {
 			return fmt.Errorf("warm-up request %d: %w", i, err)
 		}
@@ -139,13 +181,13 @@ func run(base, route, body string, rps float64, duration time.Duration, warmup i
 			time.Sleep(d)
 		}
 		wg.Add(1)
-		go func(sched time.Time) {
+		go func(sched time.Time, body string) {
 			defer wg.Done()
 			status, err := once(ctx, client, url, body, timeout)
 			// Clock from the scheduled start: launcher lag counts against
 			// the server, as it would for a real open-loop client.
 			results <- result{latency: time.Since(sched), status: status, err: err}
-		}(sched)
+		}(sched, bodyList[i%len(bodyList)])
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -154,6 +196,7 @@ func run(base, route, body string, rps float64, duration time.Duration, warmup i
 	rep := report{
 		Profile: profile{
 			Base: base, Route: route, Body: body,
+			BodiesFile: bodiesFile, DistinctBodies: distinct,
 			RPS: rps, DurationSeconds: duration.Seconds(), WarmupRequests: warmup,
 		},
 		Requests:    n,

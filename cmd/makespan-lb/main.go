@@ -1,0 +1,173 @@
+// Command makespan-lb is the cluster front for a fleet of makespand
+// replicas: it routes every /v1 request to a replica chosen by
+// consistent hash of the request's canonical graph content key, so all
+// artifacts derived from one graph live in one replica's cache and
+// fleet cache capacity scales with the replica count. Because the
+// estimators are deterministic and worker-invariant, responses are
+// byte-identical regardless of which replica answers — which replica
+// serves is unobservable, and hedging/failover are safe.
+//
+// Usage:
+//
+//	makespan-lb -addr 127.0.0.1:9090 \
+//	    -replicas http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// Endpoints (cluster section in docs/API.md has executable examples):
+//
+//	POST /v1/graphs, GET /v1/graphs/{id}, POST /v1/estimate,
+//	POST /v1/sweep, POST /v1/schedule, GET /v1/cache
+//	                      proxied to the shard-owning replica, with
+//	                      hedging past -hedge-after and failover on
+//	                      transport errors / 5xx / 429
+//	GET  /v1/replicas     the registered replica set and ring size
+//	POST /v1/replicas     register ({"base":"http://…"}) or deregister
+//	                      ({"base":"http://…","deregister":true})
+//	GET  /healthz         ok | no_healthy_replicas | draining (503)
+//	GET  /metrics         makespanlb_* Prometheus families (per-replica
+//	                      request/hedge/eject counters, ring gauges)
+//
+// Replicas are health-checked on -check-interval; a replica whose
+// /healthz answers 503 {"status":"draining"} is ejected immediately
+// (it announced shutdown), one that stops answering is ejected after
+// consecutive probe failures, and either rejoins the ring as soon as
+// it probes 200 again. Unless -access-log=false every front request
+// emits one structured line to stderr (event=request ... replica=...
+// attempts=... hedges=...), the makespand convention plus the serving
+// replica.
+//
+// Lifecycle: SIGINT/SIGTERM starts a graceful drain — /healthz flips
+// to 503 draining, the listener stops accepting after -drain-grace,
+// in-flight proxies finish within -drain-timeout (stragglers' upstream
+// forwards are cancelled; replica kernels abort at the next chunk
+// boundary) — and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/lb"
+)
+
+// lbConfig collects the flag-settable knobs of one router run.
+type lbConfig struct {
+	addr          string
+	replicas      string
+	hedgeAfter    time.Duration
+	maxAttempts   int
+	checkInterval time.Duration
+	probeTimeout  time.Duration
+	drainGrace    time.Duration
+	drainTimeout  time.Duration
+	accessLog     bool
+}
+
+func main() {
+	var cfg lbConfig
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:9090", "listen address (host:port; port 0 picks a free port)")
+	flag.StringVar(&cfg.replicas, "replicas", "", "comma-separated replica base URLs (more can register via POST /v1/replicas)")
+	flag.DurationVar(&cfg.hedgeAfter, "hedge-after", 2*time.Second, "latency budget before hedging to the next ring sibling (< 0 disables hedging)")
+	flag.IntVar(&cfg.maxAttempts, "max-attempts", 3, "distinct replicas one request may touch across hedges and failovers")
+	flag.DurationVar(&cfg.checkInterval, "check-interval", time.Second, "replica health-check period")
+	flag.DurationVar(&cfg.probeTimeout, "probe-timeout", 500*time.Millisecond, "per-probe /healthz timeout")
+	flag.DurationVar(&cfg.drainGrace, "drain-grace", 0, "how long /healthz advertises draining before the listener closes")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 10*time.Second, "how long in-flight proxies may run after drain starts")
+	flag.BoolVar(&cfg.accessLog, "access-log", true, "emit one structured log line per request to stderr")
+	flag.Parse()
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "makespan-lb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg lbConfig) error {
+	var replicas []string
+	for _, r := range strings.Split(cfg.replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			replicas = append(replicas, r)
+		}
+	}
+	rcfg := lb.Config{
+		Replicas:      replicas,
+		HedgeAfter:    cfg.hedgeAfter,
+		MaxAttempts:   cfg.maxAttempts,
+		CheckInterval: cfg.checkInterval,
+		ProbeTimeout:  cfg.probeTimeout,
+	}
+	if cfg.accessLog {
+		rcfg.AccessLog = os.Stderr
+	}
+	rt, err := lb.New(rcfg)
+	if err != nil {
+		return err
+	}
+	rt.Start()
+	defer rt.Close()
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address line doubles as the readiness signal: the
+	// harnesses scrape the port from it when started with :0.
+	log.SetFlags(0)
+	log.Printf("makespan-lb: listening on %s (replicas %d, hedge after %s)",
+		ln.Addr(), len(replicas), cfg.hedgeAfter)
+
+	rootCtx, rootCancel := context.WithCancel(context.Background())
+	defer rootCancel()
+	hs := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return rootCtx },
+	}
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-sigCtx.Done():
+	}
+	// Restore default signal handling: a second SIGINT/SIGTERM kills
+	// the process immediately instead of being swallowed by the drain.
+	stopSignals()
+
+	log.Printf("makespan-lb: draining (%d in flight, grace %s, timeout %s)",
+		rt.InFlight(), cfg.drainGrace, cfg.drainTimeout)
+	rt.StartDrain() // /healthz answers 503 draining from here on
+	if cfg.drainGrace > 0 {
+		// Keep accepting during the grace window so whatever fronts
+		// this front can observe the draining state first.
+		time.Sleep(cfg.drainGrace)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		// In-flight proxies outlived the budget: cancel their contexts
+		// (the upstream forwards die with them) and give them a moment
+		// to flush.
+		log.Printf("makespan-lb: drain timeout; cancelling in-flight requests")
+		rootCancel()
+		finalCtx, cancelFinal := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancelFinal()
+		if err := hs.Shutdown(finalCtx); err != nil {
+			_ = hs.Close()
+		}
+	}
+	log.Printf("makespan-lb: drained, exiting")
+	return nil
+}

@@ -120,6 +120,12 @@ func lambdaKey(lambda float64) string {
 	return strconv.FormatFloat(lambda, 'x', -1, 64)
 }
 
+// GraphKey returns the store key of the graph artifact with content
+// address id ("graph/sha256:…"). It is also the cluster routing key:
+// makespan-lb shards requests across replicas by this string, so every
+// artifact derived from one graph lands in one replica's cache.
+func GraphKey(id string) Key { return graphKey(id) }
+
 func graphKey(id string) Key { return Key(KindGraph + "/" + id) }
 
 func planKey(id string, atoms int) Key {

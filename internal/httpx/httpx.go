@@ -8,6 +8,8 @@ package httpx
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -211,11 +213,30 @@ func (c *RetryClient) once(ctx context.Context, url string) (int, []byte, error)
 	return resp.StatusCode, body, nil
 }
 
+// ErrDraining reports that a readiness target answered 503 with a
+// draining status: the server is not starting up, it is leaving.
+// Waiting longer can only waste the caller's deadline, so WaitReady
+// fails immediately instead of retrying — the makespan-lb health
+// checker relies on this to eject draining replicas promptly, and the
+// e2e harnesses to fail loudly when they race a shutdown.
+var ErrDraining = errors.New("target is draining")
+
+// drainingStatus reports whether a non-200 healthz body advertises the
+// draining state ({"status":"draining"}, the makespand convention).
+func drainingStatus(body []byte) bool {
+	var h struct {
+		Status string `json:"status"`
+	}
+	return json.Unmarshal(body, &h) == nil && h.Status == "draining"
+}
+
 // WaitReady polls url with short per-attempt timeouts until it answers
 // 200, ctx expires, or probe (when non-nil) reports the target dead.
 // It is the replacement for fixed-sleep startup loops in the e2e
 // harnesses: fast when the server is up, loud and prompt when it never
-// will be.
+// will be. A 503 whose body advertises {"status":"draining"} fails
+// immediately with ErrDraining: a draining server is leaving, not
+// coming up, and retrying until the deadline would only hide that.
 func WaitReady(ctx context.Context, url string, probe func() error) error {
 	c := &http.Client{Timeout: 250 * time.Millisecond}
 	t := time.NewTicker(20 * time.Millisecond)
@@ -233,10 +254,13 @@ func WaitReady(ctx context.Context, url string, probe func() error) error {
 		}
 		resp, err := c.Do(req)
 		if err == nil {
-			io.Copy(io.Discard, resp.Body)
+			body, _ := io.ReadAll(resp.Body)
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
 				return nil
+			}
+			if resp.StatusCode == http.StatusServiceUnavailable && drainingStatus(body) {
+				return fmt.Errorf("httpx: %s: %w", url, ErrDraining)
 			}
 			err = fmt.Errorf("status %d", resp.StatusCode)
 		}

@@ -2,6 +2,7 @@ package httpx
 
 import (
 	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -138,6 +139,54 @@ func TestWaitReady(t *testing.T) {
 	defer cancel()
 	if err := WaitReady(ctx, srv.URL, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestWaitReadyFailsFastOnDraining(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"status":"draining","in_flight":1}`))
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	err := WaitReady(ctx, srv.URL, nil)
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("want ErrDraining, got %v", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("draining target polled %d times, want 1", n)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("draining detection took %v, want immediate", d)
+	}
+}
+
+func TestWaitReadyRetriesPlain503(t *testing.T) {
+	// A 503 without the draining marker is "not up yet" and must keep
+	// being retried until the server comes up.
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := WaitReady(ctx, srv.URL, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n < 3 {
+		t.Fatalf("server saw %d calls, want >= 3", n)
 	}
 }
 

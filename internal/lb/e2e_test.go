@@ -1,0 +1,368 @@
+package lb
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/service"
+)
+
+// This file is the multi-process cluster e2e suite: it builds the real
+// cmd/makespand and cmd/makespan-lb binaries, boots three replicas
+// behind the lb plus one single-process reference daemon, and pins the
+// ROADMAP's determinism-regardless-of-replica guarantee byte for byte:
+// every response through the front equals the single daemon's, before
+// and after a replica is SIGTERMed mid-run and its shard remaps. The
+// CI cluster job (scripts/cluster_e2e.sh) exercises the same guarantee
+// with curl; docs/E2E.md documents the case table.
+
+var (
+	clusterOnce sync.Once
+	clusterDir  string
+	clusterErr  error
+)
+
+// buildClusterBinaries compiles makespand and makespan-lb once per
+// test process.
+func buildClusterBinaries(t *testing.T) string {
+	t.Helper()
+	clusterOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "makespanlb-e2e-*")
+		if err != nil {
+			clusterErr = err
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator),
+			"./cmd/makespand", "./cmd/makespan-lb")
+		cmd.Dir = "../.." // module root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			clusterErr = fmt.Errorf("go build: %v\n%s", err, out)
+			return
+		}
+		clusterDir = dir
+	})
+	if clusterErr != nil {
+		t.Skipf("cannot build binaries: %v", clusterErr)
+	}
+	return clusterDir
+}
+
+// proc is one running makespand or makespan-lb process under test.
+type proc struct {
+	base   string // http://host:port
+	cmd    *exec.Cmd
+	waitc  chan error // result of cmd.Wait (buffered 1)
+	stderr *bytes.Buffer
+	mu     sync.Mutex // guards stderr
+}
+
+func (p *proc) stderrTail() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stderr.String()
+}
+
+// startProc launches one binary on a free port and returns once its
+// /healthz answers, scraping the listening address from stderr and
+// failing fast with the process log when it dies during startup.
+func startProc(t *testing.T, bin, name string, env []string, args ...string) *proc {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(bin, name), append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	cmd.Env = append(os.Environ(), env...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &proc{cmd: cmd, waitc: make(chan error, 1), stderr: &bytes.Buffer{}}
+
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	addrc := make(chan string, 1)
+	go func() {
+		lines := bufio.NewScanner(stderr)
+		for lines.Scan() {
+			line := lines.Text()
+			p.mu.Lock()
+			p.stderr.WriteString(line)
+			p.stderr.WriteByte('\n')
+			p.mu.Unlock()
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrc <- m[1]:
+				default:
+				}
+			}
+		}
+		p.waitc <- cmd.Wait()
+	}()
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		select {
+		case <-p.waitc:
+		case <-time.After(10 * time.Second):
+		}
+	})
+
+	select {
+	case addr := <-addrc:
+		p.base = "http://" + addr
+	case err := <-p.waitc:
+		t.Fatalf("%s died during startup (%v); stderr:\n%s", name, err, p.stderrTail())
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s did not report a listening address; stderr:\n%s", name, p.stderrTail())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpx.WaitReady(ctx, p.base+"/healthz", nil); err != nil {
+		t.Fatalf("%s never became ready (%v); stderr:\n%s", name, err, p.stderrTail())
+	}
+	return p
+}
+
+func clusterPost(t *testing.T, url, body string) string {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode >= 300 {
+		t.Fatalf("POST %s: %d %s", url, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+// clusterCases is the request set driven through both fronts. Each
+// case exercises a different route and a different graph, so the
+// shards spread across the fleet.
+var clusterCases = []struct {
+	name, route, body string
+}{
+	{"estimate-lu", "/v1/estimate",
+		`{"kind":"lu","k":8,"pfail":0.001,"methods":"paper","trials":2000,"seed":7,"bounds":true,"quantiles":[0.5,0.95]}`},
+	{"estimate-qr-lambda", "/v1/estimate",
+		`{"kind":"qr","k":6,"lambda":0.002,"methods":"all","trials":1000,"seed":11}`},
+	{"estimate-adaptive", "/v1/estimate",
+		`{"kind":"cholesky","k":8,"pfail":0.01,"methods":"First Order","tolerance":0.02,"seed":5}`},
+	{"sweep-default", "/v1/sweep", `{"trials":2000,"seed":7}`},
+	{"sweep-custom", "/v1/sweep",
+		`{"kind":"cholesky","k":6,"pfails":[0.1,0.01,0.001],"trials":1500,"seed":3,"methods":"all"}`},
+	{"schedule", "/v1/schedule",
+		`{"kind":"lu","k":8,"procs":4,"pfail":0.01,"trials":2000,"seed":7,"quantiles":[0.5,0.99]}`},
+}
+
+// TestE2EClusterByteIdentical is the acceptance criterion for cluster
+// mode: three replicas behind makespan-lb answer every request byte-
+// identically to one single-process daemon (timing normalized), the
+// shard owner's SIGTERM mid-request still yields the full 200 document
+// through the front, and after the drain remaps its shard the same
+// requests stay byte-identical on the surviving replicas.
+func TestE2EClusterByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildClusterBinaries(t)
+
+	// Replicas drain gracefully (grace window so the lb's checker can
+	// observe the draining healthz) and carry a chunk delay so the
+	// mid-drain estimate reliably straddles the SIGTERM.
+	replicaEnv := []string{"MAKESPAND_FAULTS=mc.chunk=delay:5ms"}
+	replicaArgs := []string{"-workers", "2", "-drain-grace", "500ms", "-drain-timeout", "30s"}
+	var replicas []*proc
+	var bases []string
+	for i := 0; i < 3; i++ {
+		r := startProc(t, bin, "makespand", replicaEnv, replicaArgs...)
+		replicas = append(replicas, r)
+		bases = append(bases, r.base)
+	}
+	front := startProc(t, bin, "makespan-lb", nil,
+		"-replicas", strings.Join(bases, ","),
+		"-check-interval", "100ms", "-hedge-after", "10s")
+	ref := startProc(t, bin, "makespand", nil, "-workers", "2")
+
+	// Phase 1: the full request set through the lb vs the single
+	// daemon, cold then warm.
+	for _, c := range clusterCases {
+		t.Run(c.name, func(t *testing.T) {
+			want := normalize([]byte(clusterPost(t, ref.base+c.route, c.body)))
+			got := normalize([]byte(clusterPost(t, front.base+c.route, c.body)))
+			if got != want {
+				t.Errorf("cluster response differs from single daemon:\nlb:\n%s\nsingle:\n%s", got, want)
+			}
+			warm := normalize([]byte(clusterPost(t, front.base+c.route, c.body)))
+			if warm != want {
+				t.Errorf("warm cluster response differs from single daemon")
+			}
+		})
+	}
+
+	// Submit-then-lookup routes by content address on both routes.
+	t.Run("submit-and-get", func(t *testing.T) {
+		sub := clusterPost(t, front.base+"/v1/graphs", `{"kind":"lu","k":5}`)
+		m := regexp.MustCompile(`"id": "([^"]+)"`).FindStringSubmatch(sub)
+		if m == nil {
+			t.Fatalf("no id in %s", sub)
+		}
+		resp, err := http.Get(front.base + "/v1/graphs/" + m[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("GET after submit through lb: %d %s", resp.StatusCode, b)
+		}
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Phase 2: SIGTERM the shard owner while its request is mid-kernel.
+	// The draining replica finishes the in-flight work (full 200 via
+	// the lb), the checker ejects it, the shard remaps to the ring
+	// sibling, and the replayed request is byte-identical.
+	slowBody := `{"kind":"lu","k":6,"pfail":0.05,"methods":"First Order","trials":40960,"seed":9}`
+	sel, err := service.ExtractSelector([]byte(slowBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := sel.RoutingKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, ok := newRing(bases, 0).owner(key)
+	if !ok {
+		t.Fatal("no ring owner")
+	}
+	var victim *proc
+	for _, r := range replicas {
+		if r.base == owner {
+			victim = r
+		}
+	}
+	if victim == nil {
+		t.Fatalf("owner %s not among replicas %v", owner, bases)
+	}
+	want := normalize([]byte(clusterPost(t, ref.base+"/v1/estimate", slowBody)))
+
+	done := make(chan string, 1)
+	go func() {
+		resp, err := http.Post(front.base+"/v1/estimate", "application/json", strings.NewReader(slowBody))
+		if err != nil {
+			done <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		done <- fmt.Sprintf("%d %s", resp.StatusCode, b)
+	}()
+
+	// Wait until the estimate is inside the victim's handler stack
+	// (its own /v1/cache probe adds one), then signal.
+	inFlight := func() bool {
+		resp, err := http.Get(victim.base + "/v1/cache")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return strings.Contains(string(b), `"in_flight": 2`)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for !inFlight() {
+		if time.Now().After(deadline) {
+			t.Fatalf("estimate never showed up in flight on the owner; lb stderr:\n%s", front.stderrTail())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := victim.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case res := <-done:
+		if !strings.HasPrefix(res, "200 ") {
+			t.Fatalf("mid-drain request through lb: %s\nvictim stderr:\n%s\nlb stderr:\n%s",
+				res, victim.stderrTail(), front.stderrTail())
+		}
+		if got := normalize([]byte(strings.TrimPrefix(res, "200 "))); got != want {
+			t.Fatalf("mid-drain response differs from single daemon:\nlb:\n%s\nsingle:\n%s", got, want)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("mid-drain request never completed; victim stderr:\n%s", victim.stderrTail())
+	}
+
+	// The victim drains out: exit 0, ejected from the ring.
+	select {
+	case err := <-victim.waitc:
+		if err != nil {
+			t.Fatalf("victim exit after drain: %v; stderr:\n%s", err, victim.stderrTail())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("victim never exited after SIGTERM; stderr:\n%s", victim.stderrTail())
+	}
+	ringSize := func() int {
+		resp, err := http.Get(front.base + "/v1/replicas")
+		if err != nil {
+			return -1
+		}
+		defer resp.Body.Close()
+		var list struct {
+			RingSize int `json:"ring_size"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+			return -1
+		}
+		return list.RingSize
+	}
+	deadline = time.Now().Add(15 * time.Second)
+	for ringSize() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("lb never ejected the drained replica (ring %d); lb stderr:\n%s",
+				ringSize(), front.stderrTail())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Phase 3: the remapped shard and the whole request set stay
+	// byte-identical on the surviving replicas.
+	if got := normalize([]byte(clusterPost(t, front.base+"/v1/estimate", slowBody))); got != want {
+		t.Errorf("post-remap response differs from single daemon:\nlb:\n%s\nsingle:\n%s", got, want)
+	}
+	for _, c := range clusterCases {
+		want := normalize([]byte(clusterPost(t, ref.base+c.route, c.body)))
+		if got := normalize([]byte(clusterPost(t, front.base+c.route, c.body))); got != want {
+			t.Errorf("%s after remap differs from single daemon", c.name)
+		}
+	}
+	// The front itself stayed healthy throughout.
+	resp, err := http.Get(front.base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("lb healthz %d after remap", resp.StatusCode)
+	}
+}

@@ -1,0 +1,89 @@
+package lb
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// lbMetrics bundles the makespan-lb metric families on one
+// internal/metrics registry rendered by GET /metrics. Front-side
+// request counters and latency histograms are updated by the
+// middleware; upstream counters by each forwarded attempt; eject
+// counters by the health checker. Ring occupancy, registered-replica
+// count, in-flight requests and uptime are func-backed and sampled at
+// scrape time from the same state GET /v1/replicas reports, so the
+// two can never disagree.
+type lbMetrics struct {
+	reg              *metrics.Registry
+	requests         *metrics.CounterVec   // route, code (front side)
+	latency          *metrics.HistogramVec // route (front side)
+	upstream         *metrics.CounterVec   // replica, code (forwarded attempts)
+	upstreamFailures *metrics.CounterVec   // replica (transport error or retryable status)
+	hedges           *metrics.CounterVec   // replica the hedge was sent to
+	failovers        *metrics.Counter
+	ejects           *metrics.CounterVec // replica, reason (draining | dead)
+}
+
+// single wraps one scalar source as an unlabeled CollectFn.
+func single(fn func() float64) metrics.CollectFn {
+	return func(emit func([]string, float64)) { emit(nil, fn()) }
+}
+
+func newLBMetrics(rt *Router) *lbMetrics {
+	r := metrics.NewRegistry()
+	m := &lbMetrics{
+		reg: r,
+		requests: r.CounterVec("makespanlb_http_requests_total",
+			"Front requests served, by route pattern and status code.",
+			"route", "code"),
+		latency: r.HistogramVec("makespanlb_http_request_duration_seconds",
+			"Front request latency in seconds, by route pattern (includes upstream time).",
+			metrics.DefLatencyBuckets, "route"),
+		upstream: r.CounterVec("makespanlb_upstream_requests_total",
+			"Forwarded attempts that produced an HTTP response, by replica base URL and status code.",
+			"replica", "code"),
+		upstreamFailures: r.CounterVec("makespanlb_upstream_failures_total",
+			"Forwarded attempts that failed (transport error, 5xx or 429) and triggered failover or lost the hedge, by replica.",
+			"replica"),
+		hedges: r.CounterVec("makespanlb_hedges_total",
+			"Hedged duplicate requests launched past the latency budget, by the replica they were sent to.",
+			"replica"),
+		failovers: r.Counter("makespanlb_failovers_total",
+			"Immediate failovers to the next ring candidate after an attempt failed."),
+		ejects: r.CounterVec("makespanlb_replica_ejects_total",
+			"Replicas ejected from the ring by the health checker, by replica and reason (draining: the replica announced shutdown; dead: consecutive probe failures).",
+			"replica", "reason"),
+	}
+	r.GaugeFunc("makespanlb_ring_replicas",
+		"Healthy replicas currently on the consistent-hash ring.",
+		nil, single(func() float64 {
+			rt.mu.Lock()
+			defer rt.mu.Unlock()
+			return float64(rt.ring.size())
+		}))
+	r.GaugeFunc("makespanlb_replicas_registered",
+		"Replicas registered (static flag plus POST /v1/replicas), healthy or not.",
+		nil, single(func() float64 {
+			rt.mu.Lock()
+			defer rt.mu.Unlock()
+			return float64(len(rt.replicas))
+		}))
+	r.GaugeFunc("makespanlb_http_requests_in_flight",
+		"Front requests currently inside the handler stack.",
+		nil, single(func() float64 { return float64(rt.inflight.Load()) }))
+	r.GaugeFunc("makespanlb_uptime_seconds",
+		"Seconds since the router was constructed.",
+		nil, single(func() float64 { return time.Since(rt.started).Seconds() }))
+	return m
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.TextContentType)
+	_ = rt.metrics.reg.WriteText(w)
+}
+
+// Metrics exposes the router's metric registry for test assertions.
+func (rt *Router) Metrics() *metrics.Registry { return rt.metrics.reg }

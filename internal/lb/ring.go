@@ -1,0 +1,118 @@
+package lb
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// defaultVnodes is how many ring points each replica contributes.
+// 64 points per replica keeps the worst shard under 2× the mean for
+// small fleets (pinned by the distribution property test) while a
+// membership change still rebuilds the whole ring in microseconds.
+const defaultVnodes = 64
+
+// ring is an immutable consistent-hash ring over replica names. Build
+// one with newRing; membership changes build a new ring (the Router
+// swaps the pointer under its lock), so lookups never need
+// synchronization. Keys and virtual nodes hash with FNV-64a — not
+// cryptographic, but the keys are already content hashes and the ring
+// only needs spread, not adversarial resistance.
+type ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica string
+}
+
+// newRing builds a ring over the given replicas with vnodes points per
+// replica (<= 0 selects defaultVnodes). An empty replica list yields
+// an empty ring: owner and successors return nothing.
+func newRing(replicas []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	r := &ring{
+		vnodes: vnodes,
+		points: make([]ringPoint, 0, len(replicas)*vnodes),
+	}
+	for _, rep := range replicas {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hash64(rep + "#" + strconv.Itoa(i)),
+				replica: rep,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break on the name so the ring
+		// order — and therefore routing — is deterministic.
+		return r.points[i].replica < r.points[j].replica
+	})
+	return r
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the murmur3 finalizer: raw FNV of near-identical strings
+// (vnode suffixes, hex content hashes differing in a few characters)
+// clusters in the low bits, which would pile whole key ranges onto one
+// ring point; the avalanche pass spreads them uniformly.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// size reports the number of distinct replicas on the ring.
+func (r *ring) size() int {
+	if r.vnodes == 0 {
+		return 0
+	}
+	return len(r.points) / r.vnodes
+}
+
+// owner returns the replica owning key: the first ring point at or
+// clockwise after the key's hash. ok is false on an empty ring.
+func (r *ring) owner(key string) (string, bool) {
+	reps := r.successors(key, 1)
+	if len(reps) == 0 {
+		return "", false
+	}
+	return reps[0], true
+}
+
+// successors returns up to n distinct replicas in ring order starting
+// at key's owner — the hedging/failover candidate list: candidate 0 is
+// the shard owner, candidate 1 the replica the shard would remap to if
+// the owner left, and so on.
+func (r *ring) successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package lb
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys generates n distinct routing-key-shaped strings.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("graph/sha256:%064x", i)
+	}
+	return keys
+}
+
+func TestRingDistribution(t *testing.T) {
+	// No shard may hold more than 2x the mean over 1k keys — the vnode
+	// count is chosen to keep this true for realistic fleet sizes.
+	for _, replicas := range [][]string{
+		{"http://a:1", "http://b:1"},
+		{"http://a:1", "http://b:1", "http://c:1"},
+		{"http://a:1", "http://b:1", "http://c:1", "http://d:1", "http://e:1"},
+	} {
+		t.Run(fmt.Sprintf("%d replicas", len(replicas)), func(t *testing.T) {
+			r := newRing(replicas, 0)
+			keys := testKeys(1000)
+			counts := make(map[string]int)
+			for _, k := range keys {
+				owner, ok := r.owner(k)
+				if !ok {
+					t.Fatalf("no owner for %q", k)
+				}
+				counts[owner]++
+			}
+			mean := float64(len(keys)) / float64(len(replicas))
+			for rep, n := range counts {
+				if float64(n) > 2*mean {
+					t.Errorf("replica %s owns %d keys, > 2x mean %.0f", rep, n, mean)
+				}
+			}
+			if len(counts) != len(replicas) {
+				t.Errorf("only %d of %d replicas own keys", len(counts), len(replicas))
+			}
+		})
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	// Two rings built over the same members (any insertion order) route
+	// every key identically — the property that lets N lb instances
+	// front one fleet without coordination.
+	a := newRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	b := newRing([]string{"http://c:1", "http://a:1", "http://b:1"}, 0)
+	for _, k := range testKeys(200) {
+		ao, _ := a.owner(k)
+		bo, _ := b.owner(k)
+		if ao != bo {
+			t.Fatalf("key %q: ring order changed owner %q vs %q", k, ao, bo)
+		}
+	}
+}
+
+func TestRingMinimalRemapOnJoin(t *testing.T) {
+	// Adding a replica may only move keys onto the new replica; no key
+	// moves between surviving replicas.
+	before := newRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	after := newRing([]string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}, 0)
+	keys := testKeys(1000)
+	moved := 0
+	for _, k := range keys {
+		ob, _ := before.owner(k)
+		oa, _ := after.owner(k)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if oa != "http://d:1" {
+			t.Fatalf("key %q moved %q -> %q, not to the joining replica", k, ob, oa)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("joining replica took no keys")
+	}
+	// The joiner should take roughly its fair share (1/4), not the ring.
+	if moved > len(keys)/2 {
+		t.Fatalf("join moved %d of %d keys — far more than a fair share", moved, len(keys))
+	}
+}
+
+func TestRingMinimalRemapOnLeave(t *testing.T) {
+	// Removing a replica may only move that replica's keys; every other
+	// key keeps its owner. This is what bounds the cache-warmth loss
+	// when a replica drains: the surviving shards are untouched.
+	before := newRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	after := newRing([]string{"http://a:1", "http://c:1"}, 0)
+	for _, k := range testKeys(1000) {
+		ob, _ := before.owner(k)
+		oa, _ := after.owner(k)
+		if ob == "http://b:1" {
+			if oa == "http://b:1" {
+				t.Fatalf("key %q still owned by the removed replica", k)
+			}
+			continue
+		}
+		if ob != oa {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", k, ob, oa)
+		}
+	}
+}
+
+func TestRingSuccessorsAreRemapOrder(t *testing.T) {
+	// successors(key, 2)[1] — the hedging sibling — must be exactly the
+	// replica the key remaps to when the owner leaves, so a hedged
+	// request lands where the shard would migrate anyway.
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(members, 0)
+	for _, k := range testKeys(200) {
+		succ := r.successors(k, 2)
+		if len(succ) != 2 {
+			t.Fatalf("key %q: got %d successors, want 2", k, len(succ))
+		}
+		if succ[0] == succ[1] {
+			t.Fatalf("key %q: duplicate successor %q", k, succ[0])
+		}
+		var survivors []string
+		for _, m := range members {
+			if m != succ[0] {
+				survivors = append(survivors, m)
+			}
+		}
+		remapped, _ := newRing(survivors, 0).owner(k)
+		if remapped != succ[1] {
+			t.Fatalf("key %q: successor %q but remap owner %q", k, succ[1], remapped)
+		}
+	}
+}
+
+func TestRingEmptyAndBounds(t *testing.T) {
+	empty := newRing(nil, 0)
+	if _, ok := empty.owner("k"); ok {
+		t.Fatal("empty ring returned an owner")
+	}
+	if s := empty.successors("k", 3); len(s) != 0 {
+		t.Fatalf("empty ring returned successors %v", s)
+	}
+	if empty.size() != 0 {
+		t.Fatalf("empty ring size %d", empty.size())
+	}
+	one := newRing([]string{"http://a:1"}, 0)
+	if s := one.successors("k", 5); len(s) != 1 || s[0] != "http://a:1" {
+		t.Fatalf("singleton ring successors %v", s)
+	}
+	if one.size() != 1 {
+		t.Fatalf("singleton ring size %d", one.size())
+	}
+}

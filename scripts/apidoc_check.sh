@@ -1,10 +1,13 @@
 #!/usr/bin/env sh
 # apidoc_check.sh — execute every `sh` code block of docs/API.md against
 # a live makespand and require (a) exit status 0 and (b) valid JSON on
-# stdout, so the documented examples cannot drift from the service. Runs
+# stdout, so the documented examples cannot drift from the service. The
+# cluster section's blocks run against a live two-replica makespan-lb,
+# exported as $LB (with $REPLICA naming one registered replica). Runs
 # in CI right after scripts/e2e_smoke.sh (the e2e-smoke job).
 #
-# Usage: scripts/apidoc_check.sh [port]   (default 17421)
+# Usage: scripts/apidoc_check.sh [port]   (default 17421; the cluster
+#        uses port+1..port+3)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,36 +15,56 @@ port="${1:-17421}"
 doc="docs/API.md"
 bin="$(mktemp -d)"
 work="$(mktemp -d)"
-pid=""
+pids=""
 cleanup() {
-    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
     rm -rf "$bin" "$work"
 }
 trap cleanup EXIT INT TERM
 
 echo "== build"
-go build -o "$bin/" ./cmd/makespand
+go build -o "$bin/" ./cmd/makespand ./cmd/makespan-lb
+
+# wait_ready <url> <log> <pid>: poll with a hard deadline, but fail
+# fast — with the log — the moment the process dies, instead of sitting
+# out the budget.
+wait_ready() {
+    wr_i=0
+    until curl -fsS --max-time 2 "$1" >/dev/null 2>&1; do
+        if ! kill -0 "$3" 2>/dev/null; then
+            echo "$1 process died during startup; log:" >&2
+            cat "$2" >&2
+            exit 1
+        fi
+        wr_i=$((wr_i + 1))
+        if [ "$wr_i" -ge 300 ]; then
+            echo "$1 did not come up within 30s; log:" >&2
+            cat "$2" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
 
 echo "== start makespand on 127.0.0.1:$port"
 "$bin/makespand" -addr "127.0.0.1:$port" -workers 2 2>"$work/makespand.log" &
-pid=$!
-# Readiness: poll with a hard deadline, but fail fast — with the log —
-# the moment the daemon process dies, instead of sitting out the budget.
-i=0
-until curl -fsS --max-time 2 "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; do
-    if ! kill -0 "$pid" 2>/dev/null; then
-        echo "makespand died during startup; log:" >&2
-        cat "$work/makespand.log" >&2
-        exit 1
-    fi
-    i=$((i + 1))
-    if [ "$i" -ge 300 ]; then
-        echo "makespand did not come up within 30s; log:" >&2
-        cat "$work/makespand.log" >&2
-        exit 1
-    fi
-    sleep 0.1
+pids="$!"
+wait_ready "http://127.0.0.1:$port/healthz" "$work/makespand.log" "$!"
+
+echo "== start 2 replicas + makespan-lb on 127.0.0.1:$((port + 3))"
+replicas=""
+for i in 1 2; do
+    rport=$((port + i))
+    "$bin/makespand" -addr "127.0.0.1:$rport" -workers 2 2>"$work/replica$i.log" &
+    pids="$pids $!"
+    wait_ready "http://127.0.0.1:$rport/healthz" "$work/replica$i.log" "$!"
+    replicas="$replicas,http://127.0.0.1:$rport"
 done
+replicas="${replicas#,}"
+"$bin/makespan-lb" -addr "127.0.0.1:$((port + 3))" -replicas "$replicas" \
+    2>"$work/lb.log" &
+pids="$pids $!"
+wait_ready "http://127.0.0.1:$((port + 3))/healthz" "$work/lb.log" "$!"
 
 # Split the doc into one file per ```sh fenced block.
 awk -v dir="$work" '
@@ -58,7 +81,10 @@ for block in "$work"/block*.sh; do
     name="$(basename "$block")"
     echo "== $doc $name"
     sed -n 'p' "$block"
-    if ! BASE="http://127.0.0.1:$port" sh -eu "$block" >"$work/out.json" 2>"$work/err.txt"; then
+    if ! BASE="http://127.0.0.1:$port" \
+        LB="http://127.0.0.1:$((port + 3))" \
+        REPLICA="http://127.0.0.1:$((port + 1))" \
+        sh -eu "$block" >"$work/out.json" 2>"$work/err.txt"; then
         echo "FAIL $name: example exited non-zero" >&2
         cat "$work/err.txt" >&2
         failures=$((failures + 1))

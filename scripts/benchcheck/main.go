@@ -20,14 +20,22 @@
 // (default +100%): CI runners are shared and tail latency is the
 // noisiest statistic measured here — the gate exists to catch
 // order-of-magnitude regressions (a lock on the hot path, accidental
-// per-request recompilation), not 20% drift. The two modes are disjoint
-// so the kernel-bench canary job and the live-daemon load job can each
-// generate only the files they gate.
+// per-request recompilation), not 20% drift.
+//
+// With -cluster-only it gates the cluster load profile
+// (BENCH_cluster.json from scripts/load.sh -cluster): the same hard
+// invariants, plus the fleet warm-cache hit ratio must stay at least
+// -min-fleet-warm (consistent-hash routing keeps each shard on one
+// replica's warm cache) and the front's p99 must stay within
+// -cluster-tolerance of the committed single-replica BENCH_load.json.
+// The modes are disjoint so the kernel-bench canary job and the
+// live-daemon load job can each generate only the files they gate.
 //
 // Usage:
 //
 //	go run ./scripts/benchcheck -baseline . -fresh out [-tolerance 0.25]
 //	go run ./scripts/benchcheck -load-only -baseline . -fresh load-out
+//	go run ./scripts/benchcheck -cluster-only -baseline . -fresh cluster-out
 //
 // Comparison uses best_ns_op — the minimum across bench.sh's repeated
 // samples — which is the most noise-robust point estimate on shared CI
@@ -117,7 +125,8 @@ func ratioGate(freshDir, file, label, slowName, fastName string, min float64) in
 }
 
 // loadReport mirrors cmd/loadgen's report document; only the gated
-// fields are decoded.
+// fields are decoded. The cluster section is scripts/load.sh -cluster's
+// addition: fleet-summed replica cache counters.
 type loadReport struct {
 	Profile struct {
 		RPS float64 `json:"rps"`
@@ -132,6 +141,14 @@ type loadReport struct {
 		P95 float64 `json:"p95"`
 		P99 float64 `json:"p99"`
 	} `json:"latency_ms"`
+	Cluster *struct {
+		Replicas   int `json:"replicas"`
+		FleetCache struct {
+			Hits         int64   `json:"hits"`
+			Misses       int64   `json:"misses"`
+			WarmHitRatio float64 `json:"warm_hit_ratio"`
+		} `json:"fleet_cache"`
+	} `json:"cluster"`
 }
 
 func loadLoadReport(path string) (*loadReport, error) {
@@ -196,6 +213,57 @@ func checkLoad(baseDir, freshDir string, tolerance float64) int {
 	return failures
 }
 
+// checkCluster gates the cluster load profile (BENCH_cluster.json from
+// scripts/load.sh -cluster): the same hard invariants as the
+// single-replica profile, the fleet warm-cache hit ratio floor — the
+// number that proves consistent-hash routing kept each shard on one
+// replica's warm cache — and p99 against the committed single-replica
+// BENCH_load.json (the front must not cost more than the tolerance on
+// top of one daemon; the cluster's own baseline is informational).
+func checkCluster(baseDir, freshDir string, tolerance, minWarm float64) int {
+	fresh, err := loadLoadReport(filepath.Join(freshDir, "BENCH_cluster.json"))
+	if err != nil {
+		fatal(fmt.Errorf("fresh results missing (did scripts/load.sh -cluster run?): %w", err))
+	}
+	failures := 0
+	check := func(ok bool, format string, args ...any) {
+		status := "ok  "
+		if !ok {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s %s\n", status, fmt.Sprintf(format, args...))
+	}
+	check(fresh.Errors == 0, "%-40s %d (must be 0)", "cluster profile errors", fresh.Errors)
+	check(fresh.Shed == 0, "%-40s %d (must be 0)", "cluster profile sheds", fresh.Shed)
+	check(fresh.OK == fresh.Requests, "%-40s %d/%d", "cluster profile ok requests", fresh.OK, fresh.Requests)
+	check(fresh.AchievedRPS >= 0.9*fresh.Profile.RPS,
+		"%-40s %.1f (requested %.1f, minimum %.1f)", "cluster profile achieved rps",
+		fresh.AchievedRPS, fresh.Profile.RPS, 0.9*fresh.Profile.RPS)
+	if fresh.Cluster == nil {
+		check(false, "%-40s missing", "cluster fleet_cache section")
+		return failures
+	}
+	check(fresh.Cluster.FleetCache.WarmHitRatio >= minWarm,
+		"%-40s %.3f (%d hits / %d misses, minimum %.2f)", "fleet warm-cache hit ratio",
+		fresh.Cluster.FleetCache.WarmHitRatio,
+		fresh.Cluster.FleetCache.Hits, fresh.Cluster.FleetCache.Misses, minWarm)
+
+	base, err := loadLoadReport(filepath.Join(baseDir, "BENCH_load.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("skip %-20s no committed single-replica baseline yet\n", "BENCH_load.json")
+			return failures
+		}
+		fatal(err)
+	}
+	limit := base.LatencyMS.P99 * (1 + tolerance)
+	check(fresh.LatencyMS.P99 <= limit,
+		"%-40s single %8.3f ms  cluster %8.3f ms  (limit %.3f ms)",
+		"cluster p99 vs single replica", base.LatencyMS.P99, fresh.LatencyMS.P99, limit)
+	return failures
+}
+
 func load(path string) (map[string]entry, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -223,6 +291,9 @@ func main() {
 	artifactRatio := flag.Float64("min-artifact-ratio", 10, "required cold/warm ratio of the artifact estimator pair (0 disables)")
 	loadOnly := flag.Bool("load-only", false, "gate only the BENCH_load.json tail-latency profile")
 	loadTolerance := flag.Float64("load-tolerance", 1.0, "allowed relative tail-latency slowdown in -load-only mode")
+	clusterOnly := flag.Bool("cluster-only", false, "gate only the BENCH_cluster.json cluster load profile")
+	clusterTolerance := flag.Float64("cluster-tolerance", 2.0, "allowed relative p99 cost of the lb front over the single-replica baseline in -cluster-only mode")
+	minFleetWarm := flag.Float64("min-fleet-warm", 0.9, "required fleet warm-cache hit ratio in -cluster-only mode")
 	flag.Parse()
 
 	if *loadOnly {
@@ -231,6 +302,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("\nbenchcheck: load profile within tolerance")
+		return
+	}
+	if *clusterOnly {
+		if failures := checkCluster(*baseDir, *freshDir, *clusterTolerance, *minFleetWarm); failures > 0 {
+			fmt.Printf("\nbenchcheck: %d failure(s)\n", failures)
+			os.Exit(1)
+		}
+		fmt.Println("\nbenchcheck: cluster profile within tolerance")
 		return
 	}
 

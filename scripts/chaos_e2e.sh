@@ -19,8 +19,13 @@
 #                    every resolution, cold paths everywhere
 #   S5 kill mid-load SIGTERM with an estimate mid-kernel: the in-flight
 #                    request completes byte-identically, exit code 0
+#   S6 cluster kill  three replicas behind makespan-lb; SIGTERM one
+#                    replica under load: zero non-2xx at the front and
+#                    every body byte-identical to the baseline while the
+#                    dead replica's shard remaps
 #
-# Usage: scripts/chaos_e2e.sh [base_port]   (default 17521)
+# Usage: scripts/chaos_e2e.sh [base_port]   (default 17521; S6 uses
+#        base_port+5..base_port+8)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -28,14 +33,16 @@ base_port="${1:-17521}"
 bin="$(mktemp -d)"
 work="$(mktemp -d)"
 pid=""
+pids=""
 cleanup() {
     [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
     rm -rf "$bin" "$work"
 }
 trap cleanup EXIT INT TERM
 
 echo "== build"
-go build -o "$bin/" ./cmd/makespand
+go build -o "$bin/" ./cmd/makespand ./cmd/makespan-lb
 
 normalize() {
     sed -E 's/"(mc_time_seconds|time_seconds|uptime_seconds)": [-+0-9.eE]+/"\1": 0/'
@@ -202,5 +209,81 @@ if [ "$status" -ne 0 ]; then
     exit 1
 fi
 grep -q "drained, exiting" "$work/daemon.log"
+
+echo "== S6 cluster: SIGTERM one replica under load"
+# Three slowed replicas behind the lb. The chunk delay keeps kernels
+# busy long enough that the SIGTERM lands with work in flight; the
+# front must absorb the loss — failover for requests already headed to
+# the dying replica, ring eject plus shard remap for everything after —
+# with zero non-2xx and baseline bytes throughout.
+replicas=""
+victim_pid=""
+for i in 1 2 3; do
+    rport=$((base_port + 4 + i))
+    MAKESPAND_FAULTS="mc.chunk=delay:5ms" "$bin/makespand" \
+        -addr "127.0.0.1:$rport" -workers 2 \
+        -drain-grace 500ms -drain-timeout 30s 2>"$work/s6_replica$i.log" &
+    pids="$pids $!"
+    [ "$i" -eq 1 ] && victim_pid=$!
+    replicas="$replicas,http://127.0.0.1:$rport"
+done
+replicas="${replicas#,}"
+front="http://127.0.0.1:$((base_port + 8))"
+"$bin/makespan-lb" -addr "127.0.0.1:$((base_port + 8))" \
+    -replicas "$replicas" -check-interval 100ms 2>"$work/s6_lb.log" &
+pids="$pids $!"
+i=0
+until curl -fsS --max-time 2 "$front/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 300 ]; then
+        echo "makespan-lb did not come up within 30s; log:" >&2
+        cat "$work/s6_lb.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Keep a slow estimate in flight across the kill, then drive the full
+# set repeatedly while the replica dies and its shard remaps. Every
+# curl uses -f: any non-2xx at the front fails the scenario.
+base="$front"
+curl -fsS -X POST "$front/v1/estimate" -d "$r5" >"$work/s6_inflight_raw.json" &
+inflight_pid=$!
+sleep 0.2
+kill -TERM "$victim_pid"
+for round in 1 2 3; do
+    run_set "$work/s6_round$round"
+    diff_set "$work/s6_round$round"
+done
+if ! wait "$inflight_pid"; then
+    echo "in-flight estimate failed across the replica kill; lb log:" >&2
+    cat "$work/s6_lb.log" >&2
+    exit 1
+fi
+normalize <"$work/s6_inflight_raw.json" >"$work/s6_inflight.json"
+diff -u "$work/baseline/r5.json" "$work/s6_inflight.json"
+set +e
+wait "$victim_pid"
+status=$?
+set -e
+pids="$(echo "$pids" | sed "s/ $victim_pid//")"
+if [ "$status" -ne 0 ]; then
+    echo "replica 1 exited $status after SIGTERM under load (want 0); log:" >&2
+    cat "$work/s6_replica1.log" >&2
+    exit 1
+fi
+grep -q "drained, exiting" "$work/s6_replica1.log"
+# The ring settles at two replicas and the front stays healthy.
+i=0
+until curl -fsS "$front/v1/replicas" | grep -q '"ring_size": 2'; do
+    i=$((i + 1))
+    if [ "$i" -ge 300 ]; then
+        echo "lb never ejected the killed replica; log:" >&2
+        cat "$work/s6_lb.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+curl -fsS "$front/healthz" >/dev/null
 
 echo "chaos e2e: all scenarios passed"

@@ -1,0 +1,152 @@
+#!/usr/bin/env sh
+# cluster_e2e.sh — multi-process cluster e2e: three real makespand
+# replicas behind makespan-lb, plus one single-process reference
+# daemon. Every /v1 response through the front must be byte-identical
+# (timing fields zeroed) to the single daemon's — the determinism-
+# regardless-of-replica guarantee that makes consistent-hash routing,
+# hedging and failover unobservable to clients. The script then
+# SIGTERMs one replica mid-run: the lb must eject it from the ring
+# (GET /v1/replicas ring_size drops), the replica must drain and exit
+# 0, and the full request set must still answer byte-identically from
+# the surviving replicas after its shard remaps.
+#
+# The Go twin of this harness is internal/lb/e2e_test.go, which
+# additionally pins the mid-kernel drain handoff; this script is the
+# curl-level CI smoke over the real binaries. docs/E2E.md holds the
+# case table.
+#
+# Usage: scripts/cluster_e2e.sh [base_port]   (default 17621; uses
+#        base_port..base_port+4)
+set -eu
+
+cd "$(dirname "$0")/.."
+base_port="${1:-17621}"
+bin="$(mktemp -d)"
+work="$(mktemp -d)"
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$bin" "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build"
+go build -o "$bin/" ./cmd/makespand ./cmd/makespan-lb
+
+normalize() {
+    sed -E 's/"(mc_time_seconds|time_seconds|uptime_seconds)": [-+0-9.eE]+/"\1": 0/'
+}
+
+# wait_ready <url> <log>: poll until a 200, fail fast with the log.
+wait_ready() {
+    wr_i=0
+    until curl -fsS --max-time 2 "$1" >/dev/null 2>&1; do
+        wr_i=$((wr_i + 1))
+        if [ "$wr_i" -ge 300 ]; then
+            echo "$1 did not come up within 30s; log:" >&2
+            cat "$2" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+echo "== start 3 replicas + lb + single-process reference"
+replicas=""
+for i in 1 2 3; do
+    port=$((base_port + i))
+    "$bin/makespand" -addr "127.0.0.1:$port" -workers 2 \
+        -drain-grace 500ms -drain-timeout 30s 2>"$work/replica$i.log" &
+    pids="$pids $!"
+    eval "pid_r$i=$!"
+    replicas="$replicas,http://127.0.0.1:$port"
+done
+replicas="${replicas#,}"
+lb="http://127.0.0.1:$base_port"
+"$bin/makespan-lb" -addr "127.0.0.1:$base_port" -replicas "$replicas" \
+    -check-interval 100ms 2>"$work/lb.log" &
+pids="$pids $!"
+single="http://127.0.0.1:$((base_port + 4))"
+"$bin/makespand" -addr "127.0.0.1:$((base_port + 4))" -workers 2 \
+    2>"$work/single.log" &
+pids="$pids $!"
+for i in 1 2 3; do
+    wait_ready "http://127.0.0.1:$((base_port + i))/healthz" "$work/replica$i.log"
+done
+wait_ready "$lb/healthz" "$work/lb.log"
+wait_ready "$single/healthz" "$work/single.log"
+
+# The deterministic request set — distinct graphs so the shards spread
+# across the fleet.
+r1='{"kind":"lu","k":8,"pfail":0.001,"methods":"paper","trials":2000,"seed":7,"bounds":true}'
+r2='{"kind":"qr","k":6,"lambda":0.002,"methods":"all","trials":1000,"seed":11}'
+r3='{"kind":"lu","k":8,"procs":4,"pfail":0.01,"trials":2000,"seed":7,"quantiles":[0.5,0.99]}'
+r4='{"kind":"cholesky","k":6,"pfails":[0.1,0.01],"trials":1500,"seed":3}'
+r5='{"kind":"lu","k":6,"pfail":0.05,"methods":"First Order","trials":40960,"seed":9}'
+
+# run_set <base> <dir>: drive the set against one front, store
+# normalized responses.
+run_set() {
+    rs_base="$1"
+    rs_dir="$2"
+    mkdir -p "$rs_dir"
+    curl -fsS -X POST "$rs_base/v1/estimate" -d "$r1" | normalize >"$rs_dir/r1.json"
+    curl -fsS -X POST "$rs_base/v1/estimate" -d "$r2" | normalize >"$rs_dir/r2.json"
+    curl -fsS -X POST "$rs_base/v1/schedule" -d "$r3" | normalize >"$rs_dir/r3.json"
+    curl -fsS -X POST "$rs_base/v1/sweep" -d "$r4" | normalize >"$rs_dir/r4.json"
+    curl -fsS -X POST "$rs_base/v1/estimate" -d "$r5" | normalize >"$rs_dir/r5.json"
+}
+
+diff_set() {
+    for f in r1 r2 r3 r4 r5; do
+        diff -u "$work/single/$f.json" "$1/$f.json"
+    done
+}
+
+echo "== single-process reference set"
+run_set "$single" "$work/single"
+
+echo "== cluster set through the lb (cold, then warm)"
+run_set "$lb" "$work/lb_cold"
+diff_set "$work/lb_cold"
+run_set "$lb" "$work/lb_warm"
+diff_set "$work/lb_warm"
+
+echo "== ring state before the kill"
+curl -fsS "$lb/v1/replicas" | tee "$work/replicas_before.json"
+grep -q '"ring_size": 3' "$work/replicas_before.json"
+
+echo "== SIGTERM replica 1; its shard must remap"
+kill -TERM "$pid_r1"
+set +e
+wait "$pid_r1"
+status=$?
+set -e
+pids="$(echo "$pids" | sed "s/ $pid_r1//")"
+if [ "$status" -ne 0 ]; then
+    echo "replica 1 exited $status after SIGTERM (want 0); log:" >&2
+    cat "$work/replica1.log" >&2
+    exit 1
+fi
+grep -q "drained, exiting" "$work/replica1.log"
+i=0
+until curl -fsS "$lb/v1/replicas" | grep -q '"ring_size": 2'; do
+    i=$((i + 1))
+    if [ "$i" -ge 300 ]; then
+        echo "lb never ejected the drained replica; log:" >&2
+        cat "$work/lb.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "== cluster set after the remap"
+run_set "$lb" "$work/lb_remap"
+diff_set "$work/lb_remap"
+
+echo "== lb access log names replicas and the front stayed healthy"
+grep -q 'event=request .*replica=http' "$work/lb.log"
+curl -fsS "$lb/healthz" >/dev/null
+curl -fsS "$lb/metrics" | grep -q '^makespanlb_upstream_requests_total'
+
+echo "cluster e2e: all responses byte-identical through the lb"

@@ -9,10 +9,26 @@
 # BENCH_load.json; refresh the committed baseline by running it at the
 # repo root: scripts/load.sh .
 #
-# Usage: scripts/load.sh [outdir] [port]   (default out-load, 17421)
+# With -cluster as the first argument it instead measures the cluster
+# profile behind BENCH_cluster.json: three makespand replicas behind
+# makespan-lb, loadgen at the front driving several distinct graphs
+# round-robin (one shard per graph), each replica's cache hit/miss
+# totals scraped from /healthz afterwards and merged into the report as
+# the fleet warm-cache hit ratio. CI gates the result with
+# `go run ./scripts/benchcheck -cluster-only` (clean run, fleet-ratio
+# floor, p99 against the committed single-replica BENCH_load.json);
+# refresh the committed BENCH_cluster.json with: scripts/load.sh -cluster .
+#
+# Usage: scripts/load.sh [-cluster] [outdir] [port]
+#        (default out-load, 17421; cluster uses port..port+3)
 set -eu
 
 cd "$(dirname "$0")/.."
+cluster=0
+if [ "${1:-}" = "-cluster" ]; then
+    cluster=1
+    shift
+fi
 out="${1:-out-load}"
 port="${2:-17421}"
 base="http://127.0.0.1:$port"
@@ -20,29 +36,78 @@ rps="${LOADGEN_RPS:-40}"
 duration="${LOADGEN_DURATION:-8s}"
 mkdir -p "$out"
 bin="$(mktemp -d)"
-pid=""
+pids=""
 cleanup() {
-    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
     rm -rf "$bin"
 }
 trap cleanup EXIT INT TERM
 
 echo "== build"
-go build -o "$bin/" ./cmd/makespand ./cmd/loadgen
+go build -o "$bin/" ./cmd/makespand ./cmd/loadgen ./cmd/makespan-lb
 
-echo "== start makespand on $base"
-"$bin/makespand" -addr "127.0.0.1:$port" -workers 2 2>"$out/makespand.log" &
-pid=$!
+if [ "$cluster" -eq 0 ]; then
+    echo "== start makespand on $base"
+    "$bin/makespand" -addr "127.0.0.1:$port" -workers 2 2>"$out/makespand.log" &
+    pids="$!"
 
-echo "== drive $rps rps for $duration"
-# loadgen waits for /healthz itself, warms the caches, then launches the
-# measured open-loop window and scrapes /metrics on its way out.
+    echo "== drive $rps rps for $duration"
+    # loadgen waits for /healthz itself, warms the caches, then launches
+    # the measured open-loop window and scrapes /metrics on its way out.
+    "$bin/loadgen" -base "$base" -rps "$rps" -duration "$duration" \
+        -out "$out/BENCH_load.json" -metrics-out "$out/metrics.prom"
+
+    echo "== report"
+    jq '{requests, ok, shed, errors, achieved_rps, latency_ms}' "$out/BENCH_load.json"
+    exit 0
+fi
+
+echo "== start 3 makespand replicas on ports $((port + 1))..$((port + 3))"
+replicas=""
+for i in 1 2 3; do
+    rport=$((port + i))
+    "$bin/makespand" -addr "127.0.0.1:$rport" -workers 2 2>"$out/replica$i.log" &
+    pids="$pids $!"
+    replicas="$replicas,http://127.0.0.1:$rport"
+done
+replicas="${replicas#,}"
+
+echo "== start makespan-lb on $base"
+"$bin/makespan-lb" -addr "127.0.0.1:$port" -replicas "$replicas" \
+    -check-interval 500ms 2>"$out/makespan-lb.log" &
+pids="$pids $!"
+
+# One graph per shard: distinct (kind, k) pairs hash to different ring
+# positions, so the fleet splits the key space instead of one replica
+# absorbing everything.
+cat >"$bin/bodies.txt" <<'EOF'
+{"kind":"lu","k":8,"methods":"First Order","trials":256,"seed":7}
+{"kind":"qr","k":8,"methods":"First Order","trials":256,"seed":7}
+{"kind":"cholesky","k":8,"methods":"First Order","trials":256,"seed":7}
+{"kind":"lu","k":10,"methods":"First Order","trials":256,"seed":7}
+EOF
+
+echo "== drive $rps rps for $duration through the lb"
 "$bin/loadgen" -base "$base" -rps "$rps" -duration "$duration" \
-    -out "$out/BENCH_load.json" -metrics-out "$out/metrics.prom"
+    -bodies "$bin/bodies.txt" \
+    -out "$out/loadgen.json" -metrics-out "$out/metrics_lb.prom"
 
-kill "$pid"
-wait "$pid" 2>/dev/null || true
-pid=""
+# Fleet cache stats: every replica's /healthz totals, summed. The warm
+# hit ratio is the cluster tentpole's cache-locality claim in one
+# number — with consistent-hash routing each shard stays on one replica
+# and nearly all measured requests are warm hits.
+fleet="$out/fleet.json"
+for r in $(echo "$replicas" | tr ',' ' '); do
+    curl -fsS "$r/healthz"
+done | jq -s '{
+    hits: (map(.cache_hits) | add),
+    misses: (map(.cache_misses) | add)
+} | . + {warm_hit_ratio: (.hits / (.hits + .misses))}' >"$fleet"
+
+jq --slurpfile fleet "$fleet" \
+    '. + {cluster: {replicas: 3, fleet_cache: $fleet[0]}}' \
+    "$out/loadgen.json" >"$out/BENCH_cluster.json"
+rm "$out/loadgen.json"
 
 echo "== report"
-jq '{requests, ok, shed, errors, achieved_rps, latency_ms}' "$out/BENCH_load.json"
+jq '{requests, ok, shed, errors, achieved_rps, latency_ms, cluster}' "$out/BENCH_cluster.json"
